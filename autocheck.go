@@ -1,0 +1,139 @@
+// Package autocheck is the public API of the AutoCheck reproduction: a
+// tool that automatically identifies the critical variables an HPC
+// application must checkpoint to restart correctly after a fail-stop
+// failure (Fu et al., "AutoCheck: Automatically Identifying Variables for
+// Checkpointing by Data Dependency Analysis", SC 2024).
+//
+// The pipeline mirrors the paper's Fig. 2. Given a dynamic instruction
+// execution trace and the location of the main computation loop:
+//
+//  1. pre-processing identifies the Main-Loop-Input (MLI) variables —
+//     variables defined before but used inside the loop;
+//  2. data dependency analysis tracks the reg-var and reg-reg maps
+//     on-the-fly and builds a contracted data dependency graph over the
+//     MLI variables;
+//  3. identification classifies critical variables as Write-After-Read,
+//     Read-After-Partially-Overwritten, or Outcome, and adds the outermost
+//     loop's induction variable (Index).
+//
+// Because the original toolchain (LLVM/Clang + LLVM-Tracer + FTI + BLCR)
+// is not available to a pure-Go build, the module also contains the full
+// substrate: a mini-C frontend and IR (internal/minic, internal/ir,
+// internal/lower), a tracing interpreter that plays LLVM-Tracer's role
+// (internal/interp), loop analysis (internal/cfg), an FTI-like C/R library
+// with a BLCR-like full-snapshot baseline (internal/checkpoint), the
+// fail-stop validation harness (internal/validate), and mini-C ports of
+// the paper's 14 benchmarks (internal/progs).
+//
+// Quick start:
+//
+//	mod, _ := autocheck.CompileProgram(src)
+//	recs, _, _ := autocheck.TraceProgram(mod)
+//	res, _ := autocheck.Analyze(recs, autocheck.LoopSpec{
+//	    Function: "main", StartLine: 17, EndLine: 25,
+//	}, autocheck.DefaultOptions())
+//	for _, c := range res.Critical {
+//	    fmt.Printf("checkpoint %s (%s)\n", c.Name, c.Type)
+//	}
+package autocheck
+
+import (
+	"autocheck/internal/core"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+	"autocheck/internal/trace"
+)
+
+// Re-exported core types; see the core package for field documentation.
+type (
+	// LoopSpec locates the main computation loop (function + line range).
+	LoopSpec = core.LoopSpec
+	// Options tunes the analysis (parallel workers, DDG construction, ...).
+	Options = core.Options
+	// Result is the analysis output: MLI variables, critical variables,
+	// timing breakdown, and optional DDGs.
+	Result = core.Result
+	// CriticalVar is one variable to checkpoint.
+	CriticalVar = core.CriticalVar
+	// DependencyType classifies why a variable is critical.
+	DependencyType = core.DependencyType
+	// Record is one dynamic trace instruction block.
+	Record = trace.Record
+	// Module is a compiled program.
+	Module = ir.Module
+)
+
+// Dependency types (paper §IV-C, Fig. 7).
+const (
+	WAR     = core.WAR
+	Outcome = core.Outcome
+	RAPO    = core.RAPO
+	Index   = core.Index
+)
+
+// DefaultOptions returns the recommended analysis configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Analyze runs the three-module AutoCheck pipeline over parsed trace
+// records.
+func Analyze(recs []Record, spec LoopSpec, opts Options) (*Result, error) {
+	return core.Analyze(recs, spec, opts)
+}
+
+// AnalyzeBytes parses a textual trace (in parallel when opts.Workers > 1)
+// and analyzes it.
+func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
+	return core.AnalyzeBytes(data, spec, opts)
+}
+
+// AnalyzeFile reads and analyzes a trace file (the paper's primary usage
+// mode: trace generation and analysis as separate steps).
+func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
+	return core.AnalyzeFile(path, spec, opts)
+}
+
+// Collector is the online (single-pass, no trace file) analyzer — the
+// paper's §IX future-work mode where AutoCheck runs inside the
+// instrumentation itself.
+type Collector = core.Collector
+
+// NewCollector prepares an online analysis session; feed it records via
+// Observe (e.g. as an interpreter Tracer callback) and call Finish.
+func NewCollector(spec LoopSpec, opts Options) (*Collector, error) {
+	return core.NewCollector(spec, opts)
+}
+
+// AnalyzeProgramOnline executes a module with the online analyzer wired
+// directly into the tracer: no trace is materialized. It returns the
+// analysis result and the program's printed output.
+func AnalyzeProgramOnline(mod *Module, spec LoopSpec, opts Options) (*Result, string, error) {
+	col, err := core.NewCollector(spec, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	m := interp.New(mod)
+	m.Tracer = func(r *Record) { col.Observe(r) }
+	out, err := m.Run()
+	if err != nil {
+		return nil, out, err
+	}
+	res, err := col.Finish()
+	return res, out, err
+}
+
+// CompileProgram compiles a mini-C source program to IR.
+func CompileProgram(src string) (*Module, error) { return interp.Compile(src) }
+
+// TraceProgram executes a module and returns its dynamic instruction
+// execution trace and printed output (the LLVM-Tracer role).
+func TraceProgram(mod *Module) ([]Record, string, error) { return interp.TraceProgram(mod) }
+
+// RunProgram executes a module without tracing.
+func RunProgram(mod *Module) (string, error) { return interp.RunProgram(mod) }
+
+// EncodeTrace renders records in the textual LLVM-Tracer-style block
+// format; ParseTrace reads it back.
+func EncodeTrace(recs []Record) []byte { return trace.EncodeAll(recs) }
+
+// ParseTrace parses a textual trace serially.
+func ParseTrace(data []byte) ([]Record, error) { return trace.ParseBytes(data) }

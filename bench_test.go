@@ -1,0 +1,293 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One bench per
+// table/figure (see DESIGN.md's per-experiment index):
+//
+//	BenchmarkTable2_*              detection pipeline per benchmark (Table II)
+//	BenchmarkTable3_*              phase costs, serial vs parallel (Table III)
+//	BenchmarkTable4_Storage        checkpoint vs full-snapshot bytes (Table IV)
+//	BenchmarkValidation_*          fail-stop + restart protocol (§VI-B)
+//	BenchmarkFig5_DDGContraction   complete-DDG build + Algorithm 1 (Fig. 5)
+//	BenchmarkParallelTraceRead/*   §V-A worker sweep
+//	BenchmarkAblation_*            design-choice ablations from DESIGN.md
+//
+// Sizes are reported via b.ReportMetric, so `go test -bench=. -benchmem`
+// prints the same series the paper's tables report (shape, not absolute
+// numbers — the substrate is a simulator, not the authors' testbed).
+package autocheck
+
+import (
+	"fmt"
+	"testing"
+
+	"autocheck/internal/core"
+	"autocheck/internal/harness"
+	"autocheck/internal/progs"
+	"autocheck/internal/trace"
+	"autocheck/internal/validate"
+)
+
+// prepared caches compiled+traced benchmarks across bench runs.
+var prepared = map[string]*harness.Prepared{}
+
+func prep(b *testing.B, name string) *harness.Prepared {
+	b.Helper()
+	if p, ok := prepared[name]; ok {
+		return p
+	}
+	bench := progs.Get(name)
+	if bench == nil {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	p, err := harness.Prepare(bench, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared[name] = p
+	return p
+}
+
+// BenchmarkTable2 runs the full AutoCheck pipeline (parse + three modules)
+// once per iteration for each Table II benchmark.
+func BenchmarkTable2(b *testing.B) {
+	for _, bench := range progs.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			p := prep(b, bench.Name)
+			b.SetBytes(int64(len(p.Data)))
+			var critical int
+			for i := 0; i < b.N; i++ {
+				res, err := p.Analyze(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				critical = len(res.Critical)
+			}
+			b.ReportMetric(float64(critical), "critical-vars")
+			b.ReportMetric(float64(len(p.Records)), "trace-records")
+		})
+	}
+}
+
+// BenchmarkTable3 isolates the three phases of Table III on the largest
+// port (HACC) and compares serial against parallel pre-processing.
+func BenchmarkTable3(b *testing.B) {
+	p := prep(b, "HACC")
+	spec := p.Spec
+	b.Run("PreprocessSerial", func(b *testing.B) {
+		b.SetBytes(int64(len(p.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ParseBytes(p.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8, 16, 48} {
+		workers := workers
+		b.Run(fmt.Sprintf("PreprocessParallel%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(p.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ParseBytesParallel(p.Data, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("DependencyAndIdentify", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Module = p.Mod
+		for i := 0; i < b.N; i++ {
+			res, err := core.Analyze(p.Records, spec, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Timing.Dep.Seconds()*1000, "dep-ms")
+			b.ReportMetric(res.Timing.Identify.Seconds()*1000, "identify-ms")
+		}
+	})
+}
+
+// BenchmarkTable4_Storage measures one AutoCheck variable checkpoint
+// against one BLCR-like full snapshot per benchmark (Table IV shape: the
+// variable checkpoint is orders of magnitude smaller).
+func BenchmarkTable4_Storage(b *testing.B) {
+	for _, bench := range progs.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			p := prep(b, bench.Name)
+			res, err := p.Analyze(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ac, blcr int64
+			for i := 0; i < b.N; i++ {
+				ac, blcr, err = harness.MeasureStorage(p.Mod, res)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ac), "autocheck-B")
+			b.ReportMetric(float64(blcr), "blcr-B")
+			b.ReportMetric(float64(blcr)/float64(ac), "reduction-x")
+		})
+	}
+}
+
+// BenchmarkValidation runs the §VI-B fail-stop/restart protocol on a
+// representative subset (full sweep lives in the test suite).
+func BenchmarkValidation(b *testing.B) {
+	for _, name := range []string{"CG", "IS", "HACC"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p := prep(b, name)
+			res, err := p.Analyze(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				v, err := validate.New(p.Mod, res, b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := v.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Sufficient {
+					b.Fatalf("restart failed: %s", rep.Mismatch)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5_DDGContraction builds the complete DDG and contracts it
+// (Algorithm 1) on the paper's example-code trace.
+func BenchmarkFig5_DDGContraction(b *testing.B) {
+	p := prep(b, "CG")
+	opts := core.DefaultOptions()
+	opts.Module = p.Mod
+	opts.BuildDDG = true
+	for i := 0; i < b.N; i++ {
+		res, err := core.Analyze(p.Records, p.Spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Complete.Nodes())), "complete-nodes")
+		b.ReportMetric(float64(len(res.Contracted.Nodes())), "contracted-nodes")
+	}
+}
+
+// BenchmarkParallelTraceRead is the §V-A optimization sweep: parsing
+// throughput versus worker count on the largest trace.
+func BenchmarkParallelTraceRead(b *testing.B) {
+	p := prep(b, "HACC")
+	for _, workers := range []int{1, 2, 4, 8, 16, 48} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(p.Data)))
+			for i := 0; i < b.N; i++ {
+				var err error
+				if workers == 1 {
+					_, err = trace.ParseBytes(p.Data)
+				} else {
+					_, err = trace.ParseBytesParallel(p.Data, workers)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_StreamingVsDDG compares the streaming classifier
+// (production path) against additionally materializing the complete DDG
+// (the paper's construct-then-contract formulation) — the DESIGN.md
+// two-builders ablation.
+func BenchmarkAblation_StreamingVsDDG(b *testing.B) {
+	p := prep(b, "LU")
+	base := core.DefaultOptions()
+	base.Module = p.Mod
+	b.Run("Streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p.Records, p.Spec, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WithCompleteDDG", func(b *testing.B) {
+		opts := base
+		opts.BuildDDG = true
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p.Records, p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_InductionDetection compares static loop analysis
+// against the dynamic trace heuristic for Index identification.
+func BenchmarkAblation_InductionDetection(b *testing.B) {
+	p := prep(b, "MG")
+	b.Run("StaticLoopAnalysis", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Module = p.Mod
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p.Records, p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DynamicHeuristic", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p.Records, p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTraceGeneration measures the tracing interpreter itself (the
+// LLVM-Tracer role; Table II's trace-generation column).
+func BenchmarkTraceGeneration(b *testing.B) {
+	for _, name := range []string{"Himeno", "EP", "HACC"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p := prep(b, name)
+			for i := 0; i < b.N; i++ {
+				recs, _, err := TraceProgram(p.Mod)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(recs)), "records")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_OnlineVsTraceFile compares the offline pipeline
+// (materialize trace -> parse -> analyze) against the §IX online mode
+// (analysis inside the instrumentation callback, no trace file).
+func BenchmarkAblation_OnlineVsTraceFile(b *testing.B) {
+	p := prep(b, "AMG")
+	b.Run("TraceFile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recs, _, err := TraceProgram(p.Mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := EncodeTrace(recs)
+			if _, err := AnalyzeBytes(data, p.Spec, DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := AnalyzeProgramOnline(p.Mod, p.Spec, DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Command autocheck is the command-line front end of the AutoCheck
+// reproduction.
+//
+//	autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
+//	autocheck trace    -file prog.mc [-o trace.txt]
+//	autocheck table2 | table3 [-workers K] | table4 | validate
+//	autocheck list
+//
+// `analyze` compiles a mini-C program, executes it under the tracing
+// interpreter, and prints the critical variables to checkpoint for the
+// given main-computation-loop range. The table subcommands regenerate the
+// paper's evaluation tables over the 14 benchmark ports; `validate` runs
+// the §VI-B fail-stop/restart protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autocheck"
+	"autocheck/internal/harness"
+	"autocheck/internal/progs"
+	"autocheck/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "table2":
+		err = cmdTable2()
+	case "table3":
+		err = cmdTable3(os.Args[2:])
+	case "table4":
+		err = cmdTable4()
+	case "validate":
+		err = cmdValidate()
+	case "list":
+		err = cmdList()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "autocheck: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autocheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
+  autocheck trace    -file prog.mc [-o trace.txt]
+  autocheck table2              regenerate Table II  (critical variables)
+  autocheck table3 [-workers K] regenerate Table III (analysis cost)
+  autocheck table4              regenerate Table IV  (checkpoint storage)
+  autocheck validate            run the fail-stop/restart validation (§VI-B)
+  autocheck list                list the 14 benchmark ports`)
+}
+
+func compileFile(path string) (*autocheck.Module, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return autocheck.CompileProgram(string(src))
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file := fs.String("file", "", "mini-C source file (compiled and traced)")
+	traceFile := fs.String("trace", "", "pre-generated trace file (alternative to -file)")
+	fn := fs.String("func", "main", "function containing the main computation loop")
+	start := fs.Int("start", 0, "main loop start line")
+	end := fs.Int("end", 0, "main loop end line")
+	workers := fs.Int("workers", 0, "parallel pre-processing workers (0 = serial)")
+	ddg := fs.Bool("ddg", false, "also print the contracted DDG")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*file == "" && *traceFile == "") || *start == 0 || *end == 0 {
+		return fmt.Errorf("analyze needs -file or -trace, plus -start and -end")
+	}
+	spec := autocheck.LoopSpec{Function: *fn, StartLine: *start, EndLine: *end}
+	opts := autocheck.DefaultOptions()
+	opts.Workers = *workers
+	opts.BuildDDG = *ddg
+	var res *autocheck.Result
+	var err error
+	if *traceFile != "" {
+		// Trace-only mode: induction detection uses the dynamic heuristic.
+		res, err = autocheck.AnalyzeFile(*traceFile, spec, opts)
+	} else {
+		var mod *autocheck.Module
+		mod, err = compileFile(*file)
+		if err != nil {
+			return err
+		}
+		var recs []autocheck.Record
+		recs, _, err = autocheck.TraceProgram(mod)
+		if err != nil {
+			return err
+		}
+		opts.Module = mod
+		res, err = autocheck.Analyze(recs, spec, opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d records (A=%d B=%d C=%d)\n",
+		res.Stats.Records, res.Stats.RegionA, res.Stats.RegionB, res.Stats.RegionC)
+	fmt.Printf("MLI variables: ")
+	for i, v := range res.MLI {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(v.Name)
+	}
+	fmt.Println()
+	fmt.Println("critical variables to checkpoint:")
+	for _, c := range res.Critical {
+		where := c.Fn
+		if where == "" {
+			where = "global"
+		}
+		fmt.Printf("  %-24s %-8s %8d bytes  (%s)\n", c.Name, c.Type, c.SizeBytes, where)
+	}
+	if *ddg && res.Contracted != nil {
+		fmt.Println("\ncontracted DDG (DOT):")
+		fmt.Print(res.Contracted.DOT("contracted"))
+	}
+	fmt.Printf("timing: pre=%v dep=%v identify=%v total=%v\n",
+		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	file := fs.String("file", "", "mini-C source file")
+	out := fs.String("o", "", "output trace file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("trace needs -file")
+	}
+	mod, err := compileFile(*file)
+	if err != nil {
+		return err
+	}
+	recs, progOut, err := autocheck.TraceProgram(mod)
+	if err != nil {
+		return err
+	}
+	data := trace.EncodeAll(recs)
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d bytes) to %s\nprogram output: %s",
+		len(recs), len(data), *out, progOut)
+	return nil
+}
+
+func cmdTable2() error {
+	rows, err := harness.RunTable2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatTable2(rows))
+	return nil
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	workers := fs.Int("workers", 48, "parallel pre-processing workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := harness.RunTable3(*workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatTable3(rows, *workers))
+	return nil
+}
+
+func cmdTable4() error {
+	rows, err := harness.RunTable4()
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatTable4(rows))
+	return nil
+}
+
+func cmdValidate() error {
+	dir, err := os.MkdirTemp("", "autocheck-validate-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rows, err := harness.RunValidation(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatValidation(rows))
+	return nil
+}
+
+func cmdList() error {
+	for _, b := range progs.All() {
+		spec, err := b.Spec(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s LOC=%-4d MCLR=%d-%d  %s\n", b.Name, b.LOC(), spec.StartLine, spec.EndLine, b.Description)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Online (instrumentation-time) analysis demo — the paper's §IX future
+// work: "incorporate AutoCheck into LLVM to be an independent LLVM
+// instrumentation tool to eliminate the performance bottleneck because of
+// trace file processing."
+//
+// The collector consumes dynamic records directly from the tracer callback
+// while the program runs: no trace file is written, parsed, or kept in
+// memory. The demo runs both pipelines on the AMG port (the most expensive
+// analysis row of Table III) and compares cost and results.
+//
+//	go run ./examples/online_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autocheck"
+	"autocheck/internal/progs"
+)
+
+func main() {
+	bench := progs.Get("AMG")
+	src := bench.Source(16)
+	spec, err := bench.Spec(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := autocheck.CompileProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline: trace to a (in-memory) file, parse it back, analyze.
+	t0 := time.Now()
+	recs, _, err := autocheck.TraceProgram(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := autocheck.EncodeTrace(recs)
+	offRes, err := autocheck.AnalyzeBytes(data, spec, autocheck.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline := time.Since(t0)
+
+	// Online: analysis runs inside the instrumentation callback.
+	t0 = time.Now()
+	onRes, _, err := autocheck.AnalyzeProgramOnline(mod, spec, autocheck.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	online := time.Since(t0)
+
+	fmt.Printf("AMG trace: %d records (%.2f MiB as a trace file)\n\n",
+		offRes.Stats.Records, float64(len(data))/(1<<20))
+	fmt.Printf("offline (trace file -> parse -> analyze): %8.2fms, critical=%v\n",
+		float64(offline.Microseconds())/1000, offRes.CriticalNames())
+	fmt.Printf("online  (analysis inside instrumentation): %8.2fms, critical=%v\n",
+		float64(online.Microseconds())/1000, onRes.CriticalNames())
+	fmt.Printf("\nspeedup from eliminating trace-file processing: %.2fx\n",
+		float64(offline)/float64(online))
+}

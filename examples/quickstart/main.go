@@ -1,0 +1,110 @@
+// Quickstart: run AutoCheck end-to-end on the paper's Fig. 4 example code.
+//
+// The program compiles the example, executes it under the tracing
+// interpreter (the LLVM-Tracer role), analyzes the dynamic trace, and
+// prints every artifact of the paper's Figs. 4-5: the MLI variables, the
+// contracted data dependency graph, the execution-time-ordered R/W
+// sequence, and the final critical-variable report (r, a, sum, it).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"autocheck"
+)
+
+// The example code of the paper's Fig. 4; the main computation loop spans
+// lines 17-25.
+const source = `
+void foo(int *p, int *q) {
+  for (int i = 0; i < 10; ++i) {
+    q[i] = p[i] * 2;
+  }
+}
+int main() {
+  int a[10];
+  int b[10];
+  int sum = 0;
+  int s = 0;
+  int r = 1;
+  for (int i = 0; i < 10; ++i) {
+    a[i] = 0;
+    b[i] = 0;
+  }
+  for (int it = 0; it < 10; ++it) {
+    int m;
+    s = it + 1;
+    a[it] = s * r;
+    foo(a, b);
+    r++;
+    m = a[it] + b[it];
+    sum = m;
+  }
+  print(sum);
+  return 0;
+}`
+
+func main() {
+	mod, err := autocheck.CompileProgram(source)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	recs, out, err := autocheck.TraceProgram(mod)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	fmt.Printf("program output: %s", out)
+	fmt.Printf("dynamic trace: %d instruction records\n\n", len(recs))
+
+	opts := autocheck.DefaultOptions()
+	opts.Module = mod
+	opts.BuildDDG = true
+	res, err := autocheck.Analyze(recs, autocheck.LoopSpec{
+		Function: "main", StartLine: 17, EndLine: 25,
+	}, opts)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+
+	fmt.Println("main-loop-input (MLI) variables (paper §IV-A):")
+	for _, v := range res.MLI {
+		fmt.Printf("  %-4s base=%#x size=%dB\n", v.Name, v.Base, v.SizeBytes)
+	}
+
+	fmt.Println("\ncontracted DDG (paper Fig. 5(d)):")
+	var lines []string
+	for _, n := range res.Contracted.Nodes() {
+		for _, c := range res.Contracted.Children(n) {
+			lines = append(lines, fmt.Sprintf("  %s -> %s", n.Name, c.Name))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	fmt.Println("\nfirst R/W dependencies in execution order (paper Fig. 5(e)):")
+	evs := res.Contracted.Events()
+	seen := map[string]bool{}
+	n := 0
+	for _, e := range evs {
+		key := fmt.Sprintf("%s-%s", e.Node.Name, e.Kind)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		n++
+		fmt.Printf("  %d: %s\n", n, key)
+	}
+
+	fmt.Println("\ncritical variables to checkpoint (paper §IV-C):")
+	for _, c := range res.Critical {
+		fmt.Printf("  %-4s %-8s %4d bytes  (declared in %s)\n", c.Name, c.Type, c.SizeBytes, c.Fn)
+	}
+	fmt.Printf("\nanalysis time: pre=%v dep=%v identify=%v total=%v\n",
+		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
+}

@@ -1,0 +1,266 @@
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"autocheck/internal/checkpoint"
+	"autocheck/internal/core"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+)
+
+// haloSource is an SPMD diffusion kernel: each rank owns u[10] with ghost
+// cells at u[0] and u[9], refreshed by barrier exchanges. Ranks initialize
+// differently via myrank(). Main loop: lines 8-15.
+const haloSource = `
+float u[10];
+float tmp[10];
+int main() {
+  int rank = myrank();
+  for (int i = 0; i < 10; i++) {
+    u[i] = rank * 10 + i;
+    tmp[i] = 0.0;
+  }
+  for (int step = 0; step < 6; step++) {
+    for (int i = 1; i < 9; i++) {
+      tmp[i] = (u[i - 1] + u[i + 1]) * 0.5;
+    }
+    for (int i = 1; i < 9; i++) {
+      u[i] = u[i] * 0.5 + tmp[i] * 0.5;
+    }
+  }
+  print(rank, u[2], u[7]);
+  return 0;
+}`
+
+var haloSpec = core.LoopSpec{Function: "main", StartLine: 10, EndLine: 17}
+
+// haloExchanges wires two ranks: rank 0's last interior cell feeds rank
+// 1's left ghost and vice versa (an MPI_Sendrecv halo swap).
+var haloExchanges = []Exchange{
+	{SrcRank: 0, SrcVar: "u", SrcOff: 8, DstRank: 1, DstVar: "u", DstOff: 0, Cells: 1},
+	{SrcRank: 1, SrcVar: "u", SrcOff: 1, DstRank: 0, DstVar: "u", DstOff: 9, Cells: 1},
+}
+
+func haloWorld(t *testing.T) (*ir.Module, *World) {
+	t.Helper()
+	mod, err := interp.Compile(haloSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(mod, 2, haloSpec, haloExchanges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, w
+}
+
+func TestWorldRunsLockstep(t *testing.T) {
+	_, w := haloWorld(t)
+	var barriers int64
+	outs, err := w.Run(func(w *World, entry int64) error {
+		barriers = entry
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 iterations: 7 header entries (the last evaluates the exit).
+	if barriers != 7 {
+		t.Errorf("barriers = %d, want 7", barriers)
+	}
+	if len(outs) != 2 || outs[0] == "" || outs[1] == "" {
+		t.Fatalf("outputs = %q", outs)
+	}
+	if outs[0] == outs[1] {
+		t.Error("ranks should produce different outputs (different init)")
+	}
+}
+
+func TestExchangesActuallyCouple(t *testing.T) {
+	// With exchanges removed, rank 0's evolution must differ: the ghost
+	// cells keep their initial values instead of the neighbor's halo.
+	mod, w := haloWorld(t)
+	coupled, err := w.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, err := NewWorld(mod, 2, haloSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncoupled, err := lone.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coupled[0] == uncoupled[0] {
+		t.Error("halo exchange had no observable effect on rank 0")
+	}
+}
+
+func TestPerRankAnalysisIsLocal(t *testing.T) {
+	mod, _ := haloWorld(t)
+	results, err := ParallelAnalyzeRanks(mod, 2, haloSpec, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, res := range results {
+		got := map[string]core.DependencyType{}
+		for _, c := range res.Critical {
+			got[c.Name] = c.Type
+		}
+		want := map[string]core.DependencyType{"u": core.WAR, "step": core.Index}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rank %d: critical = %v, want %v", r, got, want)
+		}
+		// The scratch array tmp is not critical (fully overwritten before
+		// its read every superstep).
+		for _, c := range res.Critical {
+			if c.Name == "tmp" {
+				t.Errorf("rank %d: tmp flagged %v", r, c.Type)
+			}
+		}
+	}
+}
+
+// TestBSPCheckpointRestart reproduces the §VII argument end to end:
+// synchronous per-rank checkpoints of the locally detected variables at
+// global barriers suffice to restart the whole world after a node loss.
+func TestBSPCheckpointRestart(t *testing.T) {
+	mod, _ := haloWorld(t)
+	results, err := ParallelAnalyzeRanks(mod, 2, haloSpec, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: failure-free coupled run.
+	_, ref := haloWorld(t)
+	refOuts, err := ref.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run with a node loss after 3 completed supersteps.
+	ctxs := make([]*checkpoint.Context, 2)
+	for r := range ctxs {
+		ctx, err := checkpoint.NewContext(fmt.Sprintf("%s/rank%d", t.TempDir(), r), checkpoint.L1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range results[r].Critical {
+			ctx.Protect(c.Name, c.Base, c.SizeBytes)
+		}
+		ctxs[r] = ctx
+	}
+	_, failing := haloWorld(t)
+	_, err = failing.Run(func(w *World, entry int64) error {
+		if entry >= 2 {
+			for r, m := range w.Ranks {
+				if err := ctxs[r].Checkpoint(m, entry-1); err != nil {
+					return err
+				}
+			}
+		}
+		if entry == 4 {
+			return interp.ErrFailStop // node loss mid-execution
+		}
+		return nil
+	})
+	if !errors.Is(err, interp.ErrFailStop) {
+		t.Fatalf("expected injected fail-stop, got %v", err)
+	}
+
+	// Global restart: every rank recovers at the first barrier.
+	_, restart := haloWorld(t)
+	outs, err := restart.Run(func(w *World, entry int64) error {
+		if entry == 1 {
+			for r, m := range w.Ranks {
+				if _, err := ctxs[r].Restart(m, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs, refOuts) {
+		t.Errorf("restarted outputs differ:\nrestart %q\nref     %q", outs, refOuts)
+	}
+
+	// Necessity: dropping u on rank 0 must break the global restart.
+	_, broken := haloWorld(t)
+	outs2, err := broken.Run(func(w *World, entry int64) error {
+		if entry == 1 {
+			for r, m := range w.Ranks {
+				skip := map[string]bool{}
+				if r == 0 {
+					skip["u"] = true
+				}
+				if _, err := ctxs[r].Restart(m, skip); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(outs2, refOuts) {
+		t.Error("restart without rank 0's u should not match the reference")
+	}
+}
+
+func TestWorldErrors(t *testing.T) {
+	mod, err := interp.Compile(haloSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(mod, 0, haloSpec, nil); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewWorld(mod, 2, core.LoopSpec{Function: "nosuch", StartLine: 1, EndLine: 2}, nil); err == nil {
+		t.Error("bad function accepted")
+	}
+	if _, err := NewWorld(mod, 2, haloSpec, []Exchange{{SrcRank: 5, DstRank: 0, SrcVar: "u", DstVar: "u", Cells: 1}}); err == nil {
+		t.Error("out-of-range exchange accepted")
+	}
+	// Unknown exchange variable surfaces at run time.
+	w, err := NewWorld(mod, 2, haloSpec, []Exchange{{SrcRank: 0, DstRank: 1, SrcVar: "nope", DstVar: "u", Cells: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(nil); err == nil {
+		t.Error("unknown exchange variable did not fail")
+	}
+}
+
+func TestMyrankBuiltin(t *testing.T) {
+	mod, err := interp.Compile(`int main() { print(myrank(), nranks()); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(mod)
+	m.Rank, m.Ranks = 3, 8
+	out, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "3 8\n" {
+		t.Errorf("output = %q, want \"3 8\"", out)
+	}
+	// Defaults.
+	m2 := interp.New(mod)
+	out, err = m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "0 1\n" {
+		t.Errorf("default output = %q, want \"0 1\"", out)
+	}
+}

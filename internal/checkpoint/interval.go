@@ -1,0 +1,31 @@
+package checkpoint
+
+import (
+	"math"
+	"time"
+)
+
+// OptimalInterval returns Young's first-order approximation of the optimal
+// checkpoint interval: sqrt(2 * C * MTBF), where C is the cost of writing
+// one checkpoint and MTBF the mean time between failures. This is the
+// standard dimensioning rule for the C/R deployments the paper targets
+// (§II-A reports node MTBFs of a few hours on flagship systems); AutoCheck
+// shrinks C by orders of magnitude (Table IV), which shortens the optimal
+// interval and thereby the expected recomputation lost per failure.
+func OptimalInterval(ckptCost, mtbf time.Duration) time.Duration {
+	if ckptCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(2 * float64(ckptCost) * float64(mtbf)))
+}
+
+// ExpectedWaste returns the fraction of machine time lost to checkpointing
+// overhead plus expected rework when checkpointing every interval with the
+// given cost and MTBF (first-order model: C/T + T/(2*MTBF)). Minimized at
+// OptimalInterval.
+func ExpectedWaste(interval, ckptCost, mtbf time.Duration) float64 {
+	if interval <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	return float64(ckptCost)/float64(interval) + float64(interval)/(2*float64(mtbf))
+}

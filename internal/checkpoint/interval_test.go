@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOptimalIntervalYoung(t *testing.T) {
+	// C = 2 min, MTBF = 4 h: T* = sqrt(2*2*240) = sqrt(960) ≈ 30.98 min.
+	got := OptimalInterval(2*time.Minute, 4*time.Hour)
+	want := time.Duration(math.Sqrt(2 * float64(2*time.Minute) * float64(4*time.Hour)))
+	if got != want {
+		t.Errorf("OptimalInterval = %v, want %v", got, want)
+	}
+	if got < 30*time.Minute || got > 32*time.Minute {
+		t.Errorf("OptimalInterval = %v, want ~31m", got)
+	}
+}
+
+func TestOptimalIntervalDegenerate(t *testing.T) {
+	if OptimalInterval(0, time.Hour) != 0 || OptimalInterval(time.Second, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestExpectedWasteMinimizedAtOptimum(t *testing.T) {
+	c, mtbf := 30*time.Second, 2*time.Hour
+	opt := OptimalInterval(c, mtbf)
+	at := ExpectedWaste(opt, c, mtbf)
+	for _, f := range []float64{0.25, 0.5, 2, 4} {
+		other := time.Duration(float64(opt) * f)
+		if ExpectedWaste(other, c, mtbf) < at {
+			t.Errorf("waste at %v (%f) below optimum %v (%f)", other,
+				ExpectedWaste(other, c, mtbf), opt, at)
+		}
+	}
+	if !math.IsInf(ExpectedWaste(0, c, mtbf), 1) {
+		t.Error("zero interval should be infinitely wasteful")
+	}
+}
+
+// Property: a smaller checkpoint (AutoCheck's Table IV effect) never
+// increases the optimal interval or the minimal waste.
+func TestQuickSmallerCheckpointsHelp(t *testing.T) {
+	f := func(costMS, mtbfMin uint16) bool {
+		cost := time.Duration(costMS%10000+1) * time.Millisecond
+		mtbf := time.Duration(mtbfMin%600+1) * time.Minute
+		smaller := cost / 10
+		if smaller <= 0 {
+			smaller = 1
+		}
+		tBig := OptimalInterval(cost, mtbf)
+		tSmall := OptimalInterval(smaller, mtbf)
+		if tSmall > tBig {
+			return false
+		}
+		return ExpectedWaste(tSmall, smaller, mtbf) <= ExpectedWaste(tBig, cost, mtbf)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"autocheck/internal/ddg"
+	"autocheck/internal/ir"
+	"autocheck/internal/trace"
+)
+
+// LoopSpec locates the main computation loop (the paper's MCLR input):
+// the enclosing function plus the loop's start and end source lines.
+type LoopSpec struct {
+	Function  string
+	StartLine int
+	EndLine   int
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// IncludeGlobals collects global variables referenced inside function
+	// calls when identifying MLI variables. This automates the paper's
+	// manual FT workaround (§V-B Challenge 1): the paper bypasses callee
+	// bodies, losing globals used only there; we can keep them because
+	// globals are identified by name and address, never confusable with a
+	// callee's locals.
+	IncludeGlobals bool
+	// Workers sets the pre-processing parallelism for AnalyzeBytes
+	// (the paper's 48-thread OpenMP optimization); 0 means serial.
+	Workers int
+	// BuildDDG additionally constructs the complete and contracted
+	// dependency graphs (Fig. 5(c)/(d)). Intended for small traces,
+	// reports and visualization; classification itself streams.
+	BuildDDG bool
+	// Module, when available, enables exact induction-variable
+	// identification via loop analysis (the paper's llvm-pass-loop API).
+	// Without it a trace-based heuristic is used.
+	Module *ir.Module
+}
+
+// DefaultOptions returns the recommended configuration.
+func DefaultOptions() Options { return Options{IncludeGlobals: true} }
+
+// DependencyType classifies why a variable must be checkpointed (§IV-C).
+type DependencyType int
+
+// Dependency types.
+const (
+	WAR     DependencyType = iota // Write-After-Read across iterations
+	Outcome                       // main-loop output read after the loop
+	RAPO                          // Read-After-Partially-Overwritten array
+	Index                         // induction variable of the outermost loop
+)
+
+func (d DependencyType) String() string {
+	switch d {
+	case WAR:
+		return "WAR"
+	case Outcome:
+		return "Outcome"
+	case RAPO:
+		return "RAPO"
+	default:
+		return "Index"
+	}
+}
+
+// CriticalVar is one variable AutoCheck says must be checkpointed.
+type CriticalVar struct {
+	Name      string
+	Fn        string // declaring function; "" for globals
+	Base      uint64
+	SizeBytes int64
+	Type      DependencyType
+}
+
+// Timing is the per-phase cost breakdown reported in Table III.
+type Timing struct {
+	Pre      time.Duration // trace reading + MLI identification
+	Dep      time.Duration // data dependency analysis
+	Identify time.Duration // critical-variable identification
+	Total    time.Duration
+}
+
+// Stats summarizes the analyzed trace.
+type Stats struct {
+	Records    int
+	TraceBytes int64
+	RegionA    int // records before the main loop
+	RegionB    int // records inside the main loop
+	RegionC    int // records after the main loop
+}
+
+// Result is the analysis output.
+type Result struct {
+	Spec     LoopSpec
+	MLI      []*VarInfo
+	Critical []CriticalVar
+	// Contracted and Complete are only set with Options.BuildDDG.
+	Contracted *ddg.Graph
+	Complete   *ddg.Graph
+	Timing     Timing
+	Stats      Stats
+}
+
+// CriticalNames returns the sorted names of the critical variables.
+func (r *Result) CriticalNames() []string {
+	out := make([]string, len(r.Critical))
+	for i, c := range r.Critical {
+		out[i] = c.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the critical entry with the given name, or nil.
+func (r *Result) Find(name string) *CriticalVar {
+	for i := range r.Critical {
+		if r.Critical[i].Name == name {
+			return &r.Critical[i]
+		}
+	}
+	return nil
+}
+
+// AnalyzeFile reads a trace file produced by the tracer (or by LLVM-Tracer
+// with compatible encoding) and analyzes it. This is the paper's primary
+// usage mode: trace generation and analysis as separate steps.
+func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading trace: %w", err)
+	}
+	return AnalyzeBytes(data, spec, opts)
+}
+
+// AnalyzeBytes parses a textual trace (serially, or in parallel chunks when
+// opts.Workers > 1) and analyzes it.
+func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
+	t0 := time.Now()
+	var recs []trace.Record
+	var err error
+	if opts.Workers > 1 {
+		recs, err = trace.ParseBytesParallel(data, opts.Workers)
+	} else {
+		recs, err = trace.ParseBytes(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(t0)
+	res, err := Analyze(recs, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Pre += parse
+	res.Timing.Total += parse
+	res.Stats.TraceBytes = int64(len(data))
+	return res, nil
+}
+
+// Analyze runs the three-module pipeline over parsed records.
+func Analyze(recs []trace.Record, spec LoopSpec, opts Options) (*Result, error) {
+	total0 := time.Now()
+	res := &Result{Spec: spec}
+	res.Stats.Records = len(recs)
+
+	// ---- Module 1: pre-processing (identify MLI variables) ----
+	t0 := time.Now()
+	a := newAnalyzer(spec, opts)
+	bStart, bEnd := partition(recs, spec)
+	if bStart < 0 {
+		return nil, fmt.Errorf("core: no trace records for function %q lines %d-%d (wrong main-loop location?)",
+			spec.Function, spec.StartLine, spec.EndLine)
+	}
+	res.Stats.RegionA = bStart
+	res.Stats.RegionB = bEnd - bStart + 1
+	res.Stats.RegionC = len(recs) - bEnd - 1
+	a.collectMLI(recs, bStart, bEnd)
+	res.MLI = a.mliList()
+	res.Timing.Pre = time.Since(t0)
+
+	// ---- Module 2: data dependency analysis ----
+	t0 = time.Now()
+	a.dependencyPass(recs, bStart, bEnd)
+	if opts.BuildDDG {
+		res.Complete = a.graph
+		res.Contracted = a.graph.Contract(func(n *ddg.Node) bool { return n.Kind == ddg.KindMLI })
+	}
+	res.Timing.Dep = time.Since(t0)
+
+	// ---- Module 3: identification of critical variables ----
+	t0 = time.Now()
+	res.Critical = a.identify(recs, bStart, bEnd)
+	res.Timing.Identify = time.Since(t0)
+	res.Timing.Total = time.Since(total0)
+	return res, nil
+}
+
+// partition locates the dynamic extent of the main computation loop:
+// region B spans from the first to the last record executed in
+// spec.Function at a source line within the MCLR. Records executed in
+// callees invoked from inside the loop fall inside that dynamic interval
+// and therefore belong to region B (the paper's trace partitioning).
+func partition(recs []trace.Record, spec LoopSpec) (int, int) {
+	first, last := -1, -1
+	for i := range recs {
+		r := &recs[i]
+		if r.Func == spec.Function && r.Line >= spec.StartLine && r.Line <= spec.EndLine {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	return first, last
+}
+
+// regKey names a register within a function (registers are
+// function-scoped; the on-the-fly map update resolves reuse across
+// iterations and calls, §IV-B "Mutable-register").
+type regKey struct {
+	fn  string
+	reg string
+}
+
+// varSummary accumulates the per-variable signals that identification
+// needs, streamed in execution order so no event list is materialized.
+type varSummary struct {
+	v             *VarInfo
+	firstIsRead   bool
+	haveFirst     bool
+	reads, writes int64
+	written       map[uint64]bool // element addresses written in region B
+	uncoveredRead bool            // read an element not yet written in B
+	readAfterLoop bool            // read in region C
+	selfUpdate    int64           // stores of v computed from v (induction signal)
+	cmpUses       int64           // loads of v feeding comparisons (induction signal)
+}
+
+type analyzer struct {
+	spec LoopSpec
+	opts Options
+
+	vt   *varTable
+	mliA map[VarID]*VarInfo
+	mli  map[VarID]*VarInfo // matched MLI set
+
+	rv       map[regKey]*VarInfo // reg-var map (paper Fig. 5(a))
+	rr       map[regKey][]regKey // reg-reg map (paper Fig. 5(b))
+	sums     map[VarID]*varSummary
+	graph    *ddg.Graph
+	regNode  map[regKey]*ddg.Node
+	varNodes map[VarID]*ddg.Node
+	// trackAll records summaries for every variable rather than only MLI
+	// variables. The online Collector needs this: MLI membership is only
+	// final when the stream ends, so filtering happens at Finish.
+	trackAll bool
+}
+
+func newAnalyzer(spec LoopSpec, opts Options) *analyzer {
+	return &analyzer{
+		spec: spec,
+		opts: opts,
+		vt:   newVarTable(),
+		mliA: make(map[VarID]*VarInfo),
+		mli:  make(map[VarID]*VarInfo),
+		rv:   make(map[regKey]*VarInfo),
+		rr:   make(map[regKey][]regKey),
+		sums: make(map[VarID]*varSummary),
+	}
+}
+
+// trackStorage processes the storage-defining records that both passes
+// need: Alloca (local intervals) and named pointer operands (global
+// discovery).
+func (a *analyzer) trackStorage(r *trace.Record) {
+	switch r.Opcode {
+	case trace.OpAlloca:
+		if r.Result != nil && r.Result.Value.Kind == trace.KindPtr {
+			a.vt.addAlloca(r.Result.Name, r.Func, r.Result.Value.Addr, int64(r.Result.Size/8), r.DynID)
+		}
+	case trace.OpLoad, trace.OpStore, trace.OpGetElementPtr:
+		// A named, non-numeric pointer operand that no local span owns is a
+		// global reference at its base address. This must not consult the
+		// footprint-growing resolver: the named base is authoritative and
+		// truncates any neighbor whose estimated footprint overgrew it.
+		idx := 1
+		if r.Opcode == trace.OpStore {
+			idx = 2
+		}
+		op := r.Operand(idx)
+		if op == nil || op.Value.Kind != trace.KindPtr || op.Name == "" || isNumeric(op.Name) {
+			return
+		}
+		if a.vt.resolveLocal(op.Value.Addr) == nil {
+			a.vt.noteGlobal(op.Name, op.Value.Addr, r.DynID, r.Line)
+		}
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	_, err := strconv.Atoi(s)
+	return err == nil
+}
+
+// accessAddr returns the memory address a Load or Store touches, or 0.
+func accessAddr(r *trace.Record) (uint64, bool) {
+	idx := 1
+	if r.Opcode == trace.OpStore {
+		idx = 2
+	}
+	op := r.Operand(idx)
+	if op == nil || op.Value.Kind != trace.KindPtr {
+		return 0, false
+	}
+	return op.Value.Addr, true
+}
+
+// collectible resolves the variable a Load/Store record accesses if the
+// record participates in MLI collection: records executed in the loop
+// function (call depth zero), plus — with IncludeGlobals — global accesses
+// at any depth (the automated FT workaround, §V-B Challenge 1).
+func (a *analyzer) collectible(r *trace.Record) *VarInfo {
+	switch r.Opcode {
+	case trace.OpLoad, trace.OpStore:
+	default:
+		return nil
+	}
+	addr, ok := accessAddr(r)
+	if !ok {
+		return nil
+	}
+	v := a.vt.resolve(addr)
+	if v == nil {
+		return nil
+	}
+	if r.Func != a.spec.Function && !(a.opts.IncludeGlobals && v.Global) {
+		return nil
+	}
+	if v.FirstLine < 0 {
+		v.FirstLine = r.Line
+	}
+	return v
+}
+
+// collectRegionA collects an arithmetic variable accessed before the loop.
+func (a *analyzer) collectRegionA(r *trace.Record) {
+	if v := a.collectible(r); v != nil {
+		a.mliA[v.ID()] = v
+	}
+}
+
+// collectRegionBMatch matches a variable accessed inside the loop against
+// the region-A set: the intersection is the MLI set (§IV-A).
+func (a *analyzer) collectRegionBMatch(r *trace.Record) {
+	if v := a.collectible(r); v != nil {
+		if _, inA := a.mliA[v.ID()]; inA {
+			a.mli[v.ID()] = v
+		}
+	}
+}
+
+// collectMLI is pass 1 of the offline pipeline: build the storage table
+// while collecting variables in regions A and B and matching them.
+func (a *analyzer) collectMLI(recs []trace.Record, bStart, bEnd int) {
+	for i := range recs {
+		r := &recs[i]
+		a.trackStorage(r)
+		switch {
+		case i < bStart:
+			a.collectRegionA(r)
+		case i <= bEnd:
+			a.collectRegionBMatch(r)
+		}
+	}
+}
+
+func (a *analyzer) mliList() []*VarInfo {
+	out := make([]*VarInfo, 0, len(a.mli))
+	for _, v := range a.mli {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Base < out[j].Base
+	})
+	return out
+}
+
+func (a *analyzer) isMLI(v *VarInfo) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := a.mli[v.ID()]
+	return ok
+}
+
+func (a *analyzer) summary(v *VarInfo) *varSummary {
+	s, ok := a.sums[v.ID()]
+	if !ok {
+		s = &varSummary{v: v, written: make(map[uint64]bool)}
+		a.sums[v.ID()] = s
+	}
+	return s
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"autocheck/internal/ddg"
+	"autocheck/internal/trace"
+)
+
+// dependencyPass is pass 2 (module 2): it replays the trace with a fresh
+// storage table, maintains the reg-var and reg-reg maps on-the-fly, and
+// streams Read/Write information into per-variable summaries. With
+// Options.BuildDDG it additionally materializes the complete DDG
+// (Fig. 5(c)): MLI vertices, local-variable vertices, and one vertex per
+// dynamic register instance, with an edge flush at every Store.
+func (a *analyzer) dependencyPass(recs []trace.Record, bStart, bEnd int) {
+	a.vt = newVarTable() // replay storage so resolution is time-correct
+	if a.opts.BuildDDG {
+		a.graph = ddg.New()
+		a.regNode = make(map[regKey]*ddg.Node)
+		a.varNodes = make(map[VarID]*ddg.Node)
+	}
+	for i := range recs {
+		r := &recs[i]
+		a.trackStorage(r)
+		inB := i >= bStart && i <= bEnd
+		a.updateMaps(r, inB)
+		switch {
+		case inB:
+			a.processLoopRecord(r)
+		case i > bEnd:
+			a.processAfterLoop(r)
+		}
+	}
+}
+
+// updateMaps maintains the reg-var map (Load/Store/GEP/BitCast/Alloca and
+// Call parameter correlation, Table I) and the reg-reg map (arithmetic and
+// the single-Call form). It runs over the whole trace because region C
+// reads and induction detection also consult the maps.
+func (a *analyzer) updateMaps(r *trace.Record, inB bool) {
+	fn := r.Func
+	switch r.Opcode {
+	case trace.OpLoad:
+		addr, ok := accessAddr(r)
+		if !ok || r.Result == nil {
+			return
+		}
+		v := a.vt.resolve(addr)
+		key := regKey{fn, r.Result.Name}
+		if v != nil {
+			a.rv[key] = v
+		} else {
+			delete(a.rv, key)
+		}
+		delete(a.rr, key)
+	case trace.OpGetElementPtr, trace.OpBitCast:
+		if r.Result == nil {
+			return
+		}
+		key := regKey{fn, r.Result.Name}
+		// Resolve by the result address first (exact), then through the
+		// base operand's name chain (the paper's approach).
+		var v *VarInfo
+		if r.Result.Value.Kind == trace.KindPtr {
+			v = a.vt.resolve(r.Result.Value.Addr)
+		}
+		if v == nil {
+			if base := r.Operand(1); base != nil && base.IsReg {
+				v = a.rv[regKey{fn, base.Name}]
+			}
+		}
+		if v != nil {
+			a.rv[key] = v
+		} else {
+			delete(a.rv, key)
+		}
+		delete(a.rr, key)
+	case trace.OpCall:
+		a.updateCallMaps(r)
+	default:
+		if r.Result == nil {
+			return
+		}
+		// Arithmetic, comparisons, casts, selects: link input registers to
+		// the output register (reg-reg map).
+		key := regKey{fn, r.Result.Name}
+		var srcs []regKey
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			if op.Index > 0 && op.IsReg {
+				srcs = append(srcs, regKey{fn, op.Name})
+			}
+		}
+		a.rr[key] = srcs
+		delete(a.rv, key)
+	}
+}
+
+// updateCallMaps handles both Call forms of §IV-B. Form 1 (a lone Call
+// with a result, e.g. pow) behaves like arithmetic: inputs link to the
+// result in the reg-reg map. Form 2 (a Call followed by its function body)
+// correlates each argument with the callee's parameter: the argument
+// register resolves through the caller's reg-var map, and the triplet
+// (argument variable, argument register, parameter) makes the callee's
+// parameter name resolve to the caller's variable.
+func (a *analyzer) updateCallMaps(r *trace.Record) {
+	fn := r.Func
+	callee := ""
+	if op := r.Operand(0); op != nil {
+		callee = op.Name
+	}
+	hasParams := false
+	for i := range r.Ops {
+		if r.Ops[i].Index < 0 {
+			hasParams = true
+			break
+		}
+	}
+	if !hasParams {
+		// Form 1: treat as arithmetic.
+		if r.Result != nil {
+			key := regKey{fn, r.Result.Name}
+			var srcs []regKey
+			for i := range r.Ops {
+				op := &r.Ops[i]
+				if op.Index > 0 && op.IsReg {
+					srcs = append(srcs, regKey{fn, op.Name})
+				}
+			}
+			a.rr[key] = srcs
+			delete(a.rv, key)
+		}
+		return
+	}
+	// Form 2: parameter correlation.
+	for i := range r.Ops {
+		p := &r.Ops[i]
+		if p.Index >= 0 {
+			continue
+		}
+		argIdx := -p.Index
+		arg := r.Operand(argIdx)
+		pkey := regKey{callee, p.Name}
+		var v *VarInfo
+		if arg != nil && arg.IsReg {
+			v = a.rv[regKey{fn, arg.Name}]
+		}
+		if v == nil && arg != nil && arg.Value.Kind == trace.KindPtr {
+			// Pointer argument: resolve the pointed-to variable directly.
+			v = a.vt.resolve(arg.Value.Addr)
+		}
+		if v != nil {
+			a.rv[pkey] = v
+			if a.graph != nil {
+				a.setRegNode(pkey, a.nodeOf(v))
+			}
+		} else {
+			delete(a.rv, pkey)
+			if a.graph != nil {
+				delete(a.regNode, pkey)
+			}
+		}
+	}
+}
+
+// resolveRegVars chases a register through the reg-reg map to the set of
+// variables it was computed from (bounded depth; expression trees are
+// shallow).
+func (a *analyzer) resolveRegVars(key regKey, depth int, out map[VarID]*VarInfo) {
+	if depth > 64 {
+		return
+	}
+	if v, ok := a.rv[key]; ok {
+		out[v.ID()] = v
+		return
+	}
+	for _, src := range a.rr[key] {
+		a.resolveRegVars(src, depth+1, out)
+	}
+}
+
+// processLoopRecord streams region-B Read/Write information into the
+// per-variable summaries and, with BuildDDG, grows the complete DDG.
+func (a *analyzer) processLoopRecord(r *trace.Record) {
+	switch r.Opcode {
+	case trace.OpLoad:
+		addr, ok := accessAddr(r)
+		if !ok {
+			return
+		}
+		v := a.vt.resolve(addr)
+		if v == nil {
+			return
+		}
+		if a.trackAll || a.isMLI(v) {
+			s := a.summary(v)
+			if !s.haveFirst {
+				s.haveFirst = true
+				s.firstIsRead = true
+			}
+			s.reads++
+			if !s.written[addr] {
+				s.uncoveredRead = true
+			}
+		}
+		if a.graph != nil {
+			n := a.newRegInstance(r)
+			a.graph.AddEdge(a.nodeOf(v), n, r.DynID)
+			a.setRegNode(regKey{r.Func, r.Result.Name}, n)
+		}
+	case trace.OpStore:
+		addr, ok := accessAddr(r)
+		if !ok {
+			return
+		}
+		v := a.vt.resolve(addr)
+		if v == nil {
+			return
+		}
+		if a.trackAll || a.isMLI(v) {
+			s := a.summary(v)
+			if !s.haveFirst {
+				s.haveFirst = true
+			}
+			s.writes++
+			s.written[addr] = true
+		}
+		// Induction signal: a depth-0 store to a loop-function local whose
+		// sources include the variable itself.
+		if r.Func == a.spec.Function && v.Fn == a.spec.Function {
+			if val := r.Operand(1); val != nil && val.IsReg {
+				srcs := make(map[VarID]*VarInfo)
+				a.resolveRegVars(regKey{r.Func, val.Name}, 0, srcs)
+				if _, self := srcs[v.ID()]; self {
+					a.summary(v).selfUpdate++
+				}
+			}
+		}
+		if a.graph != nil {
+			dst := a.nodeOf(v)
+			val := r.Operand(1)
+			if val != nil && val.IsReg {
+				if src, ok := a.regNode[regKey{r.Func, val.Name}]; ok {
+					a.graph.AddEdge(src, dst, r.DynID)
+					return
+				}
+			}
+			a.graph.MarkWrite(dst, r.DynID)
+		}
+	case trace.OpICmp, trace.OpFCmp:
+		// Induction signal: comparisons at depth 0 over loop-function
+		// locals.
+		if r.Func != a.spec.Function {
+			break
+		}
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			if op.Index <= 0 || !op.IsReg {
+				continue
+			}
+			if v, ok := a.rv[regKey{r.Func, op.Name}]; ok && v.Fn == a.spec.Function {
+				a.summary(v).cmpUses++
+			}
+		}
+		a.ddgArith(r)
+	default:
+		if r.Result != nil {
+			a.ddgArith(r)
+		}
+	}
+}
+
+// ddgArith adds the register-to-register DDG vertices and edges for a
+// value-producing record (arithmetic, casts, comparisons, form-1 calls).
+func (a *analyzer) ddgArith(r *trace.Record) {
+	if a.graph == nil || r.Result == nil {
+		return
+	}
+	switch r.Opcode {
+	case trace.OpAlloca, trace.OpGetElementPtr, trace.OpBitCast:
+		return // addressing, not data flow
+	}
+	n := a.newRegInstance(r)
+	for i := range r.Ops {
+		op := &r.Ops[i]
+		if op.Index > 0 && op.IsReg {
+			if src, ok := a.regNode[regKey{r.Func, op.Name}]; ok {
+				a.graph.AddEdge(src, n, r.DynID)
+			}
+		}
+	}
+	a.setRegNode(regKey{r.Func, r.Result.Name}, n)
+}
+
+// processAfterLoop records region-C reads of MLI variables (the Outcome
+// signal, §IV-C).
+func (a *analyzer) processAfterLoop(r *trace.Record) {
+	if r.Opcode != trace.OpLoad {
+		return
+	}
+	addr, ok := accessAddr(r)
+	if !ok {
+		return
+	}
+	if v := a.vt.resolve(addr); v != nil && (a.trackAll || a.isMLI(v)) {
+		a.summary(v).readAfterLoop = true
+	}
+}
+
+// --- DDG vertex bookkeeping ---
+
+func (a *analyzer) nodeOf(v *VarInfo) *ddg.Node {
+	if n, ok := a.varNodes[v.ID()]; ok {
+		return n
+	}
+	kind := ddg.KindLocal
+	if a.isMLI(v) {
+		kind = ddg.KindMLI
+	}
+	name := v.Name
+	if a.graph.Lookup(name) != nil {
+		name = fmt.Sprintf("%s@%x", v.Name, v.Base)
+	}
+	n := a.graph.Node(name, kind)
+	a.varNodes[v.ID()] = n
+	return n
+}
+
+func (a *analyzer) newRegInstance(r *trace.Record) *ddg.Node {
+	name := r.Func + ":" + r.Result.Name + "#" + strconv.FormatInt(r.DynID, 10)
+	return a.graph.Node(name, ddg.KindRegister)
+}
+
+func (a *analyzer) setRegNode(key regKey, n *ddg.Node) {
+	a.regNode[key] = n
+}

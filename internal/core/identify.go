@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"autocheck/internal/cfg"
+	"autocheck/internal/trace"
+)
+
+// identify is module 3: classify MLI variables by their dependency pattern
+// and add the induction variable of the outermost main-computation loop
+// (§IV-C, Fig. 7).
+func (a *analyzer) identify(recs []trace.Record, bStart, bEnd int) []CriticalVar {
+	indexVars := a.findInductionVars()
+	isIndex := make(map[VarID]bool, len(indexVars))
+	for _, v := range indexVars {
+		isIndex[v.ID()] = true
+	}
+
+	var out []CriticalVar
+	for _, v := range a.mliList() {
+		if isIndex[v.ID()] {
+			continue // reported as Index below
+		}
+		s := a.sums[v.ID()]
+		if s == nil {
+			continue // matched by pre-processing but never accessed in B
+		}
+		isArray := v.SizeBytes > 8
+		switch {
+		case s.firstIsRead && s.writes > 0:
+			// WAR: the variable's old value is consumed before the loop
+			// overwrites it; a restart would lose the cross-iteration state.
+			out = append(out, critical(v, WAR))
+		case isArray && s.writes > 0 && s.reads > 0 && s.uncoveredRead:
+			// RAPO: the loop overwrites only part of the array before
+			// reading it; the unwritten elements cannot be recomputed.
+			out = append(out, critical(v, RAPO))
+		case s.writes > 0 && s.readAfterLoop:
+			// Outcome: the loop's result feeds post-loop computation.
+			out = append(out, critical(v, Outcome))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Name < out[j].Name
+	})
+	for _, v := range indexVars {
+		out = append(out, critical(v, Index))
+	}
+	return out
+}
+
+func critical(v *VarInfo, t DependencyType) CriticalVar {
+	return CriticalVar{Name: v.Name, Fn: v.Fn, Base: v.Base, SizeBytes: v.SizeBytes, Type: t}
+}
+
+// findInductionVars identifies the induction variable(s) of the outermost
+// loop inside the MCLR. With a module available it uses static loop
+// analysis (the paper's llvm-pass-loop API); otherwise it falls back to a
+// dynamic heuristic over the trace: among the loop function's locals that
+// are both compared at depth 0 and self-updated (v = v ± c), the one with
+// the fewest self-updates belongs to the outermost loop (inner loops
+// iterate strictly more often).
+func (a *analyzer) findInductionVars() []*VarInfo {
+	if a.opts.Module != nil {
+		if fn := a.opts.Module.Func(a.spec.Function); fn != nil {
+			g := cfg.New(fn)
+			loop := g.OutermostLoopInRange(a.spec.StartLine, a.spec.EndLine)
+			if iv := g.InductionVariable(loop); iv != nil {
+				if v := a.vt.lookupLocal(a.spec.Function, iv.Name); v != nil {
+					return []*VarInfo{v}
+				}
+			}
+		}
+	}
+	var best *VarInfo
+	var bestCount int64
+	for _, s := range a.sums {
+		if s.v.Fn != a.spec.Function || s.selfUpdate == 0 || s.cmpUses == 0 {
+			continue
+		}
+		if best == nil || s.selfUpdate < bestCount ||
+			(s.selfUpdate == bestCount && s.v.FirstDyn < best.FirstDyn) {
+			best = s.v
+			bestCount = s.selfUpdate
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []*VarInfo{best}
+}

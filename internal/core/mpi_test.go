@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+)
+
+// The paper argues (§VII "MPI programs") that AutoCheck covers message
+// passing without inter-process analysis: under BSP checkpointing at
+// global barriers, communication is just "an operation copying one buffer
+// on a node to another buffer", and the dependency analysis sees how each
+// buffer is produced and consumed. This test models a two-rank halo
+// exchange inside one address space (ranks = array segments; the exchange
+// function plays MPI_Sendrecv) and checks the expected classification:
+//
+//   - the field arrays u0/u1 carry Write-After-Read state across steps;
+//   - the pack/transfer/unpack buffers are fully overwritten before being
+//     read every step, so they need no checkpoint — exactly the BSP
+//     argument that synchronous checkpointing localizes recovery;
+//   - the step counter is the Index.
+const haloSource = `
+float u0[10];
+float u1[10];
+float sendbuf[2];
+float recvbuf[2];
+void exchange() {
+  sendbuf[0] = u0[8];
+  sendbuf[1] = u1[1];
+  recvbuf[0] = sendbuf[0];
+  recvbuf[1] = sendbuf[1];
+  u1[0] = recvbuf[0];
+  u0[9] = recvbuf[1];
+}
+void smooth(float u[]) {
+  for (int i = 1; i < 9; i++) {
+    u[i] = u[i] * 0.5 + 0.25 * (u[i - 1] + u[i + 1]);
+  }
+}
+int main() {
+  for (int i = 0; i < 10; i++) {
+    u0[i] = i * 0.1;
+    u1[i] = 1.0 - i * 0.1;
+  }
+  for (int i = 0; i < 2; i++) {
+    sendbuf[i] = 0.0;
+    recvbuf[i] = 0.0;
+  }
+  for (int step = 0; step < 5; step++) { // main loop: lines 27-30
+    exchange();
+    smooth(u0);
+    smooth(u1);
+  }
+  print(u0[4], u1[4]);
+  return 0;
+}`
+
+var haloSpec = LoopSpec{Function: "main", StartLine: 27, EndLine: 30}
+
+func TestBSPHaloExchange(t *testing.T) {
+	recs, mod := traceOf(t, haloSource)
+	opts := DefaultOptions()
+	opts.Module = mod
+	res, err := Analyze(recs, haloSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := typesByName(res)
+	if got["u0"] != WAR || got["u1"] != WAR {
+		t.Errorf("field arrays = %v, want both WAR", got)
+	}
+	if c := res.Find("step"); c == nil || c.Type != Index {
+		t.Errorf("step = %+v, want Index", c)
+	}
+	for _, buf := range []string{"sendbuf", "recvbuf"} {
+		if ty, bad := got[buf]; bad {
+			t.Errorf("communication buffer %s flagged %v; BSP buffers are "+
+				"fully overwritten before use and need no checkpoint", buf, ty)
+		}
+	}
+	// The buffers are still MLI variables (defined before, used inside).
+	names := map[string]bool{}
+	for _, v := range res.MLI {
+		names[v.Name] = true
+	}
+	if !names["sendbuf"] || !names["recvbuf"] {
+		t.Errorf("communication buffers missing from MLI set: %v", res.MLI)
+	}
+}
+
+// TestPersistentCommBuffer: a communication buffer that carries state
+// across iterations (e.g. an asynchronous pipeline where this step's
+// message is consumed next step) is read before it is overwritten and must
+// be checkpointed — the §VII asynchronous-checkpointing argument that the
+// buffer's own dependencies are what matter.
+func TestPersistentCommBuffer(t *testing.T) {
+	src := `
+float u[10];
+float pipebuf[2];
+int main() {
+  for (int i = 0; i < 10; i++) {
+    u[i] = i * 0.1;
+  }
+  pipebuf[0] = 0.5;
+  pipebuf[1] = 0.25;
+  for (int step = 0; step < 5; step++) { // main loop: lines 10-15
+    u[0] = u[0] + pipebuf[0];
+    u[9] = u[9] + pipebuf[1];
+    pipebuf[0] = u[4] * 0.1;
+    pipebuf[1] = u[5] * 0.1;
+  }
+  print(u[0], u[9]);
+  return 0;
+}`
+	recs, mod := traceOf(t, src)
+	opts := DefaultOptions()
+	opts.Module = mod
+	res, err := Analyze(recs, LoopSpec{Function: "main", StartLine: 10, EndLine: 15}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := typesByName(res)
+	if got["pipebuf"] != WAR {
+		t.Errorf("pipebuf = %v, want WAR (its last message is consumed next iteration)", got["pipebuf"])
+	}
+	if got["u"] != WAR {
+		t.Errorf("u = %v, want WAR", got["u"])
+	}
+}

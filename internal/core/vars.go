@@ -1,0 +1,163 @@
+// Package core implements AutoCheck itself: the three-module analytical
+// model of the paper (Fig. 2) that turns a dynamic instruction execution
+// trace plus the main computation loop's location into the set of critical
+// variables to checkpoint.
+//
+//   - Pre-processing (§IV-A): partition the trace into the regions before /
+//     inside / after the main computation loop, collect the variables
+//     accessed at call depth zero in the before and inside regions, and
+//     match them to obtain the Main-Loop-Input (MLI) variables.
+//   - Data dependency analysis (§IV-B): maintain the on-the-fly "reg-var"
+//     and "reg-reg" maps over Load/Store/GetElementPtr/BitCast, arithmetic,
+//     and both Call forms; update the DDG at every Store; contract the DDG
+//     to MLI variables (Algorithm 1).
+//   - Identification (§IV-C): classify MLI variables as Write-After-Read,
+//     Read-After-Partially-Overwritten, or Outcome from the time-ordered
+//     R/W sequence, and add the outermost loop's induction variable
+//     (Index).
+package core
+
+import (
+	"sort"
+)
+
+// VarID identifies a variable: its symbolic name plus its base memory
+// address. The address component is the paper's Challenge 2 resolution —
+// local variables in different function calls may share a name, but never
+// an address at the same time.
+type VarID struct {
+	Fn   string // declaring function; "" for globals
+	Name string
+	Base uint64
+}
+
+// VarInfo describes one observed variable.
+type VarInfo struct {
+	Name      string
+	Fn        string // declaring function; "" for globals
+	Base      uint64
+	SizeBytes int64 // allocation size; for globals, the observed footprint
+	Global    bool
+	FirstDyn  int64 // dynamic ID of the Alloca (locals) or first access
+	FirstLine int   // source line of first non-synthesized access
+}
+
+// ID returns the variable's identity key.
+func (v *VarInfo) ID() VarID { return VarID{Fn: v.Fn, Name: v.Name, Base: v.Base} }
+
+// span is a half-open address interval [lo, hi) owned by a variable.
+type span struct {
+	lo, hi uint64
+	v      *VarInfo
+}
+
+// varTable resolves memory addresses to variables. Local variables are
+// registered from Alloca records (which carry the allocation size); their
+// spans are replaced on-the-fly when stack addresses are reused by later
+// calls — the same "active state at a certain point" semantics as the
+// paper's reg-var map. Globals have no Alloca records; their base addresses
+// are learned from the first direct (named) reference and their extent
+// grows with the observed access footprint.
+type varTable struct {
+	locals  []span // sorted by lo, non-overlapping
+	globals []span // sorted by lo; hi grows with observed footprint
+	gByName map[string]*VarInfo
+}
+
+func newVarTable() *varTable {
+	return &varTable{gByName: make(map[string]*VarInfo)}
+}
+
+// addAlloca registers a local variable's storage, evicting any previous
+// spans that overlap the new one (stack reuse).
+func (t *varTable) addAlloca(name, fn string, base uint64, size int64, dyn int64) *VarInfo {
+	if size <= 0 {
+		size = 8
+	}
+	v := &VarInfo{Name: name, Fn: fn, Base: base, SizeBytes: size, FirstDyn: dyn, FirstLine: -1}
+	lo, hi := base, base+uint64(size)
+	// Find the range of spans overlapping [lo, hi).
+	i := sort.Search(len(t.locals), func(i int) bool { return t.locals[i].hi > lo })
+	j := i
+	for j < len(t.locals) && t.locals[j].lo < hi {
+		j++
+	}
+	repl := []span{{lo: lo, hi: hi, v: v}}
+	t.locals = append(t.locals[:i], append(repl, t.locals[j:]...)...)
+	return v
+}
+
+// noteGlobal learns (or refreshes) a global variable from a direct named
+// reference at its base address. If a previously learned global's observed
+// footprint has grown over this base (footprints are estimates until every
+// base is known), it is truncated at the new base.
+func (t *varTable) noteGlobal(name string, base uint64, dyn int64, line int) *VarInfo {
+	if v, ok := t.gByName[name]; ok {
+		return v
+	}
+	v := &VarInfo{Name: name, Fn: "", Base: base, SizeBytes: 8, Global: true, FirstDyn: dyn, FirstLine: line}
+	t.gByName[name] = v
+	sp := span{lo: base, hi: base + 8, v: v}
+	i := sort.Search(len(t.globals), func(i int) bool { return t.globals[i].lo >= base })
+	if i > 0 && t.globals[i-1].hi > base {
+		prev := &t.globals[i-1]
+		prev.hi = base
+		prev.v.SizeBytes = int64(prev.hi - prev.lo)
+	}
+	t.globals = append(t.globals[:i], append([]span{sp}, t.globals[i:]...)...)
+	return v
+}
+
+// resolveLocal maps an address to a local variable's span without any
+// global-footprint side effects.
+func (t *varTable) resolveLocal(addr uint64) *VarInfo {
+	i := sort.Search(len(t.locals), func(i int) bool { return t.locals[i].hi > addr })
+	if i < len(t.locals) && t.locals[i].lo <= addr {
+		return t.locals[i].v
+	}
+	return nil
+}
+
+// resolve maps an address to its owning variable, or nil. Accesses beyond a
+// global's currently known footprint extend it (the next global's base
+// bounds the growth).
+func (t *varTable) resolve(addr uint64) *VarInfo {
+	// Locals: exact span containment.
+	i := sort.Search(len(t.locals), func(i int) bool { return t.locals[i].hi > addr })
+	if i < len(t.locals) && t.locals[i].lo <= addr {
+		return t.locals[i].v
+	}
+	// Globals: greatest base <= addr, bounded by the next global's base.
+	j := sort.Search(len(t.globals), func(i int) bool { return t.globals[i].lo > addr })
+	if j == 0 {
+		return nil
+	}
+	g := &t.globals[j-1]
+	if j < len(t.globals) && addr >= t.globals[j].lo {
+		return nil // inside the next global's territory (defensive; unreachable)
+	}
+	if addr >= g.hi {
+		g.hi = addr + 8
+		if g.v.SizeBytes < int64(g.hi-g.lo) {
+			g.v.SizeBytes = int64(g.hi - g.lo)
+		}
+	}
+	return g.v
+}
+
+// lookupLocal finds the (latest) local with the given name in the given
+// function.
+func (t *varTable) lookupLocal(fn, name string) *VarInfo {
+	var best *VarInfo
+	for _, sp := range t.locals {
+		if sp.v.Fn == fn && sp.v.Name == name {
+			if best == nil || sp.v.FirstDyn > best.FirstDyn {
+				best = sp.v
+			}
+		}
+	}
+	return best
+}
+
+// global returns a known global by name.
+func (t *varTable) global(name string) *VarInfo { return t.gByName[name] }

@@ -1,0 +1,365 @@
+// Package harness regenerates the paper's evaluation artifacts: Table II
+// (benchmarks and detected critical variables), Table III (analysis-time
+// breakdown with and without parallel pre-processing), Table IV
+// (checkpoint storage versus a BLCR-like full snapshot), and the §VI-B
+// validation summary. Each Run* function returns structured rows; the
+// Format* functions render them as aligned text tables.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"autocheck/internal/cfg"
+	"autocheck/internal/checkpoint"
+	"autocheck/internal/core"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+	"autocheck/internal/progs"
+	"autocheck/internal/trace"
+	"autocheck/internal/validate"
+)
+
+// Prepared bundles everything needed to analyze one benchmark.
+type Prepared struct {
+	Bench   *progs.Benchmark
+	Mod     *ir.Module
+	Spec    core.LoopSpec
+	Records []trace.Record
+	Data    []byte // encoded trace
+	GenTime time.Duration
+}
+
+// Prepare compiles, runs, and traces a benchmark at the given scale
+// (0 = default).
+func Prepare(b *progs.Benchmark, scale int) (*Prepared, error) {
+	src := b.Source(scale)
+	mod, err := interp.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	spec, err := b.Spec(scale)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	recs, _, err := interp.TraceProgram(mod)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: trace: %w", b.Name, err)
+	}
+	gen := time.Since(t0)
+	return &Prepared{
+		Bench: b, Mod: mod, Spec: spec, Records: recs,
+		Data: trace.EncodeAll(recs), GenTime: gen,
+	}, nil
+}
+
+// Analyze runs AutoCheck over a prepared benchmark.
+func (p *Prepared) Analyze(workers int) (*core.Result, error) {
+	opts := core.DefaultOptions()
+	opts.Module = p.Mod
+	opts.Workers = workers
+	return core.AnalyzeBytes(p.Data, p.Spec, opts)
+}
+
+// ---- Table II ----
+
+// Table2Row is one row of Table II.
+type Table2Row struct {
+	Name        string
+	Description string
+	LOC         int
+	TraceBytes  int64
+	GenTime     time.Duration
+	Critical    []string // "name (Type)" in report order
+	MCLR        string
+}
+
+// RunTable2 regenerates Table II over all 14 benchmarks.
+func RunTable2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, b := range progs.All() {
+		p, err := Prepare(b, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Analyze(0)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Name:        b.Name,
+			Description: b.Description,
+			LOC:         b.LOC(),
+			TraceBytes:  int64(len(p.Data)),
+			GenTime:     p.GenTime,
+			MCLR:        fmt.Sprintf("%d-%d (main)", p.Spec.StartLine, p.Spec.EndLine),
+		}
+		for _, c := range res.Critical {
+			row.Critical = append(row.Critical, fmt.Sprintf("%s (%s)", c.Name, c.Type))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table II.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II: benchmarks and detected critical variables\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Name\tLOC\tTrace size\tTrace gen\tCritical variables (type)\tMCLR")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\n",
+			r.Name, r.LOC, fmtBytes(r.TraceBytes), fmtDur(r.GenTime),
+			strings.Join(r.Critical, ", "), r.MCLR)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---- Table III ----
+
+// Table3Row is one row of Table III.
+type Table3Row struct {
+	Name        string
+	PreSerial   time.Duration
+	PrePar      time.Duration
+	Dep         time.Duration
+	Identify    time.Duration
+	TotalSerial time.Duration
+	TotalPar    time.Duration
+}
+
+// RunTable3 regenerates Table III: per-phase analysis cost, serial and
+// with `workers`-way parallel pre-processing.
+func RunTable3(workers int) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, b := range progs.All() {
+		p, err := Prepare(b, 0)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := p.Analyze(0)
+		if err != nil {
+			return nil, err
+		}
+		par, err := p.Analyze(workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Name:        b.Name,
+			PreSerial:   serial.Timing.Pre,
+			PrePar:      par.Timing.Pre,
+			Dep:         serial.Timing.Dep,
+			Identify:    serial.Timing.Identify,
+			TotalSerial: serial.Timing.Total,
+			TotalPar:    par.Timing.Total,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table III.
+func FormatTable3(rows []Table3Row, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: analysis cost (parallel pre-processing with %d workers)\n", workers)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Name\tPre (par)\tDependency\tIdentify\tTotal (par)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s (%s)\t%s\t%s\t%s (%s)\n",
+			r.Name, fmtDur(r.PreSerial), fmtDur(r.PrePar),
+			fmtDur(r.Dep), fmtDur(r.Identify),
+			fmtDur(r.TotalSerial), fmtDur(r.TotalPar))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---- Table IV ----
+
+// Table4Row is one row of Table IV.
+type Table4Row struct {
+	Name           string
+	InputScale     int
+	BLCRBytes      int64 // full-process snapshot
+	AutoCheckBytes int64 // variable checkpoint
+}
+
+// RunTable4 regenerates Table IV at each benchmark's large scale: the
+// size of one BLCR-like full snapshot versus one AutoCheck variable
+// checkpoint, both captured at the same main-loop boundary.
+func RunTable4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, b := range progs.All() {
+		p, err := Prepare(b, b.LargeScale)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Analyze(0)
+		if err != nil {
+			return nil, err
+		}
+		acBytes, blcrBytes, err := MeasureStorage(p.Mod, res)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{
+			Name: b.Name, InputScale: b.LargeScale,
+			BLCRBytes: blcrBytes, AutoCheckBytes: acBytes,
+		})
+	}
+	return rows, nil
+}
+
+// MeasureStorage runs a module until the second main-loop boundary and
+// captures the size of an AutoCheck variable checkpoint and a BLCR-like
+// full snapshot at that instant.
+func MeasureStorage(mod *ir.Module, res *core.Result) (autoCheck, blcr int64, err error) {
+	fn := mod.Func(res.Spec.Function)
+	if fn == nil {
+		return 0, 0, fmt.Errorf("harness: no function %s", res.Spec.Function)
+	}
+	g := cfg.New(fn)
+	loop := g.OutermostLoopInRange(res.Spec.StartLine, res.Spec.EndLine)
+	if loop == nil {
+		return 0, 0, fmt.Errorf("harness: no loop for %s", res.Spec.Function)
+	}
+	// Size the checkpoint in memory (no files needed for Table IV).
+	m := interp.New(mod)
+	entries := 0
+	done := fmt.Errorf("harness: measured")
+	m.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+		if blk != loop.Header || f.Fn.Name != res.Spec.Function {
+			return nil
+		}
+		entries++
+		if entries < 2 {
+			return nil
+		}
+		for _, c := range res.Critical {
+			autoCheck += 8 * ((c.SizeBytes + 7) / 8)
+			autoCheck += int64(len(c.Name)) + 24 // record header
+		}
+		autoCheck += 24 // file header + CRC
+		blcr = int64(len(checkpoint.FullSnapshot(mm, int64(entries-1))))
+		return done
+	}
+	if _, rerr := m.Run(); rerr != nil && rerr != done {
+		return 0, 0, rerr
+	}
+	if blcr == 0 {
+		return 0, 0, fmt.Errorf("harness: main loop boundary never reached")
+	}
+	return autoCheck, blcr, nil
+}
+
+// FormatTable4 renders Table IV.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table IV: storage cost for checkpointing\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Name\tInput scale\tBLCR-like (full image)\tAutoCheck (variables)\tReduction")
+	for _, r := range rows {
+		red := "-"
+		if r.AutoCheckBytes > 0 {
+			red = fmt.Sprintf("%.1fx", float64(r.BLCRBytes)/float64(r.AutoCheckBytes))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\n",
+			r.Name, r.InputScale, fmtBytes(r.BLCRBytes), fmtBytes(r.AutoCheckBytes), red)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---- §VI-B validation ----
+
+// ValidationRow is one row of the validation summary.
+type ValidationRow struct {
+	Name           string
+	Iterations     int64
+	Sufficient     bool
+	FalsePositives []string
+	CkptBytes      int64
+	SnapBytes      int64
+}
+
+// RunValidation reproduces §VI-B for every benchmark: fail-stop, restart,
+// compare, and per-variable necessity.
+func RunValidation(scratch string) ([]ValidationRow, error) {
+	var rows []ValidationRow
+	for _, b := range progs.All() {
+		p, err := Prepare(b, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Analyze(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := validate.New(p.Mod, res, fmt.Sprintf("%s/%s", scratch, b.Name))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := v.Run()
+		if err != nil {
+			return nil, err
+		}
+		row := ValidationRow{
+			Name: b.Name, Iterations: rep.Iterations, Sufficient: rep.Sufficient,
+			CkptBytes: rep.CheckpointBytes, SnapBytes: rep.FullSnapshotBytes,
+		}
+		for name, nec := range rep.Necessary {
+			if !nec {
+				row.FalsePositives = append(row.FalsePositives, name)
+			}
+		}
+		sort.Strings(row.FalsePositives)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatValidation renders the validation summary.
+func FormatValidation(rows []ValidationRow) string {
+	var b strings.Builder
+	b.WriteString("Validation (§VI-B): fail-stop + restart with detected variables\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Name\tIterations\tRestart OK\tFalse positives\tCkpt size\tFull snapshot")
+	for _, r := range rows {
+		fp := "none"
+		if len(r.FalsePositives) > 0 {
+			fp = strings.Join(r.FalsePositives, ", ")
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%s\t%s\t%s\n",
+			r.Name, r.Iterations, r.Sufficient, fp, fmtBytes(r.CkptBytes), fmtBytes(r.SnapBytes))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%dµs", d.Microseconds())
+}

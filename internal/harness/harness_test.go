@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autocheck/internal/progs"
+)
+
+func TestTable2(t *testing.T) {
+	rows, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table II has %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Critical) == 0 {
+			t.Errorf("%s: no critical variables", r.Name)
+		}
+		if r.TraceBytes <= 0 || r.GenTime <= 0 {
+			t.Errorf("%s: missing trace metrics: %+v", r.Name, r)
+		}
+	}
+	out := FormatTable2(rows)
+	for _, want := range []string{"Himeno", "HACC", "p (WAR)", "it (Index)", "MCLR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted Table II missing %q", want)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := RunTable3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table III has %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalSerial <= 0 || r.TotalPar <= 0 {
+			t.Errorf("%s: missing totals: %+v", r.Name, r)
+		}
+		if r.PreSerial <= 0 {
+			t.Errorf("%s: missing pre-processing time", r.Name)
+		}
+	}
+	out := FormatTable3(rows, 8)
+	if !strings.Contains(out, "8 workers") {
+		t.Error("formatted Table III missing worker count")
+	}
+}
+
+func TestTable4ShapeHolds(t *testing.T) {
+	rows, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table IV has %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline: AutoCheck's variable checkpoints are far
+		// smaller than full-process images, on every benchmark.
+		if r.AutoCheckBytes <= 0 || r.BLCRBytes <= 0 {
+			t.Errorf("%s: missing sizes: %+v", r.Name, r)
+			continue
+		}
+		if r.AutoCheckBytes >= r.BLCRBytes {
+			t.Errorf("%s: AutoCheck checkpoint (%d B) not smaller than BLCR-like image (%d B)",
+				r.Name, r.AutoCheckBytes, r.BLCRBytes)
+		}
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "Reduction") {
+		t.Error("formatted Table IV missing reduction column")
+	}
+}
+
+func TestValidationSummary(t *testing.T) {
+	rows, err := RunValidation(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("validation has %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Sufficient {
+			t.Errorf("%s: restart failed", r.Name)
+		}
+		if len(r.FalsePositives) != 0 {
+			t.Errorf("%s: false positives %v", r.Name, r.FalsePositives)
+		}
+	}
+	out := FormatValidation(rows)
+	if !strings.Contains(out, "Restart OK") {
+		t.Error("formatted validation missing header")
+	}
+}
+
+func TestPrepareUnknownScaleUsesDefault(t *testing.T) {
+	b := progs.Get("CG")
+	p, err := Prepare(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) == 0 || len(p.Data) == 0 {
+		t.Error("Prepare produced empty trace")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[int64]string{
+		500:     "500 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+	}
+	for n, want := range cases {
+		if got := fmtBytes(n); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+	if got := fmtDur(1500 * time.Millisecond); got != "1.50s" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDur(250 * time.Microsecond); got != "250µs" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDur(3 * time.Millisecond); got != "3.00ms" {
+		t.Errorf("fmtDur = %q", got)
+	}
+}

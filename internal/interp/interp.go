@@ -1,0 +1,632 @@
+// Package interp executes IR modules in a simulated address space and emits
+// the dynamic instruction execution trace that AutoCheck consumes. It plays
+// the role of both the target machine and LLVM-Tracer in the paper's
+// toolchain (§II-C): every executed instruction produces one trace block
+// with dynamic operand values, memory addresses, and register names.
+//
+// The machine is deterministic: the same module produces the same trace,
+// the same addresses, and the same output on every run, which is what makes
+// checkpoint/restart validation by output comparison sound (§VI-B).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"autocheck/internal/ir"
+	"autocheck/internal/trace"
+)
+
+// ErrFailStop is returned when a hook injects a fail-stop failure
+// (the moral equivalent of the paper's raise(SIGTERM)).
+var ErrFailStop = errors.New("interp: injected fail-stop failure")
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+const (
+	globalBase = 0x0000000000600000 // globals grow upward from here
+	stackBase  = 0x00007ffc00000000 // stack grows downward from here
+)
+
+// Frame is one activation record.
+type Frame struct {
+	Fn      *ir.Function
+	blk     *ir.Block
+	idx     int
+	regs    map[*ir.Instr]trace.Value
+	args    []trace.Value
+	allocas map[*ir.Instr]uint64
+	sp      uint64 // stack pointer at frame entry (restored on return)
+	call    *ir.Instr
+}
+
+// AllocaAddr returns the address of the named local in this frame.
+func (f *Frame) AllocaAddr(name string) (uint64, bool) {
+	for in, addr := range f.allocas {
+		if in.Name == name {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// AllocaType returns the allocated type of the named local in this frame.
+func (f *Frame) AllocaType(name string) (ir.Type, bool) {
+	for in := range f.allocas {
+		if in.Name == name {
+			return in.AllocElem, true
+		}
+	}
+	return nil, false
+}
+
+// Machine executes a module.
+type Machine struct {
+	Mod *ir.Module
+	Mem map[uint64]trace.Value
+
+	// Tracer, if non-nil, receives one record per executed instruction.
+	Tracer func(*trace.Record)
+	// BlockHook, if non-nil, runs on entry to every basic block. Returning
+	// an error aborts execution with that error (use ErrFailStop to model
+	// the paper's raise(SIGTERM) validation).
+	BlockHook func(m *Machine, f *Frame, blk *ir.Block) error
+	// MaxSteps bounds execution (0 means the 200M default).
+	MaxSteps int64
+	// Rank and Ranks are the SPMD identity reported by the myrank() and
+	// nranks() builtins (defaults: rank 0 of 1).
+	Rank, Ranks int
+
+	Steps   int64
+	dynID   int64
+	out     strings.Builder
+	frames  []*Frame
+	globals map[*ir.Global]uint64
+	nextG   uint64
+	sp      uint64
+	rng     uint64
+	fnAddr  map[string]uint64
+	nextFn  uint64
+}
+
+// funcAddr returns a stable fake code address for a function name, used in
+// Call records the way LLVM-Tracer prints the callee's address+name
+// (Fig. 6(a)/(b)).
+func (m *Machine) funcAddr(name string) uint64 {
+	if a, ok := m.fnAddr[name]; ok {
+		return a
+	}
+	if m.fnAddr == nil {
+		m.fnAddr = make(map[string]uint64)
+		m.nextFn = 0x400000
+	}
+	m.nextFn += 0x40
+	m.fnAddr[name] = m.nextFn
+	return m.nextFn
+}
+
+// New creates a machine for a module, laying out globals deterministically.
+func New(mod *ir.Module) *Machine {
+	m := &Machine{
+		Mod:     mod,
+		Mem:     make(map[uint64]trace.Value),
+		globals: make(map[*ir.Global]uint64),
+		nextG:   globalBase,
+		sp:      stackBase,
+		rng:     0x9E3779B97F4A7C15,
+	}
+	for _, g := range mod.Globals {
+		m.globals[g] = m.nextG
+		m.nextG += align8(g.Elem.Size())
+	}
+	return m
+}
+
+func align8(n int64) uint64 {
+	if n <= 0 {
+		return 8
+	}
+	return uint64((n + 7) &^ 7)
+}
+
+// Output returns everything printed so far.
+func (m *Machine) Output() string { return m.out.String() }
+
+// GlobalAddr returns the address of a named global variable.
+func (m *Machine) GlobalAddr(name string) (uint64, bool) {
+	for g, addr := range m.globals {
+		if g.Name == name {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// GlobalType returns the value type of a named global.
+func (m *Machine) GlobalType(name string) (ir.Type, bool) {
+	if g := m.Mod.Global(name); g != nil {
+		return g.Elem, true
+	}
+	return nil, false
+}
+
+// TopFrame returns the currently executing frame (nil when stopped).
+func (m *Machine) TopFrame() *Frame {
+	if len(m.frames) == 0 {
+		return nil
+	}
+	return m.frames[len(m.frames)-1]
+}
+
+// ReadCell reads one 8-byte cell, coercing to the wanted scalar type.
+func (m *Machine) ReadCell(addr uint64, want ir.Type) trace.Value {
+	v, ok := m.Mem[addr]
+	if !ok {
+		if ir.IsFloat(want) {
+			return trace.FloatValue(0)
+		}
+		return trace.IntValue(0)
+	}
+	return coerce(v, want)
+}
+
+// WriteCell writes one 8-byte cell.
+func (m *Machine) WriteCell(addr uint64, v trace.Value) { m.Mem[addr] = v }
+
+// ReadRange copies n cells starting at addr (for checkpointing).
+func (m *Machine) ReadRange(addr uint64, cells int64) []trace.Value {
+	out := make([]trace.Value, cells)
+	for i := int64(0); i < cells; i++ {
+		if v, ok := m.Mem[addr+uint64(i*8)]; ok {
+			out[i] = v
+		} else {
+			out[i] = trace.IntValue(0)
+		}
+	}
+	return out
+}
+
+// WriteRange restores cells starting at addr (for checkpoint recovery).
+func (m *Machine) WriteRange(addr uint64, vals []trace.Value) {
+	for i, v := range vals {
+		m.Mem[addr+uint64(i*8)] = v
+	}
+}
+
+func coerce(v trace.Value, want ir.Type) trace.Value {
+	switch {
+	case ir.IsFloat(want) && v.Kind != trace.KindFloat:
+		if v.Kind == trace.KindPtr {
+			return trace.FloatValue(float64(v.Addr))
+		}
+		return trace.FloatValue(float64(v.Int))
+	case ir.IsInt(want) && v.Kind == trace.KindFloat:
+		return trace.IntValue(int64(v.Float))
+	}
+	return v
+}
+
+// Run executes main to completion and returns the printed output.
+func (m *Machine) Run() (string, error) {
+	mainFn := m.Mod.Func("main")
+	if mainFn == nil {
+		return "", fmt.Errorf("interp: module has no main")
+	}
+	if m.MaxSteps == 0 {
+		m.MaxSteps = 200_000_000
+	}
+	if err := m.pushFrame(mainFn, nil, nil); err != nil {
+		return m.Output(), err
+	}
+	for len(m.frames) > 0 {
+		if m.Steps >= m.MaxSteps {
+			return m.Output(), ErrStepLimit
+		}
+		if err := m.step(); err != nil {
+			return m.Output(), err
+		}
+	}
+	return m.Output(), nil
+}
+
+func (m *Machine) pushFrame(fn *ir.Function, args []trace.Value, call *ir.Instr) error {
+	f := &Frame{
+		Fn:      fn,
+		blk:     fn.Entry(),
+		regs:    make(map[*ir.Instr]trace.Value),
+		args:    args,
+		allocas: make(map[*ir.Instr]uint64),
+		sp:      m.sp,
+		call:    call,
+	}
+	m.frames = append(m.frames, f)
+	if m.BlockHook != nil {
+		return m.BlockHook(m, f, f.blk)
+	}
+	return nil
+}
+
+// eval resolves an IR value to its runtime value in frame f.
+func (m *Machine) eval(f *Frame, v ir.Value) trace.Value {
+	switch x := v.(type) {
+	case *ir.Const:
+		if ir.IsFloat(x.Typ) {
+			return trace.FloatValue(x.F)
+		}
+		return trace.IntValue(x.I)
+	case *ir.Global:
+		return trace.PtrValue(m.globals[x])
+	case *ir.Param:
+		for i, p := range f.Fn.Params {
+			if p.Name == x.Name {
+				return f.args[i]
+			}
+		}
+		panic(fmt.Sprintf("interp: unknown parameter %s in %s", x.Name, f.Fn.Name))
+	case *ir.Instr:
+		return f.regs[x]
+	}
+	panic(fmt.Sprintf("interp: unknown value %T", v))
+}
+
+// operandRecord builds the trace operand for an argument value.
+func (m *Machine) operandRecord(f *Frame, idx int, v ir.Value) trace.Operand {
+	val := m.eval(f, v)
+	_, isConst := v.(*ir.Const)
+	return trace.Operand{Index: idx, Size: 64, Value: val, IsReg: !isConst, Name: v.ValueName()}
+}
+
+func (m *Machine) emit(f *Frame, in *ir.Instr, result *trace.Value, extra []trace.Operand) {
+	if m.Tracer == nil {
+		return
+	}
+	rec := &trace.Record{
+		Line:   in.Line,
+		Func:   f.Fn.Name,
+		Block:  f.blk.Name,
+		Opcode: in.Op,
+		DynID:  m.dynID,
+	}
+	for i, a := range in.Args {
+		rec.Ops = append(rec.Ops, m.operandRecord(f, i+1, a))
+	}
+	rec.Ops = append(rec.Ops, extra...)
+	if result != nil {
+		size := 64
+		if in.Op == trace.OpAlloca {
+			// Alloca result size carries the allocation size in bits, so the
+			// analysis can build exact address intervals for local variables
+			// (the paper's Challenge 2 address table).
+			size = int(in.AllocElem.Size() * 8)
+		}
+		rec.Result = &trace.Operand{Index: 0, Size: size, Value: *result, IsReg: true, Name: in.ValueName()}
+	}
+	m.Tracer(rec)
+}
+
+func (m *Machine) step() error {
+	f := m.frames[len(m.frames)-1]
+	in := f.blk.Instrs[f.idx]
+	m.Steps++
+	m.dynID++
+	switch in.Op {
+	case trace.OpAlloca:
+		size := align8(in.AllocElem.Size())
+		m.sp -= size
+		addr := m.sp
+		f.allocas[in] = addr
+		f.regs[in] = trace.PtrValue(addr)
+		res := trace.PtrValue(addr)
+		m.emit(f, in, &res, nil)
+	case trace.OpLoad:
+		ptr := m.eval(f, in.Args[0])
+		v := m.ReadCell(ptr.Addr, in.Type())
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpStore:
+		val := m.eval(f, in.Args[0])
+		ptr := m.eval(f, in.Args[1])
+		m.WriteCell(ptr.Addr, coerce(val, scalarOf(in.Args[0].Type())))
+		m.emit(f, in, nil, nil)
+	case trace.OpGetElementPtr:
+		addr := m.gepAddr(f, in)
+		v := trace.PtrValue(addr)
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpBitCast:
+		v := m.eval(f, in.Args[0])
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpSIToFP:
+		x := m.eval(f, in.Args[0])
+		v := trace.FloatValue(float64(x.Int))
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpFPToSI:
+		x := m.eval(f, in.Args[0])
+		v := trace.IntValue(int64(x.Float))
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpICmp, trace.OpFCmp:
+		x := m.eval(f, in.Args[0])
+		y := m.eval(f, in.Args[1])
+		v := trace.IntValue(boolToInt(compare(in, x, y)))
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpAdd, trace.OpSub, trace.OpMul, trace.OpSDiv, trace.OpUDiv,
+		trace.OpSRem, trace.OpURem, trace.OpFAdd, trace.OpFSub, trace.OpFMul,
+		trace.OpFDiv, trace.OpFRem:
+		x := m.eval(f, in.Args[0])
+		y := m.eval(f, in.Args[1])
+		v, err := arith(in.Op, x, y)
+		if err != nil {
+			return fmt.Errorf("%w at %s line %d", err, f.Fn.Name, in.Line)
+		}
+		f.regs[in] = v
+		m.emit(f, in, &v, nil)
+	case trace.OpBr:
+		var target *ir.Block
+		if len(in.Args) == 1 {
+			cond := m.eval(f, in.Args[0])
+			if truthy(cond) {
+				target = in.Succs[0]
+			} else {
+				target = in.Succs[1]
+			}
+		} else {
+			target = in.Succs[0]
+		}
+		m.emit(f, in, nil, nil)
+		f.blk = target
+		f.idx = 0
+		if m.BlockHook != nil {
+			if err := m.BlockHook(m, f, target); err != nil {
+				return err
+			}
+		}
+		return nil
+	case trace.OpRet:
+		var ret *trace.Value
+		if len(in.Args) == 1 {
+			v := m.eval(f, in.Args[0])
+			ret = &v
+		}
+		m.emit(f, in, nil, nil)
+		m.sp = f.sp // pop the frame's stack storage
+		m.frames = m.frames[:len(m.frames)-1]
+		if len(m.frames) > 0 {
+			caller := m.frames[len(m.frames)-1]
+			if f.call != nil && f.call.Producer() && ret != nil {
+				caller.regs[f.call] = *ret
+			}
+			caller.idx++
+		}
+		return nil
+	case trace.OpCall:
+		return m.execCall(f, in)
+	default:
+		return fmt.Errorf("interp: unsupported opcode %s", trace.OpcodeName(in.Op))
+	}
+	f.idx++
+	return nil
+}
+
+func scalarOf(t ir.Type) ir.Type {
+	if ir.IsFloat(t) {
+		return ir.F64
+	}
+	return t
+}
+
+func (m *Machine) gepAddr(f *Frame, in *ir.Instr) uint64 {
+	base := m.eval(f, in.Args[0])
+	addr := base.Addr
+	t := ir.Pointee(in.Args[0].Type())
+	// First index: pointer arithmetic over the pointee type.
+	i0 := m.eval(f, in.Args[1])
+	addr += uint64(i0.Int * t.Size())
+	// Remaining indices descend array levels.
+	for _, ixv := range in.Args[2:] {
+		a, ok := t.(ir.ArrayType)
+		if !ok {
+			break
+		}
+		ix := m.eval(f, ixv)
+		addr += uint64(ix.Int * a.Elem.Size())
+		t = a.Elem
+	}
+	return addr
+}
+
+func truthy(v trace.Value) bool {
+	switch v.Kind {
+	case trace.KindFloat:
+		return v.Float != 0
+	case trace.KindPtr:
+		return v.Addr != 0
+	default:
+		return v.Int != 0
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func compare(in *ir.Instr, x, y trace.Value) bool {
+	if in.Op == trace.OpFCmp || x.Kind == trace.KindFloat || y.Kind == trace.KindFloat {
+		a, b := asFloat(x), asFloat(y)
+		switch in.Pred {
+		case ir.CmpEQ:
+			return a == b
+		case ir.CmpNE:
+			return a != b
+		case ir.CmpLT:
+			return a < b
+		case ir.CmpLE:
+			return a <= b
+		case ir.CmpGT:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	a, b := asInt(x), asInt(y)
+	switch in.Pred {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func asFloat(v trace.Value) float64 {
+	switch v.Kind {
+	case trace.KindFloat:
+		return v.Float
+	case trace.KindPtr:
+		return float64(v.Addr)
+	default:
+		return float64(v.Int)
+	}
+}
+
+func asInt(v trace.Value) int64 {
+	switch v.Kind {
+	case trace.KindFloat:
+		return int64(v.Float)
+	case trace.KindPtr:
+		return int64(v.Addr)
+	default:
+		return v.Int
+	}
+}
+
+var errDivZero = errors.New("interp: integer division by zero")
+
+func arith(op int, x, y trace.Value) (trace.Value, error) {
+	switch op {
+	case trace.OpAdd:
+		return trace.IntValue(asInt(x) + asInt(y)), nil
+	case trace.OpSub:
+		return trace.IntValue(asInt(x) - asInt(y)), nil
+	case trace.OpMul:
+		return trace.IntValue(asInt(x) * asInt(y)), nil
+	case trace.OpSDiv, trace.OpUDiv:
+		if asInt(y) == 0 {
+			return trace.Value{}, errDivZero
+		}
+		return trace.IntValue(asInt(x) / asInt(y)), nil
+	case trace.OpSRem, trace.OpURem:
+		if asInt(y) == 0 {
+			return trace.Value{}, errDivZero
+		}
+		return trace.IntValue(asInt(x) % asInt(y)), nil
+	case trace.OpFAdd:
+		return trace.FloatValue(asFloat(x) + asFloat(y)), nil
+	case trace.OpFSub:
+		return trace.FloatValue(asFloat(x) - asFloat(y)), nil
+	case trace.OpFMul:
+		return trace.FloatValue(asFloat(x) * asFloat(y)), nil
+	case trace.OpFDiv:
+		return trace.FloatValue(asFloat(x) / asFloat(y)), nil
+	case trace.OpFRem:
+		return trace.FloatValue(math.Mod(asFloat(x), asFloat(y))), nil
+	}
+	return trace.Value{}, fmt.Errorf("interp: bad arithmetic opcode %d", op)
+}
+
+func (m *Machine) execCall(f *Frame, in *ir.Instr) error {
+	if in.Builtin != "" {
+		v, err := m.builtin(f, in)
+		if err != nil {
+			return err
+		}
+		var fnOp []trace.Operand
+		if m.Tracer != nil {
+			fnOp = []trace.Operand{{Index: 0, Size: 64, Value: trace.PtrValue(m.funcAddr(in.Builtin)), IsReg: false, Name: in.Builtin}}
+		}
+		if in.Producer() {
+			f.regs[in] = v
+			m.emit(f, in, &v, fnOp)
+		} else {
+			m.emit(f, in, nil, fnOp)
+		}
+		f.idx++
+		return nil
+	}
+	callee := in.Callee
+	args := make([]trace.Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = m.eval(f, a)
+	}
+	// Emit the Fig. 6(b) call record: callee-name operand (index 0),
+	// argument operands, then parameter operands (negative indices mark
+	// parameters, standing in for LLVM-Tracer's 'f' indicator lines).
+	var extra []trace.Operand
+	if m.Tracer != nil {
+		extra = append(extra, trace.Operand{
+			Index: 0, Size: 64, Value: trace.PtrValue(m.funcAddr(callee.Name)), IsReg: false, Name: callee.Name,
+		})
+		for i, p := range callee.Params {
+			extra = append(extra, trace.Operand{
+				Index: -(i + 1), Size: 64, Value: args[i], IsReg: true, Name: p.Name,
+			})
+		}
+	}
+	m.emit(f, in, nil, extra)
+	return m.pushFrame(callee, args, in)
+}
+
+func (m *Machine) builtin(f *Frame, in *ir.Instr) (trace.Value, error) {
+	args := make([]trace.Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = m.eval(f, a)
+	}
+	switch in.Builtin {
+	case "print":
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.String()
+		}
+		m.out.WriteString(strings.Join(parts, " "))
+		m.out.WriteByte('\n')
+		return trace.Value{}, nil
+	case "sqrt":
+		return trace.FloatValue(math.Sqrt(asFloat(args[0]))), nil
+	case "fabs":
+		return trace.FloatValue(math.Abs(asFloat(args[0]))), nil
+	case "pow":
+		return trace.FloatValue(math.Pow(asFloat(args[0]), asFloat(args[1]))), nil
+	case "exp":
+		return trace.FloatValue(math.Exp(asFloat(args[0]))), nil
+	case "rand":
+		// Deterministic xorshift64*: reproducible traces and outputs.
+		m.rng ^= m.rng >> 12
+		m.rng ^= m.rng << 25
+		m.rng ^= m.rng >> 27
+		return trace.IntValue(int64((m.rng * 0x2545F4914F6CDD1D) >> 33)), nil
+	case "myrank":
+		return trace.IntValue(int64(m.Rank)), nil
+	case "nranks":
+		if m.Ranks <= 0 {
+			return trace.IntValue(1), nil
+		}
+		return trace.IntValue(int64(m.Ranks)), nil
+	}
+	return trace.Value{}, fmt.Errorf("interp: unknown builtin %s", in.Builtin)
+}

@@ -1,0 +1,41 @@
+package interp
+
+import (
+	"autocheck/internal/ir"
+	"autocheck/internal/lower"
+	"autocheck/internal/minic"
+	"autocheck/internal/trace"
+)
+
+// Compile parses, checks, and lowers a mini-C source program.
+func Compile(src string) (*ir.Module, error) {
+	f, err := minic.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return lower.Module(f)
+}
+
+// RunProgram executes a module without tracing and returns its output.
+func RunProgram(mod *ir.Module) (string, error) {
+	return New(mod).Run()
+}
+
+// TraceProgram executes a module with tracing enabled, returning the
+// dynamic instruction execution trace and the program output.
+func TraceProgram(mod *ir.Module) ([]trace.Record, string, error) {
+	m := New(mod)
+	var recs []trace.Record
+	m.Tracer = func(r *trace.Record) { recs = append(recs, *r) }
+	out, err := m.Run()
+	return recs, out, err
+}
+
+// TraceSource compiles and traces a source program in one step.
+func TraceSource(src string) ([]trace.Record, string, error) {
+	mod, err := Compile(src)
+	if err != nil {
+		return nil, "", err
+	}
+	return TraceProgram(mod)
+}

@@ -1,0 +1,144 @@
+package ir
+
+import (
+	"fmt"
+
+	"autocheck/internal/trace"
+)
+
+// Builder incrementally constructs a function, appending instructions at a
+// current insertion block and handling register numbering.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block.
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{Fn: f}
+	b.Cur = f.NewBlock("entry")
+	return b
+}
+
+// SetBlock moves the insertion point.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// emit numbers and appends an instruction at the insertion point.
+func (b *Builder) emit(in *Instr) *Instr {
+	b.Fn.Number(in)
+	b.Cur.Append(in)
+	return in
+}
+
+// Alloca allocates stack storage for a named source variable.
+func (b *Builder) Alloca(name string, elem Type, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpAlloca, Typ: Ptr(elem), AllocElem: elem, Name: name, Line: line})
+}
+
+// Load reads through a pointer.
+func (b *Builder) Load(ptr Value, line int) *Instr {
+	pe := Pointee(ptr.Type())
+	if pe == nil {
+		panic(fmt.Sprintf("ir: load from non-pointer %s", ptr.Type()))
+	}
+	return b.emit(&Instr{Op: trace.OpLoad, Typ: pe, Args: []Value{ptr}, Line: line})
+}
+
+// Store writes a value through a pointer.
+func (b *Builder) Store(val, ptr Value, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpStore, Args: []Value{val, ptr}, Line: line})
+}
+
+// GEP computes the address of an element with LLVM semantics: the first
+// index performs pointer arithmetic over the base's pointee type, and each
+// subsequent index descends one array level.
+func (b *Builder) GEP(base Value, line int, indices ...Value) *Instr {
+	if len(indices) == 0 {
+		panic("ir: gep needs at least one index")
+	}
+	t := Pointee(base.Type())
+	if t == nil {
+		panic(fmt.Sprintf("ir: gep base must be a pointer, got %s", base.Type()))
+	}
+	for range indices[1:] {
+		a, ok := t.(ArrayType)
+		if !ok {
+			panic(fmt.Sprintf("ir: gep index into non-array %s", t))
+		}
+		t = a.Elem
+	}
+	args := append([]Value{base}, indices...)
+	return b.emit(&Instr{Op: trace.OpGetElementPtr, Typ: Ptr(t), Args: args, Line: line})
+}
+
+// BitCast reinterprets a pointer as another pointer type (used for
+// array-to-pointer decay at call sites, which keeps the BitCast path of
+// the paper's Table I exercised).
+func (b *Builder) BitCast(v Value, to Type, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpBitCast, Typ: to, Args: []Value{v}, Line: line})
+}
+
+// Bin emits a binary arithmetic instruction with the given trace opcode.
+func (b *Builder) Bin(op int, x, y Value, line int) *Instr {
+	var t Type = I64
+	switch op {
+	case trace.OpFAdd, trace.OpFSub, trace.OpFMul, trace.OpFDiv, trace.OpFRem:
+		t = F64
+	}
+	return b.emit(&Instr{Op: op, Typ: t, Args: []Value{x, y}, Line: line})
+}
+
+// Cmp emits an integer or float comparison producing i64 0/1.
+func (b *Builder) Cmp(pred int, x, y Value, line int) *Instr {
+	op := trace.OpICmp
+	if IsFloat(x.Type()) {
+		op = trace.OpFCmp
+	}
+	return b.emit(&Instr{Op: op, Typ: I64, Pred: pred, Args: []Value{x, y}, Line: line})
+}
+
+// SIToFP converts int to float.
+func (b *Builder) SIToFP(v Value, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpSIToFP, Typ: F64, Args: []Value{v}, Line: line})
+}
+
+// FPToSI converts float to int.
+func (b *Builder) FPToSI(v Value, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpFPToSI, Typ: I64, Args: []Value{v}, Line: line})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *Block, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpBr, Succs: []*Block{dst}, Line: line})
+}
+
+// CondBr emits a conditional branch on an i64 condition (nonzero = taken).
+func (b *Builder) CondBr(cond Value, then, els *Block, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpBr, Args: []Value{cond}, Succs: []*Block{then, els}, Line: line})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret(v Value, line int) *Instr {
+	in := &Instr{Op: trace.OpRet, Line: line}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// Call emits a call to a user function.
+func (b *Builder) Call(f *Function, args []Value, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpCall, Typ: f.Ret, Callee: f, Args: args, Line: line})
+}
+
+// CallBuiltin emits a call to a runtime builtin (print, sqrt, ...). These
+// appear in the trace as the single-'Call'-instruction form of Fig. 6(a).
+func (b *Builder) CallBuiltin(name string, ret Type, args []Value, line int) *Instr {
+	return b.emit(&Instr{Op: trace.OpCall, Typ: ret, Builtin: name, Args: args, Line: line})
+}
+
+// Terminated reports whether the current block already ends in a
+// terminator (so no fall-through branch is needed).
+func (b *Builder) Terminated() bool {
+	return b.Cur.Terminator() != nil
+}

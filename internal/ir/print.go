@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"autocheck/internal/trace"
+)
+
+// operandString renders a value reference for the printer.
+func operandString(v Value) string {
+	switch x := v.(type) {
+	case *Const:
+		return x.String()
+	case nil:
+		return "<nil>"
+	default:
+		return "%" + v.ValueName()
+	}
+}
+
+// String renders an instruction in a compact LLVM-like syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Producer() {
+		fmt.Fprintf(&b, "%%%s = ", in.ValueName())
+	}
+	switch in.Op {
+	case trace.OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.AllocElem)
+	case trace.OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Type(), operandString(in.Args[0]))
+	case trace.OpStore:
+		fmt.Fprintf(&b, "store %s, %s", operandString(in.Args[0]), operandString(in.Args[1]))
+	case trace.OpGetElementPtr:
+		fmt.Fprintf(&b, "getelementptr %s", operandString(in.Args[0]))
+		for _, ix := range in.Args[1:] {
+			fmt.Fprintf(&b, ", %s", operandString(ix))
+		}
+	case trace.OpBitCast:
+		fmt.Fprintf(&b, "bitcast %s to %s", operandString(in.Args[0]), in.Type())
+	case trace.OpICmp, trace.OpFCmp:
+		fmt.Fprintf(&b, "%s %s %s, %s", strings.ToLower(trace.OpcodeName(in.Op)),
+			PredName(in.Pred), operandString(in.Args[0]), operandString(in.Args[1]))
+	case trace.OpBr:
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&b, "br %s, label %%%s, label %%%s",
+				operandString(in.Args[0]), in.Succs[0].Name, in.Succs[1].Name)
+		} else {
+			fmt.Fprintf(&b, "br label %%%s", in.Succs[0].Name)
+		}
+	case trace.OpRet:
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&b, "ret %s", operandString(in.Args[0]))
+		} else {
+			b.WriteString("ret void")
+		}
+	case trace.OpCall:
+		name := in.Builtin
+		if in.Callee != nil {
+			name = in.Callee.Name
+		}
+		fmt.Fprintf(&b, "call %s @%s(", in.Type(), name)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(operandString(a))
+		}
+		b.WriteByte(')')
+	case trace.OpSIToFP, trace.OpFPToSI:
+		fmt.Fprintf(&b, "%s %s to %s", strings.ToLower(trace.OpcodeName(in.Op)),
+			operandString(in.Args[0]), in.Type())
+	default:
+		fmt.Fprintf(&b, "%s", strings.ToLower(trace.OpcodeName(in.Op)))
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %s", operandString(a))
+		}
+	}
+	if in.Line >= 0 {
+		fmt.Fprintf(&b, "  ; line %d", in.Line)
+	}
+	return b.String()
+}
+
+// String renders the function body.
+func (f *Function) String() string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Typ, p.Name)
+	}
+	fmt.Fprintf(&b, "func %s @%s(%s) {\n", f.Ret, f.Name, strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global %%%s : %s\n", g.Name, g.Elem)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

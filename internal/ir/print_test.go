@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"autocheck/internal/trace"
+)
+
+// TestPrinterCoversAllInstructions renders one of each instruction kind
+// and checks the mnemonics appear.
+func TestPrinterCoversAllInstructions(t *testing.T) {
+	m := NewModule()
+	g := m.AddGlobal(&Global{Name: "gv", Elem: Array(F64, 4)})
+	callee := m.AddFunc(NewFunction("callee", F64, &Param{Name: "x", Typ: F64}))
+	cb := NewBuilder(callee)
+	cb.Ret(ConstFloat(1), 1)
+
+	f := m.AddFunc(NewFunction("f", I64, &Param{Name: "n", Typ: I64}))
+	b := NewBuilder(f)
+	slot := b.Alloca("v", F64, 1)
+	arr := b.Alloca("arr", Array(F64, 4), 1)
+	ld := b.Load(slot, 2)
+	b.Store(ConstFloat(2.5), slot, 2)
+	gep := b.GEP(arr, 3, ConstInt(0), ConstInt(1))
+	b.Store(ld, gep, 3)
+	bc := b.BitCast(arr, Ptr(F64), 4)
+	b.Store(ConstFloat(0), bc, 4)
+	gv := b.GEP(g, 4, ConstInt(0), ConstInt(2))
+	b.Store(ConstFloat(1), gv, 4)
+	add := b.Bin(trace.OpAdd, ConstInt(1), ConstInt(2), 5)
+	fmul := b.Bin(trace.OpFMul, ConstFloat(2), ConstFloat(3), 5)
+	cmp := b.Cmp(CmpLE, add, ConstInt(9), 6)
+	fcv := b.SIToFP(add, 6)
+	icv := b.FPToSI(fmul, 6)
+	call := b.Call(callee, []Value{fcv}, 7)
+	bi := b.CallBuiltin("sqrt", F64, []Value{call}, 7)
+	b.CallBuiltin("print", Void, []Value{bi, icv}, 8)
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	b.CondBr(cmp, then, els, 9)
+	b.SetBlock(then)
+	b.Ret(ConstInt(0), 10)
+	b.SetBlock(els)
+	b.Br(then, 11)
+
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	s := m.String()
+	for _, want := range []string{
+		"global %gv", "alloca f64", "alloca [4 x f64]", "load f64",
+		"store 2.5", "getelementptr", "bitcast", "icmp le",
+		"sitofp", "fptosi", "call f64 @callee", "call f64 @sqrt",
+		"call void @print", "br %", "br label", "ret 0",
+		"; line 7",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q\n%s", want, s)
+		}
+	}
+}
+
+func TestConstPrinting(t *testing.T) {
+	if got := ConstInt(-3).String(); got != "-3" {
+		t.Errorf("ConstInt = %q", got)
+	}
+	if got := ConstFloat(2).String(); got != "2.0" {
+		t.Errorf("ConstFloat = %q (needs float marker)", got)
+	}
+}
+
+func TestVerifyMoreErrorCases(t *testing.T) {
+	mk := func(build func(b *Builder, f *Function)) error {
+		f := NewFunction("g", Void)
+		b := NewBuilder(f)
+		build(b, f)
+		if b.Cur.Terminator() == nil {
+			b.Ret(nil, 1)
+		}
+		return f.Verify()
+	}
+	// Load from non-pointer.
+	if err := mk(func(b *Builder, f *Function) {
+		in := &Instr{Op: trace.OpLoad, Typ: I64, Args: []Value{ConstInt(1)}, Line: 1}
+		f.Number(in)
+		b.Cur.Append(in)
+	}); err == nil {
+		t.Error("load from non-pointer verified")
+	}
+	// GEP with no indices.
+	if err := mk(func(b *Builder, f *Function) {
+		slot := b.Alloca("x", I64, 1)
+		in := &Instr{Op: trace.OpGetElementPtr, Typ: Ptr(I64), Args: []Value{slot}, Line: 1}
+		f.Number(in)
+		b.Cur.Append(in)
+	}); err == nil {
+		t.Error("gep without indices verified")
+	}
+	// Integer arithmetic with float result type.
+	if err := mk(func(b *Builder, f *Function) {
+		in := &Instr{Op: trace.OpAdd, Typ: F64, Args: []Value{ConstInt(1), ConstInt(2)}, Line: 1}
+		f.Number(in)
+		b.Cur.Append(in)
+	}); err == nil {
+		t.Error("int add with f64 result verified")
+	}
+	// Float arithmetic with int result type.
+	if err := mk(func(b *Builder, f *Function) {
+		in := &Instr{Op: trace.OpFMul, Typ: I64, Args: []Value{ConstFloat(1), ConstFloat(2)}, Line: 1}
+		f.Number(in)
+		b.Cur.Append(in)
+	}); err == nil {
+		t.Error("fmul with i64 result verified")
+	}
+	// Conditional branch without condition.
+	if err := mk(func(b *Builder, f *Function) {
+		t1 := f.NewBlock("a")
+		t2 := f.NewBlock("b")
+		in := &Instr{Op: trace.OpBr, Succs: []*Block{t1, t2}, Line: 1}
+		b.Cur.Append(in)
+		b.SetBlock(t1)
+		b.Ret(nil, 1)
+		b.SetBlock(t2)
+		b.Ret(nil, 1)
+	}); err == nil {
+		t.Error("condbr without condition verified")
+	}
+	// Unknown opcode.
+	if err := mk(func(b *Builder, f *Function) {
+		in := &Instr{Op: 999, Typ: I64, Line: 1}
+		f.Number(in)
+		b.Cur.Append(in)
+	}); err == nil {
+		t.Error("unknown opcode verified")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	f := NewFunction("g", Void)
+	b := NewBuilder(f)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("load from scalar", func() { b.Load(ConstInt(1), 1) })
+	expectPanic("gep on scalar base", func() { b.GEP(ConstInt(1), 1, ConstInt(0)) })
+	slot := b.Alloca("x", I64, 1)
+	expectPanic("gep descend into scalar", func() { b.GEP(slot, 1, ConstInt(0), ConstInt(1)) })
+	expectPanic("gep without indices", func() { b.GEP(slot, 1) })
+}
+
+func TestParamAndGlobalValueInterfaces(t *testing.T) {
+	p := &Param{Name: "p", Typ: Ptr(F64)}
+	if p.ValueName() != "p" || p.Type().String() != "f64*" {
+		t.Errorf("param = %s %s", p.ValueName(), p.Type())
+	}
+	g := &Global{Name: "g", Elem: I64}
+	if g.ValueName() != "g" || g.Type().String() != "i64*" {
+		t.Errorf("global = %s %s", g.ValueName(), g.Type())
+	}
+	c := ConstInt(4)
+	if c.ValueName() != "" {
+		t.Errorf("const name = %q, want empty", c.ValueName())
+	}
+}
+
+func TestProducerClassification(t *testing.T) {
+	cases := []struct {
+		in   *Instr
+		want bool
+	}{
+		{&Instr{Op: trace.OpStore}, false},
+		{&Instr{Op: trace.OpBr}, false},
+		{&Instr{Op: trace.OpRet}, false},
+		{&Instr{Op: trace.OpCall, Typ: Void}, false},
+		{&Instr{Op: trace.OpCall, Typ: F64}, true},
+		{&Instr{Op: trace.OpLoad, Typ: I64}, true},
+		{&Instr{Op: trace.OpAlloca, Typ: Ptr(I64)}, true},
+	}
+	for _, c := range cases {
+		if got := c.in.Producer(); got != c.want {
+			t.Errorf("Producer(%s) = %v, want %v", trace.OpcodeName(c.in.Op), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,663 @@
+// Package lower translates checked mini-C ASTs into IR modules. It mirrors
+// Clang's -O0 code shape, which is what LLVM-Tracer (and therefore the
+// AutoCheck analysis) observes:
+//
+//   - every local variable and parameter gets a named entry-block Alloca
+//     (emitted with line -1, matching the paper's Fig. 6(c));
+//   - parameters are spilled to their allocas on entry, so callee bodies
+//     access arguments through named locals — this produces the Fig. 6(b)
+//     "Call followed by its function body" trace shape where parameter
+//     correlation must be recovered from the preceding Loads;
+//   - every scalar use is a fresh Load and every assignment a Store (no
+//     mem2reg), which is what makes the paper's on-the-fly reg-var map
+//     sound under SSA re-loading;
+//   - array arguments decay via BitCast, exercising the Table I BitCast
+//     path, and array indexing lowers to GetElementPtr.
+package lower
+
+import (
+	"fmt"
+
+	"autocheck/internal/ir"
+	"autocheck/internal/minic"
+	"autocheck/internal/trace"
+)
+
+// Module lowers a checked file into an IR module.
+func Module(f *minic.File) (*ir.Module, error) {
+	m := ir.NewModule()
+	l := &lowerer{mod: m, globals: make(map[string]*ir.Global), funcs: make(map[string]*ir.Function)}
+	for _, g := range f.Globals {
+		l.globals[g.Name] = m.AddGlobal(&ir.Global{Name: g.Name, Elem: minic.ResolveType(g.Type)})
+	}
+	// Declare all functions first so calls resolve in any order.
+	for _, fn := range f.Funcs {
+		params := make([]*ir.Param, len(fn.Params))
+		for i, p := range fn.Params {
+			params[i] = &ir.Param{Name: p.Name, Typ: minic.ResolveType(p.Type)}
+		}
+		l.funcs[fn.Name] = m.AddFunc(ir.NewFunction(fn.Name, minic.ResolveType(minic.TypeSpec{Base: fn.Ret}), params...))
+	}
+	for _, fn := range f.Funcs {
+		if err := l.lowerFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("lower: generated invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+type lowerer struct {
+	mod     *ir.Module
+	globals map[string]*ir.Global
+	funcs   map[string]*ir.Function
+
+	b     *ir.Builder
+	fn    *ir.Function
+	slots map[*minic.Symbol]ir.Value // symbol -> storage (address value)
+	loops []loopCtx
+}
+
+func (l *lowerer) lowerFunc(fn *minic.FuncDecl) error {
+	f := l.funcs[fn.Name]
+	l.fn = f
+	l.b = ir.NewBuilder(f)
+	l.slots = make(map[*minic.Symbol]ir.Value)
+	l.loops = nil
+
+	// Spill parameters into named allocas (line -1: synthesized).
+	for i, p := range fn.Params {
+		slot := l.b.Alloca(p.Name, f.Params[i].Typ, -1)
+		l.b.Store(f.Params[i], slot, -1)
+		l.slots[p.Sym] = slot
+	}
+	if err := l.lowerBlock(fn.Body); err != nil {
+		return err
+	}
+	// Default return for any block left unterminated (fall-through off the
+	// end, or unreachable joins).
+	for _, blk := range f.Blocks {
+		if blk.Terminator() == nil {
+			l.b.SetBlock(blk)
+			switch {
+			case ir.IsVoid(f.Ret):
+				l.b.Ret(nil, fn.Pos.Line)
+			case ir.IsFloat(f.Ret):
+				l.b.Ret(ir.ConstFloat(0), fn.Pos.Line)
+			default:
+				l.b.Ret(ir.ConstInt(0), fn.Pos.Line)
+			}
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lookupSlot(sym *minic.Symbol) (ir.Value, error) {
+	if v, ok := l.slots[sym]; ok {
+		return v, nil
+	}
+	if sym.Kind == minic.SymGlobal {
+		if g, ok := l.globals[sym.Name]; ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("lower: no storage for symbol %s", sym.Name)
+}
+
+func (l *lowerer) lowerBlock(b *minic.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if l.b.Terminated() {
+			return nil // dead code after return/break/continue
+		}
+		if err := l.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerStmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return l.lowerBlock(st)
+	case *minic.DeclStmt:
+		return l.lowerDecl(st)
+	case *minic.AssignStmt:
+		return l.lowerAssign(st)
+	case *minic.IncDecStmt:
+		return l.lowerIncDec(st)
+	case *minic.ExprStmt:
+		_, err := l.lowerExpr(st.X)
+		return err
+	case *minic.IfStmt:
+		return l.lowerIf(st)
+	case *minic.ForStmt:
+		return l.lowerFor(st)
+	case *minic.WhileStmt:
+		return l.lowerWhile(st)
+	case *minic.ReturnStmt:
+		return l.lowerReturn(st)
+	case *minic.BreakStmt:
+		if len(l.loops) == 0 {
+			return fmt.Errorf("lower: break outside loop at %s", st.Pos)
+		}
+		l.b.Br(l.loops[len(l.loops)-1].brk, st.Pos.Line)
+		return nil
+	case *minic.ContinueStmt:
+		if len(l.loops) == 0 {
+			return fmt.Errorf("lower: continue outside loop at %s", st.Pos)
+		}
+		l.b.Br(l.loops[len(l.loops)-1].cont, st.Pos.Line)
+		return nil
+	}
+	return fmt.Errorf("lower: unknown statement %T", s)
+}
+
+// entryAlloca inserts an alloca at the top of the entry block (Clang
+// hoists all allocas to the entry block; the paper relies on Alloca
+// records to enumerate a call's local variables, Challenge 2).
+func (l *lowerer) entryAlloca(name string, elem ir.Type) *ir.Instr {
+	entry := l.fn.Entry()
+	in := &ir.Instr{Op: trace.OpAlloca, Typ: ir.Ptr(elem), AllocElem: elem, Name: name, Line: -1}
+	l.fn.Number(in)
+	in.Parent = entry
+	// Insert after any existing leading allocas to keep declaration order.
+	pos := 0
+	for pos < len(entry.Instrs) && entry.Instrs[pos].Op == trace.OpAlloca {
+		pos++
+	}
+	entry.Instrs = append(entry.Instrs, nil)
+	copy(entry.Instrs[pos+1:], entry.Instrs[pos:])
+	entry.Instrs[pos] = in
+	return in
+}
+
+func (l *lowerer) lowerDecl(st *minic.DeclStmt) error {
+	for _, d := range st.Decls {
+		elem := minic.ResolveType(d.Type)
+		slot := l.entryAlloca(d.Name, elem)
+		l.slots[d.Sym] = slot
+		if d.Init != nil {
+			v, err := l.lowerScalar(d.Init, elem, d.Pos.Line)
+			if err != nil {
+				return err
+			}
+			l.b.Store(v, slot, d.Pos.Line)
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerAssign(st *minic.AssignStmt) error {
+	addr, elem, err := l.lowerAddr(st.LHS)
+	if err != nil {
+		return err
+	}
+	line := st.Pos.Line
+	rhs, err := l.lowerScalar(st.RHS, elem, line)
+	if err != nil {
+		return err
+	}
+	if st.Op != minic.Assign {
+		cur := l.b.Load(addr, line)
+		var op int
+		isF := ir.IsFloat(elem)
+		switch st.Op {
+		case minic.PlusAssign:
+			op = pick(isF, trace.OpFAdd, trace.OpAdd)
+		case minic.MinusAssign:
+			op = pick(isF, trace.OpFSub, trace.OpSub)
+		case minic.StarAssign:
+			op = pick(isF, trace.OpFMul, trace.OpMul)
+		case minic.SlashAssign:
+			op = pick(isF, trace.OpFDiv, trace.OpSDiv)
+		default:
+			return fmt.Errorf("lower: unknown compound assignment %v", st.Op)
+		}
+		rhs = l.b.Bin(op, cur, rhs, line)
+	}
+	l.b.Store(rhs, addr, line)
+	return nil
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func (l *lowerer) lowerIncDec(st *minic.IncDecStmt) error {
+	addr, elem, err := l.lowerAddr(st.LHS)
+	if err != nil {
+		return err
+	}
+	line := st.Pos.Line
+	cur := l.b.Load(addr, line)
+	var one ir.Value = ir.ConstInt(1)
+	op := trace.OpAdd
+	if ir.IsFloat(elem) {
+		one = ir.ConstFloat(1)
+		op = trace.OpFAdd
+	}
+	if st.Op == minic.Dec {
+		op = pick(ir.IsFloat(elem), trace.OpFSub, trace.OpSub)
+	}
+	l.b.Store(l.b.Bin(op, cur, one, line), addr, line)
+	return nil
+}
+
+func (l *lowerer) lowerIf(st *minic.IfStmt) error {
+	then := l.fn.NewBlock("if.then")
+	end := l.fn.NewBlock("if.end")
+	els := end
+	if st.Else != nil {
+		els = l.fn.NewBlock("if.else")
+	}
+	if err := l.lowerCond(st.Cond, then, els); err != nil {
+		return err
+	}
+	l.b.SetBlock(then)
+	if err := l.lowerStmt(st.Then); err != nil {
+		return err
+	}
+	if !l.b.Terminated() {
+		l.b.Br(end, st.Pos.Line)
+	}
+	if st.Else != nil {
+		l.b.SetBlock(els)
+		if err := l.lowerStmt(st.Else); err != nil {
+			return err
+		}
+		if !l.b.Terminated() {
+			l.b.Br(end, st.Pos.Line)
+		}
+	}
+	l.b.SetBlock(end)
+	return nil
+}
+
+func (l *lowerer) lowerFor(st *minic.ForStmt) error {
+	if st.Init != nil {
+		if err := l.lowerStmt(st.Init); err != nil {
+			return err
+		}
+	}
+	cond := l.fn.NewBlock("for.cond")
+	body := l.fn.NewBlock("for.body")
+	post := l.fn.NewBlock("for.inc")
+	end := l.fn.NewBlock("for.end")
+	line := st.Pos.Line
+	l.b.Br(cond, line)
+	l.b.SetBlock(cond)
+	if st.Cond != nil {
+		if err := l.lowerCond(st.Cond, body, end); err != nil {
+			return err
+		}
+	} else {
+		l.b.Br(body, line)
+	}
+	l.b.SetBlock(body)
+	l.loops = append(l.loops, loopCtx{brk: end, cont: post})
+	err := l.lowerStmt(st.Body)
+	l.loops = l.loops[:len(l.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !l.b.Terminated() {
+		l.b.Br(post, line)
+	}
+	l.b.SetBlock(post)
+	if st.Post != nil {
+		if err := l.lowerStmt(st.Post); err != nil {
+			return err
+		}
+	}
+	if !l.b.Terminated() {
+		l.b.Br(cond, line)
+	}
+	l.b.SetBlock(end)
+	return nil
+}
+
+func (l *lowerer) lowerWhile(st *minic.WhileStmt) error {
+	cond := l.fn.NewBlock("while.cond")
+	body := l.fn.NewBlock("while.body")
+	end := l.fn.NewBlock("while.end")
+	line := st.Pos.Line
+	l.b.Br(cond, line)
+	l.b.SetBlock(cond)
+	if err := l.lowerCond(st.Cond, body, end); err != nil {
+		return err
+	}
+	l.b.SetBlock(body)
+	l.loops = append(l.loops, loopCtx{brk: end, cont: cond})
+	err := l.lowerStmt(st.Body)
+	l.loops = l.loops[:len(l.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !l.b.Terminated() {
+		l.b.Br(cond, line)
+	}
+	l.b.SetBlock(end)
+	return nil
+}
+
+func (l *lowerer) lowerReturn(st *minic.ReturnStmt) error {
+	if st.X == nil {
+		l.b.Ret(nil, st.Pos.Line)
+		return nil
+	}
+	v, err := l.lowerScalar(st.X, l.fn.Ret, st.Pos.Line)
+	if err != nil {
+		return err
+	}
+	l.b.Ret(v, st.Pos.Line)
+	return nil
+}
+
+// lowerCond lowers a boolean context with short-circuiting, branching to
+// thenBlk / elseBlk.
+func (l *lowerer) lowerCond(e minic.Expr, thenBlk, elseBlk *ir.Block) error {
+	line := e.ExprPos().Line
+	switch x := e.(type) {
+	case *minic.BinaryExpr:
+		switch x.Op {
+		case minic.AndAnd:
+			mid := l.fn.NewBlock("land.rhs")
+			if err := l.lowerCond(x.X, mid, elseBlk); err != nil {
+				return err
+			}
+			l.b.SetBlock(mid)
+			return l.lowerCond(x.Y, thenBlk, elseBlk)
+		case minic.OrOr:
+			mid := l.fn.NewBlock("lor.rhs")
+			if err := l.lowerCond(x.X, thenBlk, mid); err != nil {
+				return err
+			}
+			l.b.SetBlock(mid)
+			return l.lowerCond(x.Y, thenBlk, elseBlk)
+		}
+	case *minic.UnaryExpr:
+		if x.Op == minic.Not {
+			return l.lowerCond(x.X, elseBlk, thenBlk)
+		}
+	}
+	v, err := l.lowerExpr(e)
+	if err != nil {
+		return err
+	}
+	cond := v
+	if ir.IsFloat(v.Type()) {
+		cond = l.b.Cmp(ir.CmpNE, v, ir.ConstFloat(0), line)
+	} else if cmp, ok := v.(*ir.Instr); !ok || (cmp.Op != trace.OpICmp && cmp.Op != trace.OpFCmp) {
+		cond = l.b.Cmp(ir.CmpNE, v, ir.ConstInt(0), line)
+	}
+	l.b.CondBr(cond, thenBlk, elseBlk, line)
+	return nil
+}
+
+// lowerScalar lowers an expression and converts the result to want
+// (int<->float conversions).
+func (l *lowerer) lowerScalar(e minic.Expr, want ir.Type, line int) (ir.Value, error) {
+	v, err := l.lowerExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	return l.convert(v, want, line), nil
+}
+
+func (l *lowerer) convert(v ir.Value, want ir.Type, line int) ir.Value {
+	have := v.Type()
+	switch {
+	case ir.IsFloat(want) && ir.IsInt(have):
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstFloat(float64(c.I))
+		}
+		return l.b.SIToFP(v, line)
+	case ir.IsInt(want) && ir.IsFloat(have):
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstInt(int64(c.F))
+		}
+		return l.b.FPToSI(v, line)
+	}
+	return v
+}
+
+// lowerAddr computes the address of an lvalue, returning the pointer value
+// and the pointee (element) type.
+func (l *lowerer) lowerAddr(e minic.Expr) (ir.Value, ir.Type, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		slot, err := l.resolve(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return slot, ir.Pointee(slot.Type()), nil
+	case *minic.IndexExpr:
+		base, indices, needZero, err := l.unwindIndex(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		line := x.ExprPos().Line
+		if needZero {
+			// Local/global array: GEP(ptr, 0, i...) — the leading zero is
+			// the LLVM pointer-arithmetic index.
+			indices = append([]ir.Value{ir.ConstInt(0)}, indices...)
+		}
+		g := l.b.GEP(base, line, indices...)
+		return g, ir.Pointee(g.Type()), nil
+	}
+	return nil, nil, fmt.Errorf("lower: not an lvalue: %T at %s", e, e.ExprPos())
+}
+
+// unwindIndex flattens nested IndexExprs into (base pointer, index values).
+// needZero is true when the base is a variable's own array storage (a GEP
+// needs the leading pointer-arithmetic 0); it is false for decayed pointer
+// parameters, whose pointer value is loaded from the parameter slot first.
+func (l *lowerer) unwindIndex(e *minic.IndexExpr) (base ir.Value, indices []ir.Value, needZero bool, err error) {
+	var chain []minic.Expr
+	cur := minic.Expr(e)
+	for {
+		ix, ok := cur.(*minic.IndexExpr)
+		if !ok {
+			break
+		}
+		chain = append([]minic.Expr{ix.Idx}, chain...)
+		cur = ix.X
+	}
+	id, ok := cur.(*minic.Ident)
+	if !ok {
+		return nil, nil, false, fmt.Errorf("lower: unsupported index base %T", cur)
+	}
+	slot, err := l.resolve(id)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	line := id.ExprPos().Line
+	base = slot
+	needZero = true
+	if ir.IsPtr(ir.Pointee(slot.Type())) {
+		// The slot holds a pointer (decayed param): load it.
+		base = l.b.Load(slot, line)
+		needZero = false
+	}
+	indices = make([]ir.Value, len(chain))
+	for i, ixe := range chain {
+		v, err := l.lowerScalar(ixe, ir.I64, ixe.ExprPos().Line)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		indices[i] = v
+	}
+	return base, indices, needZero, nil
+}
+
+// resolve returns the storage (address value) for an identifier.
+func (l *lowerer) resolve(x *minic.Ident) (ir.Value, error) {
+	if x.Sym == nil {
+		return nil, fmt.Errorf("lower: unresolved identifier %s at %s", x.Name, x.Pos)
+	}
+	return l.lookupSlot(x.Sym)
+}
+
+func (l *lowerer) lowerExpr(e minic.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return ir.ConstInt(x.Val), nil
+	case *minic.FloatLit:
+		return ir.ConstFloat(x.Val), nil
+	case *minic.Ident:
+		slot, err := l.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		pe := ir.Pointee(slot.Type())
+		if ir.IsArray(pe) {
+			return slot, nil // array value = its address (decays at use site)
+		}
+		return l.b.Load(slot, x.Pos.Line), nil
+	case *minic.IndexExpr:
+		addr, elem, err := l.lowerAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		if ir.IsArray(elem) {
+			return addr, nil // partial indexing of a multi-dim array
+		}
+		return l.b.Load(addr, x.ExprPos().Line), nil
+	case *minic.UnaryExpr:
+		v, err := l.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		line := x.Pos.Line
+		switch x.Op {
+		case minic.Minus:
+			if ir.IsFloat(v.Type()) {
+				return l.b.Bin(trace.OpFSub, ir.ConstFloat(0), v, line), nil
+			}
+			return l.b.Bin(trace.OpSub, ir.ConstInt(0), v, line), nil
+		case minic.Not:
+			if ir.IsFloat(v.Type()) {
+				return l.b.Cmp(ir.CmpEQ, v, ir.ConstFloat(0), line), nil
+			}
+			return l.b.Cmp(ir.CmpEQ, v, ir.ConstInt(0), line), nil
+		}
+		return nil, fmt.Errorf("lower: unknown unary op %v", x.Op)
+	case *minic.BinaryExpr:
+		return l.lowerBinary(x)
+	case *minic.CallExpr:
+		return l.lowerCall(x)
+	}
+	return nil, fmt.Errorf("lower: unknown expression %T", e)
+}
+
+func (l *lowerer) lowerBinary(x *minic.BinaryExpr) (ir.Value, error) {
+	line := x.Pos.Line
+	switch x.Op {
+	case minic.AndAnd, minic.OrOr:
+		// Value context: materialize through a synthesized bool slot.
+		slot := l.entryAlloca(fmt.Sprintf("land%d", len(l.fn.Blocks)), ir.I64)
+		tb := l.fn.NewBlock("bool.true")
+		fb := l.fn.NewBlock("bool.false")
+		end := l.fn.NewBlock("bool.end")
+		if err := l.lowerCond(x, tb, fb); err != nil {
+			return nil, err
+		}
+		l.b.SetBlock(tb)
+		l.b.Store(ir.ConstInt(1), slot, line)
+		l.b.Br(end, line)
+		l.b.SetBlock(fb)
+		l.b.Store(ir.ConstInt(0), slot, line)
+		l.b.Br(end, line)
+		l.b.SetBlock(end)
+		return l.b.Load(slot, line), nil
+	}
+	xv, err := l.lowerExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	yv, err := l.lowerExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	isF := ir.IsFloat(xv.Type()) || ir.IsFloat(yv.Type())
+	if isF {
+		xv = l.convert(xv, ir.F64, line)
+		yv = l.convert(yv, ir.F64, line)
+	}
+	switch x.Op {
+	case minic.Plus:
+		return l.b.Bin(pick(isF, trace.OpFAdd, trace.OpAdd), xv, yv, line), nil
+	case minic.Minus:
+		return l.b.Bin(pick(isF, trace.OpFSub, trace.OpSub), xv, yv, line), nil
+	case minic.Star:
+		return l.b.Bin(pick(isF, trace.OpFMul, trace.OpMul), xv, yv, line), nil
+	case minic.Slash:
+		return l.b.Bin(pick(isF, trace.OpFDiv, trace.OpSDiv), xv, yv, line), nil
+	case minic.Percent:
+		return l.b.Bin(trace.OpSRem, xv, yv, line), nil
+	case minic.Lt:
+		return l.b.Cmp(ir.CmpLT, xv, yv, line), nil
+	case minic.Le:
+		return l.b.Cmp(ir.CmpLE, xv, yv, line), nil
+	case minic.Gt:
+		return l.b.Cmp(ir.CmpGT, xv, yv, line), nil
+	case minic.Ge:
+		return l.b.Cmp(ir.CmpGE, xv, yv, line), nil
+	case minic.EqEq:
+		return l.b.Cmp(ir.CmpEQ, xv, yv, line), nil
+	case minic.NotEq:
+		return l.b.Cmp(ir.CmpNE, xv, yv, line), nil
+	}
+	return nil, fmt.Errorf("lower: unknown binary op %v", x.Op)
+}
+
+func (l *lowerer) lowerCall(x *minic.CallExpr) (ir.Value, error) {
+	line := x.Pos.Line
+	if x.Builtin != "" {
+		sig := minic.Builtins[x.Builtin]
+		args := make([]ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := l.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !sig.Variadic {
+				v = l.convert(v, sig.Params[i], line)
+			}
+			args[i] = v
+		}
+		return l.b.CallBuiltin(x.Builtin, sig.Ret, args, line), nil
+	}
+	callee := l.funcs[x.Name]
+	if callee == nil {
+		return nil, fmt.Errorf("lower: call to unknown function %s", x.Name)
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		want := callee.Params[i].Typ
+		v, err := l.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if ir.IsPtr(want) {
+			// Array-to-pointer decay via BitCast (Table I BitCast path).
+			if !ir.TypeEqual(v.Type(), want) {
+				v = l.b.BitCast(v, want, line)
+			}
+			args[i] = v
+			continue
+		}
+		args[i] = l.convert(v, want, line)
+	}
+	return l.b.Call(callee, args, line), nil
+}

@@ -1,0 +1,335 @@
+package lower
+
+import (
+	"testing"
+
+	"autocheck/internal/ir"
+	"autocheck/internal/minic"
+	"autocheck/internal/trace"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := minic.CompileSource(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	m, err := Module(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+func TestAllocasHoistedToEntry(t *testing.T) {
+	m := compile(t, `int main() {
+  int a = 1;
+  for (int i = 0; i < 3; i++) { int inner = 2; inner += a; }
+  return 0;
+}`)
+	f := m.Func("main")
+	entry := f.Entry()
+	names := map[string]bool{}
+	for _, in := range entry.Instrs {
+		if in.Op == trace.OpAlloca {
+			names[in.Name] = true
+			if in.Line != -1 {
+				t.Errorf("alloca %s has line %d, want -1", in.Name, in.Line)
+			}
+		}
+	}
+	for _, want := range []string{"a", "i", "inner"} {
+		if !names[want] {
+			t.Errorf("alloca for %s not in entry block; have %v", want, names)
+		}
+	}
+	// No allocas outside the entry block.
+	for _, blk := range f.Blocks[1:] {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpAlloca {
+				t.Errorf("alloca %s in block %s", in.Name, blk.Name)
+			}
+		}
+	}
+}
+
+func TestParamsSpilledToNamedAllocas(t *testing.T) {
+	m := compile(t, `void f(int x, float v[]) { x = x + 1; v[0] = x; }
+int main() { float d[2]; f(1, d); return 0; }`)
+	f := m.Func("f")
+	entry := f.Entry()
+	if entry.Instrs[0].Op != trace.OpAlloca || entry.Instrs[0].Name != "x" {
+		t.Errorf("first instr = %s", entry.Instrs[0])
+	}
+	// Each param alloca must be followed by a store of the incoming value.
+	stores := 0
+	for _, in := range entry.Instrs {
+		if in.Op == trace.OpStore {
+			if _, ok := in.Args[0].(*ir.Param); ok {
+				stores++
+			}
+		}
+	}
+	if stores != 2 {
+		t.Errorf("found %d param spills, want 2", stores)
+	}
+}
+
+func TestArrayArgumentDecaysViaBitCast(t *testing.T) {
+	m := compile(t, `void f(int *p) { p[0] = 1; }
+int main() { int a[4]; f(a); return 0; }`)
+	f := m.Func("main")
+	saw := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpBitCast {
+				saw = true
+				if in.Type().String() != "i64*" {
+					t.Errorf("bitcast to %s, want i64*", in.Type())
+				}
+			}
+		}
+	}
+	if !saw {
+		t.Error("array argument did not produce a BitCast")
+	}
+}
+
+func TestGEPShapes(t *testing.T) {
+	m := compile(t, `void f(float p[][4]) { p[1][2] = 5.0; }
+int main() {
+  float u[3][4];
+  u[2][1] = 1.0;
+  f(u);
+  return 0;
+}`)
+	// Local array index: GEP(slot, 0, i, j).
+	mainFn := m.Func("main")
+	var localGEP *ir.Instr
+	for _, blk := range mainFn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpGetElementPtr {
+				localGEP = in
+			}
+		}
+	}
+	if localGEP == nil {
+		t.Fatal("no GEP in main")
+	}
+	if len(localGEP.Args) != 4 {
+		t.Errorf("local array GEP has %d args, want 4 (base, 0, i, j)", len(localGEP.Args))
+	}
+	if c, ok := localGEP.Args[1].(*ir.Const); !ok || c.I != 0 {
+		t.Errorf("local array GEP first index = %v, want const 0", localGEP.Args[1])
+	}
+	// Decayed param index: GEP(loaded ptr, i, j) — no leading zero.
+	fFn := m.Func("f")
+	var paramGEP *ir.Instr
+	for _, blk := range fFn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpGetElementPtr {
+				paramGEP = in
+			}
+		}
+	}
+	if paramGEP == nil {
+		t.Fatal("no GEP in f")
+	}
+	if len(paramGEP.Args) != 3 {
+		t.Errorf("param GEP has %d args, want 3 (ptr, i, j)", len(paramGEP.Args))
+	}
+	if paramGEP.Type().String() != "f64*" {
+		t.Errorf("param GEP type = %s, want f64*", paramGEP.Type())
+	}
+}
+
+func TestDefaultReturnInserted(t *testing.T) {
+	m := compile(t, `int f() { int x = 1; x = x; } int main() { f(); return 0; }`)
+	f := m.Func("f")
+	last := f.Blocks[len(f.Blocks)-1]
+	term := last.Terminator()
+	if term == nil || term.Op != trace.OpRet {
+		t.Fatalf("function without explicit return must get one, got %v", term)
+	}
+}
+
+func TestDeadCodeAfterReturnSkipped(t *testing.T) {
+	m := compile(t, `int main() { return 0; print(1); }`)
+	f := m.Func("main")
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpCall {
+				t.Error("dead call after return was lowered")
+			}
+		}
+	}
+}
+
+func TestShadowedNamesGetDistinctSlots(t *testing.T) {
+	m := compile(t, `int main() {
+  int x = 1;
+  { int x = 2; x = x + 1; }
+  x = x + 10;
+  print(x);
+  return 0;
+}`)
+	f := m.Func("main")
+	count := 0
+	for _, in := range f.Entry().Instrs {
+		if in.Op == trace.OpAlloca && in.Name == "x" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("found %d allocas named x, want 2 (distinct storage)", count)
+	}
+}
+
+func TestCompoundAssignLoadsThenStores(t *testing.T) {
+	m := compile(t, `int main() { float x = 1.0; x *= 3.0; return 0; }`)
+	f := m.Func("main")
+	sawFMul := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == trace.OpFMul {
+				sawFMul = true
+			}
+		}
+	}
+	if !sawFMul {
+		t.Error("x *= 3.0 did not lower to FMul")
+	}
+}
+
+func TestGlobalsLowered(t *testing.T) {
+	m := compile(t, `int g; float arr[5];
+int main() { g = 1; arr[0] = 2.0; return 0; }`)
+	if m.Global("g") == nil || m.Global("arr") == nil {
+		t.Fatal("globals missing from module")
+	}
+	if m.Global("arr").Elem.String() != "[5 x f64]" {
+		t.Errorf("arr type = %s", m.Global("arr").Elem)
+	}
+}
+
+func TestModuleVerifies(t *testing.T) {
+	srcs := []string{
+		`int main() { int i; for (i = 0; i < 10 && i != 5; i++) {} return 0; }`,
+		`int main() { int a = 1; int b = 2; int c; c = (a || b) + (a && b); print(c); return 0; }`,
+		`float half(float x) { return x / 2.0; }
+int main() { print(half(half(8.0))); return 0; }`,
+		`int main() { if (1) { if (0) {} else { print(1); } } return 0; }`,
+	}
+	for _, src := range srcs {
+		m := compile(t, src)
+		if err := m.Verify(); err != nil {
+			t.Errorf("Verify(%q): %v", src, err)
+		}
+	}
+}
+
+func TestLowerValueContextBooleans(t *testing.T) {
+	m := compile(t, `int main() {
+  int a = 1;
+  int b = 0;
+  int c;
+  c = (a && b) + (a || b) + !(a && (b || a));
+  print(c);
+  return 0;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Value-context booleans synthesize entry allocas for the slots.
+	f := m.Func("main")
+	synth := 0
+	for _, in := range f.Entry().Instrs {
+		if in.Op == trace.OpAlloca && len(in.Name) > 4 && in.Name[:4] == "land" {
+			synth++
+		}
+	}
+	if synth == 0 {
+		t.Error("no synthesized boolean slots found")
+	}
+}
+
+func TestLowerFloatConditionAndUnary(t *testing.T) {
+	m := compile(t, `int main() {
+  float x = 0.5;
+  if (x) { x = -x; }
+  while (!x) { break; }
+  for (; x < 10.0;) { x = x * 2.0; }
+  print(x);
+  return 0;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerReturnConversions(t *testing.T) {
+	m := compile(t, `
+float f() { return 3; }
+int g() { return 2.5; }
+int main() { print(f(), g()); return 0; }`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerIncDecVariants(t *testing.T) {
+	m := compile(t, `int main() {
+  int i = 0;
+  float x = 1.0;
+  i++; ++i; i--; --i;
+  x++; x--;
+  int a[3];
+  a[0] = 0;
+  a[0]++;
+  print(i, x, a[0]);
+  return 0;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBreakContinueNesting(t *testing.T) {
+	m := compile(t, `int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i++) {
+    for (int j = 0; j < 5; j++) {
+      if (j == 2) { continue; }
+      if (j == 4) { break; }
+      s += 1;
+    }
+    if (i == 3) { break; }
+  }
+  print(s);
+  return 0;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerSubArrayArgument(t *testing.T) {
+	// Passing a row of a 2-D array decays to a pointer to its elements.
+	m := compile(t, `
+float rowsum(float row[], int n) {
+  float s = 0.0;
+  for (int i = 0; i < n; i++) { s += row[i]; }
+  return s;
+}
+int main() {
+  float mtx[3][4];
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      mtx[i][j] = i * 4 + j;
+  print(rowsum(mtx[1], 4));
+  return 0;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package minic
+
+import "autocheck/internal/ir"
+
+// BaseType is a mini-C base type.
+type BaseType int
+
+// Base types.
+const (
+	BaseInt BaseType = iota
+	BaseFloat
+	BaseVoid
+)
+
+func (b BaseType) String() string {
+	switch b {
+	case BaseInt:
+		return "int"
+	case BaseFloat:
+		return "float"
+	default:
+		return "void"
+	}
+}
+
+// TypeSpec is a declared type: a base type plus array dimensions
+// (outermost first). A parameter's first dimension may be 0, meaning
+// "unsized" (C array-parameter decay).
+type TypeSpec struct {
+	Base BaseType
+	Dims []int64
+}
+
+// IsArray reports whether the spec has any dimensions.
+func (t TypeSpec) IsArray() bool { return len(t.Dims) > 0 }
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares one variable (global or local).
+type VarDecl struct {
+	Name string
+	Type TypeSpec
+	Init Expr    // optional; nil for arrays and uninitialized scalars
+	Sym  *Symbol // resolved by the checker
+	Pos  Pos
+}
+
+// ParamDecl declares one function parameter.
+type ParamDecl struct {
+	Name string
+	Type TypeSpec // Dims[0] == 0 for unsized array params
+	Sym  *Symbol  // resolved by the checker
+	Pos  Pos
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    BaseType
+	Params []*ParamDecl
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	Decls []*VarDecl
+	Pos   Pos
+}
+
+// AssignStmt is lhs op= rhs (op may be plain '=').
+type AssignStmt struct {
+	LHS Expr
+	Op  Kind // Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign
+	RHS Expr
+	Pos Pos
+}
+
+// IncDecStmt is lhs++ or lhs--.
+type IncDecStmt struct {
+	LHS Expr
+	Op  Kind // Inc or Dec
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt, AssignStmt or IncDecStmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X   Expr // may be nil
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node. After semantic analysis every expression
+// carries its resolved IR type in Typ (set by the checker).
+type Expr interface {
+	exprNode()
+	// ResolvedType returns the IR type assigned during checking.
+	ResolvedType() ir.Type
+	// ExprPos returns the source position.
+	ExprPos() Pos
+}
+
+type exprBase struct {
+	Typ ir.Type
+	Pos Pos
+}
+
+func (e *exprBase) ResolvedType() ir.Type { return e.Typ }
+func (e *exprBase) ExprPos() Pos          { return e.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// Ident references a variable.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol // resolved by the checker
+}
+
+// IndexExpr is x[i] (possibly chained for multi-dim arrays).
+type IndexExpr struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+// CallExpr calls a user function or builtin.
+type CallExpr struct {
+	exprBase
+	Name    string
+	Args    []Expr
+	Decl    *FuncDecl // resolved user function (nil for builtins)
+	Builtin string    // builtin name if this is a builtin call
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op Kind
+	X  Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	exprBase
+	Op   Kind
+	X, Y Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// SymbolKind distinguishes storage classes.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymbolKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Type ir.Type // value type: scalar, array, or pointer (decayed params)
+	Decl Pos
+}

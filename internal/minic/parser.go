@@ -1,0 +1,538 @@
+package minic
+
+import "strconv"
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func describe(t Token) string {
+	if t.Kind == EOF {
+		return "end of file"
+	}
+	return "'" + t.Text + "'"
+}
+
+func isTypeKw(k Kind) bool { return k == KwInt || k == KwFloat || k == KwVoid }
+
+func baseOf(k Kind) BaseType {
+	switch k {
+	case KwInt:
+		return BaseInt
+	case KwFloat:
+		return BaseFloat
+	default:
+		return BaseVoid
+	}
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for !p.at(EOF) {
+		if !isTypeKw(p.cur().Kind) {
+			return nil, errf(p.cur().Pos, "expected declaration, found %s", describe(p.cur()))
+		}
+		typTok := p.next()
+		nameTok, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(LParen) {
+			fn, err := p.parseFuncRest(typTok, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if typTok.Kind == KwVoid {
+			return nil, errf(typTok.Pos, "variable %s cannot have type void", nameTok.Text)
+		}
+		decls, err := p.parseVarDeclRest(typTok, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, decls...)
+	}
+	return f, nil
+}
+
+// parseVarDeclRest parses "name dims (= init)? (, name dims (= init)?)* ;"
+// after the base type and first name were consumed.
+func (p *Parser) parseVarDeclRest(typTok, nameTok Token) ([]*VarDecl, error) {
+	base := baseOf(typTok.Kind)
+	var decls []*VarDecl
+	for {
+		dims, err := p.parseDims(false)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: nameTok.Text, Type: TypeSpec{Base: base, Dims: dims}, Pos: nameTok.Pos}
+		if p.accept(Assign) {
+			if d.Type.IsArray() {
+				return nil, errf(nameTok.Pos, "array %s cannot have a scalar initializer", d.Name)
+			}
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+		if !p.accept(Comma) {
+			break
+		}
+		nameTok, err = p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// parseDims parses zero or more "[n]" suffixes. If param is true the first
+// dimension may be empty ("[]").
+func (p *Parser) parseDims(param bool) ([]int64, error) {
+	var dims []int64
+	first := true
+	for p.accept(LBracket) {
+		if param && first && p.at(RBracket) {
+			p.next()
+			dims = append(dims, 0)
+			first = false
+			continue
+		}
+		t, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		n, err2 := strconv.ParseInt(t.Text, 10, 64)
+		if err2 != nil || n <= 0 {
+			return nil, errf(t.Pos, "invalid array dimension %q", t.Text)
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		dims = append(dims, n)
+		first = false
+	}
+	return dims, nil
+}
+
+func (p *Parser) parseFuncRest(typTok, nameTok Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: nameTok.Text, Ret: baseOf(typTok.Kind), Pos: nameTok.Pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(RParen) {
+		for {
+			if !isTypeKw(p.cur().Kind) || p.cur().Kind == KwVoid {
+				// Allow C-style "f(void)".
+				if p.cur().Kind == KwVoid && len(fn.Params) == 0 {
+					p.next()
+					break
+				}
+				return nil, errf(p.cur().Pos, "expected parameter type, found %s", describe(p.cur()))
+			}
+			pt := p.next()
+			// Optional '*' for pointer parameters: "int *p" is sugar for
+			// "int p[]" (both decay to a pointer).
+			star := p.accept(Star)
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			dims, err := p.parseDims(true)
+			if err != nil {
+				return nil, err
+			}
+			if star {
+				dims = append([]int64{0}, dims...)
+			}
+			fn.Params = append(fn.Params, &ParamDecl{
+				Name: pn.Text,
+				Type: TypeSpec{Base: baseOf(pt.Kind), Dims: dims},
+				Pos:  pn.Pos,
+			})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	p.next() // RBrace
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case Semi:
+		p.next()
+		return nil, nil
+	case LBrace:
+		return p.parseBlock()
+	case KwInt, KwFloat:
+		return p.parseDeclStmt()
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		t := p.next()
+		st := &ReturnStmt{Pos: t.Pos}
+		if !p.at(Semi) {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case KwBreak:
+		t := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		t := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	}
+	st, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	typTok := p.next()
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	decls, err := p.parseVarDeclRest(typTok, nameTok)
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Decls: decls, Pos: typTok.Pos}, nil
+}
+
+// parseSimple parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon, so it can be used in for-headers).
+func (p *Parser) parseSimple() (Stmt, error) {
+	// Prefix increment/decrement: ++x and --x are statements.
+	if p.at(Inc) || p.at(Dec) {
+		op := p.next()
+		x, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecStmt{LHS: x, Op: op.Kind, Pos: op.Pos}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		op := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: x, Op: op.Kind, RHS: rhs, Pos: op.Pos}, nil
+	case Inc, Dec:
+		op := p.next()
+		return &IncDecStmt{LHS: x, Op: op.Kind, Pos: op.Pos}, nil
+	}
+	return &ExprStmt{X: x, Pos: x.ExprPos()}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: t.Pos}
+	if !p.at(Semi) {
+		var err error
+		if p.cur().Kind == KwInt || p.cur().Kind == KwFloat {
+			st.Init, err = p.parseDeclStmt() // consumes the ';'
+		} else {
+			st.Init, err = p.parseSimple()
+			if err == nil {
+				_, err = p.expect(Semi)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	EqEq:   3, NotEq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, exprBase: exprBase{Pos: op.Pos}}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, exprBase: exprBase{Pos: op.Pos}}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(LBracket) {
+		t := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{X: x, Idx: idx, exprBase: exprBase{Pos: t.Pos}}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &IntLit{Val: v, exprBase: exprBase{Pos: t.Pos}}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid float literal %q", t.Text)
+		}
+		return &FloatLit{Val: v, exprBase: exprBase{Pos: t.Pos}}, nil
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			call := &CallExpr{Name: t.Text, exprBase: exprBase{Pos: t.Pos}}
+			if !p.accept(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+				if _, err := p.expect(RParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, exprBase: exprBase{Pos: t.Pos}}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}

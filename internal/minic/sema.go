@@ -1,0 +1,481 @@
+package minic
+
+import (
+	"fmt"
+
+	"autocheck/internal/ir"
+)
+
+// BuiltinSig describes a runtime builtin function.
+type BuiltinSig struct {
+	Name     string
+	Ret      ir.Type
+	Params   []ir.Type // nil means variadic scalars (print)
+	Variadic bool
+}
+
+// Builtins is the runtime library visible to mini-C programs. Builtins
+// appear in traces as the paper's Fig. 6(a) single-'Call'-instruction form.
+var Builtins = map[string]BuiltinSig{
+	"print": {Name: "print", Ret: ir.Void, Variadic: true},
+	"sqrt":  {Name: "sqrt", Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"fabs":  {Name: "fabs", Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"pow":   {Name: "pow", Ret: ir.F64, Params: []ir.Type{ir.F64, ir.F64}},
+	"exp":   {Name: "exp", Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"rand":  {Name: "rand", Ret: ir.I64, Params: []ir.Type{}},
+	// SPMD identity for BSP multi-rank execution (internal/bsp): the rank
+	// of the executing machine and the world size.
+	"myrank": {Name: "myrank", Ret: ir.I64, Params: []ir.Type{}},
+	"nranks": {Name: "nranks", Ret: ir.I64, Params: []ir.Type{}},
+}
+
+// ResolveType converts a TypeSpec to an IR value type. Unsized first
+// dimensions (parameters) become pointers (C decay).
+func ResolveType(t TypeSpec) ir.Type {
+	var base ir.Type
+	switch t.Base {
+	case BaseInt:
+		base = ir.I64
+	case BaseFloat:
+		base = ir.F64
+	default:
+		base = ir.Void
+	}
+	if len(t.Dims) == 0 {
+		return base
+	}
+	// Fold inner dimensions right-to-left.
+	inner := base
+	for i := len(t.Dims) - 1; i >= 1; i-- {
+		inner = ir.Array(inner, t.Dims[i])
+	}
+	if t.Dims[0] == 0 {
+		return ir.Ptr(inner)
+	}
+	return ir.Array(inner, t.Dims[0])
+}
+
+// checker holds semantic-analysis state.
+type checker struct {
+	file   *File
+	funcs  map[string]*FuncDecl
+	scopes []map[string]*Symbol
+	fn     *FuncDecl
+	loop   int // loop nesting depth for break/continue
+}
+
+// Check performs semantic analysis: it resolves identifiers, assigns IR
+// types to every expression, and validates statements. The File is
+// annotated in place.
+func Check(f *File) error {
+	c := &checker{file: f, funcs: make(map[string]*FuncDecl)}
+	c.push()
+	for _, g := range f.Globals {
+		g.Sym = &Symbol{Name: g.Name, Kind: SymGlobal, Type: ResolveType(g.Type), Decl: g.Pos}
+		if err := c.declare(g.Sym); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			return errf(g.Pos, "global %s: initializers are not supported for globals; assign in main before the loop", g.Name)
+		}
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return errf(fn.Pos, "function %s redeclared", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			return errf(fn.Pos, "function %s shadows a builtin", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	if c.funcs["main"] == nil {
+		return errf(Pos{Line: 1, Col: 1}, "program has no main function")
+	}
+	if len(c.funcs["main"].Params) != 0 {
+		return errf(c.funcs["main"].Pos, "main must take no parameters")
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(s *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if prev, ok := top[s.Name]; ok {
+		return errf(s.Decl, "%s redeclared in this scope (previous at %s)", s.Name, prev.Decl)
+	}
+	top[s.Name] = s
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.push()
+	defer c.pop()
+	for _, p := range fn.Params {
+		if p.Type.Base == BaseVoid {
+			return errf(p.Pos, "parameter %s cannot be void", p.Name)
+		}
+		p.Sym = &Symbol{Name: p.Name, Kind: SymParam, Type: ResolveType(p.Type), Decl: p.Pos}
+		if err := c.declare(p.Sym); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			typ := ResolveType(d.Type)
+			d.Sym = &Symbol{Name: d.Name, Kind: SymLocal, Type: typ, Decl: d.Pos}
+			if err := c.declare(d.Sym); err != nil {
+				return err
+			}
+			if d.Init != nil {
+				it, err := c.checkExpr(d.Init)
+				if err != nil {
+					return err
+				}
+				if !convertible(it, typ) {
+					return errf(d.Pos, "cannot initialize %s (%s) with %s", d.Name, typ, it)
+				}
+			}
+		}
+		return nil
+	case *AssignStmt:
+		lt, err := c.checkLValue(st.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := c.checkExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !convertible(rt, lt) {
+			return errf(st.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		if st.Op != Assign && !isScalar(lt) {
+			return errf(st.Pos, "compound assignment needs a scalar left-hand side")
+		}
+		return nil
+	case *IncDecStmt:
+		lt, err := c.checkLValue(st.LHS)
+		if err != nil {
+			return err
+		}
+		if !ir.IsInt(lt) && !ir.IsFloat(lt) {
+			return errf(st.Pos, "++/-- needs a scalar operand, got %s", lt)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		want := ResolveType(TypeSpec{Base: c.fn.Ret})
+		if st.X == nil {
+			if !ir.IsVoid(want) {
+				return errf(st.Pos, "function %s must return %s", c.fn.Name, want)
+			}
+			return nil
+		}
+		if ir.IsVoid(want) {
+			return errf(st.Pos, "void function %s cannot return a value", c.fn.Name)
+		}
+		got, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if !convertible(got, want) {
+			return errf(st.Pos, "cannot return %s from function returning %s", got, want)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if !isScalar(t) {
+		return errf(e.ExprPos(), "condition must be scalar, got %s", t)
+	}
+	return nil
+}
+
+// checkLValue type-checks an assignable expression and returns its type.
+func (c *checker) checkLValue(e Expr) (ir.Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		t, err := c.checkExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		if !isScalar(t) {
+			return nil, errf(x.Pos, "cannot assign to %s of type %s", x.Name, t)
+		}
+		return t, nil
+	case *IndexExpr:
+		t, err := c.checkExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		if !isScalar(t) {
+			return nil, errf(x.ExprPos(), "cannot assign to array-valued expression of type %s", t)
+		}
+		return t, nil
+	}
+	return nil, errf(e.ExprPos(), "expression is not assignable")
+}
+
+func isScalar(t ir.Type) bool { return ir.IsInt(t) || ir.IsFloat(t) }
+
+// convertible reports whether a value of type from may be assigned to to
+// (identity, or implicit int<->float conversion).
+func convertible(from, to ir.Type) bool {
+	if ir.TypeEqual(from, to) {
+		return true
+	}
+	return isScalar(from) && isScalar(to)
+}
+
+// decay converts an array type to the pointer type it decays to at a call
+// boundary; scalar and pointer types are unchanged.
+func decay(t ir.Type) ir.Type {
+	if a, ok := t.(ir.ArrayType); ok {
+		return ir.Ptr(a.Elem)
+	}
+	return t
+}
+
+func (c *checker) checkExpr(e Expr) (ir.Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.Typ = ir.I64
+		return x.Typ, nil
+	case *FloatLit:
+		x.Typ = ir.F64
+		return x.Typ, nil
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return nil, errf(x.Pos, "undeclared identifier %s", x.Name)
+		}
+		x.Sym = sym
+		x.Typ = sym.Type
+		return x.Typ, nil
+	case *IndexExpr:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.checkExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsInt(it) {
+			return nil, errf(x.Idx.ExprPos(), "array index must be int, got %s", it)
+		}
+		switch t := xt.(type) {
+		case ir.ArrayType:
+			x.Typ = t.Elem
+		case ir.PtrType:
+			x.Typ = t.Elem
+		default:
+			return nil, errf(x.ExprPos(), "cannot index %s", xt)
+		}
+		return x.Typ, nil
+	case *CallExpr:
+		return c.checkCall(x)
+	case *UnaryExpr:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isScalar(xt) {
+			return nil, errf(x.Pos, "unary %s needs a scalar operand, got %s", x.Op, xt)
+		}
+		if x.Op == Not {
+			x.Typ = ir.I64
+		} else {
+			x.Typ = xt
+		}
+		return x.Typ, nil
+	case *BinaryExpr:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		if !isScalar(xt) || !isScalar(yt) {
+			return nil, errf(x.Pos, "binary %s needs scalar operands, got %s and %s", x.Op, xt, yt)
+		}
+		switch x.Op {
+		case Lt, Le, Gt, Ge, EqEq, NotEq, AndAnd, OrOr:
+			x.Typ = ir.I64
+		case Percent:
+			if !ir.IsInt(xt) || !ir.IsInt(yt) {
+				return nil, errf(x.Pos, "%% needs integer operands")
+			}
+			x.Typ = ir.I64
+		default:
+			if ir.IsFloat(xt) || ir.IsFloat(yt) {
+				x.Typ = ir.F64
+			} else {
+				x.Typ = ir.I64
+			}
+		}
+		return x.Typ, nil
+	}
+	return nil, fmt.Errorf("minic: unknown expression %T", e)
+}
+
+func (c *checker) checkCall(x *CallExpr) (ir.Type, error) {
+	argTypes := make([]ir.Type, len(x.Args))
+	for i, a := range x.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = t
+	}
+	if sig, ok := Builtins[x.Name]; ok {
+		x.Builtin = x.Name
+		x.Typ = sig.Ret
+		if sig.Variadic {
+			for i, t := range argTypes {
+				if !isScalar(t) {
+					return nil, errf(x.Args[i].ExprPos(), "%s argument %d must be scalar, got %s", x.Name, i+1, t)
+				}
+			}
+			return x.Typ, nil
+		}
+		if len(argTypes) != len(sig.Params) {
+			return nil, errf(x.Pos, "%s takes %d arguments, got %d", x.Name, len(sig.Params), len(argTypes))
+		}
+		for i, t := range argTypes {
+			if !convertible(t, sig.Params[i]) {
+				return nil, errf(x.Args[i].ExprPos(), "%s argument %d: cannot convert %s to %s", x.Name, i+1, t, sig.Params[i])
+			}
+		}
+		return x.Typ, nil
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		return nil, errf(x.Pos, "call to undeclared function %s", x.Name)
+	}
+	x.Decl = fn
+	x.Typ = ResolveType(TypeSpec{Base: fn.Ret})
+	if len(x.Args) != len(fn.Params) {
+		return nil, errf(x.Pos, "%s takes %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	for i, t := range argTypes {
+		want := ResolveType(fn.Params[i].Type)
+		got := decay(t)
+		if ir.IsPtr(want) {
+			if !ir.TypeEqual(got, want) {
+				return nil, errf(x.Args[i].ExprPos(), "%s argument %d: cannot pass %s as %s", x.Name, i+1, t, want)
+			}
+			continue
+		}
+		if !isScalar(got) || !convertible(got, want) {
+			return nil, errf(x.Args[i].ExprPos(), "%s argument %d: cannot convert %s to %s", x.Name, i+1, t, want)
+		}
+	}
+	return x.Typ, nil
+}
+
+// CompileSource parses and checks a program in one step.
+func CompileSource(src string) (*File, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

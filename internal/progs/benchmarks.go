@@ -1,0 +1,890 @@
+package progs
+
+import "autocheck/internal/core"
+
+// The 14 ports, in Table II order. Each gen function documents how the
+// port preserves the original benchmark's main-loop dependency structure.
+
+func init() {
+	register(himeno())
+	register(hpccg())
+	register(cg())
+	register(mg())
+	register(ft())
+	register(sp())
+	register(ep())
+	register(is())
+	register(bt())
+	register(lu())
+	register(comd())
+	register(miniamr())
+	register(amg())
+	register(hacc())
+}
+
+// himeno: Poisson equation solver measuring floating-point performance.
+// The pressure field p is read by the Jacobi kernel and overwritten from
+// the work array each iteration (WAR); n is the outer index.
+func himeno() *Benchmark {
+	return &Benchmark{
+		Name:        "Himeno",
+		Description: "Poisson equation solver (Jacobi kernel) measuring FP performance",
+		Expected: map[string]core.DependencyType{
+			"p": core.WAR, "n": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 + scale/8 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float p[@N@];
+float wrk[@N@];
+float bnd[@N@];
+float gosa;
+void jacobi(int n) {
+  gosa = 0.0;
+  for (int i = 1; i < n - 1; i++) {
+    float s0 = p[i - 1] * 0.5 + p[i + 1] * 0.5;
+    float ss = (s0 - p[i]) * bnd[i];
+    gosa += ss * ss;
+    wrk[i] = p[i] + 0.6 * ss;
+  }
+  for (int i = 1; i < n - 1; i++) {
+    p[i] = wrk[i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    p[i] = i * 0.01;
+    wrk[i] = 0.0;
+    bnd[i] = 1.0;
+  }
+  for (int n = 0; n < @NIT@; n++) { // MCLR-BEGIN
+    jacobi(@N@);
+  } // MCLR-END
+  print(p[1], p[@N@ / 2]);
+  return 0;
+}`, map[string]int{"N": scale * 8, "NIT": 4 + scale/8})
+		},
+	}
+}
+
+// hpccg: conjugate gradient for a 3D chimney domain. The solution, search
+// and residual vectors plus rtrans and three accumulated phase timers are
+// all read before being overwritten each iteration (WAR); k is the index.
+func hpccg() *Benchmark {
+	return &Benchmark{
+		Name:        "HPCCG",
+		Description: "Conjugate Gradient benchmark code for a 3D chimney domain",
+		Expected: map[string]core.DependencyType{
+			"t1": core.WAR, "t2": core.WAR, "t3": core.WAR,
+			"r": core.WAR, "x": core.WAR, "p": core.WAR,
+			"rtrans": core.WAR, "k": core.Index,
+		},
+		Iterations:   func(scale int) int { return 5 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float x[@N@];
+float b[@N@];
+float r[@N@];
+float p[@N@];
+float Ap[@N@];
+float rtrans;
+float t1;
+float t2;
+float t3;
+float ddot(float u[], float v[], int n) {
+  float s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s += u[i] * v[i];
+  }
+  return s;
+}
+void waxpby(float w[], float alpha, float u[], float beta, float v[], int n) {
+  for (int i = 0; i < n; i++) {
+    w[i] = alpha * u[i] + beta * v[i];
+  }
+}
+void matvec(float w[], float v[], int n) {
+  for (int i = 1; i < n - 1; i++) {
+    w[i] = 2.0 * v[i] - 0.5 * (v[i - 1] + v[i + 1]);
+  }
+  w[0] = 2.0 * v[0];
+  w[n - 1] = 2.0 * v[n - 1];
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    x[i] = 0.0;
+    b[i] = 1.0;
+    r[i] = b[i];
+    p[i] = r[i];
+    Ap[i] = 0.0;
+  }
+  rtrans = ddot(r, r, @N@);
+  t1 = 0.0;
+  t2 = 0.0;
+  t3 = 0.0;
+  for (int k = 0; k < 5; k++) { // MCLR-BEGIN
+    float oldrtrans = rtrans;
+    rtrans = ddot(r, r, @N@);
+    float beta = rtrans / oldrtrans;
+    waxpby(p, 1.0, r, beta, p, @N@);
+    t1 = t1 + 0.125;
+    matvec(Ap, p, @N@);
+    float alpha = rtrans / ddot(p, Ap, @N@);
+    t2 = t2 + 0.25;
+    waxpby(x, 1.0, x, alpha, p, @N@);
+    waxpby(r, 1.0, r, 0.0 - alpha, Ap, @N@);
+    t3 = t3 + 0.0625;
+  } // MCLR-END
+  print(rtrans, x[1], t1, t2, t3);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// cg: NPB Conjugate Gradient (the paper's Algorithm 2 case study). Only x
+// carries a Write-After-Read across main-loop iterations (read by
+// conj_grad via r = x, written by x = z/||z||); it is the index.
+func cg() *Benchmark {
+	return &Benchmark{
+		Name:        "CG",
+		Description: "NPB Conjugate Gradient with irregular memory access",
+		Expected: map[string]core.DependencyType{
+			"x": core.WAR, "it": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   48,
+		gen: func(scale int) string {
+			return expand(`
+float x[@N@];
+float z[@N@];
+float p[@N@];
+float q[@N@];
+float r[@N@];
+float A[@N@][@N@];
+float conj_grad() {
+  float rho = 0.0;
+  for (int i = 0; i < @N@; i++) {
+    z[i] = 0.0;
+    r[i] = x[i];
+    p[i] = r[i];
+    rho += r[i] * r[i];
+  }
+  for (int cgit = 0; cgit < 5; cgit++) {
+    float dpq = 0.0;
+    for (int i = 0; i < @N@; i++) {
+      q[i] = 0.0;
+      for (int j = 0; j < @N@; j++) {
+        q[i] += A[i][j] * p[j];
+      }
+      dpq += p[i] * q[i];
+    }
+    float alpha = rho / dpq;
+    float rho0 = rho;
+    rho = 0.0;
+    for (int i = 0; i < @N@; i++) {
+      z[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+      rho += r[i] * r[i];
+    }
+    float beta = rho / rho0;
+    for (int i = 0; i < @N@; i++) {
+      p[i] = r[i] + beta * p[i];
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < @N@; i++) {
+    float d = x[i] - z[i];
+    sum += d * d;
+  }
+  return sqrt(sum);
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    x[i] = 1.0;
+    z[i] = 0.0;
+    p[i] = 0.0;
+    q[i] = 0.0;
+    r[i] = 0.0;
+    for (int j = 0; j < @N@; j++) {
+      A[i][j] = 0.0;
+    }
+    A[i][i] = 2.0;
+    if (i > 0) { A[i][i - 1] = 0.0 - 0.5; }
+    if (i < @N@ - 1) { A[i][i + 1] = 0.0 - 0.5; }
+  }
+  float rnorm;
+  float zeta;
+  for (int it = 0; it < 4; it++) { // MCLR-BEGIN
+    rnorm = conj_grad();
+    float norm = 0.0;
+    for (int i = 0; i < @N@; i++) {
+      norm += z[i] * z[i];
+    }
+    norm = sqrt(norm);
+    for (int i = 0; i < @N@; i++) {
+      x[i] = z[i] / norm;
+    }
+    float xz = 0.0;
+    for (int i = 0; i < @N@; i++) {
+      xz += x[i] * z[i];
+    }
+    zeta = 10.0 + 1.0 / xz;
+  } // MCLR-END
+  print(x[1], x[2]);
+  return 0;
+}`, map[string]int{"N": scale})
+		},
+	}
+}
+
+// mg: NPB Multi-Grid. Both the solution u and the residual r carry state
+// across V-cycles: each is read before its overwrite (WAR).
+func mg() *Benchmark {
+	return &Benchmark{
+		Name:        "MG",
+		Description: "NPB Multi-Grid on a sequence of meshes",
+		Expected: map[string]core.DependencyType{
+			"u": core.WAR, "r": core.WAR, "it": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float u[@N@];
+float r[@N@];
+float v[@N@];
+void psinv(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    u[i] = u[i] + 0.5 * r[i] + 0.125 * (r[i - 1] + r[i + 1]);
+  }
+}
+void resid(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    r[i] = v[i] - 2.0 * u[i] + 0.5 * (u[i - 1] + u[i + 1]) + 0.25 * r[i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    u[i] = 0.0;
+    v[i] = i * 0.001;
+    r[i] = v[i];
+  }
+  for (int it = 0; it < 4; it++) { // MCLR-BEGIN
+    psinv(@N@);
+    resid(@N@);
+  } // MCLR-END
+  print(u[1], r[1]);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// ft: NPB 3D FFT. The working array y evolves in place via the twiddle
+// factors (WAR, read before overwrite); the per-iteration checksum sum is
+// written in the loop and consumed after it (Outcome). The globals used
+// only inside evolve/checksum reproduce the paper's FT Challenge-1
+// scenario, which Options.IncludeGlobals automates.
+func ft() *Benchmark {
+	return &Benchmark{
+		Name:        "FT",
+		Description: "NPB discrete 3D Fast Fourier Transform",
+		Expected: map[string]core.DependencyType{
+			"y": core.WAR, "sum": core.Outcome, "kt": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float y[@N@];
+float twiddle[@N@];
+float xnt[@N@];
+float sum;
+void evolve(int n) {
+  for (int i = 0; i < n; i++) {
+    y[i] = y[i] * twiddle[i];
+    xnt[i] = y[i];
+  }
+}
+float checksum(int n) {
+  float s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s += xnt[i];
+  }
+  return s;
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    y[i] = 1.0 + i * 0.002;
+    twiddle[i] = 1.0 - i * 0.0001;
+    xnt[i] = 0.0;
+  }
+  sum = 0.0;
+  for (int kt = 0; kt < 4; kt++) { // MCLR-BEGIN
+    evolve(@N@);
+    sum = checksum(@N@);
+  } // MCLR-END
+  print(sum, y[1]);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// sp: NPB Scalar Penta-diagonal solver. The solution u is read by
+// compute_rhs before add() overwrites it (WAR); step is the index.
+func sp() *Benchmark {
+	return &Benchmark{
+		Name:        "SP",
+		Description: "NPB Scalar Penta-diagonal solver",
+		Expected: map[string]core.DependencyType{
+			"u": core.WAR, "step": core.Index,
+		},
+		Iterations:   func(scale int) int { return 5 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float u[@N@];
+float rhs[@N@];
+float forcing[@N@];
+void compute_rhs(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = forcing[i] - 0.2 * u[i] + 0.05 * (u[i - 1] + u[i + 1]);
+  }
+}
+void x_solve(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = rhs[i] * 0.8;
+  }
+}
+void add(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    u[i] = u[i] + rhs[i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    u[i] = 0.1 * i;
+    rhs[i] = 0.0;
+    forcing[i] = 0.3;
+  }
+  for (int step = 0; step < 5; step++) { // MCLR-BEGIN
+    compute_rhs(@N@);
+    x_solve(@N@);
+    add(@N@);
+  } // MCLR-END
+  print(u[1], u[2]);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// ep: NPB Embarrassingly Parallel. The Gaussian-pair sums sx and sy and
+// the annulus-count histogram q accumulate across iterations (WAR); k is
+// the index. Pseudo-random pairs are derived deterministically from k,
+// like the benchmark's reproducible random stream.
+func ep() *Benchmark {
+	return &Benchmark{
+		Name:        "EP",
+		Description: "NPB Embarrassingly Parallel random-number kernel",
+		Expected: map[string]core.DependencyType{
+			"sx": core.WAR, "sy": core.WAR, "q": core.WAR, "k": core.Index,
+		},
+		Iterations:   func(scale int) int { return scale * 16 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			// xx is EP's pseudo-random table: generated before the loop and
+			// only read inside it, so it is never checkpointed by AutoCheck
+			// but dominates a full-process image (the Table IV gap).
+			return expand(`
+float xx[@NBUF@];
+int main() {
+  float sx = 0.0;
+  float sy = 0.0;
+  float q[4];
+  for (int i = 0; i < 4; i++) {
+    q[i] = 0.0;
+  }
+  for (int i = 0; i < @NBUF@; i++) {
+    xx[i] = ((i * 41 + 7) % 100) * 0.02 - 1.0;
+  }
+  for (int k = 0; k < @NIT@; k++) { // MCLR-BEGIN
+    float x1 = xx[(k * 7 + 3) % @NBUF@];
+    float x2 = xx[(k * 13 + 5) % @NBUF@];
+    float t = x1 * x1 + x2 * x2;
+    if (t <= 1.0) {
+      sx = sx + x1;
+      sy = sy + x2;
+      int l = t * 3.9;
+      q[l] = q[l] + 1.0;
+    }
+  } // MCLR-END
+  print(sx, sy, q[0], q[1], q[2], q[3]);
+  return 0;
+}`, map[string]int{"NIT": scale * 16, "NBUF": scale * 64})
+		},
+	}
+}
+
+// is: NPB Integer Sort. Each iteration overwrites two elements of
+// key_array and one slot of bucket_ptrs before the ranking phase reads the
+// whole arrays (RAPO); passed_verification accumulates (WAR); iteration is
+// the index.
+func is() *Benchmark {
+	return &Benchmark{
+		Name:        "IS",
+		Description: "NPB Integer Sort with random memory access",
+		Expected: map[string]core.DependencyType{
+			"passed_verification": core.WAR,
+			"key_array":           core.RAPO,
+			"bucket_ptrs":         core.RAPO,
+			"iteration":           core.Index,
+		},
+		Iterations:   func(scale int) int { return 6 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+int key_array[@KA@];
+int bucket_size[8];
+int bucket_ptrs[8];
+int passed_verification;
+int main() {
+  for (int i = 0; i < @KA@; i++) {
+    key_array[i] = (i * 17 + 3) % 31;
+  }
+  for (int i = 0; i < 8; i++) {
+    bucket_size[i] = 0;
+    bucket_ptrs[i] = 0;
+  }
+  passed_verification = 0;
+  for (int iteration = 0; iteration < 6; iteration++) { // MCLR-BEGIN
+    key_array[iteration] = iteration;
+    key_array[iteration + 8] = 31 - iteration;
+    for (int i = 0; i < 8; i++) {
+      bucket_size[i] = 0;
+    }
+    for (int i = 0; i < @KA@; i++) {
+      bucket_size[key_array[i] % 8] += 1;
+    }
+    bucket_ptrs[iteration % 8] = bucket_size[iteration % 8];
+    int total = 0;
+    for (int i = 0; i < 8; i++) {
+      total += bucket_ptrs[i];
+    }
+    if (total > 0) {
+      passed_verification += 1;
+    }
+  } // MCLR-END
+  print(passed_verification, key_array[0], key_array[8]);
+  return 0;
+}`, map[string]int{"KA": 16 + scale*8})
+		},
+	}
+}
+
+// bt: NPB Block Tri-diagonal solver. Same adi() shape as SP: u is read by
+// the RHS computation and updated by add() (WAR); step is the index.
+func bt() *Benchmark {
+	return &Benchmark{
+		Name:        "BT",
+		Description: "NPB Block Tri-diagonal solver",
+		Expected: map[string]core.DependencyType{
+			"u": core.WAR, "step": core.Index,
+		},
+		Iterations:   func(scale int) int { return 5 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float u[@N@];
+float rhs[@N@];
+void compute_rhs(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = 0.0 - 0.1 * u[i] + 0.02 * (u[i - 1] + u[i + 1]);
+  }
+}
+void x_solve(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = rhs[i] * 0.9;
+  }
+}
+void y_solve(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = rhs[i] * 0.95;
+  }
+}
+void z_solve(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rhs[i] = rhs[i] * 0.85;
+  }
+}
+void add(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    u[i] = u[i] + rhs[i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    u[i] = 1.0 + 0.01 * i;
+    rhs[i] = 0.0;
+  }
+  for (int step = 0; step < 5; step++) { // MCLR-BEGIN
+    compute_rhs(@N@);
+    x_solve(@N@);
+    y_solve(@N@);
+    z_solve(@N@);
+    add(@N@);
+  } // MCLR-END
+  print(u[1], u[@N@ / 2]);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// lu: NPB Lower-Upper Gauss-Seidel solver. Four arrays carry state across
+// SSOR iterations — the residual rsd, the solution u, and the derived
+// fields rho_i and qs are each read before their overwrite (WAR); istep is
+// the index.
+func lu() *Benchmark {
+	return &Benchmark{
+		Name:        "LU",
+		Description: "NPB Lower-Upper Gauss-Seidel solver (SSOR)",
+		Expected: map[string]core.DependencyType{
+			"u": core.WAR, "rho_i": core.WAR, "qs": core.WAR,
+			"rsd": core.WAR, "istep": core.Index,
+		},
+		Iterations:   func(scale int) int { return 5 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float u[@N@];
+float rsd[@N@];
+float rho_i[@N@];
+float qs[@N@];
+void rhs(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    rsd[i] = rsd[i] * 0.7 + rho_i[i] * qs[i] * 0.1 + 0.01 * (u[i - 1] + u[i + 1]);
+  }
+}
+void ssor_sweep(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    u[i] = u[i] + 0.9 * rsd[i];
+  }
+  for (int i = 1; i < n - 1; i++) {
+    rho_i[i] = 1.0 / (u[i] + 2.0);
+    qs[i] = u[i] * u[i] * 0.5;
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    u[i] = 1.0 + 0.05 * i;
+    rsd[i] = 0.5;
+    rho_i[i] = 1.0 / (u[i] + 2.0);
+    qs[i] = u[i] * u[i] * 0.5;
+  }
+  for (int istep = 0; istep < 5; istep++) { // MCLR-BEGIN
+    rhs(@N@);
+    ssor_sweep(@N@);
+  } // MCLR-END
+  print(u[1], rsd[1], rho_i[1], qs[1]);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// comd: ECP molecular dynamics proxy. The flattened SimFlat state sim
+// (positions then momenta) is advanced in place by the velocity-Verlet
+// timestep (WAR), and the perfTimer accumulators are read-modify-write
+// (WAR); iStep is the index. Like the original, the bulk of the trace is
+// initialization and logging, not the main loop (§VI-C).
+func comd() *Benchmark {
+	return &Benchmark{
+		Name:        "CoMD",
+		Description: "ECP molecular dynamics proxy (velocity-Verlet particle motion)",
+		Expected: map[string]core.DependencyType{
+			"sim": core.WAR, "perfTimer": core.WAR, "iStep": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float sim[@NN@];
+float perfTimer[4];
+float force[@N@];
+void computeForce(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    force[i] = 0.0 - 0.3 * sim[i] + 0.05 * (sim[i - 1] + sim[i + 1]);
+  }
+  force[0] = 0.0 - 0.3 * sim[0];
+  force[n - 1] = 0.0 - 0.3 * sim[n - 1];
+}
+void timestep(int n) {
+  computeForce(n);
+  for (int i = 0; i < n; i++) {
+    sim[n + i] = sim[n + i] + 0.05 * force[i];
+    sim[i] = sim[i] + 0.1 * sim[n + i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    sim[i] = 0.01 * i;
+    sim[@N@ + i] = 0.0;
+    force[i] = 0.0;
+  }
+  for (int i = 0; i < 4; i++) {
+    perfTimer[i] = 0.0;
+  }
+  float setup = 0.0;
+  for (int pass = 0; pass < 40; pass++) {
+    for (int i = 0; i < @N@; i++) {
+      setup = setup + sim[i] * 0.001;
+    }
+    print(setup);
+  }
+  for (int iStep = 0; iStep < 4; iStep++) { // MCLR-BEGIN
+    timestep(@N@);
+    perfTimer[0] = perfTimer[0] + 1.0;
+    perfTimer[1] = perfTimer[1] + 0.5;
+  } // MCLR-END
+  print(sim[1], sim[@N@ + 1], perfTimer[0]);
+  return 0;
+}`, map[string]int{"N": scale * 8, "NN": scale * 16})
+		},
+	}
+}
+
+// miniamr: ECP adaptive-mesh-refinement stencil proxy. The paper's row is
+// dominated by accumulated timers and counters — all WAR — plus the block
+// store (WAR) and the loop index ts. (The original also counts the `done`
+// while-flag as Index; the port folds it into the for-loop condition.)
+func miniamr() *Benchmark {
+	exp := map[string]core.DependencyType{
+		"blocks": core.WAR, "ts": core.Index,
+	}
+	for _, v := range []string{
+		"timer_refine", "timer_comm", "timer_calc", "timer_cb",
+		"total_blocks", "total_fp_adds", "total_fp_divs", "total_red",
+		"num_refined", "num_comm", "counter_bc", "global_active",
+		"tmax_v", "tmin_v",
+	} {
+		exp[v] = core.WAR
+	}
+	return &Benchmark{
+		Name:         "miniAMR",
+		Description:  "ECP 3D stencil with adaptive mesh refinement (timer/counter state)",
+		Expected:     exp,
+		Iterations:   func(scale int) int { return 5 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float blocks[@N@];
+float timer_refine;
+float timer_comm;
+float timer_calc;
+float timer_cb;
+float total_blocks;
+float total_fp_adds;
+float total_fp_divs;
+float total_red;
+float num_refined;
+float num_comm;
+float counter_bc;
+float global_active;
+float tmax_v;
+float tmin_v;
+void stencil_calc(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    blocks[i] = blocks[i] * 0.5 + 0.25 * (blocks[i - 1] + blocks[i + 1]) + 0.1;
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    blocks[i] = 0.1 * i;
+  }
+  timer_refine = 0.0;
+  timer_comm = 0.0;
+  timer_calc = 0.0;
+  timer_cb = 0.0;
+  total_blocks = 0.0;
+  total_fp_adds = 0.0;
+  total_fp_divs = 0.0;
+  total_red = 0.0;
+  num_refined = 0.0;
+  num_comm = 0.0;
+  counter_bc = 0.0;
+  global_active = 1.0;
+  tmax_v = 0.0;
+  tmin_v = 1000.0;
+  for (int ts = 0; ts < 5; ts++) { // MCLR-BEGIN
+    stencil_calc(@N@);
+    timer_refine = timer_refine + 0.3;
+    timer_comm = timer_comm + 0.2;
+    timer_calc = timer_calc + 1.1;
+    timer_cb = timer_cb + 0.05;
+    total_blocks = total_blocks + @N@;
+    total_fp_adds = total_fp_adds + @N@ * 3;
+    total_fp_divs = total_fp_divs + 1.0;
+    total_red = total_red + 2.0;
+    num_refined = num_refined + 1.0;
+    num_comm = num_comm + 4.0;
+    counter_bc = counter_bc + 2.0;
+    global_active = global_active + 1.0;
+    tmax_v = tmax_v * 0.5 + blocks[1];
+    tmin_v = tmin_v * 0.5 + blocks[2] * 0.1;
+  } // MCLR-END
+  print(blocks[1], total_blocks, timer_calc, tmax_v, tmin_v);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// amg: ECP algebraic multigrid proxy. The preconditioner diagonal is
+// rescaled in place after being read (WAR), the cumulative solver counters
+// accumulate (WAR), and final_res_norm is the loop's Outcome. The
+// relax→smooth→lower_bound call chain mirrors the nested-call depth the
+// paper highlights for AMG (§III).
+func amg() *Benchmark {
+	return &Benchmark{
+		Name:        "AMG",
+		Description: "ECP algebraic multigrid solver for unstructured mesh physics",
+		Expected: map[string]core.DependencyType{
+			"diagonal": core.WAR, "cum_num_its": core.WAR,
+			"cum_nnz_AP": core.WAR, "hypre_global_error": core.WAR,
+			"final_res_norm": core.Outcome, "j": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float diagonal[@N@];
+float vecx[@N@];
+float vecb[@N@];
+float cum_num_its;
+float cum_nnz_AP;
+float hypre_global_error;
+float final_res_norm;
+float lower_bound(float v) {
+  if (v < 0.0001) {
+    return 0.0001;
+  }
+  return v;
+}
+float smooth(int n) {
+  float res = 0.0;
+  for (int i = 0; i < n; i++) {
+    float corr = (vecb[i] - vecx[i]) / lower_bound(diagonal[i]);
+    vecx[i] = vecx[i] + 0.8 * corr;
+    diagonal[i] = diagonal[i] * 1.001;
+    res += corr * corr;
+  }
+  return sqrt(res);
+}
+float cycle(int n) {
+  float res = smooth(n);
+  res = res + smooth(n) * 0.5;
+  return res;
+}
+float solve(int n) {
+  for (int i = 0; i < n; i++) {
+    vecx[i] = 0.0;
+  }
+  float res = 0.0;
+  for (int sweep = 0; sweep < 3; sweep++) {
+    res = cycle(n);
+    cum_num_its = cum_num_its + 1.0;
+  }
+  cum_nnz_AP = cum_nnz_AP + n * 3;
+  return res;
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    diagonal[i] = 2.0 + 0.01 * i;
+    vecx[i] = 0.0;
+    vecb[i] = 1.0 + 0.1 * i;
+  }
+  cum_num_its = 0.0;
+  cum_nnz_AP = 0.0;
+  hypre_global_error = 0.0;
+  final_res_norm = 0.0;
+  for (int j = 0; j < 4; j++) { // MCLR-BEGIN
+    final_res_norm = solve(@N@);
+    hypre_global_error = hypre_global_error + final_res_norm * 0.001;
+  } // MCLR-END
+  print(final_res_norm, cum_num_its, hypre_global_error);
+  return 0;
+}`, map[string]int{"N": scale * 8})
+		},
+	}
+}
+
+// hacc: Hardware Accelerated Cosmology Code. The flattened particle state
+// (positions then velocities) is advanced in place by the kick-drift-kick
+// symplectic stepper (WAR); step is the index.
+func hacc() *Benchmark {
+	return &Benchmark{
+		Name:        "HACC",
+		Description: "N-body cosmology framework (kick-drift-kick leapfrog)",
+		Expected: map[string]core.DependencyType{
+			"particles": core.WAR, "step": core.Index,
+		},
+		Iterations:   func(scale int) int { return 4 },
+		DefaultScale: 8,
+		LargeScale:   64,
+		gen: func(scale int) string {
+			return expand(`
+float particles[@NN@];
+float grad[@N@];
+void gradient(int n) {
+  for (int i = 1; i < n - 1; i++) {
+    grad[i] = 0.0 - 0.2 * particles[i] + 0.04 * (particles[i - 1] + particles[i + 1]);
+  }
+  grad[0] = 0.0 - 0.2 * particles[0];
+  grad[n - 1] = 0.0 - 0.2 * particles[n - 1];
+}
+void kick(int n, float dt) {
+  gradient(n);
+  for (int i = 0; i < n; i++) {
+    particles[n + i] = particles[n + i] + dt * grad[i];
+  }
+}
+void drift(int n, float dt) {
+  for (int i = 0; i < n; i++) {
+    particles[i] = particles[i] + dt * particles[n + i];
+  }
+}
+int main() {
+  for (int i = 0; i < @N@; i++) {
+    particles[i] = 0.02 * i;
+    particles[@N@ + i] = 0.001 * i;
+    grad[i] = 0.0;
+  }
+  for (int step = 0; step < 4; step++) { // MCLR-BEGIN
+    kick(@N@, 0.05);
+    drift(@N@, 0.1);
+    kick(@N@, 0.05);
+  } // MCLR-END
+  print(particles[1], particles[@N@ + 1]);
+  return 0;
+}`, map[string]int{"N": scale * 8, "NN": scale * 16})
+		},
+	}
+}

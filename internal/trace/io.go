@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Writer emits instruction blocks to an underlying io.Writer.
+// It is not safe for concurrent use; the tracer is single-threaded
+// (LLVM-Tracer traces one-rank / one-thread executions, §II-C).
+type Writer struct {
+	bw    *bufio.Writer
+	buf   strings.Builder
+	count int64
+}
+
+// NewWriter returns a buffered trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record to the trace.
+func (w *Writer) Write(r *Record) error {
+	w.buf.Reset()
+	writeRecord(&w.buf, r)
+	w.count++
+	_, err := w.bw.WriteString(w.buf.String())
+	return err
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// parseLine splits a trace line into its comma-separated fields.
+// Names never contain commas (identifiers and labels only), so a plain
+// split is exact.
+func parseOperandLine(line string) (Operand, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 6 {
+		return Operand{}, fmt.Errorf("trace: operand line has %d fields, want 6: %q", len(f), line)
+	}
+	idx, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Operand{}, fmt.Errorf("trace: bad operand index in %q: %w", line, err)
+	}
+	size, err := strconv.Atoi(f[2])
+	if err != nil {
+		return Operand{}, fmt.Errorf("trace: bad operand size in %q: %w", line, err)
+	}
+	val, err := ParseValue(f[3])
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Index: idx, Size: size, Value: val, IsReg: f[4] == "1", Name: f[5]}, nil
+}
+
+func parseHeaderLine(line string) (Record, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 6 {
+		return Record{}, fmt.Errorf("trace: header line has %d fields, want 6: %q", len(f), line)
+	}
+	ln, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad line number in %q: %w", line, err)
+	}
+	op, err := strconv.Atoi(f[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad opcode in %q: %w", line, err)
+	}
+	dyn, err := strconv.ParseInt(f[5], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad dynamic id in %q: %w", line, err)
+	}
+	return Record{Line: ln, Func: f[2], Block: f[3], Opcode: op, DynID: dyn}, nil
+}
+
+// Scanner reads records one block at a time from a stream.
+type Scanner struct {
+	s       *bufio.Scanner
+	pending string // header line of the next block, already consumed
+	done    bool
+}
+
+// NewScanner returns a streaming trace reader.
+func NewScanner(r io.Reader) *Scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &Scanner{s: s}
+}
+
+// Next returns the next record, or (nil, nil) at end of stream.
+func (sc *Scanner) Next() (*Record, error) {
+	var header string
+	switch {
+	case sc.pending != "":
+		header = sc.pending
+		sc.pending = ""
+	case sc.done:
+		return nil, nil
+	default:
+		for {
+			if !sc.s.Scan() {
+				sc.done = true
+				return nil, sc.s.Err()
+			}
+			if line := sc.s.Text(); line != "" {
+				header = line
+				break
+			}
+		}
+	}
+	if !strings.HasPrefix(header, "0,") {
+		return nil, fmt.Errorf("trace: expected block header, got %q", header)
+	}
+	rec, err := parseHeaderLine(header)
+	if err != nil {
+		return nil, err
+	}
+	for sc.s.Scan() {
+		line := sc.s.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "0,") {
+			sc.pending = line
+			return &rec, nil
+		}
+		op, err := parseOperandLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(line, "r,") {
+			rec.Result = &op
+		} else {
+			rec.Ops = append(rec.Ops, op)
+		}
+	}
+	sc.done = true
+	if err := sc.s.Err(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// ReadAll parses an entire trace stream serially.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := NewScanner(r)
+	var recs []Record
+	for {
+		rec, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return recs, nil
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// ParseBytes parses a complete in-memory trace serially.
+func ParseBytes(data []byte) ([]Record, error) {
+	return ReadAll(bytes.NewReader(data))
+}
+
+// splitChunks partitions data into at most n chunks whose boundaries fall on
+// block-header lines (lines beginning with "0,"), so no instruction block is
+// split across chunks. This is the same strategy as the paper's §V-A
+// OpenMP optimization: the master partitions the input file stream into
+// sub-file-streams without breaking instruction blocks.
+func splitChunks(data []byte, n int) [][]byte {
+	if n < 1 {
+		n = 1
+	}
+	var chunks [][]byte
+	start := 0
+	approx := len(data)/n + 1
+	for start < len(data) {
+		end := start + approx
+		if end >= len(data) {
+			chunks = append(chunks, data[start:])
+			break
+		}
+		// Advance end to the next block boundary: a newline followed by "0,".
+		for {
+			i := bytes.IndexByte(data[end:], '\n')
+			if i < 0 {
+				end = len(data)
+				break
+			}
+			end += i + 1
+			if end >= len(data) || bytes.HasPrefix(data[end:], []byte("0,")) {
+				break
+			}
+		}
+		chunks = append(chunks, data[start:end])
+		start = end
+	}
+	return chunks
+}
+
+// ParseBytesParallel parses a complete in-memory trace using the given
+// number of worker goroutines (0 means GOMAXPROCS). Chunk boundaries are
+// aligned to instruction blocks; the result preserves trace order.
+func ParseBytesParallel(data []byte, workers int) ([]Record, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := splitChunks(data, workers)
+	results := make([][]Record, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, c []byte) {
+			defer wg.Done()
+			results[i], errs[i] = ParseBytes(c)
+		}(i, c)
+	}
+	wg.Wait()
+	total := 0
+	for i := range chunks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += len(results[i])
+	}
+	out := make([]Record, 0, total)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Records   int64
+	Bytes     int64
+	ByOpcode  map[int]int64
+	Functions map[string]int64
+}
+
+// ComputeStats gathers record counts by opcode and function.
+func ComputeStats(recs []Record) Stats {
+	st := Stats{ByOpcode: make(map[int]int64), Functions: make(map[string]int64), Records: int64(len(recs))}
+	for i := range recs {
+		st.ByOpcode[recs[i].Opcode]++
+		st.Functions[recs[i].Func]++
+	}
+	return st
+}
+
+// EncodeAll renders records into the textual trace encoding.
+func EncodeAll(recs []Record) []byte {
+	var b bytes.Buffer
+	w := NewWriter(&b)
+	for i := range recs {
+		_ = w.Write(&recs[i]) // bytes.Buffer writes cannot fail
+	}
+	_ = w.Flush()
+	return b.Bytes()
+}

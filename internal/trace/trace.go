@@ -1,0 +1,309 @@
+// Package trace defines the dynamic instruction execution trace format used
+// by AutoCheck, modeled on the block format printed by LLVM-Tracer 1.2
+// (paper Fig. 1 and Fig. 6).
+//
+// A trace is a sequence of instruction blocks. Each block describes one
+// dynamically executed IR instruction:
+//
+//	0,<line>,<func>,<block>,<opcode>,<dynid>
+//	1,<idx>,<size>,<value>,<isreg>,<name>     (one line per input operand)
+//	r,0,<size>,<value>,<isreg>,<name>         (result line, if any)
+//
+// The first line of every block starts with "0" (as in LLVM-Tracer), which
+// is what makes the stream splittable at block boundaries for parallel
+// processing. <line> is the source line (-1 for synthesized instructions
+// such as entry-block allocas, matching Fig. 6(c)); <opcode> uses the
+// LLVM 3.4 opcode numbering that the paper's trace excerpts show
+// (Load=27, Alloca=26, Call=49, ...). Values are printed as decimal
+// integers, decimal floats (always containing '.' or 'e'), or 0x-prefixed
+// pointers, which is also how a parser tells the three kinds apart.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LLVM 3.4 instruction opcode numbers, as used by LLVM-Tracer and shown in
+// the paper's figures (Load=27 in Fig. 1, Alloca=26 in Fig. 6(c), Call=49
+// in Fig. 6(a)).
+const (
+	OpRet           = 1
+	OpBr            = 2
+	OpSwitch        = 3
+	OpAdd           = 8
+	OpFAdd          = 9
+	OpSub           = 10
+	OpFSub          = 11
+	OpMul           = 12
+	OpFMul          = 13
+	OpUDiv          = 14
+	OpSDiv          = 15
+	OpFDiv          = 16
+	OpURem          = 17
+	OpSRem          = 18
+	OpFRem          = 19
+	OpAlloca        = 26
+	OpLoad          = 27
+	OpStore         = 28
+	OpGetElementPtr = 29
+	OpTrunc         = 33
+	OpZExt          = 34
+	OpSExt          = 35
+	OpFPToSI        = 37
+	OpSIToFP        = 39
+	OpBitCast       = 44
+	OpICmp          = 46
+	OpFCmp          = 47
+	OpPHI           = 48
+	OpCall          = 49
+	OpSelect        = 50
+)
+
+// OpcodeName returns a human-readable mnemonic for an opcode number.
+func OpcodeName(op int) string {
+	switch op {
+	case OpRet:
+		return "Ret"
+	case OpBr:
+		return "Br"
+	case OpSwitch:
+		return "Switch"
+	case OpAdd:
+		return "Add"
+	case OpFAdd:
+		return "FAdd"
+	case OpSub:
+		return "Sub"
+	case OpFSub:
+		return "FSub"
+	case OpMul:
+		return "Mul"
+	case OpFMul:
+		return "FMul"
+	case OpUDiv:
+		return "UDiv"
+	case OpSDiv:
+		return "SDiv"
+	case OpFDiv:
+		return "FDiv"
+	case OpURem:
+		return "URem"
+	case OpSRem:
+		return "SRem"
+	case OpFRem:
+		return "FRem"
+	case OpAlloca:
+		return "Alloca"
+	case OpLoad:
+		return "Load"
+	case OpStore:
+		return "Store"
+	case OpGetElementPtr:
+		return "GetElementPtr"
+	case OpTrunc:
+		return "Trunc"
+	case OpZExt:
+		return "ZExt"
+	case OpSExt:
+		return "SExt"
+	case OpFPToSI:
+		return "FPToSI"
+	case OpSIToFP:
+		return "SIToFP"
+	case OpBitCast:
+		return "BitCast"
+	case OpICmp:
+		return "ICmp"
+	case OpFCmp:
+		return "FCmp"
+	case OpPHI:
+		return "PHI"
+	case OpCall:
+		return "Call"
+	case OpSelect:
+		return "Select"
+	}
+	return fmt.Sprintf("Op%d", op)
+}
+
+// IsArithmetic reports whether op is one of the arithmetic instructions
+// AutoCheck analyzes (paper Table I: Add..FDiv; we include the Rem family,
+// which LLVM groups with division).
+func IsArithmetic(op int) bool {
+	return op >= OpAdd && op <= OpFRem
+}
+
+// ValueKind discriminates the three value encodings in a trace.
+type ValueKind uint8
+
+const (
+	KindInt ValueKind = iota
+	KindFloat
+	KindPtr
+)
+
+// Value is a dynamic operand value carried by a trace record.
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Float float64
+	Addr  uint64
+}
+
+// IntValue returns an integer trace value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// FloatValue returns a floating-point trace value.
+func FloatValue(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// PtrValue returns a pointer (address) trace value.
+func PtrValue(a uint64) Value { return Value{Kind: KindPtr, Addr: a} }
+
+// String formats the value using the trace encoding.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindPtr:
+		return "0x" + strconv.FormatUint(v.Addr, 16)
+	case KindFloat:
+		s := strconv.FormatFloat(v.Float, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			s += ".0"
+		}
+		return s
+	default:
+		return strconv.FormatInt(v.Int, 10)
+	}
+}
+
+// Equal reports whether two values are identical (exact comparison; trace
+// values are never the result of lossy formatting because the writer emits
+// full precision).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindPtr:
+		return v.Addr == o.Addr
+	case KindFloat:
+		return v.Float == o.Float
+	default:
+		return v.Int == o.Int
+	}
+}
+
+// ParseValue decodes a value from its trace encoding.
+func ParseValue(s string) (Value, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		neg := false
+		h := s
+		if strings.HasPrefix(h, "-") {
+			neg = true
+			h = h[1:]
+		}
+		a, err := strconv.ParseUint(h[2:], 16, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("trace: bad pointer value %q: %w", s, err)
+		}
+		if neg {
+			a = -a
+		}
+		return PtrValue(a), nil
+	}
+	if strings.ContainsAny(s, ".eE") || strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("trace: bad float value %q: %w", s, err)
+		}
+		return FloatValue(f), nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("trace: bad int value %q: %w", s, err)
+	}
+	return IntValue(i), nil
+}
+
+// Operand is one input operand or the result of a dynamic instruction.
+type Operand struct {
+	Index int   // 1-based operand position; 0 for the result
+	Size  int   // size in bits (64 for scalars, pointer-sized for addresses)
+	Value Value // dynamic value at execution time
+	IsReg bool  // true if the operand is a register (temporary or named)
+	Name  string
+}
+
+// Record is one dynamic instruction block.
+type Record struct {
+	Line   int    // source line; -1 for synthesized instructions
+	Func   string // enclosing function name
+	Block  string // basic block label (the paper prints "line:col"; we print the label)
+	Opcode int
+	DynID  int64 // dynamic instruction ID, strictly increasing
+	Ops    []Operand
+	Result *Operand
+}
+
+// Opcode helpers on Record.
+
+// IsArith reports whether the record is an arithmetic instruction.
+func (r *Record) IsArith() bool { return IsArithmetic(r.Opcode) }
+
+// Operand returns the input operand with 1-based position idx, or nil.
+func (r *Record) Operand(idx int) *Operand {
+	for i := range r.Ops {
+		if r.Ops[i].Index == idx {
+			return &r.Ops[i]
+		}
+	}
+	return nil
+}
+
+// String renders the record in its trace block encoding (without trailing
+// newline separation between blocks; blocks are newline-terminated lines).
+func (r *Record) String() string {
+	var b strings.Builder
+	writeRecord(&b, r)
+	return b.String()
+}
+
+func writeRecord(b *strings.Builder, r *Record) {
+	b.WriteString("0,")
+	b.WriteString(strconv.Itoa(r.Line))
+	b.WriteByte(',')
+	b.WriteString(r.Func)
+	b.WriteByte(',')
+	b.WriteString(r.Block)
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(r.Opcode))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatInt(r.DynID, 10))
+	b.WriteByte('\n')
+	for i := range r.Ops {
+		writeOperand(b, "1", &r.Ops[i])
+	}
+	if r.Result != nil {
+		writeOperand(b, "r", r.Result)
+	}
+}
+
+func writeOperand(b *strings.Builder, tag string, o *Operand) {
+	b.WriteString(tag)
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(o.Index))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(o.Size))
+	b.WriteByte(',')
+	b.WriteString(o.Value.String())
+	b.WriteByte(',')
+	if o.IsReg {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	b.WriteByte(',')
+	b.WriteString(o.Name)
+	b.WriteByte('\n')
+}

@@ -1,0 +1,360 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeNames(t *testing.T) {
+	cases := map[int]string{
+		OpLoad: "Load", OpStore: "Store", OpAlloca: "Alloca",
+		OpCall: "Call", OpMul: "Mul", OpFDiv: "FDiv",
+		OpGetElementPtr: "GetElementPtr", OpBitCast: "BitCast",
+		OpICmp: "ICmp", OpBr: "Br", OpRet: "Ret", OpPHI: "PHI",
+		999: "Op999",
+	}
+	for op, want := range cases {
+		if got := OpcodeName(op); got != want {
+			t.Errorf("OpcodeName(%d) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestPaperOpcodeNumbers(t *testing.T) {
+	// The paper's figures pin these: Load=27 (Fig. 1), Alloca=26 (Fig. 6c),
+	// Call=49 (Fig. 6a/b).
+	if OpLoad != 27 {
+		t.Errorf("OpLoad = %d, want 27", OpLoad)
+	}
+	if OpAlloca != 26 {
+		t.Errorf("OpAlloca = %d, want 26", OpAlloca)
+	}
+	if OpCall != 49 {
+		t.Errorf("OpCall = %d, want 49", OpCall)
+	}
+}
+
+func TestIsArithmetic(t *testing.T) {
+	for _, op := range []int{OpAdd, OpFAdd, OpSub, OpFSub, OpMul, OpFMul, OpUDiv, OpSDiv, OpFDiv, OpSRem} {
+		if !IsArithmetic(op) {
+			t.Errorf("IsArithmetic(%s) = false, want true", OpcodeName(op))
+		}
+	}
+	for _, op := range []int{OpLoad, OpStore, OpAlloca, OpCall, OpBr, OpRet, OpICmp, OpGetElementPtr} {
+		if IsArithmetic(op) {
+			t.Errorf("IsArithmetic(%s) = true, want false", OpcodeName(op))
+		}
+	}
+}
+
+func TestValueStringParse(t *testing.T) {
+	cases := []Value{
+		IntValue(0), IntValue(42), IntValue(-7), IntValue(math.MaxInt64), IntValue(math.MinInt64),
+		FloatValue(0), FloatValue(1.5), FloatValue(-2.25), FloatValue(1e300), FloatValue(3),
+		PtrValue(0), PtrValue(0x7ffcf3f25a70), PtrValue(math.MaxUint64),
+	}
+	for _, v := range cases {
+		s := v.String()
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", s, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("roundtrip %v -> %q -> %v", v, s, got)
+		}
+	}
+}
+
+func TestValueKindsDistinguishable(t *testing.T) {
+	// An integral float must still parse back as a float.
+	v := FloatValue(3)
+	s := v.String()
+	if !strings.ContainsAny(s, ".eE") {
+		t.Fatalf("FloatValue(3).String() = %q lacks float marker", s)
+	}
+	got, err := ParseValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindFloat {
+		t.Errorf("parsed kind = %v, want KindFloat", got.Kind)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	for _, s := range []string{"0xzz", "1.2.3", "abc", ""} {
+		if _, err := ParseValue(s); err == nil {
+			t.Errorf("ParseValue(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Line: 6, Func: "foo", Block: "for.body", Opcode: OpLoad, DynID: 215,
+			Ops:    []Operand{{Index: 1, Size: 64, Value: PtrValue(0x7ffcf3f25a70), IsReg: true, Name: "p"}},
+			Result: &Operand{Index: 0, Size: 64, Value: IntValue(8), IsReg: true, Name: "8"},
+		},
+		{
+			Line: 6, Func: "foo", Block: "for.body", Opcode: OpMul, DynID: 216,
+			Ops: []Operand{
+				{Index: 1, Size: 64, Value: IntValue(4), IsReg: true, Name: "8"},
+				{Index: 2, Size: 64, Value: IntValue(2), IsReg: false, Name: ""},
+			},
+			Result: &Operand{Index: 0, Size: 64, Value: IntValue(8), IsReg: true, Name: "9"},
+		},
+		{
+			Line: -1, Func: "main", Block: "entry", Opcode: OpAlloca, DynID: 51,
+			Result: &Operand{Index: 0, Size: 64, Value: PtrValue(0x7ffe11de09bc), IsReg: true, Name: "sum"},
+		},
+		{
+			Line: 24, Func: "main", Block: "body", Opcode: OpCall, DynID: 7773,
+			Ops: []Operand{
+				{Index: 1, Size: 64, Value: FloatValue(44), IsReg: true, Name: "36"},
+				{Index: 2, Size: 64, Value: FloatValue(2), IsReg: true, Name: "37"},
+			},
+			Result: &Operand{Index: 0, Size: 64, Value: FloatValue(1936), IsReg: true, Name: "38"},
+		},
+		{Line: 10, Func: "main", Block: "latch", Opcode: OpBr, DynID: 7774},
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	recs := sampleRecords()
+	data := EncodeAll(recs)
+	got, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Errorf("roundtrip mismatch:\nwant %+v\ngot  %+v", recs, got)
+	}
+}
+
+func TestScannerStreaming(t *testing.T) {
+	recs := sampleRecords()
+	sc := NewScanner(bytes.NewReader(EncodeAll(recs)))
+	for i := range recs {
+		rec, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			t.Fatalf("premature EOF at record %d", i)
+		}
+		if rec.DynID != recs[i].DynID {
+			t.Errorf("record %d: DynID = %d, want %d", i, rec.DynID, recs[i].DynID)
+		}
+	}
+	rec, err := sc.Next()
+	if err != nil || rec != nil {
+		t.Errorf("after EOF: (%v, %v), want (nil, nil)", rec, err)
+	}
+	// Next after EOF must stay nil.
+	rec, err = sc.Next()
+	if err != nil || rec != nil {
+		t.Errorf("repeated EOF: (%v, %v), want (nil, nil)", rec, err)
+	}
+}
+
+func TestScannerBadInput(t *testing.T) {
+	cases := []string{
+		"1,1,64,5,1,x\n",                // operand before header
+		"0,notanint,f,b,27,1\n",         // bad line number
+		"0,1,f,b,27,1\n1,1,64,zz,1,x\n", // bad value
+		"0,1,f,b,27,1\n1,1,64,5,1\n",    // short operand line
+	}
+	for _, in := range cases {
+		if _, err := ParseBytes([]byte(in)); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRecordOperandLookup(t *testing.T) {
+	r := sampleRecords()[1]
+	if op := r.Operand(2); op == nil || !op.Value.Equal(IntValue(2)) {
+		t.Errorf("Operand(2) = %+v", op)
+	}
+	if op := r.Operand(5); op != nil {
+		t.Errorf("Operand(5) = %+v, want nil", op)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	recs, err := ParseBytes(nil)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("ParseBytes(nil) = (%v, %v)", recs, err)
+	}
+	recs, err = ParseBytesParallel(nil, 4)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("ParseBytesParallel(nil) = (%v, %v)", recs, err)
+	}
+}
+
+// randomRecords builds a pseudo-random but well-formed trace.
+func randomRecords(rng *rand.Rand, n int) []Record {
+	funcs := []string{"main", "foo", "conj_grad", "hypre_LowerBound"}
+	blocks := []string{"entry", "for.body", "for.cond", "latch"}
+	recs := make([]Record, n)
+	for i := range recs {
+		op := []int{OpLoad, OpStore, OpAdd, OpMul, OpFMul, OpCall, OpAlloca, OpBr, OpGetElementPtr}[rng.Intn(9)]
+		rec := Record{
+			Line:   rng.Intn(200) - 1,
+			Func:   funcs[rng.Intn(len(funcs))],
+			Block:  blocks[rng.Intn(len(blocks))],
+			Opcode: op,
+			DynID:  int64(i),
+		}
+		nops := rng.Intn(3)
+		for j := 0; j < nops; j++ {
+			rec.Ops = append(rec.Ops, randomOperand(rng, j+1))
+		}
+		if rng.Intn(2) == 0 {
+			res := randomOperand(rng, 0)
+			rec.Result = &res
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+func randomOperand(rng *rand.Rand, idx int) Operand {
+	var v Value
+	switch rng.Intn(3) {
+	case 0:
+		v = IntValue(rng.Int63() - rng.Int63())
+	case 1:
+		v = FloatValue(rng.NormFloat64() * 1e6)
+	default:
+		v = PtrValue(rng.Uint64())
+	}
+	names := []string{"p", "q", "sum", "8", "9", "36", ""}
+	return Operand{Index: idx, Size: 64, Value: v, IsReg: rng.Intn(2) == 0, Name: names[rng.Intn(len(names))]}
+}
+
+// Property: encode->parse is the identity on arbitrary well-formed traces.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(size))
+		got, err := ParseBytes(EncodeAll(recs))
+		if err != nil {
+			return false
+		}
+		if len(recs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(recs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parallel parse equals serial parse for any worker count.
+func TestQuickParallelEqualsSerial(t *testing.T) {
+	f := func(seed int64, size uint16, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(size)%2000)
+		data := EncodeAll(recs)
+		serial, err := ParseBytes(data)
+		if err != nil {
+			return false
+		}
+		par, err := ParseBytesParallel(data, int(workers)%17)
+		if err != nil {
+			return false
+		}
+		if len(serial) == 0 && len(par) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(serial, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitChunksBoundaries(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(7)), 500)
+	data := EncodeAll(recs)
+	for _, n := range []int{1, 2, 3, 7, 48, 1000} {
+		chunks := splitChunks(data, n)
+		total := 0
+		for i, c := range chunks {
+			total += len(c)
+			if len(c) > 0 && !bytes.HasPrefix(c, []byte("0,")) {
+				t.Errorf("n=%d chunk %d does not start at a block header", n, i)
+			}
+		}
+		if total != len(data) {
+			t.Errorf("n=%d chunks cover %d bytes, want %d", n, total, len(data))
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	recs := sampleRecords()
+	st := ComputeStats(recs)
+	if st.Records != int64(len(recs)) {
+		t.Errorf("Records = %d, want %d", st.Records, len(recs))
+	}
+	if st.ByOpcode[OpLoad] != 1 || st.ByOpcode[OpCall] != 1 {
+		t.Errorf("ByOpcode = %v", st.ByOpcode)
+	}
+	if st.Functions["main"] != 3 {
+		t.Errorf("Functions[main] = %d, want 3", st.Functions["main"])
+	}
+}
+
+func TestScannerLongLines(t *testing.T) {
+	// A record with a very long function name must fit the scanner buffer.
+	name := strings.Repeat("f", 1<<16)
+	rec := Record{Line: 1, Func: name, Block: "b", Opcode: OpBr, DynID: 1}
+	got, err := ParseBytes(EncodeAll([]Record{rec}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Func != name {
+		t.Error("long function name mangled")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	if buf.Len() == 0 {
+		t.Error("writer produced no bytes")
+	}
+}
+
+func TestRecordStringIsBlockEncoding(t *testing.T) {
+	rec := sampleRecords()[0]
+	s := rec.String()
+	if !strings.HasPrefix(s, "0,6,foo,for.body,27,215\n") {
+		t.Errorf("String() = %q", s)
+	}
+	back, err := ParseBytes([]byte(s))
+	if err != nil || len(back) != 1 {
+		t.Fatalf("block encoding did not reparse: %v", err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package validate reproduces the paper's §VI-B validation protocol: add
+// C/R code for the AutoCheck-detected variables (via the FTI-like
+// checkpoint substrate), raise a fail-stop failure inside the main
+// computation loop, restart from the latest checkpoint, and check that the
+// restarted execution matches a failure-free execution. It also runs the
+// false-positive check: dropping each detected variable from the protected
+// set one at a time must break at least one restart scenario.
+//
+// One strengthening over the paper: besides comparing printed output, the
+// harness compares the final memory state of the checkpointed variables.
+// The paper's benchmarks print verification values that summarize that
+// state; comparing it directly keeps small kernels honest even when their
+// printed output happens to be recomputable.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+
+	"autocheck/internal/cfg"
+	"autocheck/internal/checkpoint"
+	"autocheck/internal/core"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+	"autocheck/internal/trace"
+)
+
+// Report is the outcome of a validation run.
+type Report struct {
+	Iterations        int64 // main-loop iterations in a failure-free run
+	FailPoints        []int64
+	Sufficient        bool            // all restarts matched the reference
+	Necessary         map[string]bool // variable -> dropping it broke a restart
+	CheckpointBytes   int64           // size of one AutoCheck checkpoint
+	FullSnapshotBytes int64           // size of the BLCR-like full snapshot
+	Checkpoints       int             // checkpoints written in the fail-end run
+	Mismatch          string          // first mismatch description, if any
+}
+
+// state is the comparison key: printed output plus the final cells of the
+// observed variables.
+type state struct {
+	output string
+	cells  map[string][]trace.Value
+}
+
+type observed struct {
+	name  string
+	base  uint64
+	cells int64
+}
+
+// Validator runs the protocol for one program.
+type Validator struct {
+	Mod  *ir.Module
+	Spec core.LoopSpec
+	Res  *core.Result
+	Dir  string // scratch directory for checkpoint files
+
+	header  *ir.Block
+	observe []observed
+}
+
+// New prepares a validator; res must come from analyzing the same module's
+// trace.
+func New(mod *ir.Module, res *core.Result, dir string) (*Validator, error) {
+	v := &Validator{Mod: mod, Spec: res.Spec, Res: res, Dir: dir}
+	fn := mod.Func(res.Spec.Function)
+	if fn == nil {
+		return nil, fmt.Errorf("validate: no function %q", res.Spec.Function)
+	}
+	g := cfg.New(fn)
+	loop := g.OutermostLoopInRange(res.Spec.StartLine, res.Spec.EndLine)
+	if loop == nil {
+		return nil, fmt.Errorf("validate: no loop in %q lines %d-%d",
+			res.Spec.Function, res.Spec.StartLine, res.Spec.EndLine)
+	}
+	v.header = loop.Header
+	seen := map[string]bool{}
+	add := func(name string, base uint64, size int64) {
+		if seen[name] || base == 0 {
+			return
+		}
+		seen[name] = true
+		v.observe = append(v.observe, observed{name: name, base: base, cells: (size + 7) / 8})
+	}
+	// Compare printed output plus the final state of the critical
+	// variables. Non-critical MLI variables are deliberately excluded:
+	// they are either recomputed by the surviving iterations or dead after
+	// the loop (that is exactly why AutoCheck does not checkpoint them),
+	// so their cells may legitimately differ after a loop-exit restart.
+	for _, c := range res.Critical {
+		add(c.Name, c.Base, c.SizeBytes)
+	}
+	return v, nil
+}
+
+// run executes the module with a header hook. The hook receives the 1-based
+// header entry count and may return an error to abort.
+func (v *Validator) run(hook func(m *interp.Machine, entries int64) error) (*interp.Machine, string, error) {
+	m := interp.New(v.Mod)
+	var entries int64
+	m.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+		if blk == v.header && f.Fn.Name == v.Spec.Function {
+			entries++
+			if hook != nil {
+				return hook(mm, entries)
+			}
+		}
+		return nil
+	}
+	out, err := m.Run()
+	return m, out, err
+}
+
+func (v *Validator) capture(m *interp.Machine, out string) state {
+	st := state{output: out, cells: make(map[string][]trace.Value)}
+	for _, o := range v.observe {
+		st.cells[o.name] = m.ReadRange(o.base, o.cells)
+	}
+	return st
+}
+
+// reference runs failure-free, returning the reference state and the
+// iteration count.
+func (v *Validator) reference() (state, int64, error) {
+	var entries int64
+	m, out, err := v.run(func(_ *interp.Machine, e int64) error {
+		entries = e
+		return nil
+	})
+	if err != nil {
+		return state{}, 0, fmt.Errorf("validate: reference run failed: %w", err)
+	}
+	return v.capture(m, out), entries - 1, nil
+}
+
+// runWithFailure executes with checkpointing every iteration and a
+// fail-stop after failAt completed iterations. It returns the context for
+// the subsequent restart and the BLCR-like snapshot size at the failure
+// point.
+func (v *Validator) runWithFailure(ctx *checkpoint.Context, failAt int64) (int64, error) {
+	var snapBytes int64
+	_, _, err := v.run(func(m *interp.Machine, e int64) error {
+		if e >= 2 {
+			if err := ctx.Checkpoint(m, e-1); err != nil {
+				return err
+			}
+		}
+		if e == failAt+1 {
+			snapBytes = int64(len(checkpoint.FullSnapshot(m, e-1)))
+			return interp.ErrFailStop
+		}
+		return nil
+	})
+	if !errors.Is(err, interp.ErrFailStop) {
+		return 0, fmt.Errorf("validate: expected injected fail-stop, got %v", err)
+	}
+	return snapBytes, nil
+}
+
+// restart re-executes the program, recovering the protected variables
+// (minus skip) at the first main-loop entry — the paper's "reading
+// checkpoints right before the main computation loop".
+func (v *Validator) restart(ctx *checkpoint.Context, skip map[string]bool) (state, error) {
+	m, out, err := v.run(func(mm *interp.Machine, e int64) error {
+		if e == 1 {
+			_, rerr := ctx.Restart(mm, skip)
+			return rerr
+		}
+		return nil
+	})
+	if err != nil {
+		return state{}, fmt.Errorf("validate: restart run failed: %w", err)
+	}
+	return v.capture(m, out), nil
+}
+
+func describeMismatch(ref, got state) string {
+	if ref.output != got.output {
+		return fmt.Sprintf("output mismatch: reference %q vs restart %q", ref.output, got.output)
+	}
+	for name, want := range ref.cells {
+		if !reflect.DeepEqual(want, got.cells[name]) {
+			return fmt.Sprintf("final state of %s differs", name)
+		}
+	}
+	return ""
+}
+
+// Run executes the full protocol: sufficiency at a mid-loop and an
+// end-of-loop failure point, then per-variable necessity.
+func (v *Validator) Run() (*Report, error) {
+	ref, iters, err := v.reference()
+	if err != nil {
+		return nil, err
+	}
+	if iters < 2 {
+		return nil, fmt.Errorf("validate: main loop ran only %d iterations; need at least 2", iters)
+	}
+	rep := &Report{
+		Iterations: iters,
+		FailPoints: []int64{(iters + 1) / 2, iters},
+		Necessary:  make(map[string]bool),
+		Sufficient: true,
+	}
+	type scenario struct {
+		ctx    *checkpoint.Context
+		failAt int64
+	}
+	var scenarios []scenario
+	for i, failAt := range rep.FailPoints {
+		ctx, err := checkpoint.NewContext(filepath.Join(v.Dir, fmt.Sprintf("fail%d", i)), checkpoint.L1)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range v.Res.Critical {
+			ctx.Protect(c.Name, c.Base, c.SizeBytes)
+		}
+		snapBytes, err := v.runWithFailure(ctx, failAt)
+		if err != nil {
+			return nil, err
+		}
+		rep.CheckpointBytes = ctx.LastBytes()
+		rep.FullSnapshotBytes = snapBytes
+		rep.Checkpoints = ctx.Count()
+		got, err := v.restart(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		if msg := describeMismatch(ref, got); msg != "" {
+			rep.Sufficient = false
+			if rep.Mismatch == "" {
+				rep.Mismatch = fmt.Sprintf("failAt=%d: %s", failAt, msg)
+			}
+		}
+		scenarios = append(scenarios, scenario{ctx: ctx, failAt: failAt})
+	}
+	// False-positive check (§VI-B): drop one variable at a time.
+	for _, c := range v.Res.Critical {
+		necessary := false
+		for _, sc := range scenarios {
+			got, err := v.restart(sc.ctx, map[string]bool{c.Name: true})
+			if err != nil {
+				// A crash during restart also proves necessity.
+				necessary = true
+				break
+			}
+			if describeMismatch(ref, got) != "" {
+				necessary = true
+				break
+			}
+		}
+		rep.Necessary[c.Name] = necessary
+	}
+	return rep, nil
+}

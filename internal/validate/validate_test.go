@@ -1,0 +1,179 @@
+package validate
+
+import (
+	"testing"
+
+	"autocheck/internal/core"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+)
+
+const fig4Source = `
+void foo(int *p, int *q) {
+  for (int i = 0; i < 10; ++i) {
+    q[i] = p[i] * 2;
+  }
+}
+int main() {
+  int a[10];
+  int b[10];
+  int sum = 0;
+  int s = 0;
+  int r = 1;
+  for (int i = 0; i < 10; ++i) {
+    a[i] = 0;
+    b[i] = 0;
+  }
+  for (int it = 0; it < 10; ++it) {
+    int m;
+    s = it + 1;
+    a[it] = s * r;
+    foo(a, b);
+    r++;
+    m = a[it] + b[it];
+    sum = m;
+  }
+  print(sum);
+  return 0;
+}`
+
+func analyzed(t *testing.T, src string, spec core.LoopSpec) (*ir.Module, *core.Result) {
+	t.Helper()
+	mod, err := interp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := interp.TraceProgram(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Module = mod
+	res, err := core.Analyze(recs, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, res
+}
+
+// TestFig4Validation reproduces §VI-B on the example code: with the
+// AutoCheck-detected variables (r, a, sum, it) checkpointed, every restart
+// matches the failure-free run, and no detected variable is a false
+// positive.
+func TestFig4Validation(t *testing.T) {
+	mod, res := analyzed(t, fig4Source, core.LoopSpec{Function: "main", StartLine: 17, EndLine: 25})
+	v, err := New(mod, res, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 10 {
+		t.Errorf("Iterations = %d, want 10", rep.Iterations)
+	}
+	if !rep.Sufficient {
+		t.Errorf("restart with detected variables failed: %s", rep.Mismatch)
+	}
+	for _, c := range res.Critical {
+		if !rep.Necessary[c.Name] {
+			t.Errorf("variable %s (%s) reported unnecessary (false positive)", c.Name, c.Type)
+		}
+	}
+	if rep.CheckpointBytes <= 0 {
+		t.Error("checkpoint size not measured")
+	}
+	if rep.FullSnapshotBytes <= rep.CheckpointBytes {
+		t.Errorf("full snapshot (%d B) should exceed AutoCheck checkpoint (%d B)",
+			rep.FullSnapshotBytes, rep.CheckpointBytes)
+	}
+}
+
+// TestInsufficientSetDetected: dropping a WAR variable from the protected
+// set must be caught as insufficient.
+func TestInsufficientSetDetected(t *testing.T) {
+	mod, res := analyzed(t, fig4Source, core.LoopSpec{Function: "main", StartLine: 17, EndLine: 25})
+	// Remove 'r' (WAR) from the critical set before validating.
+	var pruned []core.CriticalVar
+	for _, c := range res.Critical {
+		if c.Name != "r" {
+			pruned = append(pruned, c)
+		}
+	}
+	res.Critical = pruned
+	v, err := New(mod, res, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sufficient {
+		t.Error("restart without the WAR variable r should not match the reference")
+	}
+}
+
+// A float stencil with an Outcome variable and a RAPO array, exercising
+// the checkpoint of float cells.
+const stencilSource = `
+int main() {
+  float u[16];
+  float unew[16];
+  float resid = 0.0;
+  for (int i = 0; i < 16; i++) {
+    u[i] = i * i;
+    unew[i] = 0.0;
+  }
+  for (int step = 0; step < 8; step++) {
+    for (int i = 1; i < 15; i++) {
+      unew[i] = (u[i-1] + u[i+1]) / 2.0;
+    }
+    resid = 0.0;
+    for (int i = 1; i < 15; i++) {
+      float d = unew[i] - u[i];
+      resid += d * d;
+      u[i] = unew[i];
+    }
+  }
+  print(resid, u[7]);
+  return 0;
+}`
+
+func TestStencilValidation(t *testing.T) {
+	mod, res := analyzed(t, stencilSource, core.LoopSpec{Function: "main", StartLine: 10, EndLine: 19})
+	if res.Find("u") == nil {
+		t.Fatalf("u should be critical; got %v", res.CriticalNames())
+	}
+	v, err := New(mod, res, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sufficient {
+		t.Errorf("stencil restart failed: %s", rep.Mismatch)
+	}
+	if !rep.Necessary["u"] {
+		t.Error("u should be necessary")
+	}
+}
+
+func TestValidatorErrors(t *testing.T) {
+	mod, res := analyzed(t, fig4Source, core.LoopSpec{Function: "main", StartLine: 17, EndLine: 25})
+	// Wrong function.
+	bad := *res
+	bad.Spec.Function = "nosuch"
+	if _, err := New(mod, &bad, t.TempDir()); err == nil {
+		t.Error("New with bad function should fail")
+	}
+	// No loop in range.
+	bad2 := *res
+	bad2.Spec.StartLine, bad2.Spec.EndLine = 2, 3
+	if _, err := New(mod, &bad2, t.TempDir()); err == nil {
+		t.Error("New with no loop in range should fail")
+	}
+}
