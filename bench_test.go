@@ -4,6 +4,8 @@
 //	BenchmarkTable2_*              detection pipeline per benchmark (Table II)
 //	BenchmarkTable3_*              phase costs, serial vs parallel (Table III)
 //	BenchmarkTable4_Storage        checkpoint vs full-snapshot bytes (Table IV)
+//	BenchmarkTable4_StorageBackends  storage-engine sweep: full snapshot vs
+//	                               critical set vs critical set + incremental
 //	BenchmarkValidation_*          fail-stop + restart protocol (§VI-B)
 //	BenchmarkFig5_DDGContraction   complete-DDG build + Algorithm 1 (Fig. 5)
 //	BenchmarkParallelTraceRead/*   §V-A worker sweep
@@ -18,9 +20,11 @@ import (
 	"fmt"
 	"testing"
 
+	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/harness"
 	"autocheck/internal/progs"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
 	"autocheck/internal/validate"
 )
@@ -127,6 +131,63 @@ func BenchmarkTable4_Storage(b *testing.B) {
 			b.ReportMetric(float64(ac), "autocheck-B")
 			b.ReportMetric(float64(blcr), "blcr-B")
 			b.ReportMetric(float64(blcr)/float64(ac), "reduction-x")
+		})
+	}
+}
+
+// BenchmarkTable4_StorageBackends extends Table IV from single images to
+// whole runs through the internal/store engine: per backend/decorator,
+// checkpoint the critical set at every IS main-loop boundary and report
+// bytes persisted and write latency. The FullSnapshot case is the
+// BLCR-like baseline; CriticalSetIncremental persists less than
+// CriticalSet because IS's key_array changes only two elements per
+// iteration (delta chunks + skipped sections).
+func BenchmarkTable4_StorageBackends(b *testing.B) {
+	p := prep(b, "IS")
+	res, err := p.Analyze(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  store.Config
+	}{
+		{"CriticalSet", store.Config{Kind: store.KindMemory}},
+		{"CriticalSetSharded", store.Config{Kind: store.KindSharded, Workers: 4}},
+		{"CriticalSetAsync", store.Config{Kind: store.KindMemory, Async: true}},
+		{"CriticalSetIncremental", store.Config{Kind: store.KindMemory, Incremental: true, Keyframe: 8}},
+	}
+	b.Run("FullSnapshot", func(b *testing.B) {
+		var run *harness.StorageRun
+		for i := 0; i < b.N; i++ {
+			var err error
+			run, err = harness.MeasureStorageRun(p.Mod, res, store.Config{Kind: store.KindMemory}, checkpoint.L1, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(run.SnapshotBytes), "snapshot-B")
+	})
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var run *harness.StorageRun
+			for i := 0; i < b.N; i++ {
+				cfg := c.cfg
+				if cfg.Kind != store.KindMemory {
+					cfg.Dir = b.TempDir()
+				}
+				var err error
+				run, err = harness.MeasureStorageRun(p.Mod, res, cfg, checkpoint.L1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.RestartIter != int64(run.Checkpoints) {
+					b.Fatalf("restart recovered iter %d, want %d", run.RestartIter, run.Checkpoints)
+				}
+			}
+			b.ReportMetric(float64(run.LogicalBytes), "image-B")
+			b.ReportMetric(float64(run.PersistedBytes), "persisted-B")
 		})
 	}
 }

@@ -3,14 +3,17 @@
 //
 //	autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
 //	autocheck trace    -file prog.mc [-o trace.txt]
-//	autocheck table2 | table3 [-workers K] | table4 | validate
+//	autocheck table2 | table3 [-workers K] | table4
+//	autocheck validate [-store file|memory|sharded] [-level L1..L4]
+//	                   [-async] [-incremental] [-keyframe N] [-shard-workers K]
 //	autocheck list
 //
 // `analyze` compiles a mini-C program, executes it under the tracing
 // interpreter, and prints the critical variables to checkpoint for the
 // given main-computation-loop range. The table subcommands regenerate the
 // paper's evaluation tables over the 14 benchmark ports; `validate` runs
-// the §VI-B fail-stop/restart protocol.
+// the §VI-B fail-stop/restart protocol, optionally through any backend
+// and write-path decorator of the internal/store checkpoint engine.
 package main
 
 import (
@@ -19,9 +22,12 @@ import (
 	"os"
 
 	"autocheck"
+	"autocheck/internal/checkpoint"
 	"autocheck/internal/harness"
 	"autocheck/internal/progs"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
+	"autocheck/internal/validate"
 )
 
 func main() {
@@ -42,7 +48,7 @@ func main() {
 	case "table4":
 		err = cmdTable4()
 	case "validate":
-		err = cmdValidate()
+		err = cmdValidate(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "help", "-h", "--help":
@@ -61,11 +67,30 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
+      -file    mini-C source file (compiled and traced)
+      -trace   pre-generated trace file (alternative to -file)
+      -func    function containing the main computation loop (default main)
+      -start   main loop start line
+      -end     main loop end line
+      -workers parallel pre-processing workers (0 = serial)
+      -ddg     also print the contracted DDG
   autocheck trace    -file prog.mc [-o trace.txt]
+      -o       output trace file (default stdout)
   autocheck table2              regenerate Table II  (critical variables)
   autocheck table3 [-workers K] regenerate Table III (analysis cost)
+      -workers parallel pre-processing workers (default 48)
   autocheck table4              regenerate Table IV  (checkpoint storage)
-  autocheck validate            run the fail-stop/restart validation (§VI-B)
+  autocheck validate [storage flags]
+                                run the fail-stop/restart validation (§VI-B)
+      -store         checkpoint storage backend: file, memory, or sharded
+                     (default file)
+      -level         checkpoint reliability level 1-4 or L1-L4 (default L1:
+                     L2 adds a partner copy, L3 XOR parity, L4 fsync)
+      -async         double-buffered asynchronous checkpoint writes
+      -incremental   delta checkpoints: re-write only changed variables,
+                     with periodic full keyframes
+      -keyframe N    incremental: full checkpoint every N writes (default 8)
+      -shard-workers sharded backend write pool size (default 4)
   autocheck list                list the 14 benchmark ports`)
 }
 
@@ -208,13 +233,43 @@ func cmdTable4() error {
 	return nil
 }
 
-func cmdValidate() error {
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	storeKind := fs.String("store", "file", "checkpoint storage backend (file, memory, sharded)")
+	level := fs.String("level", "L1", "checkpoint reliability level (1-4 or L1-L4)")
+	async := fs.Bool("async", false, "double-buffered asynchronous checkpoint writes")
+	incremental := fs.Bool("incremental", false, "delta checkpoints with periodic keyframes")
+	keyframe := fs.Int("keyframe", 8, "incremental: full checkpoint every N writes")
+	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "sharded backend write pool size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := store.ParseKind(*storeKind)
+	if err != nil {
+		return err
+	}
+	lvl, err := checkpoint.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	opts := validate.Options{
+		Level: lvl,
+		Store: store.Config{
+			Kind:        kind,
+			Workers:     *shardWorkers,
+			Async:       *async,
+			Incremental: *incremental,
+			Keyframe:    *keyframe,
+		},
+	}
 	dir, err := os.MkdirTemp("", "autocheck-validate-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	rows, err := harness.RunValidation(dir)
+	fmt.Printf("storage: backend=%s level=%s async=%v incremental=%v\n",
+		kind, lvl, *async, *incremental)
+	rows, err := harness.RunValidationWith(dir, opts)
 	if err != nil {
 		return err
 	}

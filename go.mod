@@ -1,0 +1,3 @@
+module autocheck
+
+go 1.24

@@ -8,27 +8,30 @@
 // end of main-loop iterations and recovers them before the loop on
 // restart. Reliability levels mirror FTI's:
 //
-//	L1  local checkpoint file (the mode the paper uses for validation)
-//	L2  L1 + a partner copy of the file
+//	L1  local checkpoint object (the mode the paper uses for validation)
+//	L2  L1 + a partner copy of the object
 //	L3  L2 + XOR parity blocks for erasure recovery
 //	L4  L3 + synchronous flush to "stable storage" (fsync)
 //
-// All levels share one on-disk format: a header (magic, version, iteration
-// number, variable count), per-variable records (name, base address, cell
-// values), and a trailing CRC-32 that detects torn or corrupted files.
+// Persistence goes through the pluggable storage engine in
+// internal/store: a checkpoint is one store object whose sections are a
+// small metadata header plus one section per protected variable, framed
+// with a CRC-32 that detects torn or corrupted objects. The levels above
+// are a decorator over the selected backend (levels.go), and the store
+// package adds asynchronous double-buffered writes and delta/incremental
+// checkpoints as further decorators.
 package checkpoint
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
+	"strings"
 
 	"autocheck/internal/interp"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
 )
 
@@ -45,9 +48,23 @@ const (
 
 func (l Level) String() string { return fmt.Sprintf("L%d", int(l)) }
 
+// ParseLevel parses a -level CLI value: "1".."4" or "L1".."L4".
+func ParseLevel(s string) (Level, error) {
+	t := strings.TrimPrefix(strings.ToUpper(s), "L")
+	for l := L1; l <= L4; l++ {
+		if t == fmt.Sprintf("%d", int(l)) {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("checkpoint: invalid level %q (want 1-4 or L1-L4)", s)
+}
+
 const (
 	magic   = uint32(0x41435031) // "ACP1"
-	version = uint32(1)
+	version = uint32(2)          // v2: sectioned objects via internal/store
+
+	metaSection = "~ckpt"
+	keyPrefix   = "ckpt-"
 )
 
 // ErrNoCheckpoint is returned by Restart when no valid checkpoint exists.
@@ -60,9 +77,9 @@ type Protected struct {
 	Cells int64 // number of 8-byte cells
 }
 
-// Context is an open checkpointing session.
+// Context is an open checkpointing session over a storage backend.
 type Context struct {
-	dir       string
+	backend   store.Backend
 	level     Level
 	protected []Protected
 	seq       int
@@ -71,16 +88,39 @@ type Context struct {
 	count     int
 }
 
-// NewContext creates a checkpoint context writing into dir with the given
-// reliability level.
+// NewContext creates a checkpoint context writing one file per replica
+// into dir with the given reliability level — the original on-disk
+// behavior, now expressed as the file backend of internal/store.
 func NewContext(dir string, level Level) (*Context, error) {
+	return NewContextStore(store.Config{Kind: store.KindFile, Dir: dir}, level)
+}
+
+// NewContextStore creates a checkpoint context over the backend selected
+// by cfg. The reliability level is layered as a decorator over the base
+// backend, below cfg's incremental/async decorators, so deltas and
+// staging buffers see logical checkpoint keys while replicas and parity
+// land next to the primary copy. L4 forces cfg.Sync.
+func NewContextStore(cfg store.Config, level Level) (*Context, error) {
 	if level < L1 || level > L4 {
 		return nil, fmt.Errorf("checkpoint: invalid level %d", level)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	cfg.Sync = cfg.Sync || level >= L4
+	base, err := store.Open(cfg)
+	if err != nil {
 		return nil, err
 	}
-	return &Context{dir: dir, level: level}, nil
+	backend := store.Decorate(store.Backend(newLevelBackend(base, level)), cfg)
+	return &Context{backend: backend, level: level}, nil
+}
+
+// NewContextBackend creates a checkpoint context over a caller-supplied
+// backend (custom or remote stores); the reliability level is layered on
+// top of it.
+func NewContextBackend(b store.Backend, level Level) (*Context, error) {
+	if level < L1 || level > L4 {
+		return nil, fmt.Errorf("checkpoint: invalid level %d", level)
+	}
+	return &Context{backend: newLevelBackend(b, level), level: level}, nil
 }
 
 // Protect registers a variable. sizeBytes is rounded up to whole cells.
@@ -111,16 +151,29 @@ func (c *Context) ProtectedVars() []Protected {
 	return out
 }
 
-// LastBytes returns the size of the most recent checkpoint (primary file
-// only — the paper's Table IV reports checkpoint data volume, not
-// replication overhead).
+// LastBytes returns the size of the most recent checkpoint's primary
+// image (the paper's Table IV reports checkpoint data volume, not
+// replication overhead; with the incremental decorator the bytes actually
+// persisted can be smaller — see StoreStats).
 func (c *Context) LastBytes() int64 { return c.lastBytes }
 
-// TotalBytes returns cumulative primary-file bytes written.
+// TotalBytes returns cumulative primary-image bytes.
 func (c *Context) TotalBytes() int64 { return c.allBytes }
 
 // Count returns the number of checkpoints written.
 func (c *Context) Count() int { return c.count }
+
+// StoreStats reports the storage backend's accounting (actual persisted
+// bytes, skipped sections, keyframe/delta counts). It flushes pending
+// asynchronous writes first.
+func (c *Context) StoreStats() store.Stats { return c.backend.Stats() }
+
+// Flush blocks until queued asynchronous checkpoints are durable and
+// returns the first deferred write error.
+func (c *Context) Flush() error { return c.backend.Flush() }
+
+// Close flushes and closes the storage backend.
+func (c *Context) Close() error { return c.backend.Close() }
 
 func encodeValue(buf []byte, v trace.Value) []byte {
 	buf = append(buf, byte(v.Kind))
@@ -154,116 +207,51 @@ func decodeValue(buf []byte) (trace.Value, []byte, error) {
 	return trace.Value{}, nil, fmt.Errorf("checkpoint: bad value kind %d", kind)
 }
 
-// Checkpoint writes a checkpoint of all protected variables at the given
-// iteration number.
-func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
-	buf := binary.LittleEndian.AppendUint32(nil, magic)
-	buf = binary.LittleEndian.AppendUint32(buf, version)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(iter))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.protected)))
-	for _, p := range c.protected {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Name)))
-		buf = append(buf, p.Name...)
-		buf = binary.LittleEndian.AppendUint64(buf, p.Base)
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Cells))
+// encodeCheckpoint snapshots the protected cells into one section per
+// variable plus a metadata section.
+func encodeCheckpoint(m *interp.Machine, protected []Protected, iter int64) []store.Section {
+	meta := binary.LittleEndian.AppendUint32(nil, magic)
+	meta = binary.LittleEndian.AppendUint32(meta, version)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(iter))
+	sections := make([]store.Section, 0, len(protected)+1)
+	sections = append(sections, store.Section{Name: metaSection, Data: meta})
+	for _, p := range protected {
+		data := binary.LittleEndian.AppendUint64(nil, p.Base)
+		data = binary.LittleEndian.AppendUint64(data, uint64(p.Cells))
 		for _, v := range m.ReadRange(p.Base, p.Cells) {
-			buf = encodeValue(buf, v)
+			data = encodeValue(data, v)
 		}
+		sections = append(sections, store.Section{Name: p.Name, Data: data})
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-
-	c.seq++
-	path := c.primaryPath(c.seq)
-	if err := writeFile(path, buf, c.level >= L4); err != nil {
-		return err
-	}
-	if c.level >= L2 {
-		if err := writeFile(c.partnerPath(c.seq), buf, c.level >= L4); err != nil {
-			return err
-		}
-	}
-	if c.level >= L3 {
-		if err := writeFile(c.parityPath(c.seq), xorParity(buf), c.level >= L4); err != nil {
-			return err
-		}
-	}
-	c.lastBytes = int64(len(buf))
-	c.allBytes += int64(len(buf))
-	c.count++
-	return nil
+	return sections
 }
 
-func writeFile(path string, data []byte, sync bool) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// decodeCheckpoint parses the sections of one checkpoint object.
+func decodeCheckpoint(sections []store.Section) (iter int64, vars []Protected, cells [][]trace.Value, err error) {
+	if len(sections) == 0 || sections[0].Name != metaSection {
+		return 0, nil, nil, errors.New("checkpoint: missing metadata section")
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
+	meta := sections[0].Data
+	if len(meta) < 16 {
+		return 0, nil, nil, errors.New("checkpoint: truncated metadata")
 	}
-	if sync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	return f.Close()
-}
-
-// xorParity folds the checkpoint into a parity block of 1/4 the size
-// (stand-in for FTI's Reed-Solomon group encoding; enough to exercise the
-// L3 code path and storage accounting).
-func xorParity(data []byte) []byte {
-	n := (len(data) + 3) / 4
-	out := make([]byte, n)
-	for i, b := range data {
-		out[i%n] ^= b
-	}
-	return out
-}
-
-func (c *Context) primaryPath(seq int) string {
-	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%06d.l1", seq))
-}
-
-func (c *Context) partnerPath(seq int) string {
-	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%06d.l2", seq))
-}
-
-func (c *Context) parityPath(seq int) string {
-	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%06d.l3", seq))
-}
-
-// decode parses and verifies a checkpoint image.
-func decode(buf []byte) (iter int64, vars []Protected, cells [][]trace.Value, err error) {
-	if len(buf) < 24 {
-		return 0, nil, nil, errors.New("checkpoint: file too short")
-	}
-	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
-	if crc32.ChecksumIEEE(body) != sum {
-		return 0, nil, nil, errors.New("checkpoint: CRC mismatch (corrupted checkpoint)")
-	}
-	if binary.LittleEndian.Uint32(body[0:4]) != magic || binary.LittleEndian.Uint32(body[4:8]) != version {
+	if binary.LittleEndian.Uint32(meta[0:4]) != magic || binary.LittleEndian.Uint32(meta[4:8]) != version {
 		return 0, nil, nil, errors.New("checkpoint: bad magic or version")
 	}
-	iter = int64(binary.LittleEndian.Uint64(body[8:16]))
-	n := int(binary.LittleEndian.Uint32(body[16:20]))
-	rest := body[20:]
-	for i := 0; i < n; i++ {
-		if len(rest) < 4 {
-			return 0, nil, nil, errors.New("checkpoint: truncated record")
+	iter = int64(binary.LittleEndian.Uint64(meta[8:16]))
+	for _, s := range sections[1:] {
+		if strings.HasPrefix(s.Name, "~") {
+			continue // decorator metadata
 		}
-		nameLen := int(binary.LittleEndian.Uint32(rest[:4]))
-		rest = rest[4:]
-		if len(rest) < nameLen+16 {
-			return 0, nil, nil, errors.New("checkpoint: truncated record")
+		if len(s.Data) < 16 {
+			return 0, nil, nil, fmt.Errorf("checkpoint: truncated record %q", s.Name)
 		}
-		p := Protected{Name: string(rest[:nameLen])}
-		rest = rest[nameLen:]
-		p.Base = binary.LittleEndian.Uint64(rest[:8])
-		p.Cells = int64(binary.LittleEndian.Uint64(rest[8:16]))
-		rest = rest[16:]
+		p := Protected{
+			Name:  s.Name,
+			Base:  binary.LittleEndian.Uint64(s.Data[0:8]),
+			Cells: int64(binary.LittleEndian.Uint64(s.Data[8:16])),
+		}
+		rest := s.Data[16:]
 		vals := make([]trace.Value, 0, p.Cells)
 		for j := int64(0); j < p.Cells; j++ {
 			var v trace.Value
@@ -279,40 +267,49 @@ func decode(buf []byte) (iter int64, vars []Protected, cells [][]trace.Value, er
 	return iter, vars, cells, nil
 }
 
-// Restart locates the latest valid checkpoint (falling back to the partner
-// copy if the primary is corrupted and the level wrote one) and restores
-// all protected variables into the machine's memory, skipping any names in
-// the skip set. It returns the checkpoint's iteration number.
+// Checkpoint writes a checkpoint of all protected variables at the given
+// iteration number. With an asynchronous backend it returns as soon as
+// the cells are snapshotted into a staging buffer; write errors then
+// surface on a later Checkpoint, Flush, or Close.
+func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
+	sections := encodeCheckpoint(m, c.protected, iter)
+	c.seq++
+	if err := c.backend.Put(c.key(c.seq), sections); err != nil {
+		return err
+	}
+	c.lastBytes = store.EncodedSize(sections)
+	c.allBytes += c.lastBytes
+	c.count++
+	return nil
+}
+
+func (c *Context) key(seq int) string { return fmt.Sprintf("%s%06d", keyPrefix, seq) }
+
+// Restart locates the latest valid checkpoint (the backend falls back to
+// the partner copy when the primary is corrupted and the level wrote one)
+// and restores all protected variables into the machine's memory,
+// skipping any names in the skip set. It returns the checkpoint's
+// iteration number.
 func (c *Context) Restart(m *interp.Machine, skip map[string]bool) (int64, error) {
-	entries, err := os.ReadDir(c.dir)
+	keys, err := c.backend.List()
 	if err != nil {
 		return 0, err
 	}
-	var primaries []string
-	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".l1" {
-			primaries = append(primaries, filepath.Join(c.dir, e.Name()))
+	var candidates []string
+	for _, k := range keys {
+		if strings.HasPrefix(k, keyPrefix) {
+			candidates = append(candidates, k)
 		}
 	}
-	sort.Sort(sort.Reverse(sort.StringSlice(primaries)))
-	for _, path := range primaries {
-		buf, err := os.ReadFile(path)
+	sort.Sort(sort.Reverse(sort.StringSlice(candidates)))
+	for _, key := range candidates {
+		sections, err := c.backend.Get(key)
+		if err != nil {
+			continue // corrupted or torn: fall back to the previous checkpoint
+		}
+		iter, vars, cells, err := decodeCheckpoint(sections)
 		if err != nil {
 			continue
-		}
-		iter, vars, cells, err := decode(buf)
-		if err != nil {
-			// Primary corrupted: try the partner copy.
-			partner := path[:len(path)-3] + ".l2"
-			if buf2, err2 := os.ReadFile(partner); err2 == nil {
-				if it2, v2, c2, err3 := decode(buf2); err3 == nil {
-					iter, vars, cells = it2, v2, c2
-					err = nil
-				}
-			}
-			if err != nil {
-				continue
-			}
 		}
 		for i, p := range vars {
 			if skip[p.Name] {

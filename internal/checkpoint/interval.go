@@ -16,7 +16,14 @@ func OptimalInterval(ckptCost, mtbf time.Duration) time.Duration {
 	if ckptCost <= 0 || mtbf <= 0 {
 		return 0
 	}
-	return time.Duration(math.Sqrt(2 * float64(ckptCost) * float64(mtbf)))
+	t := math.Sqrt(2 * float64(ckptCost) * float64(mtbf))
+	if t >= float64(math.MaxInt64) {
+		// Astronomical MTBF: sqrt(2*C*MTBF) can exceed what a Duration
+		// holds even though both inputs fit; saturate instead of wrapping
+		// negative.
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(t)
 }
 
 // ExpectedWaste returns the fraction of machine time lost to checkpointing
@@ -24,7 +31,7 @@ func OptimalInterval(ckptCost, mtbf time.Duration) time.Duration {
 // given cost and MTBF (first-order model: C/T + T/(2*MTBF)). Minimized at
 // OptimalInterval.
 func ExpectedWaste(interval, ckptCost, mtbf time.Duration) float64 {
-	if interval <= 0 || mtbf <= 0 {
+	if interval <= 0 || mtbf <= 0 || ckptCost < 0 {
 		return math.Inf(1)
 	}
 	return float64(ckptCost)/float64(interval) + float64(interval)/(2*float64(mtbf))

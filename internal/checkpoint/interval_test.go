@@ -25,6 +25,59 @@ func TestOptimalIntervalDegenerate(t *testing.T) {
 	}
 }
 
+func TestOptimalIntervalNegativeInputs(t *testing.T) {
+	if OptimalInterval(-time.Second, time.Hour) != 0 {
+		t.Error("negative cost should return 0")
+	}
+	if OptimalInterval(time.Second, -time.Hour) != 0 {
+		t.Error("negative MTBF should return 0")
+	}
+	if OptimalInterval(-time.Second, -time.Hour) != 0 {
+		t.Error("both negative should return 0")
+	}
+}
+
+// Very large MTBF: sqrt(2*C*MTBF) can exceed time.Duration's range even
+// though both inputs fit; the result must saturate, never wrap negative.
+func TestOptimalIntervalVeryLargeMTBF(t *testing.T) {
+	huge := time.Duration(math.MaxInt64) // ~292 years
+	got := OptimalInterval(huge, huge)
+	if got <= 0 {
+		t.Errorf("OptimalInterval(max, max) = %v, overflowed", got)
+	}
+	if got != time.Duration(math.MaxInt64) {
+		t.Errorf("OptimalInterval(max, max) = %v, want saturation at MaxInt64", got)
+	}
+	// A realistic cost with an astronomical MTBF stays in range and keeps
+	// monotonicity: larger MTBF never shortens the interval.
+	small := OptimalInterval(time.Minute, 100*365*24*time.Hour)
+	if small <= 0 {
+		t.Errorf("OptimalInterval(1m, 100y) = %v", small)
+	}
+	if bigger := OptimalInterval(time.Minute, huge); bigger < small {
+		t.Errorf("interval shrank as MTBF grew: %v < %v", bigger, small)
+	}
+}
+
+func TestExpectedWasteDegenerate(t *testing.T) {
+	c, mtbf := time.Minute, time.Hour
+	for name, got := range map[string]float64{
+		"zero interval":     ExpectedWaste(0, c, mtbf),
+		"negative interval": ExpectedWaste(-time.Second, c, mtbf),
+		"zero mtbf":         ExpectedWaste(time.Minute, c, 0),
+		"negative mtbf":     ExpectedWaste(time.Minute, c, -time.Hour),
+		"negative cost":     ExpectedWaste(time.Minute, -time.Second, mtbf),
+	} {
+		if !math.IsInf(got, 1) {
+			t.Errorf("%s: waste = %v, want +Inf", name, got)
+		}
+	}
+	// Zero cost is legitimate (free checkpoints): waste is pure rework.
+	if got := ExpectedWaste(time.Minute, 0, mtbf); got <= 0 || math.IsInf(got, 0) {
+		t.Errorf("zero-cost waste = %v, want small positive", got)
+	}
+}
+
 func TestExpectedWasteMinimizedAtOptimum(t *testing.T) {
 	c, mtbf := 30*time.Second, 2*time.Hour
 	opt := OptimalInterval(c, mtbf)

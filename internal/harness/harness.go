@@ -19,6 +19,7 @@ import (
 	"autocheck/internal/interp"
 	"autocheck/internal/ir"
 	"autocheck/internal/progs"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
 	"autocheck/internal/validate"
 )
@@ -258,6 +259,87 @@ func MeasureStorage(mod *ir.Module, res *core.Result) (autoCheck, blcr int64, er
 	return autoCheck, blcr, nil
 }
 
+// StorageRun is the outcome of checkpointing one full benchmark run
+// through a storage backend configuration (the Table IV storage
+// comparison extended to whole runs: full snapshots vs critical-set
+// images vs what the backend actually persisted).
+type StorageRun struct {
+	Checkpoints     int
+	LogicalBytes    int64 // sum of critical-set checkpoint images
+	PersistedBytes  int64 // bytes the backend chain actually wrote
+	SnapshotBytes   int64 // sum of BLCR-like full snapshots at the same points
+	SectionsSkipped int64 // unchanged variables elided by the incremental decorator
+	Keyframes       int64
+	Deltas          int64
+	RestartIter     int64 // iteration recovered from the final checkpoint
+}
+
+// MeasureStorageRun executes the module to completion, checkpointing the
+// AutoCheck-critical variables at every main-loop boundary through the
+// backend selected by cfg, and verifies a restart recovers the final
+// checkpoint. When withSnapshots is set it also sizes a BLCR-like full
+// snapshot at each boundary for comparison.
+func MeasureStorageRun(mod *ir.Module, res *core.Result, scfg store.Config, level checkpoint.Level, withSnapshots bool) (*StorageRun, error) {
+	fn := mod.Func(res.Spec.Function)
+	if fn == nil {
+		return nil, fmt.Errorf("harness: no function %s", res.Spec.Function)
+	}
+	g := cfg.New(fn)
+	loop := g.OutermostLoopInRange(res.Spec.StartLine, res.Spec.EndLine)
+	if loop == nil {
+		return nil, fmt.Errorf("harness: no loop for %s", res.Spec.Function)
+	}
+	ctx, err := checkpoint.NewContextStore(scfg, level)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+	for _, c := range res.Critical {
+		ctx.Protect(c.Name, c.Base, c.SizeBytes)
+	}
+	out := &StorageRun{}
+	m := interp.New(mod)
+	entries := 0
+	m.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+		if blk != loop.Header || f.Fn.Name != res.Spec.Function {
+			return nil
+		}
+		entries++
+		if entries < 2 {
+			return nil
+		}
+		if err := ctx.Checkpoint(mm, int64(entries-1)); err != nil {
+			return err
+		}
+		if withSnapshots {
+			out.SnapshotBytes += int64(len(checkpoint.FullSnapshot(mm, int64(entries-1))))
+		}
+		return nil
+	}
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("harness: storage run: %w", err)
+	}
+	if err := ctx.Flush(); err != nil {
+		return nil, fmt.Errorf("harness: storage flush: %w", err)
+	}
+	out.Checkpoints = ctx.Count()
+	out.LogicalBytes = ctx.TotalBytes()
+	st := ctx.StoreStats()
+	out.PersistedBytes = st.BytesWritten
+	out.SectionsSkipped = st.SectionsSkipped
+	out.Keyframes = st.Keyframes
+	out.Deltas = st.Deltas
+	if out.Checkpoints > 0 {
+		m2 := interp.New(mod)
+		iter, err := ctx.Restart(m2, nil)
+		if err != nil {
+			return nil, fmt.Errorf("harness: restart after storage run: %w", err)
+		}
+		out.RestartIter = iter
+	}
+	return out, nil
+}
+
 // FormatTable4 renders Table IV.
 func FormatTable4(rows []Table4Row) string {
 	var b strings.Builder
@@ -288,9 +370,16 @@ type ValidationRow struct {
 	SnapBytes      int64
 }
 
-// RunValidation reproduces §VI-B for every benchmark: fail-stop, restart,
-// compare, and per-variable necessity.
+// RunValidation reproduces §VI-B for every benchmark with the default
+// storage setup (L1, file backend): fail-stop, restart, compare, and
+// per-variable necessity.
 func RunValidation(scratch string) ([]ValidationRow, error) {
+	return RunValidationWith(scratch, validate.Options{})
+}
+
+// RunValidationWith is RunValidation with checkpoints persisted through
+// the given backend configuration and reliability level.
+func RunValidationWith(scratch string, opts validate.Options) ([]ValidationRow, error) {
 	var rows []ValidationRow
 	for _, b := range progs.All() {
 		p, err := Prepare(b, 0)
@@ -301,7 +390,7 @@ func RunValidation(scratch string) ([]ValidationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := validate.New(p.Mod, res, fmt.Sprintf("%s/%s", scratch, b.Name))
+		v, err := validate.NewWithOptions(p.Mod, res, fmt.Sprintf("%s/%s", scratch, b.Name), opts)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"autocheck/internal/checkpoint"
 	"autocheck/internal/progs"
+	"autocheck/internal/store"
 )
 
 func TestTable2(t *testing.T) {
@@ -99,6 +101,78 @@ func TestValidationSummary(t *testing.T) {
 	out := FormatValidation(rows)
 	if !strings.Contains(out, "Restart OK") {
 		t.Error("formatted validation missing header")
+	}
+}
+
+// TestStorageRunIncrementalReduction pins the acceptance claim of the
+// store subsystem: on IS (whose key_array changes only two elements per
+// iteration), incremental checkpoints persist no more bytes than full
+// critical-set images, with identical restart behavior.
+func TestStorageRunIncrementalReduction(t *testing.T) {
+	p, err := Prepare(progs.Get("IS"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MeasureStorageRun(p.Mod, res, store.Config{Kind: store.KindMemory}, checkpoint.L1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := MeasureStorageRun(p.Mod, res,
+		store.Config{Kind: store.KindMemory, Incremental: true, Keyframe: 8}, checkpoint.L1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Checkpoints == 0 || plain.Checkpoints != inc.Checkpoints {
+		t.Fatalf("checkpoints: plain=%d inc=%d", plain.Checkpoints, inc.Checkpoints)
+	}
+	if inc.PersistedBytes > plain.PersistedBytes {
+		t.Errorf("incremental persisted %d B > full critical-set %d B",
+			inc.PersistedBytes, plain.PersistedBytes)
+	}
+	if plain.SnapshotBytes <= plain.LogicalBytes {
+		t.Errorf("full snapshots (%d B) should dwarf critical-set images (%d B)",
+			plain.SnapshotBytes, plain.LogicalBytes)
+	}
+	if plain.RestartIter != inc.RestartIter || inc.RestartIter != int64(inc.Checkpoints) {
+		t.Errorf("restart iter: plain=%d inc=%d want %d", plain.RestartIter, inc.RestartIter, inc.Checkpoints)
+	}
+	if inc.Keyframes == 0 || inc.Deltas == 0 {
+		t.Errorf("incremental accounting: keyframes=%d deltas=%d", inc.Keyframes, inc.Deltas)
+	}
+}
+
+// The storage run must behave identically through the async and sharded
+// write paths (same images, same restart point).
+func TestStorageRunBackendEquivalence(t *testing.T) {
+	p, err := Prepare(progs.Get("CG"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MeasureStorageRun(p.Mod, res, store.Config{Kind: store.KindMemory}, checkpoint.L1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, scfg := range map[string]store.Config{
+		"file":         {Kind: store.KindFile, Dir: t.TempDir()},
+		"sharded":      {Kind: store.KindSharded, Dir: t.TempDir(), Workers: 3},
+		"memory-async": {Kind: store.KindMemory, Async: true},
+	} {
+		got, err := MeasureStorageRun(p.Mod, res, scfg, checkpoint.L1, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Checkpoints != ref.Checkpoints || got.LogicalBytes != ref.LogicalBytes ||
+			got.RestartIter != ref.RestartIter {
+			t.Errorf("%s: run diverged: %+v vs %+v", name, got, ref)
+		}
 	}
 }
 

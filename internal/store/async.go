@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Async decorates a backend with double-buffered asynchronous writes, the
+// FTI-style dedicated-writer optimization: Put snapshots the sections
+// into a staging buffer and returns immediately while a background
+// goroutine persists them, so the application resumes computing during
+// the checkpoint write. Two staging buffers are in flight at most; a
+// third Put blocks until a buffer is reusable (i.e. the application only
+// ever waits when it outruns the storage medium by two full
+// checkpoints).
+//
+// Write errors are deferred: they surface on the next Put, on Flush, or
+// on Close. Reads (Get/List/Delete/Stats) flush pending writes first so
+// the decorator is sequentially consistent with itself.
+type Async struct {
+	inner Backend
+	slots chan struct{} // staging-buffer tokens (capacity = 2)
+	jobs  chan asyncJob
+	wg    sync.WaitGroup // pending + in-flight writes
+
+	// opMu serializes Put/Flush/Close so a Flush cannot observe a Put
+	// between its closed-check and its enqueue (and Close cannot close
+	// the jobs channel under a concurrent send).
+	opMu sync.Mutex
+
+	mu     sync.Mutex
+	err    error // first deferred write error (sticky)
+	closed bool
+}
+
+type asyncJob struct {
+	key      string
+	sections []Section
+}
+
+// asyncBuffers is the number of staging buffers (double buffering).
+const asyncBuffers = 2
+
+// NewAsync wraps inner with the asynchronous write path.
+func NewAsync(inner Backend) *Async {
+	a := &Async{
+		inner: inner,
+		slots: make(chan struct{}, asyncBuffers),
+		jobs:  make(chan asyncJob, asyncBuffers),
+	}
+	go a.writer()
+	return a
+}
+
+func (a *Async) writer() {
+	for job := range a.jobs {
+		if err := a.inner.Put(job.key, job.sections); err != nil {
+			a.mu.Lock()
+			if a.err == nil {
+				a.err = err
+			}
+			a.mu.Unlock()
+		}
+		<-a.slots
+		a.wg.Done()
+	}
+}
+
+func (a *Async) deferredErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Put implements Backend: snapshot and enqueue, blocking only on buffer
+// reuse.
+func (a *Async) Put(key string, sections []Section) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return errors.New("store: async backend closed")
+	}
+	if err := a.err; err != nil {
+		a.mu.Unlock()
+		return err
+	}
+	a.mu.Unlock()
+	a.slots <- struct{}{} // blocks iff both staging buffers are in flight
+	a.wg.Add(1)
+	a.jobs <- asyncJob{key: key, sections: copySections(sections)}
+	return nil
+}
+
+// Flush implements Backend: wait for queued writes and report the first
+// deferred error.
+func (a *Async) Flush() error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	return a.flush()
+}
+
+func (a *Async) flush() error {
+	a.wg.Wait()
+	if err := a.deferredErr(); err != nil {
+		return err
+	}
+	return a.inner.Flush()
+}
+
+// Get implements Backend (flushes first).
+func (a *Async) Get(key string) ([]Section, error) {
+	a.wg.Wait()
+	return a.inner.Get(key)
+}
+
+// List implements Backend (flushes first).
+func (a *Async) List() ([]string, error) {
+	a.wg.Wait()
+	return a.inner.List()
+}
+
+// Delete implements Backend (flushes first).
+func (a *Async) Delete(key string) error {
+	a.wg.Wait()
+	return a.inner.Delete(key)
+}
+
+// Stats implements Backend (flushes first so the numbers are settled).
+func (a *Async) Stats() Stats {
+	a.wg.Wait()
+	return a.inner.Stats()
+}
+
+// Close implements Backend: drain, stop the writer, close the inner
+// backend.
+func (a *Async) Close() error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	flushErr := a.flush()
+	a.mu.Lock()
+	alreadyClosed := a.closed
+	a.closed = true
+	a.mu.Unlock()
+	if alreadyClosed {
+		return flushErr
+	}
+	close(a.jobs)
+	if err := a.inner.Close(); err != nil && flushErr == nil {
+		flushErr = err
+	}
+	return flushErr
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Incremental decorates a backend with delta checkpoints: every Keyframe
+// puts it writes the full object (a keyframe); in between it writes only
+// the sections whose content hash changed since the previous put, and a
+// changed section larger than one chunk is stored as chunk-level patches
+// against its previous content. Restart therefore reads at most one
+// keyframe plus the deltas up to the requested key, and a checkpoint of a
+// mostly-unchanged protected set costs only the changed bytes — the
+// differential counterpart to the paper's "checkpoint only the critical
+// variables" storage argument.
+//
+// The section name "~incr" is reserved for this decorator's metadata;
+// the checkpoint layer's own names (variable names plus its "~ckpt"
+// metadata section) cannot collide with it.
+type Incremental struct {
+	inner    Backend
+	keyframe int
+	chunk    int
+
+	mu      sync.Mutex
+	puts    int
+	baseKey string            // key of the current keyframe
+	hash    map[string]uint64 // FNV-64a of each section's last content
+	last    map[string][]byte // last content, the diff basis for patches
+	stats   Stats             // local counters folded into inner's
+}
+
+// Defaults for NewIncremental's parameters.
+const (
+	DefaultKeyframe   = 8
+	DefaultChunkBytes = 256
+)
+
+const (
+	incrMetaSection = "~incr"
+	kindKeyframe    = byte(0)
+	kindDelta       = byte(1)
+	encFull         = byte(0)
+	encPatch        = byte(1)
+)
+
+// NewIncremental wraps inner with the delta write path. keyframe is the
+// full-checkpoint period and chunkBytes the intra-section diff
+// granularity (<= 0 selects the defaults).
+func NewIncremental(inner Backend, keyframe, chunkBytes int) *Incremental {
+	if keyframe <= 0 {
+		keyframe = DefaultKeyframe
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &Incremental{
+		inner:    inner,
+		keyframe: keyframe,
+		chunk:    chunkBytes,
+		hash:     make(map[string]uint64),
+		last:     make(map[string][]byte),
+	}
+}
+
+func contentHash(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Put implements Backend.
+func (inc *Incremental) Put(key string, sections []Section) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	// A key that does not sort after the current keyframe (e.g. an
+	// overwrite of an existing object) cannot be expressed as a delta:
+	// reconstruction walks keys in (baseKey, key] order.
+	isKeyframe := inc.baseKey == "" || inc.puts%inc.keyframe == 0 || key <= inc.baseKey
+	inc.puts++
+
+	var out []Section
+	if isKeyframe {
+		out = make([]Section, 0, len(sections)+1)
+		out = append(out, Section{Name: incrMetaSection, Data: []byte{kindKeyframe}})
+		for _, s := range sections {
+			out = append(out, Section{Name: s.Name, Data: append([]byte{encFull}, s.Data...)})
+			inc.hash[s.Name] = contentHash(s.Data)
+			inc.last[s.Name] = append([]byte(nil), s.Data...)
+		}
+		if err := inc.inner.Put(key, out); err != nil {
+			return err
+		}
+		inc.baseKey = key
+		inc.stats.Keyframes++
+		return nil
+	}
+
+	meta := append([]byte{kindDelta}, inc.baseKey...)
+	out = append(out, Section{Name: incrMetaSection, Data: meta})
+	for _, s := range sections {
+		h := contentHash(s.Data)
+		prev, known := inc.last[s.Name]
+		if known && h == inc.hash[s.Name] && bytes.Equal(prev, s.Data) {
+			inc.stats.SectionsSkipped++
+			continue
+		}
+		payload := []byte{encFull}
+		if known && len(prev) == len(s.Data) {
+			if patch, ok := diffChunks(prev, s.Data, inc.chunk); ok {
+				payload = append([]byte{encPatch}, patch...)
+			}
+		}
+		if payload[0] == encFull {
+			payload = append(payload, s.Data...)
+		}
+		out = append(out, Section{Name: s.Name, Data: payload})
+		inc.hash[s.Name] = h
+		inc.last[s.Name] = append([]byte(nil), s.Data...)
+	}
+	if err := inc.inner.Put(key, out); err != nil {
+		return err
+	}
+	inc.stats.Deltas++
+	return nil
+}
+
+// diffChunks encodes the chunks of cur that differ from prev as
+// (offset, length, bytes) patches. It reports false when patching would
+// not be smaller than re-writing cur outright.
+func diffChunks(prev, cur []byte, chunk int) ([]byte, bool) {
+	var patches []byte
+	n := 0
+	for off := 0; off < len(cur); off += chunk {
+		end := off + chunk
+		if end > len(cur) {
+			end = len(cur)
+		}
+		if bytes.Equal(prev[off:end], cur[off:end]) {
+			continue
+		}
+		patches = binary.LittleEndian.AppendUint32(patches, uint32(off))
+		patches = binary.LittleEndian.AppendUint32(patches, uint32(end-off))
+		patches = append(patches, cur[off:end]...)
+		n++
+	}
+	blob := binary.LittleEndian.AppendUint32(nil, uint32(chunk))
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(n))
+	blob = append(blob, patches...)
+	return blob, len(blob) < len(cur)
+}
+
+func applyPatch(base, patch []byte) ([]byte, error) {
+	if len(patch) < 8 {
+		return nil, errors.New("store: truncated patch header")
+	}
+	n := int(binary.LittleEndian.Uint32(patch[4:8]))
+	rest := patch[8:]
+	out := append([]byte(nil), base...)
+	for i := 0; i < n; i++ {
+		if len(rest) < 8 {
+			return nil, errors.New("store: truncated patch entry")
+		}
+		off := int(binary.LittleEndian.Uint32(rest[:4]))
+		length := int(binary.LittleEndian.Uint32(rest[4:8]))
+		rest = rest[8:]
+		if length < 0 || len(rest) < length || off < 0 || off+length > len(out) {
+			return nil, errors.New("store: patch out of bounds")
+		}
+		copy(out[off:off+length], rest[:length])
+		rest = rest[length:]
+	}
+	return out, nil
+}
+
+// parseObject splits a stored object into its kind, base key, and
+// payload sections.
+func parseObject(sections []Section) (kind byte, baseKey string, payload []Section, err error) {
+	if len(sections) == 0 || sections[0].Name != incrMetaSection || len(sections[0].Data) < 1 {
+		return 0, "", nil, errors.New("store: object missing incremental metadata")
+	}
+	return sections[0].Data[0], string(sections[0].Data[1:]), sections[1:], nil
+}
+
+// Get implements Backend: reconstruct the object at key from its keyframe
+// plus every delta up to key, in List order.
+func (inc *Incremental) Get(key string) ([]Section, error) {
+	obj, err := inc.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	kind, baseKey, payload, err := parseObject(obj)
+	if err != nil {
+		return nil, err
+	}
+	if kind == kindKeyframe {
+		return decodeFull(payload)
+	}
+	keys, err := inc.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	var chain []string
+	for _, k := range keys {
+		if k >= baseKey && k < key {
+			chain = append(chain, k)
+		}
+	}
+	if len(chain) == 0 || chain[0] != baseKey {
+		return nil, fmt.Errorf("store: keyframe %q for delta %q is gone", baseKey, key)
+	}
+	var order []string
+	state := make(map[string][]byte)
+	for _, k := range chain {
+		prior, err := inc.inner.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("store: delta chain for %q: %w", key, err)
+		}
+		_, _, sections, err := parseObject(prior)
+		if err != nil {
+			return nil, err
+		}
+		if order, err = overlay(state, order, sections); err != nil {
+			return nil, err
+		}
+	}
+	if order, err = overlay(state, order, payload); err != nil {
+		return nil, err
+	}
+	out := make([]Section, len(order))
+	for i, name := range order {
+		out[i] = Section{Name: name, Data: state[name]}
+	}
+	return out, nil
+}
+
+func decodeFull(payload []Section) ([]Section, error) {
+	out := make([]Section, len(payload))
+	for i, s := range payload {
+		if len(s.Data) < 1 || s.Data[0] != encFull {
+			return nil, fmt.Errorf("store: keyframe section %q not full-encoded", s.Name)
+		}
+		out[i] = Section{Name: s.Name, Data: s.Data[1:]}
+	}
+	return out, nil
+}
+
+// overlay applies one stored object's sections onto the reconstruction
+// state, returning the updated section order.
+func overlay(state map[string][]byte, order []string, sections []Section) ([]string, error) {
+	for _, s := range sections {
+		if len(s.Data) < 1 {
+			return nil, fmt.Errorf("store: empty payload for section %q", s.Name)
+		}
+		enc, data := s.Data[0], s.Data[1:]
+		switch enc {
+		case encFull:
+			if _, ok := state[s.Name]; !ok {
+				order = append(order, s.Name)
+			}
+			state[s.Name] = data
+		case encPatch:
+			base, ok := state[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("store: patch for unknown section %q", s.Name)
+			}
+			patched, err := applyPatch(base, data)
+			if err != nil {
+				return nil, fmt.Errorf("store: section %q: %w", s.Name, err)
+			}
+			state[s.Name] = patched
+		default:
+			return nil, fmt.Errorf("store: section %q: bad encoding %d", s.Name, enc)
+		}
+	}
+	return order, nil
+}
+
+// List implements Backend.
+func (inc *Incremental) List() ([]string, error) { return inc.inner.List() }
+
+// Delete implements Backend. Deleting a keyframe orphans its deltas (Get
+// on them fails cleanly); the checkpoint layer only deletes whole
+// sessions.
+func (inc *Incremental) Delete(key string) error { return inc.inner.Delete(key) }
+
+// Stats implements Backend: the inner backend's persisted numbers plus
+// this decorator's delta accounting.
+func (inc *Incremental) Stats() Stats {
+	s := inc.inner.Stats()
+	inc.mu.Lock()
+	s.SectionsSkipped += inc.stats.SectionsSkipped
+	s.Keyframes += inc.stats.Keyframes
+	s.Deltas += inc.stats.Deltas
+	inc.mu.Unlock()
+	return s
+}
+
+// Flush implements Backend.
+func (inc *Incremental) Flush() error { return inc.inner.Flush() }
+
+// Close implements Backend.
+func (inc *Incremental) Close() error { return inc.inner.Close() }

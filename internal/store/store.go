@@ -1,0 +1,233 @@
+// Package store is the checkpoint storage engine: a pluggable Backend
+// interface over keyed, sectioned objects, with three concrete backends
+// (in-memory, single-file, sharded-file) and two write-path decorators
+// (asynchronous double-buffered writes and delta/incremental objects).
+//
+// A checkpoint is stored as one object per key; an object is an ordered
+// list of named sections — for the checkpoint layer, one section per
+// protected variable plus a small metadata section. Keeping sections
+// first-class lets the sharded backend write one shard per variable from
+// a worker pool, and lets the incremental decorator re-write only the
+// variables whose content hash changed since the previous checkpoint
+// (FTI-style differential checkpointing).
+//
+// Keys must sort lexicographically in chronological order (the checkpoint
+// layer uses zero-padded sequence numbers); the incremental decorator and
+// the restart path both rely on List() order for recovery.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Section is one named chunk of an object. The checkpoint layer writes
+// one section per protected variable.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Stats is the cumulative accounting a backend reports. Decorators fold
+// their own counters into the inner backend's numbers.
+type Stats struct {
+	Puts, Gets, Deletes int64
+	BytesWritten        int64 // bytes handed to the persistence medium
+	BytesRead           int64
+	SectionsWritten     int64
+	SectionsSkipped     int64 // unchanged sections elided by the incremental decorator
+	Keyframes, Deltas   int64 // incremental decorator object kinds
+}
+
+// ErrNotFound is returned by Get and Delete for a missing key.
+var ErrNotFound = errors.New("store: object not found")
+
+// Backend is a keyed object store for checkpoint images.
+//
+// Implementations must be safe for concurrent use. Get must verify
+// integrity (every backend frames objects with a CRC-32) and fail rather
+// than return torn or bit-flipped data — the checkpoint layer's restart
+// falls back to an older checkpoint on any Get error.
+type Backend interface {
+	// Put persists the object under key, replacing any previous object.
+	Put(key string, sections []Section) error
+	// Get retrieves and verifies the object.
+	Get(key string) ([]Section, error)
+	// List returns all keys in lexicographic (= chronological) order.
+	List() ([]string, error)
+	// Delete removes an object (ErrNotFound if absent).
+	Delete(key string) error
+	// Stats reports cumulative accounting.
+	Stats() Stats
+	// Flush blocks until queued writes are durable and reports the first
+	// deferred write error (asynchronous decorator); no-op otherwise.
+	Flush() error
+	// Close flushes and releases resources.
+	Close() error
+}
+
+// Kind selects a concrete backend.
+type Kind int
+
+// Backend kinds. KindFile is the zero value so a zero Config preserves
+// the original on-disk behavior of internal/checkpoint.
+const (
+	KindFile Kind = iota
+	KindMemory
+	KindSharded
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFile:
+		return "file"
+	case KindMemory:
+		return "memory"
+	case KindSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses a backend name as accepted by the -store CLI flag.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "file", "":
+		return KindFile, nil
+	case "memory", "mem":
+		return KindMemory, nil
+	case "sharded", "shard":
+		return KindSharded, nil
+	}
+	return 0, fmt.Errorf("store: unknown backend kind %q (want file, memory, or sharded)", s)
+}
+
+// Config selects and parameterizes a backend chain.
+type Config struct {
+	Kind    Kind
+	Dir     string // root directory (file and sharded kinds)
+	Sync    bool   // fsync every write (checkpoint level L4)
+	Workers int    // sharded write pool size (default 4)
+
+	Async       bool // wrap with the async double-buffered decorator
+	Incremental bool // wrap with the delta/incremental decorator
+	Keyframe    int  // incremental: full checkpoint every N puts (default 8)
+	ChunkBytes  int  // incremental: intra-section diff granularity (default 256)
+}
+
+// Open constructs the base backend selected by cfg (without decorators;
+// see Decorate).
+func Open(cfg Config) (Backend, error) {
+	switch cfg.Kind {
+	case KindMemory:
+		return NewMemory(), nil
+	case KindFile:
+		if cfg.Dir == "" {
+			return nil, errors.New("store: file backend needs a directory")
+		}
+		return NewFile(cfg.Dir, cfg.Sync)
+	case KindSharded:
+		if cfg.Dir == "" {
+			return nil, errors.New("store: sharded backend needs a directory")
+		}
+		return NewSharded(cfg.Dir, cfg.Workers, cfg.Sync)
+	}
+	return nil, fmt.Errorf("store: unknown backend kind %d", cfg.Kind)
+}
+
+// Decorate applies the write-path decorators requested by cfg to b
+// (incremental innermost, async outermost: the async layer snapshots the
+// sections up front, so deltas are computed against a consistent copy
+// even though they run on the background writer).
+func Decorate(b Backend, cfg Config) Backend {
+	if cfg.Incremental {
+		b = NewIncremental(b, cfg.Keyframe, cfg.ChunkBytes)
+	}
+	if cfg.Async {
+		b = NewAsync(b)
+	}
+	return b
+}
+
+// Object framing shared by the file-like backends: a small header, the
+// sections, and a trailing CRC-32 that detects torn or bit-flipped
+// objects.
+const (
+	objectMagic   = uint32(0x41435331) // "ACS1"
+	objectVersion = uint32(1)
+)
+
+// EncodeSections frames sections as a single self-verifying byte object.
+func EncodeSections(sections []Section) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, objectMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, objectVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sections)))
+	for _, s := range sections {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Data)))
+		buf = append(buf, s.Data...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// EncodedSize returns len(EncodeSections(sections)) without encoding.
+func EncodedSize(sections []Section) int64 {
+	n := int64(16) // header + CRC
+	for _, s := range sections {
+		n += 12 + int64(len(s.Name)) + int64(len(s.Data))
+	}
+	return n
+}
+
+// DecodeSections verifies and parses an object produced by
+// EncodeSections.
+func DecodeSections(buf []byte) ([]Section, error) {
+	if len(buf) < 16 {
+		return nil, errors.New("store: object too short")
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errors.New("store: object CRC mismatch (corrupted)")
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != objectMagic ||
+		binary.LittleEndian.Uint32(body[4:8]) != objectVersion {
+		return nil, errors.New("store: bad object magic or version")
+	}
+	n := int(binary.LittleEndian.Uint32(body[8:12]))
+	rest := body[12:]
+	sections := make([]Section, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 4 {
+			return nil, errors.New("store: truncated section header")
+		}
+		nameLen := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < nameLen+8 {
+			return nil, errors.New("store: truncated section name")
+		}
+		s := Section{Name: string(rest[:nameLen])}
+		rest = rest[nameLen:]
+		dataLen := binary.LittleEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		if uint64(len(rest)) < dataLen {
+			return nil, errors.New("store: truncated section data")
+		}
+		s.Data = append([]byte(nil), rest[:dataLen]...)
+		rest = rest[dataLen:]
+		sections = append(sections, s)
+	}
+	return sections, nil
+}
+
+// copySections deep-copies sections (decorator staging buffers must not
+// alias caller memory).
+func copySections(sections []Section) []Section {
+	out := make([]Section, len(sections))
+	for i, s := range sections {
+		out[i] = Section{Name: s.Name, Data: append([]byte(nil), s.Data...)}
+	}
+	return out
+}

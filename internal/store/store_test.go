@@ -1,0 +1,512 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func sampleSections(seed byte) []Section {
+	big := make([]byte, 2048)
+	for i := range big {
+		big[i] = byte(i) ^ seed
+	}
+	return []Section{
+		{Name: "~ckpt", Data: []byte{seed, 1, 2, 3}},
+		{Name: "x", Data: []byte{seed, 0xAA}},
+		{Name: "arr", Data: big},
+	}
+}
+
+// openAll returns one fresh instance of every backend/decorator
+// combination under test, keyed by a descriptive name.
+func openAll(t *testing.T) map[string]Backend {
+	t.Helper()
+	file, err := NewFile(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSync, err := NewFile(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(t.TempDir(), 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedSerial, err := NewSharded(t.TempDir(), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncInner, err := NewFile(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{
+		"memory":             NewMemory(),
+		"file":               file,
+		"file-sync":          fileSync,
+		"sharded":            sharded,
+		"sharded-serial":     shardedSerial,
+		"async-file":         NewAsync(asyncInner),
+		"incremental-memory": NewIncremental(NewMemory(), 3, 64),
+		"async-incremental":  NewAsync(NewIncremental(NewMemory(), 3, 64)),
+	}
+}
+
+func TestRoundtripAllBackends(t *testing.T) {
+	for name, b := range openAll(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			for i := byte(1); i <= 5; i++ {
+				key := fmt.Sprintf("ckpt-%06d", i)
+				if err := b.Put(key, sampleSections(i)); err != nil {
+					t.Fatalf("Put %s: %v", key, err)
+				}
+			}
+			keys, err := b.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 5 {
+				t.Fatalf("List = %v, want 5 keys", keys)
+			}
+			if !reflect.DeepEqual(keys, append([]string(nil), "ckpt-000001", "ckpt-000002", "ckpt-000003", "ckpt-000004", "ckpt-000005")) {
+				t.Errorf("List not sorted: %v", keys)
+			}
+			for i := byte(1); i <= 5; i++ {
+				got, err := b.Get(fmt.Sprintf("ckpt-%06d", i))
+				if err != nil {
+					t.Fatalf("Get %d: %v", i, err)
+				}
+				if want := sampleSections(i); !reflect.DeepEqual(got, want) {
+					t.Errorf("Get %d: sections differ", i)
+				}
+			}
+			if _, err := b.Get("ckpt-999999"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get missing = %v, want ErrNotFound", err)
+			}
+			st := b.Stats()
+			if st.Puts != 5 || st.Gets < 5 || st.BytesWritten <= 0 {
+				t.Errorf("Stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestDeleteAllBackends(t *testing.T) {
+	for name, b := range openAll(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Delete("ckpt-000001"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Get("ckpt-000001"); err == nil {
+				t.Error("Get after Delete succeeded")
+			}
+			if err := b.Delete("ckpt-000001"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("second Delete = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	for name, b := range openAll(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put("k", sampleSections(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Put("k", sampleSections(9)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Get("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, sampleSections(9)) {
+				t.Error("overwrite not visible")
+			}
+		})
+	}
+}
+
+// Every file-backed backend must reject a flipped bit anywhere in the
+// object (the validation protocol's corruption experiments).
+func TestFileBackendRejectsFlippedBit(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFile(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ckpt-000001")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Get("ckpt-000001"); err == nil {
+			t.Errorf("flipped bit at %d accepted", off)
+		}
+	}
+}
+
+func TestFileBackendRejectsTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFile(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ckpt-000001")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("ckpt-000001"); err == nil {
+		t.Error("torn (truncated) object accepted")
+	}
+}
+
+func TestMemoryBackendRejectsCorruption(t *testing.T) {
+	m := NewMemory()
+	if err := m.Put("k", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Corrupt("k", 40) {
+		t.Fatal("Corrupt found no object")
+	}
+	if _, err := m.Get("k"); err == nil {
+		t.Error("corrupted in-memory object accepted")
+	}
+}
+
+func TestShardedRejectsCorruptShardAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewSharded(dir, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the big section's shard.
+	if !b.CorruptShard("ckpt-000001", 2, 100) {
+		t.Fatal("CorruptShard found no shard")
+	}
+	if _, err := b.Get("ckpt-000001"); err == nil {
+		t.Error("corrupted shard accepted")
+	}
+	// Fresh object; truncate a shard (torn write).
+	if err := b.Put("ckpt-000002", sampleSections(2)); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "ckpt-000002", "0002.shard")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("ckpt-000002"); err == nil {
+		t.Error("torn shard accepted")
+	}
+	// Corrupt the manifest itself.
+	if err := b.Put("ckpt-000003", sampleSections(3)); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "ckpt-000003", "manifest")
+	mdata, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata[len(mdata)/2] ^= 0xFF
+	if err := os.WriteFile(manifest, mdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("ckpt-000003"); err == nil {
+		t.Error("corrupted manifest accepted")
+	}
+}
+
+func TestShardedUncommittedObjectInvisible(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewSharded(dir, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash before the manifest landed.
+	if err := os.Remove(filepath.Join(dir, "ckpt-000002", "manifest")); !os.IsNotExist(err) && err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "ckpt-000002"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-000002", "0000.shard"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"ckpt-000001"}) {
+		t.Errorf("List = %v, want only the committed object", keys)
+	}
+}
+
+// failingBackend fails every Nth Put, for async error propagation tests.
+type failingBackend struct {
+	*Memory
+	mu    sync.Mutex
+	puts  int
+	every int
+}
+
+func (f *failingBackend) Put(key string, sections []Section) error {
+	f.mu.Lock()
+	f.puts++
+	fail := f.every > 0 && f.puts%f.every == 0
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected write failure at put %d", f.puts)
+	}
+	return f.Memory.Put(key, sections)
+}
+
+func TestAsyncDeferredErrorSurfaces(t *testing.T) {
+	a := NewAsync(&failingBackend{Memory: NewMemory(), every: 2})
+	if err := a.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("ckpt-000002", sampleSections(2)); err != nil {
+		t.Fatal(err) // enqueued; the failure is deferred
+	}
+	if err := a.Flush(); err == nil {
+		t.Error("Flush swallowed the deferred write error")
+	}
+	if err := a.Put("ckpt-000003", sampleSections(3)); err == nil {
+		t.Error("Put after deferred error succeeded")
+	}
+	if err := a.Close(); err == nil {
+		t.Error("Close swallowed the deferred write error")
+	}
+}
+
+func TestAsyncSnapshotsSections(t *testing.T) {
+	inner := NewMemory()
+	a := NewAsync(inner)
+	defer a.Close()
+	sections := sampleSections(1)
+	if err := a.Put("k", sections); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the caller's buffer after Put returns: the staged snapshot
+	// must be unaffected.
+	for i := range sections[2].Data {
+		sections[2].Data[i] = 0xEE
+	}
+	got, err := a.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleSections(1)) {
+		t.Error("async write observed caller mutation (staging buffer aliases caller memory)")
+	}
+}
+
+func TestAsyncManyWritesDrain(t *testing.T) {
+	inner := NewMemory()
+	a := NewAsync(inner)
+	for i := 0; i < 50; i++ {
+		if err := a.Put(fmt.Sprintf("ckpt-%06d", i), sampleSections(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := inner.Stats(); st.Puts != 50 {
+		t.Errorf("inner puts = %d, want 50", st.Puts)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalReconstruction(t *testing.T) {
+	inner := NewMemory()
+	inc := NewIncremental(inner, 4, 64)
+	big := make([]byte, 1024)
+	want := make(map[string][]Section)
+	for i := 1; i <= 10; i++ {
+		key := fmt.Sprintf("ckpt-%06d", i)
+		// "stable" never changes; big changes one chunk-sized region per
+		// put; "counter" changes every put.
+		copy(big[(i%4)*128:], bytes.Repeat([]byte{byte(i)}, 16))
+		sections := []Section{
+			{Name: "stable", Data: []byte{1, 2, 3, 4}},
+			{Name: "big", Data: append([]byte(nil), big...)},
+			{Name: "counter", Data: []byte{byte(i)}},
+		}
+		want[key] = copySections(sections)
+		if err := inc.Put(key, sections); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key, sections := range want {
+		got, err := inc.Get(key)
+		if err != nil {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+		if !reflect.DeepEqual(got, sections) {
+			t.Errorf("Get %s: reconstruction differs", key)
+		}
+	}
+	st := inc.Stats()
+	if st.Keyframes != 3 || st.Deltas != 7 { // puts 1,5,9 are keyframes
+		t.Errorf("keyframes=%d deltas=%d, want 3/7", st.Keyframes, st.Deltas)
+	}
+	if st.SectionsSkipped == 0 {
+		t.Error("stable section never skipped")
+	}
+}
+
+func TestIncrementalWritesFewerBytes(t *testing.T) {
+	plainInner, incInner := NewMemory(), NewMemory()
+	plain := Backend(plainInner)
+	inc := NewIncremental(incInner, 8, 64)
+	big := make([]byte, 4096)
+	for i := 1; i <= 16; i++ {
+		big[i] = byte(i) // one byte changes per iteration
+		sections := []Section{
+			{Name: "input", Data: make([]byte, 2048)}, // never changes
+			{Name: "big", Data: append([]byte(nil), big...)},
+		}
+		key := fmt.Sprintf("ckpt-%06d", i)
+		if err := plain.Put(key, copySections(sections)); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Put(key, sections); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pw, iw := plainInner.Stats().BytesWritten, incInner.Stats().BytesWritten
+	if iw >= pw {
+		t.Errorf("incremental wrote %d bytes, plain %d — expected a reduction", iw, pw)
+	}
+	// Both must still reconstruct the same final object.
+	a, err := plain.Get("ckpt-000016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inc.Get("ckpt-000016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("incremental reconstruction diverges from plain storage")
+	}
+}
+
+func TestIncrementalMissingKeyframeFails(t *testing.T) {
+	inner := NewMemory()
+	inc := NewIncremental(inner, 4, 64)
+	for i := 1; i <= 3; i++ {
+		if err := inc.Put(fmt.Sprintf("ckpt-%06d", i), sampleSections(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inner.Delete("ckpt-000001"); err != nil { // the keyframe
+		t.Fatal(err)
+	}
+	if _, err := inc.Get("ckpt-000003"); err == nil {
+		t.Error("delta resolved without its keyframe")
+	}
+}
+
+func TestEncodeDecodeSections(t *testing.T) {
+	sections := sampleSections(7)
+	blob := EncodeSections(sections)
+	if int64(len(blob)) != EncodedSize(sections) {
+		t.Errorf("EncodedSize = %d, len = %d", EncodedSize(sections), len(blob))
+	}
+	got, err := DecodeSections(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sections) {
+		t.Error("roundtrip differs")
+	}
+	for _, bad := range [][]byte{nil, blob[:8], blob[:len(blob)-1]} {
+		if _, err := DecodeSections(bad); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", len(bad))
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"file": KindFile, "": KindFile, "memory": KindMemory, "mem": KindMemory, "sharded": KindSharded} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("s3"); err == nil {
+		t.Error("ParseKind(s3) succeeded")
+	}
+}
+
+func TestOpenAndDecorate(t *testing.T) {
+	for _, cfg := range []Config{
+		{Kind: KindMemory},
+		{Kind: KindFile, Dir: t.TempDir()},
+		{Kind: KindSharded, Dir: t.TempDir(), Workers: 2},
+		{Kind: KindMemory, Async: true},
+		{Kind: KindMemory, Incremental: true, Keyframe: 2},
+		{Kind: KindFile, Dir: t.TempDir(), Async: true, Incremental: true},
+	} {
+		base, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("Open(%+v): %v", cfg, err)
+		}
+		b := Decorate(base, cfg)
+		if err := b.Put("ckpt-000001", sampleSections(1)); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		got, err := b.Get("ckpt-000001")
+		if err != nil || len(got) != 3 {
+			t.Fatalf("%+v: Get = %v, %v", cfg, got, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("%+v: Close: %v", cfg, err)
+		}
+	}
+	for _, cfg := range []Config{{Kind: KindFile}, {Kind: KindSharded}, {Kind: Kind(42)}} {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("Open(%+v) succeeded", cfg)
+		}
+	}
+}

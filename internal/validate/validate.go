@@ -24,8 +24,17 @@ import (
 	"autocheck/internal/core"
 	"autocheck/internal/interp"
 	"autocheck/internal/ir"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
 )
+
+// Options selects how validation checkpoints are persisted. The zero
+// value reproduces the paper's setup: L1 checkpoints through the plain
+// file backend.
+type Options struct {
+	Level checkpoint.Level // 0 means L1
+	Store store.Config     // Dir is overridden per failure scenario
+}
 
 // Report is the outcome of a validation run.
 type Report struct {
@@ -33,7 +42,8 @@ type Report struct {
 	FailPoints        []int64
 	Sufficient        bool            // all restarts matched the reference
 	Necessary         map[string]bool // variable -> dropping it broke a restart
-	CheckpointBytes   int64           // size of one AutoCheck checkpoint
+	CheckpointBytes   int64           // size of one AutoCheck checkpoint image
+	StoreBytes        int64           // bytes the backend persisted across one fail run
 	FullSnapshotBytes int64           // size of the BLCR-like full snapshot
 	Checkpoints       int             // checkpoints written in the fail-end run
 	Mismatch          string          // first mismatch description, if any
@@ -58,15 +68,25 @@ type Validator struct {
 	Spec core.LoopSpec
 	Res  *core.Result
 	Dir  string // scratch directory for checkpoint files
+	Opts Options
 
 	header  *ir.Block
 	observe []observed
 }
 
-// New prepares a validator; res must come from analyzing the same module's
-// trace.
+// New prepares a validator with the default storage setup (L1, file
+// backend); res must come from analyzing the same module's trace.
 func New(mod *ir.Module, res *core.Result, dir string) (*Validator, error) {
-	v := &Validator{Mod: mod, Spec: res.Spec, Res: res, Dir: dir}
+	return NewWithOptions(mod, res, dir, Options{})
+}
+
+// NewWithOptions prepares a validator whose checkpoints go through the
+// given storage backend configuration and reliability level.
+func NewWithOptions(mod *ir.Module, res *core.Result, dir string, opts Options) (*Validator, error) {
+	if opts.Level == 0 {
+		opts.Level = checkpoint.L1
+	}
+	v := &Validator{Mod: mod, Spec: res.Spec, Res: res, Dir: dir, Opts: opts}
 	fn := mod.Func(res.Spec.Function)
 	if fn == nil {
 		return nil, fmt.Errorf("validate: no function %q", res.Spec.Function)
@@ -211,11 +231,21 @@ func (v *Validator) Run() (*Report, error) {
 		failAt int64
 	}
 	var scenarios []scenario
+	defer func() {
+		// Release backend resources (async writer goroutines, staging
+		// buffers) once the necessity loop is done with the contexts.
+		for _, sc := range scenarios {
+			sc.ctx.Close()
+		}
+	}()
 	for i, failAt := range rep.FailPoints {
-		ctx, err := checkpoint.NewContext(filepath.Join(v.Dir, fmt.Sprintf("fail%d", i)), checkpoint.L1)
+		cfg := v.Opts.Store
+		cfg.Dir = filepath.Join(v.Dir, fmt.Sprintf("fail%d", i))
+		ctx, err := checkpoint.NewContextStore(cfg, v.Opts.Level)
 		if err != nil {
 			return nil, err
 		}
+		scenarios = append(scenarios, scenario{ctx: ctx, failAt: failAt})
 		for _, c := range v.Res.Critical {
 			ctx.Protect(c.Name, c.Base, c.SizeBytes)
 		}
@@ -223,7 +253,11 @@ func (v *Validator) Run() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Flush(); err != nil {
+			return nil, fmt.Errorf("validate: checkpoint flush: %w", err)
+		}
 		rep.CheckpointBytes = ctx.LastBytes()
+		rep.StoreBytes = ctx.StoreStats().BytesWritten
 		rep.FullSnapshotBytes = snapBytes
 		rep.Checkpoints = ctx.Count()
 		got, err := v.restart(ctx, nil)
@@ -236,7 +270,6 @@ func (v *Validator) Run() (*Report, error) {
 				rep.Mismatch = fmt.Sprintf("failAt=%d: %s", failAt, msg)
 			}
 		}
-		scenarios = append(scenarios, scenario{ctx: ctx, failAt: failAt})
 	}
 	// False-positive check (§VI-B): drop one variable at a time.
 	for _, c := range v.Res.Critical {
