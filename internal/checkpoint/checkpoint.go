@@ -110,7 +110,12 @@ func NewContextStore(cfg store.Config, level Level) (*Context, error) {
 		return nil, err
 	}
 	backend := store.Decorate(store.Backend(newLevelBackend(base, level)), cfg)
-	return &Context{backend: backend, level: level}, nil
+	c := &Context{backend: backend, level: level}
+	if err := c.resumeSeq(); err != nil {
+		backend.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // NewContextBackend creates a checkpoint context over a caller-supplied
@@ -120,7 +125,30 @@ func NewContextBackend(b store.Backend, level Level) (*Context, error) {
 	if level < L1 || level > L4 {
 		return nil, fmt.Errorf("checkpoint: invalid level %d", level)
 	}
-	return &Context{backend: newLevelBackend(b, level), level: level}, nil
+	c := &Context{backend: newLevelBackend(b, level), level: level}
+	if err := c.resumeSeq(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// resumeSeq advances the write sequence past any checkpoints already in
+// the store, so a restarted process appends after the previous session's
+// checkpoints instead of overwriting them (re-writing ckpt-000001 while
+// higher-numbered keys survive would leave stale objects shadowing the
+// new state on the next Restart).
+func (c *Context) resumeSeq() error {
+	keys, err := c.backend.List()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		var n int
+		if _, err := fmt.Sscanf(k, keyPrefix+"%d", &n); err == nil && n > c.seq {
+			c.seq = n
+		}
+	}
+	return nil
 }
 
 // Protect registers a variable. sizeBytes is rounded up to whole cells.

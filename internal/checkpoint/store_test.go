@@ -226,6 +226,71 @@ func TestIncrementalCorruptionFallback(t *testing.T) {
 	}
 }
 
+// A Context reopened over an existing store (the cross-process restart
+// flow) must resume the sequence past the previous session's checkpoints
+// instead of restarting at 1: overwriting early keys while stale
+// higher-numbered objects survive would let the old session's state
+// shadow the new one on the next Restart — and, with the incremental
+// decorator, leave deltas referencing a keyframe that no longer exists.
+func TestReopenedContextAppendsAfterPreviousSession(t *testing.T) {
+	for name, cfg := range map[string]store.Config{
+		"file":             {Kind: store.KindFile},
+		"sharded":          {Kind: store.KindSharded, Workers: 2},
+		"file-incremental": {Kind: store.KindFile, Incremental: true, Keyframe: 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := cfg
+			cfg.Dir = t.TempDir()
+			ctx, err := NewContextStore(cfg, L1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine(t)
+			ctx.Protect("x", 0x1000, 8)
+			for i := int64(1); i <= 4; i++ {
+				m.WriteRange(0x1000, []trace.Value{trace.IntValue(10 * i)})
+				if err := ctx.Checkpoint(m, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ctx.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// "Process restart": a fresh Context over the same directory.
+			ctx2, err := NewContextStore(cfg, L1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctx2.Close()
+			ctx2.Protect("x", 0x1000, 8)
+			m2 := machine(t)
+			iter, err := ctx2.Restart(m2, nil)
+			if err != nil || iter != 4 || m2.ReadRange(0x1000, 1)[0].Int != 40 {
+				t.Fatalf("restart into new session: iter=%d err=%v", iter, err)
+			}
+			m2.WriteRange(0x1000, []trace.Value{trace.IntValue(999)})
+			if err := ctx2.Checkpoint(m2, 5); err != nil {
+				t.Fatal(err)
+			}
+			if err := ctx2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// The new checkpoint appends at seq 5 (no session-1 object was
+			// overwritten), and a subsequent restart sees the new state.
+			m3 := machine(t)
+			iter, err = ctx2.Restart(m3, nil)
+			if err != nil || iter != 5 || m3.ReadRange(0x1000, 1)[0].Int != 999 {
+				t.Errorf("restart after appended checkpoint: iter=%d err=%v x=%v",
+					iter, err, m3.ReadRange(0x1000, 1)[0])
+			}
+			if ctx2.Count() != 1 {
+				t.Errorf("Count = %d, want 1 (this session's checkpoints only)", ctx2.Count())
+			}
+		})
+	}
+}
+
 // Partner copies (L2) must survive primary corruption on the sharded
 // backend too, through the levels decorator.
 func TestShardedPartnerFallback(t *testing.T) {

@@ -109,27 +109,36 @@ func (a *Async) flush() error {
 	return a.inner.Flush()
 }
 
+// drain waits for in-flight writes under opMu: sync.WaitGroup forbids a
+// Wait concurrent with a Put's Add-from-zero, and holding opMu also
+// guarantees a read started after a Put returned observes that write.
+func (a *Async) drain() {
+	a.opMu.Lock()
+	a.wg.Wait()
+	a.opMu.Unlock()
+}
+
 // Get implements Backend (flushes first).
 func (a *Async) Get(key string) ([]Section, error) {
-	a.wg.Wait()
+	a.drain()
 	return a.inner.Get(key)
 }
 
 // List implements Backend (flushes first).
 func (a *Async) List() ([]string, error) {
-	a.wg.Wait()
+	a.drain()
 	return a.inner.List()
 }
 
 // Delete implements Backend (flushes first).
 func (a *Async) Delete(key string) error {
-	a.wg.Wait()
+	a.drain()
 	return a.inner.Delete(key)
 }
 
 // Stats implements Backend (flushes first so the numbers are settled).
 func (a *Async) Stats() Stats {
-	a.wg.Wait()
+	a.drain()
 	return a.inner.Stats()
 }
 

@@ -52,6 +52,17 @@ func (f *File) Put(key string, sections []Section) error {
 }
 
 func writeFileAtomic(path string, data []byte, sync bool) error {
+	return writeFileAtomicOpts(path, data, sync, sync)
+}
+
+// writeFileAtomicOpts writes data via temp file + rename. syncFile fsyncs
+// the data before the rename; syncParent fsyncs the parent directory
+// after it — the rename itself is only durable once the directory entry
+// is on stable storage, and without it a power failure can roll the key
+// back to its previous object (or to nothing). Callers batching many
+// files into one directory pass syncParent=false and sync the directory
+// once themselves.
+func writeFileAtomicOpts(path string, data []byte, syncFile, syncParent bool) error {
 	tmp := path + tmpSuffix
 	w, err := os.Create(tmp)
 	if err != nil {
@@ -62,7 +73,7 @@ func writeFileAtomic(path string, data []byte, sync bool) error {
 		os.Remove(tmp)
 		return err
 	}
-	if sync {
+	if syncFile {
 		if err := w.Sync(); err != nil {
 			w.Close()
 			os.Remove(tmp)
@@ -73,7 +84,26 @@ func writeFileAtomic(path string, data []byte, sync bool) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if syncParent {
+		return syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Get implements Backend.

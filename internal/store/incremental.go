@@ -22,17 +22,26 @@ import (
 // The section name "~incr" is reserved for this decorator's metadata;
 // the checkpoint layer's own names (variable names plus its "~ckpt"
 // metadata section) cannot collide with it.
+//
+// Each delta records the digest of the object it was diffed against, and
+// Get re-derives that digest while walking the chain, so a delta is bound
+// to the exact predecessor content it patched. A delta left over from an
+// earlier session whose keyframe has since been overwritten (or any other
+// base/delta mismatch) fails reconstruction with an error instead of
+// silently patching stale chunks onto new content.
 type Incremental struct {
 	inner    Backend
 	keyframe int
 	chunk    int
 
-	mu      sync.Mutex
-	puts    int
-	baseKey string            // key of the current keyframe
-	hash    map[string]uint64 // FNV-64a of each section's last content
-	last    map[string][]byte // last content, the diff basis for patches
-	stats   Stats             // local counters folded into inner's
+	mu         sync.Mutex
+	puts       int
+	baseKey    string            // key of the current keyframe
+	prevKey    string            // key of the last stored object
+	prevDigest uint64            // digest of the last stored object, the next delta's predecessor
+	hash       map[string]uint64 // FNV-64a of each section's last content
+	last       map[string][]byte // last content, the diff basis for patches
+	stats      Stats             // local counters folded into inner's
 }
 
 // Defaults for NewIncremental's parameters.
@@ -44,9 +53,13 @@ const (
 const (
 	incrMetaSection = "~incr"
 	kindKeyframe    = byte(0)
-	kindDelta       = byte(1)
-	encFull         = byte(0)
-	encPatch        = byte(1)
+	// kindDeltaV1 was the pre-digest delta format, whose metadata held
+	// only the base key. It is retired, not reused: parseObject rejects
+	// it explicitly rather than misreading key bytes as a digest.
+	kindDeltaV1 = byte(1)
+	kindDelta   = byte(2)
+	encFull     = byte(0)
+	encPatch    = byte(1)
 )
 
 // NewIncremental wraps inner with the delta write path. keyframe is the
@@ -74,14 +87,32 @@ func contentHash(data []byte) uint64 {
 	return h.Sum64()
 }
 
+// objectDigest fingerprints a stored object (all sections, names and
+// data, length-framed) so a delta can be bound to the exact predecessor
+// content it was diffed against.
+func objectDigest(sections []Section) uint64 {
+	h := fnv.New64a()
+	var lenBuf [8]byte
+	for _, s := range sections {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s.Name)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s.Name))
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s.Data)))
+		h.Write(lenBuf[:])
+		h.Write(s.Data)
+	}
+	return h.Sum64()
+}
+
 // Put implements Backend.
 func (inc *Incremental) Put(key string, sections []Section) error {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
-	// A key that does not sort after the current keyframe (e.g. an
+	// A key that does not sort after the last stored object (e.g. an
 	// overwrite of an existing object) cannot be expressed as a delta:
-	// reconstruction walks keys in (baseKey, key] order.
-	isKeyframe := inc.baseKey == "" || inc.puts%inc.keyframe == 0 || key <= inc.baseKey
+	// reconstruction walks keys in (baseKey, key] order, and a delta over
+	// an overwritten predecessor would fail the digest-chain check.
+	isKeyframe := inc.baseKey == "" || inc.puts%inc.keyframe == 0 || key <= inc.prevKey
 	inc.puts++
 
 	var out []Section
@@ -90,19 +121,34 @@ func (inc *Incremental) Put(key string, sections []Section) error {
 		out = append(out, Section{Name: incrMetaSection, Data: []byte{kindKeyframe}})
 		for _, s := range sections {
 			out = append(out, Section{Name: s.Name, Data: append([]byte{encFull}, s.Data...)})
-			inc.hash[s.Name] = contentHash(s.Data)
-			inc.last[s.Name] = append([]byte(nil), s.Data...)
 		}
 		if err := inc.inner.Put(key, out); err != nil {
 			return err
 		}
+		for _, s := range sections {
+			inc.hash[s.Name] = contentHash(s.Data)
+			inc.last[s.Name] = append([]byte(nil), s.Data...)
+		}
 		inc.baseKey = key
+		inc.prevKey = key
+		inc.prevDigest = objectDigest(out)
 		inc.stats.Keyframes++
 		return nil
 	}
 
-	meta := append([]byte{kindDelta}, inc.baseKey...)
+	meta := []byte{kindDelta}
+	meta = binary.LittleEndian.AppendUint64(meta, inc.prevDigest)
+	meta = append(meta, inc.baseKey...)
 	out = append(out, Section{Name: incrMetaSection, Data: meta})
+	// Stage the diff-basis updates and apply them only after the write
+	// lands: a failed Put must not advance the basis, or the next delta
+	// would skip sections whose changes were never persisted.
+	type staged struct {
+		name string
+		hash uint64
+		data []byte
+	}
+	changed := make([]staged, 0, len(sections))
 	for _, s := range sections {
 		h := contentHash(s.Data)
 		prev, known := inc.last[s.Name]
@@ -120,12 +166,17 @@ func (inc *Incremental) Put(key string, sections []Section) error {
 			payload = append(payload, s.Data...)
 		}
 		out = append(out, Section{Name: s.Name, Data: payload})
-		inc.hash[s.Name] = h
-		inc.last[s.Name] = append([]byte(nil), s.Data...)
+		changed = append(changed, staged{name: s.Name, hash: h, data: s.Data})
 	}
 	if err := inc.inner.Put(key, out); err != nil {
 		return err
 	}
+	for _, s := range changed {
+		inc.hash[s.name] = s.hash
+		inc.last[s.name] = append([]byte(nil), s.data...)
+	}
+	inc.prevKey = key
+	inc.prevDigest = objectDigest(out)
 	inc.stats.Deltas++
 	return nil
 }
@@ -178,23 +229,40 @@ func applyPatch(base, patch []byte) ([]byte, error) {
 	return out, nil
 }
 
-// parseObject splits a stored object into its kind, base key, and
-// payload sections.
-func parseObject(sections []Section) (kind byte, baseKey string, payload []Section, err error) {
+// parseObject splits a stored object into its kind, base key, predecessor
+// digest (deltas only), and payload sections.
+func parseObject(sections []Section) (kind byte, baseKey string, predDigest uint64, payload []Section, err error) {
 	if len(sections) == 0 || sections[0].Name != incrMetaSection || len(sections[0].Data) < 1 {
-		return 0, "", nil, errors.New("store: object missing incremental metadata")
+		return 0, "", 0, nil, errors.New("store: object missing incremental metadata")
 	}
-	return sections[0].Data[0], string(sections[0].Data[1:]), sections[1:], nil
+	meta := sections[0].Data
+	kind, payload = meta[0], sections[1:]
+	switch kind {
+	case kindKeyframe:
+		return kind, "", 0, payload, nil
+	case kindDeltaV1:
+		return 0, "", 0, nil, errors.New("store: delta written by the obsolete pre-digest format")
+	case kindDelta:
+		if len(meta) < 9 {
+			return 0, "", 0, nil, errors.New("store: truncated delta metadata")
+		}
+		return kind, string(meta[9:]), binary.LittleEndian.Uint64(meta[1:9]), payload, nil
+	}
+	return 0, "", 0, nil, fmt.Errorf("store: unknown incremental object kind %d", kind)
 }
 
 // Get implements Backend: reconstruct the object at key from its keyframe
-// plus every delta up to key, in List order.
+// plus every delta up to key, in List order. Each delta's recorded
+// predecessor digest is checked against the digest of the object actually
+// beneath it in the chain, so a delta diffed against content that has
+// since been replaced (e.g. a keyframe overwritten by a later session)
+// fails with an error instead of reconstructing fabricated state.
 func (inc *Incremental) Get(key string) ([]Section, error) {
 	obj, err := inc.inner.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	kind, baseKey, payload, err := parseObject(obj)
+	kind, baseKey, predDigest, payload, err := parseObject(obj)
 	if err != nil {
 		return nil, err
 	}
@@ -215,19 +283,31 @@ func (inc *Incremental) Get(key string) ([]Section, error) {
 		return nil, fmt.Errorf("store: keyframe %q for delta %q is gone", baseKey, key)
 	}
 	var order []string
+	var running uint64
 	state := make(map[string][]byte)
-	for _, k := range chain {
+	for i, k := range chain {
 		prior, err := inc.inner.Get(k)
 		if err != nil {
 			return nil, fmt.Errorf("store: delta chain for %q: %w", key, err)
 		}
-		_, _, sections, err := parseObject(prior)
+		priorKind, _, priorPred, sections, err := parseObject(prior)
 		if err != nil {
 			return nil, err
 		}
+		if i == 0 {
+			if priorKind != kindKeyframe {
+				return nil, fmt.Errorf("store: base %q of delta %q is not a keyframe", k, key)
+			}
+		} else if priorKind != kindDelta || priorPred != running {
+			return nil, fmt.Errorf("store: delta %q does not descend from the stored %q (stale delta from an earlier chain)", k, chain[i-1])
+		}
+		running = objectDigest(prior)
 		if order, err = overlay(state, order, sections); err != nil {
 			return nil, err
 		}
+	}
+	if predDigest != running {
+		return nil, fmt.Errorf("store: delta %q does not descend from the stored %q (stale delta from an earlier chain)", key, chain[len(chain)-1])
 	}
 	if order, err = overlay(state, order, payload); err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -18,13 +19,35 @@ import (
 // a manifest that records each shard's length and CRC-32. The manifest is
 // written last, so its presence is the commit point: a crash mid-Put
 // leaves either the previous manifest or none, never a readable torn
-// object. Get re-reads shards from the same pool and verifies each CRC.
+// object. Shard files carry a per-Put generation number and the manifest
+// names its generation, so overwriting a key writes the new shards next
+// to the old ones and the previous committed object stays readable until
+// the new manifest atomically replaces the old; stale generations are
+// swept only after the commit. Get re-reads shards from the same pool and
+// verifies each CRC.
 type Sharded struct {
 	dir     string
 	workers int
 	sync    bool
 
+	// keyMu holds one mutex per key serializing Put/Delete on that key: a
+	// Put is a multi-file read-modify-write (generation pick, shard
+	// writes, manifest commit, sweep), and two interleaved Puts to one
+	// key would share a generation and leave a manifest whose CRCs
+	// describe the other Put's shards. Puts to different keys still run
+	// in parallel, as does the worker pool within a Put.
+	keyMu sync.Map // map[string]*sync.Mutex
+
+	// sweepMu guards the only destructive steps (the post-commit sweep
+	// of superseded generations, and Delete's RemoveAll) against
+	// in-flight readers: a Get holds the read side across its manifest
+	// and shard reads, so the generation its manifest references cannot
+	// be deleted from under it. Everything else in Put is additive or an
+	// atomic rename, so readers run concurrently with writers.
+	sweepMu sync.RWMutex
+
 	mu    sync.Mutex
+	gens  map[string]uint64 // last committed generation per key
 	stats Stats
 }
 
@@ -43,12 +66,43 @@ func NewSharded(dir string, workers int, sync bool) (*Sharded, error) {
 	if workers <= 0 {
 		workers = DefaultShardWorkers
 	}
-	return &Sharded{dir: dir, workers: workers, sync: sync}, nil
+	return &Sharded{dir: dir, workers: workers, sync: sync, gens: make(map[string]uint64)}, nil
 }
 
 func (s *Sharded) objDir(key string) string { return filepath.Join(s.dir, key) }
 
-func shardFile(i int) string { return fmt.Sprintf("%04d.shard", i) }
+// keyLock returns the mutex serializing writes to key (entries persist
+// for the backend's lifetime; one pointer per key ever written).
+func (s *Sharded) keyLock(key string) *sync.Mutex {
+	m, _ := s.keyMu.LoadOrStore(key, &sync.Mutex{})
+	return m.(*sync.Mutex)
+}
+
+// genSection is the reserved first manifest section naming the shard
+// generation the manifest commits.
+const genSection = "~gen"
+
+func shardFile(gen uint64, i int) string { return fmt.Sprintf("g%08d-%04d.shard", gen, i) }
+
+// nextGen scans dir for a generation number above every shard file
+// already there, committed or orphaned by a crashed Put. Errors
+// propagate: defaulting to a low generation could clobber a committed
+// object's live shard files in place.
+func nextGen(dir string) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	max := uint64(0)
+	for _, e := range entries {
+		var g uint64
+		var i int
+		if n, _ := fmt.Sscanf(e.Name(), "g%d-%d.shard", &g, &i); n >= 1 && g > max {
+			max = g
+		}
+	}
+	return max + 1, nil
+}
 
 // pool runs fn(i) for i in [0, n) on min(workers, n) goroutines and
 // returns the first error.
@@ -94,37 +148,91 @@ func (s *Sharded) pool(n int, fn func(i int) error) error {
 	return firstErr
 }
 
-// Put implements Backend.
+// Put implements Backend. Overwrites write the new generation's shards
+// beside the old object's; the previous committed object stays intact
+// (and Get-able) until the new manifest atomically replaces the old one,
+// after which the stale generation is swept.
 func (s *Sharded) Put(key string, sections []Section) error {
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
 	dir := s.objDir(key)
-	// Drop any previous version of the object before the shards land.
-	if err := os.RemoveAll(dir); err != nil {
-		return err
+	_, statErr := os.Stat(dir)
+	existed := statErr == nil
+	if statErr != nil && !errors.Is(statErr, fs.ErrNotExist) {
+		// Any other stat failure must not be read as "fresh key": the
+		// gen=1 branch would rewrite a committed object's shards in
+		// place.
+		return statErr
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	gen, cached := s.gens[key]
+	s.mu.Unlock()
+	switch {
+	case cached:
+		// A crashed earlier attempt may have left orphans at gen+1; they
+		// are junk and each shard write replaces its file atomically.
+		gen++
+	case !existed:
+		gen = 1
+	default:
+		var err error
+		if gen, err = nextGen(dir); err != nil {
+			return err
+		}
+	}
 	err := s.pool(len(sections), func(i int) error {
-		return writeFileAtomic(filepath.Join(dir, shardFile(i)), sections[i].Data, s.sync)
+		// Shard renames skip the per-file parent fsync; the directory is
+		// synced once below, before the manifest can commit.
+		return writeFileAtomicOpts(filepath.Join(dir, shardFile(gen, i)), sections[i].Data, s.sync, false)
 	})
 	if err != nil {
 		return err
 	}
-	// Manifest: one entry per shard (length + CRC), itself CRC-framed by
-	// the shared object encoding. Written last as the commit point.
-	entries := make([]Section, len(sections))
+	if s.sync {
+		// All shard entries must be on stable storage before the manifest
+		// commit can be, or a power failure could leave a durable
+		// manifest referencing vanished shards.
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	// Manifest: the generation plus one entry per shard (length + CRC),
+	// itself CRC-framed by the shared object encoding. Written last as
+	// the commit point.
+	entries := make([]Section, 0, len(sections)+1)
+	entries = append(entries, Section{Name: genSection, Data: binary.LittleEndian.AppendUint64(nil, gen)})
 	var bytes int64
-	for i, sec := range sections {
+	for _, sec := range sections {
 		meta := binary.LittleEndian.AppendUint64(nil, uint64(len(sec.Data)))
 		meta = binary.LittleEndian.AppendUint32(meta, crc32.ChecksumIEEE(sec.Data))
-		entries[i] = Section{Name: sec.Name, Data: meta}
+		entries = append(entries, Section{Name: sec.Name, Data: meta})
 		bytes += int64(len(sec.Data))
 	}
 	manifest := EncodeSections(entries)
 	if err := writeFileAtomic(filepath.Join(dir, manifestName), manifest, s.sync); err != nil {
 		return err
 	}
+	if s.sync && !cached {
+		// First commit of this key by this instance: the store root's
+		// entry for the object directory may not be durable yet — the
+		// directory could have been created by this Put, or by an
+		// earlier Put (ours or a crashed predecessor's) that never
+		// reached a durable commit.
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	if existed {
+		s.sweepMu.Lock()
+		s.sweepStaleShards(dir, gen)
+		s.sweepMu.Unlock()
+	}
 	s.mu.Lock()
+	s.gens[key] = gen
 	s.stats.Puts++
 	s.stats.BytesWritten += bytes + int64(len(manifest))
 	s.stats.SectionsWritten += int64(len(sections))
@@ -132,26 +240,79 @@ func (s *Sharded) Put(key string, sections []Section) error {
 	return nil
 }
 
-// Get implements Backend.
-func (s *Sharded) Get(key string) ([]Section, error) {
-	dir := s.objDir(key)
-	manifest, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, ErrNotFound
+// sweepStaleShards removes shard files of generations other than the one
+// just committed (best effort; leftovers are re-swept by the next Put and
+// never read, since Get resolves filenames through the manifest).
+func (s *Sharded) sweepStaleShards(dir string, gen uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
 	}
+	keep := fmt.Sprintf("g%08d-", gen)
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName || strings.HasPrefix(name, keep) {
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// manifestEntries decodes and validates a manifest blob, returning the
+// committed generation and the per-shard entries.
+func manifestEntries(manifest []byte, key string) (uint64, []Section, error) {
+	entries, err := DecodeSections(manifest)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: sharded manifest for %q: %w", key, err)
+	}
+	if len(entries) == 0 || entries[0].Name != genSection || len(entries[0].Data) < 8 {
+		return 0, nil, fmt.Errorf("store: sharded manifest for %q: missing generation", key)
+	}
+	gen := binary.LittleEndian.Uint64(entries[0].Data)
+	entries = entries[1:]
+	for i := range entries {
+		if len(entries[i].Data) < 12 {
+			return 0, nil, fmt.Errorf("store: sharded manifest for %q: entry %d truncated", key, i)
+		}
+	}
+	return gen, entries, nil
+}
+
+// Get implements Backend. The read lock on sweepMu keeps a concurrent
+// overwrite's post-commit sweep from deleting the generation this
+// reader's manifest references mid-read.
+func (s *Sharded) Get(key string) ([]Section, error) {
+	s.sweepMu.RLock()
+	sections, read, err := s.getOnce(key)
+	s.sweepMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	entries, err := DecodeSections(manifest)
+	s.mu.Lock()
+	s.stats.Gets++
+	s.stats.BytesRead += read
+	s.mu.Unlock()
+	return sections, nil
+}
+
+func (s *Sharded) getOnce(key string) ([]Section, int64, error) {
+	dir := s.objDir(key)
+	manifest, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, ErrNotFound
+	}
 	if err != nil {
-		return nil, fmt.Errorf("store: sharded manifest for %q: %w", key, err)
+		return nil, 0, err
+	}
+	gen, entries, err := manifestEntries(manifest, key)
+	if err != nil {
+		return nil, 0, err
 	}
 	sections := make([]Section, len(entries))
-	var bytes int64
 	err = s.pool(len(entries), func(i int) error {
 		wantLen := binary.LittleEndian.Uint64(entries[i].Data[:8])
 		wantCRC := binary.LittleEndian.Uint32(entries[i].Data[8:12])
-		data, err := os.ReadFile(filepath.Join(dir, shardFile(i)))
+		data, err := os.ReadFile(filepath.Join(dir, shardFile(gen, i)))
 		if err != nil {
 			return fmt.Errorf("store: shard %d of %q: %w", i, key, err)
 		}
@@ -166,16 +327,13 @@ func (s *Sharded) Get(key string) ([]Section, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	var bytes int64
 	for _, sec := range sections {
 		bytes += int64(len(sec.Data))
 	}
-	s.mu.Lock()
-	s.stats.Gets++
-	s.stats.BytesRead += bytes + int64(len(manifest))
-	s.mu.Unlock()
-	return sections, nil
+	return sections, bytes + int64(len(manifest)), nil
 }
 
 // List implements Backend. Only committed objects (manifest present) are
@@ -200,14 +358,21 @@ func (s *Sharded) List() ([]string, error) {
 
 // Delete implements Backend.
 func (s *Sharded) Delete(key string) error {
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
 	dir := s.objDir(key)
 	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
 		return ErrNotFound
 	}
-	if err := os.RemoveAll(dir); err != nil {
+	s.sweepMu.Lock()
+	err := os.RemoveAll(dir)
+	s.sweepMu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
+	delete(s.gens, key)
 	s.stats.Deletes++
 	s.mu.Unlock()
 	return nil
@@ -226,14 +391,33 @@ func (s *Sharded) Flush() error { return nil }
 // Close implements Backend.
 func (s *Sharded) Close() error { return nil }
 
-// CorruptShard flips one byte in the i'th shard of key's object (fault
-// injection for tests); it reports whether the shard existed.
+// CorruptShard flips one byte in the i'th shard of key's committed object
+// (fault injection for tests); it reports whether the shard existed.
 func (s *Sharded) CorruptShard(key string, i, offset int) bool {
-	path := filepath.Join(s.objDir(key), shardFile(i))
+	path, ok := s.ShardPath(key, i)
+	if !ok {
+		return false
+	}
 	data, err := os.ReadFile(path)
 	if err != nil || len(data) == 0 {
 		return false
 	}
 	data[((offset%len(data))+len(data))%len(data)] ^= 0xFF
 	return os.WriteFile(path, data, 0o644) == nil
+}
+
+// ShardPath resolves the on-disk file of the i'th shard of key's
+// committed object through its manifest (tests use it for fault
+// injection).
+func (s *Sharded) ShardPath(key string, i int) (string, bool) {
+	dir := s.objDir(key)
+	manifest, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return "", false
+	}
+	gen, entries, err := manifestEntries(manifest, key)
+	if err != nil || i < 0 || i >= len(entries) {
+		return "", false
+	}
+	return filepath.Join(dir, shardFile(gen, i)), true
 }

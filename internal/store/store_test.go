@@ -2,11 +2,13 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -43,6 +45,10 @@ func openAll(t *testing.T) map[string]Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
+	shardedSync, err := NewSharded(t.TempDir(), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	asyncInner, err := NewFile(t.TempDir(), false)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +59,7 @@ func openAll(t *testing.T) map[string]Backend {
 		"file-sync":          fileSync,
 		"sharded":            sharded,
 		"sharded-serial":     shardedSerial,
+		"sharded-sync":       shardedSync,
 		"async-file":         NewAsync(asyncInner),
 		"incremental-memory": NewIncremental(NewMemory(), 3, 64),
 		"async-incremental":  NewAsync(NewIncremental(NewMemory(), 3, 64)),
@@ -220,7 +227,10 @@ func TestShardedRejectsCorruptShardAndManifest(t *testing.T) {
 	if err := b.Put("ckpt-000002", sampleSections(2)); err != nil {
 		t.Fatal(err)
 	}
-	shard := filepath.Join(dir, "ckpt-000002", "0002.shard")
+	shard, ok := b.ShardPath("ckpt-000002", 2)
+	if !ok {
+		t.Fatal("ShardPath found no shard")
+	}
 	data, err := os.ReadFile(shard)
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +256,137 @@ func TestShardedRejectsCorruptShardAndManifest(t *testing.T) {
 	}
 	if _, err := b.Get("ckpt-000003"); err == nil {
 		t.Error("corrupted manifest accepted")
+	}
+}
+
+// Overwriting a key must leave the previously committed object readable
+// until the new manifest lands: a Put that crashes after writing its
+// shards loses only the new version, never both.
+func TestShardedOverwritePreservesOldUntilCommit(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewSharded(dir, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("k", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an overwrite that crashed after writing its new-generation
+	// shards but before committing the manifest.
+	objDir := filepath.Join(dir, "k")
+	if err := os.WriteFile(filepath.Join(objDir, "g00000002-0000.shard"), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("k")
+	if err != nil {
+		t.Fatalf("old object lost after crashed overwrite: %v", err)
+	}
+	if !reflect.DeepEqual(got, sampleSections(1)) {
+		t.Error("old object corrupted by crashed overwrite")
+	}
+	// After a "process restart", a completed overwrite must pick a
+	// generation above both the committed object and the crashed
+	// attempt's orphans, commit the new version, and sweep every stale
+	// generation.
+	b2, err := NewSharded(dir, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Put("k", sampleSections(5)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b2.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleSections(5)) {
+		t.Error("overwrite not visible")
+	}
+	entries, err := os.ReadDir(objDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "manifest" && !strings.HasPrefix(e.Name(), "g00000003-") {
+			t.Errorf("stale file %s survived the committed overwrite", e.Name())
+		}
+	}
+}
+
+// A manifest that decodes with a valid CRC but holds a truncated entry
+// must fail cleanly, not panic on a short slice.
+func TestShardedShortManifestEntryRejected(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewSharded(dir, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("k", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := EncodeSections([]Section{
+		{Name: "~gen", Data: binary.LittleEndian.AppendUint64(nil, 1)},
+		{Name: "x", Data: []byte{1, 2, 3}},
+	})
+	if err := os.WriteFile(filepath.Join(dir, "k", "manifest"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("k"); err == nil {
+		t.Error("short manifest entry accepted")
+	}
+	// A manifest missing its generation section must also fail cleanly.
+	noGen := EncodeSections([]Section{{Name: "x", Data: make([]byte, 12)}})
+	if err := os.WriteFile(filepath.Join(dir, "k", "manifest"), noGen, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("k"); err == nil {
+		t.Error("manifest without generation accepted")
+	}
+}
+
+// Concurrent Puts to the same key must serialize: interleaved
+// generations would commit a manifest whose CRCs describe another Put's
+// shards, leaving the key unreadable despite every Put returning nil.
+// Concurrent Gets must survive the post-commit sweep of the generation
+// their manifest referenced (the sweep waits for in-flight readers, who
+// hold sweepMu's read side across their manifest and shard reads).
+func TestShardedConcurrentPutsSameKey(t *testing.T) {
+	b, err := NewSharded(t.TempDir(), 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("k", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := b.Put("k", sampleSections(byte(w*16+i+1))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := b.Get("k"); err != nil {
+					t.Errorf("Get of committed key during overwrites: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := b.Get("k")
+	if err != nil {
+		t.Fatalf("object unreadable after concurrent overwrites: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("Get returned %d sections, want 3", len(got))
 	}
 }
 
@@ -356,6 +497,39 @@ func TestAsyncManyWritesDrain(t *testing.T) {
 	}
 }
 
+// Concurrent Puts and reads must be race-free: sync.WaitGroup forbids a
+// Wait concurrent with an Add from zero, so the read-side drain has to
+// serialize with Put. Run under -race to catch regressions.
+func TestAsyncConcurrentReadersAndWriters(t *testing.T) {
+	a := NewAsync(NewMemory())
+	defer a.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("ckpt-%02d%04d", w, i)
+				if err := a.Put(key, sampleSections(byte(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				// A read started after Put returned must observe the write.
+				if _, err := a.Get(key); err != nil {
+					t.Errorf("Get %s after Put: %v", key, err)
+					return
+				}
+				a.Stats()
+				if _, err := a.List(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestIncrementalReconstruction(t *testing.T) {
 	inner := NewMemory()
 	inc := NewIncremental(inner, 4, 64)
@@ -428,6 +602,92 @@ func TestIncrementalWritesFewerBytes(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Error("incremental reconstruction diverges from plain storage")
+	}
+}
+
+// A delta left over from an earlier session must not resolve against a
+// keyframe written over its base by a later session: without the
+// predecessor-digest binding, Get would patch stale chunks onto the new
+// keyframe and fabricate state that never existed.
+func TestIncrementalStaleDeltaRejected(t *testing.T) {
+	inner := NewMemory()
+	inc := NewIncremental(inner, 4, 64)
+	for i := 1; i <= 3; i++ {
+		if err := inc.Put(fmt.Sprintf("ckpt-%06d", i), sampleSections(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A new session over the same store starts with fresh decorator state
+	// and overwrites the keyframe; the surviving session-1 deltas now
+	// reference base content that no longer exists.
+	inc2 := NewIncremental(inner, 4, 64)
+	if err := inc2.Put("ckpt-000001", sampleSections(9)); err != nil {
+		t.Fatal(err)
+	}
+	for _, stale := range []string{"ckpt-000002", "ckpt-000003"} {
+		if _, err := inc2.Get(stale); err == nil {
+			t.Errorf("stale delta %s resolved against the overwritten keyframe", stale)
+		}
+	}
+	got, err := inc2.Get("ckpt-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleSections(9)) {
+		t.Error("new keyframe unreadable")
+	}
+}
+
+// A delta written by the retired pre-digest format (kind byte 1) must be
+// rejected explicitly, not misparsed with key bytes as a digest.
+func TestIncrementalRejectsObsoleteDeltaFormat(t *testing.T) {
+	inner := NewMemory()
+	inc := NewIncremental(inner, 4, 64)
+	if err := inc.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	old := []Section{
+		{Name: "~incr", Data: append([]byte{1}, "ckpt-000001"...)},
+		{Name: "x", Data: []byte{0, 1, 2}},
+	}
+	if err := inner.Put("ckpt-000002", old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Get("ckpt-000002"); err == nil {
+		t.Error("obsolete delta format accepted")
+	}
+}
+
+// A failed delta write must not advance the diff basis: the next
+// successful delta has to re-carry the changes the failed one lost, or
+// reconstruction silently drops them.
+func TestIncrementalFailedPutDoesNotAdvanceBasis(t *testing.T) {
+	failing := &failingBackend{Memory: NewMemory()}
+	inc := NewIncremental(failing, 8, 64)
+	sections := func(v byte) []Section {
+		return []Section{{Name: "x", Data: []byte{v, v, v, v}}}
+	}
+	if err := inc.Put("ckpt-000001", sections(1)); err != nil {
+		t.Fatal(err)
+	}
+	failing.mu.Lock()
+	failing.every = 1 // fail the next put
+	failing.mu.Unlock()
+	if err := inc.Put("ckpt-000002", sections(2)); err == nil {
+		t.Fatal("injected failure not reported")
+	}
+	failing.mu.Lock()
+	failing.every = 0
+	failing.mu.Unlock()
+	if err := inc.Put("ckpt-000003", sections(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Get("ckpt-000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sections(2)) {
+		t.Errorf("reconstruction lost the change from the failed put: %v", got)
 	}
 }
 
