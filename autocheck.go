@@ -38,6 +38,8 @@
 package autocheck
 
 import (
+	"io"
+
 	"autocheck/internal/core"
 	"autocheck/internal/interp"
 	"autocheck/internal/ir"
@@ -61,7 +63,33 @@ type (
 	Record = trace.Record
 	// Module is a compiled program.
 	Module = ir.Module
+	// RecordWriter is a trace encoder sink (text or binary); see
+	// NewTraceWriter.
+	RecordWriter = trace.RecordWriter
+	// TraceReader is a streaming trace decoder (text or binary); see
+	// NewTraceReader.
+	TraceReader = trace.Reader
+	// TraceFormat selects a trace encoding (TextFormat or BinaryFormat).
+	TraceFormat = trace.Format
 )
+
+// Trace encodings.
+const (
+	TextFormat   = trace.FormatText
+	BinaryFormat = trace.FormatBinary
+)
+
+// NewTraceWriter returns a trace encoder in the chosen format over w,
+// usable as the sink of TraceProgramTo.
+func NewTraceWriter(w io.Writer, f TraceFormat) RecordWriter {
+	return trace.NewRecordWriter(w, f)
+}
+
+// NewTraceReader sniffs the stream's encoding and returns a streaming
+// record reader for it, usable as the source of AnalyzeStream.
+func NewTraceReader(r io.Reader) (TraceReader, TraceFormat, error) {
+	return trace.NewAutoReader(r)
+}
 
 // Dependency types (paper §IV-C, Fig. 7).
 const (
@@ -80,8 +108,9 @@ func Analyze(recs []Record, spec LoopSpec, opts Options) (*Result, error) {
 	return core.Analyze(recs, spec, opts)
 }
 
-// AnalyzeBytes parses a textual trace (in parallel when opts.Workers > 1)
-// and analyzes it.
+// AnalyzeBytes parses an in-memory trace of either format (textual traces
+// decode in parallel when opts.Workers > 1; opts.Streaming avoids
+// materializing records at all) and analyzes it.
 func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
 	return core.AnalyzeBytes(data, spec, opts)
 }
@@ -135,5 +164,31 @@ func RunProgram(mod *Module) (string, error) { return interp.RunProgram(mod) }
 // format; ParseTrace reads it back.
 func EncodeTrace(recs []Record) []byte { return trace.EncodeAll(recs) }
 
-// ParseTrace parses a textual trace serially.
+// EncodeTraceBinary renders records in the compact binary trace format
+// (magic "ACTB": varint fields plus an interned string table), typically
+// 2-3x smaller and several times faster to parse than the text format.
+func EncodeTraceBinary(recs []Record) []byte { return trace.EncodeBinary(recs) }
+
+// ParseTrace parses an in-memory trace of either format, detected by its
+// magic bytes.
 func ParseTrace(data []byte) ([]Record, error) { return trace.ParseBytes(data) }
+
+// TraceProgramBinary executes a module with the tracer emitting the
+// compact binary encoding directly: no []Record is materialized.
+func TraceProgramBinary(mod *Module) ([]byte, string, error) {
+	return interp.TraceProgramBinary(mod)
+}
+
+// TraceProgramTo executes a module with the tracer streaming into any
+// trace encoder (see NewTraceWriter).
+func TraceProgramTo(mod *Module, w RecordWriter) (string, error) {
+	return interp.TraceProgramTo(mod, w)
+}
+
+// AnalyzeStream runs the pipeline over a replayable record stream in
+// three bounded passes without materializing the trace; open is called
+// once per pass (see NewTraceReader for building readers). Results are
+// identical to Analyze.
+func AnalyzeStream(open func() (TraceReader, error), spec LoopSpec, opts Options) (*Result, error) {
+	return core.AnalyzeStream(open, spec, opts)
+}

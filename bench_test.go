@@ -55,6 +55,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, bench := range progs.All() {
 		bench := bench
 		b.Run(bench.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := prep(b, bench.Name)
 			b.SetBytes(int64(len(p.Data)))
 			var critical int
@@ -77,6 +78,7 @@ func BenchmarkTable3(b *testing.B) {
 	p := prep(b, "HACC")
 	spec := p.Spec
 	b.Run("PreprocessSerial", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(len(p.Data)))
 		for i := 0; i < b.N; i++ {
 			if _, err := trace.ParseBytes(p.Data); err != nil {
@@ -87,6 +89,7 @@ func BenchmarkTable3(b *testing.B) {
 	for _, workers := range []int{2, 4, 8, 16, 48} {
 		workers := workers
 		b.Run(fmt.Sprintf("PreprocessParallel%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(p.Data)))
 			for i := 0; i < b.N; i++ {
 				if _, err := trace.ParseBytesParallel(p.Data, workers); err != nil {
@@ -96,6 +99,7 @@ func BenchmarkTable3(b *testing.B) {
 		})
 	}
 	b.Run("DependencyAndIdentify", func(b *testing.B) {
+		b.ReportAllocs()
 		opts := core.DefaultOptions()
 		opts.Module = p.Mod
 		for i := 0; i < b.N; i++ {
@@ -116,6 +120,7 @@ func BenchmarkTable4_Storage(b *testing.B) {
 	for _, bench := range progs.All() {
 		bench := bench
 		b.Run(bench.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := prep(b, bench.Name)
 			res, err := p.Analyze(0)
 			if err != nil {
@@ -158,6 +163,7 @@ func BenchmarkTable4_StorageBackends(b *testing.B) {
 		{"CriticalSetIncremental", store.Config{Kind: store.KindMemory, Incremental: true, Keyframe: 8}},
 	}
 	b.Run("FullSnapshot", func(b *testing.B) {
+		b.ReportAllocs()
 		var run *harness.StorageRun
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -171,6 +177,7 @@ func BenchmarkTable4_StorageBackends(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var run *harness.StorageRun
 			for i := 0; i < b.N; i++ {
 				cfg := c.cfg
@@ -198,6 +205,7 @@ func BenchmarkValidation(b *testing.B) {
 	for _, name := range []string{"CG", "IS", "HACC"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := prep(b, name)
 			res, err := p.Analyze(0)
 			if err != nil {
@@ -227,6 +235,7 @@ func BenchmarkFig5_DDGContraction(b *testing.B) {
 	opts := core.DefaultOptions()
 	opts.Module = p.Mod
 	opts.BuildDDG = true
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Analyze(p.Records, p.Spec, opts)
 		if err != nil {
@@ -238,12 +247,14 @@ func BenchmarkFig5_DDGContraction(b *testing.B) {
 }
 
 // BenchmarkParallelTraceRead is the §V-A optimization sweep: parsing
-// throughput versus worker count on the largest trace.
+// throughput versus worker count on the largest trace, plus the serial
+// binary decode for reference (it needs no workers to beat the sweep).
 func BenchmarkParallelTraceRead(b *testing.B) {
 	p := prep(b, "HACC")
 	for _, workers := range []int{1, 2, 4, 8, 16, 48} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(p.Data)))
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -258,6 +269,90 @@ func BenchmarkParallelTraceRead(b *testing.B) {
 			}
 		})
 	}
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.BinData())))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ParseBinary(p.BinData()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTraceBinaryVsText is the headline comparison of the trace
+// hot-path overhaul on the largest Table III trace: parse speed and
+// encoded size for the text format (serial and parallel) against the
+// compact binary format, plus both encoders. size-B and binary/text-x
+// metrics record the bytes-on-disk story.
+func BenchmarkTraceBinaryVsText(b *testing.B) {
+	p := prep(b, "HACC")
+	sizeRatio := float64(len(p.BinData())) / float64(len(p.Data))
+	cases := []struct {
+		name string
+		data []byte
+		fn   func([]byte) ([]trace.Record, error)
+	}{
+		{"ParseText", p.Data, trace.ParseBytes},
+		{"ParseTextParallel8", p.Data, func(d []byte) ([]trace.Record, error) { return trace.ParseBytesParallel(d, 8) }},
+		{"ParseBinary", p.BinData(), trace.ParseBinary},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(c.data)))
+			for i := 0; i < b.N; i++ {
+				recs, err := c.fn(c.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != len(p.Records) {
+					b.Fatalf("parsed %d records, want %d", len(recs), len(p.Records))
+				}
+			}
+			b.ReportMetric(float64(len(c.data)), "size-B")
+			b.ReportMetric(sizeRatio, "binary/text-x")
+		})
+	}
+	b.Run("EncodeText", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.Data)))
+		for i := 0; i < b.N; i++ {
+			trace.EncodeAll(p.Records)
+		}
+	})
+	b.Run("EncodeBinary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.BinData())))
+		for i := 0; i < b.N; i++ {
+			trace.EncodeBinary(p.Records)
+		}
+	})
+	b.Run("AnalyzeStreamText", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.Data)))
+		opts := core.DefaultOptions()
+		opts.Module = p.Mod
+		opts.Streaming = true
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeBytes(p.Data, p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AnalyzeStreamBinary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.BinData())))
+		opts := core.DefaultOptions()
+		opts.Module = p.Mod
+		opts.Streaming = true
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeBytes(p.BinData(), p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_StreamingVsDDG compares the streaming classifier
@@ -269,6 +364,7 @@ func BenchmarkAblation_StreamingVsDDG(b *testing.B) {
 	base := core.DefaultOptions()
 	base.Module = p.Mod
 	b.Run("Streaming", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Analyze(p.Records, p.Spec, base); err != nil {
 				b.Fatal(err)
@@ -276,6 +372,7 @@ func BenchmarkAblation_StreamingVsDDG(b *testing.B) {
 		}
 	})
 	b.Run("WithCompleteDDG", func(b *testing.B) {
+		b.ReportAllocs()
 		opts := base
 		opts.BuildDDG = true
 		for i := 0; i < b.N; i++ {
@@ -291,6 +388,7 @@ func BenchmarkAblation_StreamingVsDDG(b *testing.B) {
 func BenchmarkAblation_InductionDetection(b *testing.B) {
 	p := prep(b, "MG")
 	b.Run("StaticLoopAnalysis", func(b *testing.B) {
+		b.ReportAllocs()
 		opts := core.DefaultOptions()
 		opts.Module = p.Mod
 		for i := 0; i < b.N; i++ {
@@ -300,6 +398,7 @@ func BenchmarkAblation_InductionDetection(b *testing.B) {
 		}
 	})
 	b.Run("DynamicHeuristic", func(b *testing.B) {
+		b.ReportAllocs()
 		opts := core.DefaultOptions()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Analyze(p.Records, p.Spec, opts); err != nil {
@@ -315,6 +414,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	for _, name := range []string{"Himeno", "EP", "HACC"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := prep(b, name)
 			for i := 0; i < b.N; i++ {
 				recs, _, err := TraceProgram(p.Mod)
@@ -333,6 +433,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 func BenchmarkAblation_OnlineVsTraceFile(b *testing.B) {
 	p := prep(b, "AMG")
 	b.Run("TraceFile", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			recs, _, err := TraceProgram(p.Mod)
 			if err != nil {
@@ -345,6 +446,7 @@ func BenchmarkAblation_OnlineVsTraceFile(b *testing.B) {
 		}
 	})
 	b.Run("Online", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := AnalyzeProgramOnline(p.Mod, p.Spec, DefaultOptions()); err != nil {
 				b.Fatal(err)

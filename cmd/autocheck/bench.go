@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"autocheck/internal/harness"
+	"autocheck/internal/progs"
+	"autocheck/internal/trace"
+)
+
+// cmdBench measures the trace hot path — text serial/parallel parse,
+// binary parse, and the two encodings' sizes — on one benchmark's trace
+// and appends the result to a JSON trajectory file, so the repo
+// accumulates perf history without hand-running `go test -bench`.
+
+// benchEntry is one measured configuration.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is one `autocheck bench` run.
+type benchReport struct {
+	Date            string       `json:"date"`
+	Benchmark       string       `json:"benchmark"`
+	Scale           int          `json:"scale"`
+	Records         int          `json:"records"`
+	TextBytes       int          `json:"text_bytes"`
+	BinaryBytes     int          `json:"binary_bytes"`
+	BinaryTextRatio float64      `json:"binary_text_ratio"`
+	Entries         []benchEntry `json:"entries"`
+}
+
+func runOne(name string, totalBytes int, fn func(b *testing.B)) benchEntry {
+	r := testing.Benchmark(fn)
+	e := benchEntry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.NsPerOp() > 0 {
+		e.MBPerSec = float64(totalBytes) / (float64(r.NsPerOp()) / 1e9) / 1e6
+	}
+	fmt.Printf("  %-22s %10.2f ms/op  %8.1f MB/s  %8d allocs/op\n",
+		name, float64(e.NsPerOp)/1e6, e.MBPerSec, e.AllocsPerOp)
+	return e
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_trace.json", "output JSON trajectory file (appended)")
+	benchName := fs.String("benchmark", "HACC", "benchmark port to trace")
+	scale := fs.Int("scale", 0, "input scale (0 = default)")
+	workers := fs.Int("workers", 8, "parallel text parse workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bench := progs.Get(*benchName)
+	if bench == nil {
+		return fmt.Errorf("unknown benchmark %q", *benchName)
+	}
+	// Load the trajectory up front: a file that exists but does not parse
+	// is surfaced before minutes of benchmarking, not silently
+	// overwritten — it is the accumulated history this command exists to
+	// preserve.
+	var history []benchReport
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &history); err != nil {
+			return fmt.Errorf("existing %s is not a valid trajectory (fix or remove it): %w", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	p, err := harness.Prepare(bench, *scale)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		Benchmark:       bench.Name,
+		Scale:           *scale,
+		Records:         len(p.Records),
+		TextBytes:       len(p.Data),
+		BinaryBytes:     len(p.BinData()),
+		BinaryTextRatio: float64(len(p.BinData())) / float64(len(p.Data)),
+	}
+	fmt.Printf("%s trace: %d records, text %d B, binary %d B (%.0f%%)\n",
+		bench.Name, rep.Records, rep.TextBytes, rep.BinaryBytes, 100*rep.BinaryTextRatio)
+	rep.Entries = append(rep.Entries,
+		runOne("text-parse-serial", len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ParseBytes(p.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne(fmt.Sprintf("text-parse-parallel%d", *workers), len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ParseBytesParallel(p.Data, *workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne("binary-parse", len(p.BinData()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ParseBinary(p.BinData()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne("text-encode", len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trace.EncodeAll(p.Records)
+			}
+		}),
+		runOne("binary-encode", len(p.BinData()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trace.EncodeBinary(p.Records)
+			}
+		}),
+	)
+
+	history = append(history, rep)
+	data, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended run %d to %s\n", len(history), *out)
+	return nil
+}

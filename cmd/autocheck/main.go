@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"autocheck"
@@ -41,6 +42,10 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "table2":
 		err = cmdTable2()
 	case "table3":
@@ -66,16 +71,24 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
+  autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg] [-stream]
       -file    mini-C source file (compiled and traced)
-      -trace   pre-generated trace file (alternative to -file)
+      -trace   pre-generated trace file, text or binary (alternative to -file)
       -func    function containing the main computation loop (default main)
       -start   main loop start line
       -end     main loop end line
-      -workers parallel pre-processing workers (0 = serial)
+      -workers parallel pre-processing workers (0 = serial; text format only)
+      -stream  analyze the trace in bounded streaming passes
+               (O(variables) memory instead of O(records))
       -ddg     also print the contracted DDG
-  autocheck trace    -file prog.mc [-o trace.txt]
-      -o       output trace file (default stdout)
+  autocheck trace    -file prog.mc [-o trace.out] [-trace-format text|binary]
+      -o            output trace file (default stdout)
+      -trace-format output encoding; binary is emitted directly by the
+                    tracer without materializing records (default text)
+  autocheck convert  -in trace.in -out trace.out [-to text|binary]
+                                convert between the trace encodings
+                                (input format auto-detected; default -to
+                                is the opposite of the input)
   autocheck table2              regenerate Table II  (critical variables)
   autocheck table3 [-workers K] regenerate Table III (analysis cost)
       -workers parallel pre-processing workers (default 48)
@@ -91,6 +104,10 @@ func usage() {
                      with periodic full keyframes
       -keyframe N    incremental: full checkpoint every N writes (default 8)
       -shard-workers sharded backend write pool size (default 4)
+  autocheck bench [-o BENCH_trace.json] [-benchmark HACC] [-scale N]
+                                measure the trace hot path (text serial /
+                                parallel / binary parse + sizes) and write
+                                the JSON perf trajectory
   autocheck list                list the 14 benchmark ports`)
 }
 
@@ -110,6 +127,7 @@ func cmdAnalyze(args []string) error {
 	start := fs.Int("start", 0, "main loop start line")
 	end := fs.Int("end", 0, "main loop end line")
 	workers := fs.Int("workers", 0, "parallel pre-processing workers (0 = serial)")
+	stream := fs.Bool("stream", false, "streaming analysis (bounded memory, multiple passes)")
 	ddg := fs.Bool("ddg", false, "also print the contracted DDG")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +138,7 @@ func cmdAnalyze(args []string) error {
 	spec := autocheck.LoopSpec{Function: *fn, StartLine: *start, EndLine: *end}
 	opts := autocheck.DefaultOptions()
 	opts.Workers = *workers
+	opts.Streaming = *stream
 	opts.BuildDDG = *ddg
 	var res *autocheck.Result
 	var err error
@@ -132,13 +151,25 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return err
 		}
-		var recs []autocheck.Record
-		recs, _, err = autocheck.TraceProgram(mod)
-		if err != nil {
-			return err
-		}
 		opts.Module = mod
-		res, err = autocheck.Analyze(recs, spec, opts)
+		if *stream {
+			// Honor -stream in -file mode too: trace straight into the
+			// compact binary encoding (no []Record materialized) and
+			// analyze it in bounded passes.
+			var data []byte
+			data, _, err = autocheck.TraceProgramBinary(mod)
+			if err != nil {
+				return err
+			}
+			res, err = autocheck.AnalyzeBytes(data, spec, opts)
+		} else {
+			var recs []autocheck.Record
+			recs, _, err = autocheck.TraceProgram(mod)
+			if err != nil {
+				return err
+			}
+			res, err = autocheck.Analyze(recs, spec, opts)
+		}
 	}
 	if err != nil {
 		return err
@@ -174,30 +205,88 @@ func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	file := fs.String("file", "", "mini-C source file")
 	out := fs.String("o", "", "output trace file (default stdout)")
+	formatName := fs.String("trace-format", "text", "output encoding: text or binary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return fmt.Errorf("trace needs -file")
 	}
+	format, err := trace.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
 	mod, err := compileFile(*file)
 	if err != nil {
 		return err
 	}
-	recs, progOut, err := autocheck.TraceProgram(mod)
+	dst := io.Writer(os.Stdout)
+	var f *os.File
+	if *out != "" {
+		var err error
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		dst = f
+	}
+	// The tracer streams into the encoder; no []Record is materialized.
+	w := trace.NewRecordWriter(dst, format)
+	progOut, err := autocheck.TraceProgramTo(mod, w)
+	if f != nil {
+		// Close errors count: filesystems may defer write failures to
+		// close, and reporting success over a truncated file would let a
+		// later analyze run silently accept a partial trace.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			// Don't leave a well-formed-looking prefix of the trace behind.
+			os.Remove(*out)
+			return err
+		}
+		fmt.Printf("wrote %d records (%s format) to %s\nprogram output: %s",
+			w.Count(), format, *out, progOut)
+		return nil
+	}
+	return err
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (format auto-detected)")
+	out := fs.String("out", "", "output trace file")
+	to := fs.String("to", "", "target encoding: text or binary (default: the other one)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert needs -in and -out")
+	}
+	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	data := trace.EncodeAll(recs)
-	if *out == "" {
-		_, err = os.Stdout.Write(data)
+	from := trace.DetectFormat(data)
+	target := trace.FormatText
+	if from == trace.FormatText {
+		target = trace.FormatBinary
+	}
+	if *to != "" {
+		if target, err = trace.ParseFormat(*to); err != nil {
+			return err
+		}
+	}
+	recs, err := trace.ParseBytes(data)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	converted := trace.Encode(recs, target)
+	if err := os.WriteFile(*out, converted, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d records (%d bytes) to %s\nprogram output: %s",
-		len(recs), len(data), *out, progOut)
+	fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes): %d records, %.2fx size\n",
+		*in, from, len(data), *out, target, len(converted), len(recs),
+		float64(len(converted))/float64(len(data)))
 	return nil
 }
 

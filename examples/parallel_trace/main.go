@@ -32,27 +32,37 @@ func main() {
 		log.Fatal(err)
 	}
 	data := autocheck.EncodeTrace(recs)
-	fmt.Printf("HACC trace: %d records, %.2f MiB\n\n", len(recs), float64(len(data))/(1<<20))
+	bin := autocheck.EncodeTraceBinary(recs)
+	fmt.Printf("HACC trace: %d records, text %.2f MiB, binary %.2f MiB (%.0f%%)\n\n",
+		len(recs), float64(len(data))/(1<<20), float64(len(bin))/(1<<20),
+		100*float64(len(bin))/float64(len(data)))
 
 	var serial time.Duration
-	for _, workers := range []int{1, 2, 4, 8, 16, 48} {
+	run := func(label string, input []byte, workers int, streaming bool) {
 		opts := autocheck.DefaultOptions()
 		opts.Module = mod
 		opts.Workers = workers
+		opts.Streaming = streaming
 		t0 := time.Now()
-		res, err := autocheck.AnalyzeBytes(data, spec, opts)
+		res, err := autocheck.AnalyzeBytes(input, spec, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(t0)
-		if workers == 1 {
+		if serial == 0 {
 			serial = elapsed
 		}
-		fmt.Printf("workers=%2d  pre=%8.2fms  total=%8.2fms  speedup=%.2fx  critical=%v\n",
-			workers,
+		fmt.Printf("%-22s pre=%8.2fms  total=%8.2fms  speedup=%.2fx  critical=%v\n",
+			label,
 			float64(res.Timing.Pre.Microseconds())/1000,
 			float64(elapsed.Microseconds())/1000,
 			float64(serial)/float64(elapsed),
 			res.CriticalNames())
 	}
+	for _, workers := range []int{1, 2, 4, 8, 16, 48} {
+		run(fmt.Sprintf("text workers=%d", workers), data, workers, false)
+	}
+	run("binary", bin, 0, false)
+	run("text streaming", data, 0, true)
+	run("binary streaming", bin, 0, true)
 }

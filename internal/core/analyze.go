@@ -31,7 +31,15 @@ type Options struct {
 	IncludeGlobals bool
 	// Workers sets the pre-processing parallelism for AnalyzeBytes
 	// (the paper's 48-thread OpenMP optimization); 0 means serial.
+	// Streaming and binary traces decode serially, so Workers only
+	// affects the materialized textual path.
 	Workers int
+	// Streaming analyzes the trace through AnalyzeStream: three bounded
+	// passes over a re-opened record stream instead of one materialized
+	// []Record. Memory stays O(variables) instead of O(records) at the
+	// cost of decoding the trace per pass; results are identical. BuildDDG
+	// still materializes the graph and is unaffected.
+	Streaming bool
 	// BuildDDG additionally constructs the complete and contracted
 	// dependency graphs (Fig. 5(c)/(d)). Intended for small traces,
 	// reports and visualization; classification itself streams.
@@ -128,9 +136,23 @@ func (r *Result) Find(name string) *CriticalVar {
 }
 
 // AnalyzeFile reads a trace file produced by the tracer (or by LLVM-Tracer
-// with compatible encoding) and analyzes it. This is the paper's primary
-// usage mode: trace generation and analysis as separate steps.
+// with compatible encoding, text or binary) and analyzes it. This is the
+// paper's primary usage mode: trace generation and analysis as separate
+// steps. With opts.Streaming the file is scanned from disk once per
+// bounded pass (three in total) and never loaded whole.
 func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
+	if opts.Streaming {
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading trace: %w", err)
+		}
+		res, err := AnalyzeStream(fileReaderOpener(path), spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.TraceBytes = st.Size()
+		return res, nil
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading trace: %w", err)
@@ -138,15 +160,28 @@ func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
 	return AnalyzeBytes(data, spec, opts)
 }
 
-// AnalyzeBytes parses a textual trace (serially, or in parallel chunks when
-// opts.Workers > 1) and analyzes it.
+// AnalyzeBytes parses an in-memory trace — text or binary, detected by
+// magic — and analyzes it. Textual traces decode in parallel chunks when
+// opts.Workers > 1; with opts.Streaming no []Record is materialized at
+// all.
 func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
+	if opts.Streaming {
+		res, err := AnalyzeStream(bytesReaderOpener(data), spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.TraceBytes = int64(len(data))
+		return res, nil
+	}
 	t0 := time.Now()
 	var recs []trace.Record
 	var err error
-	if opts.Workers > 1 {
+	switch {
+	case trace.DetectFormat(data) == trace.FormatBinary:
+		recs, err = trace.ParseBinary(data)
+	case opts.Workers > 1:
 		recs, err = trace.ParseBytesParallel(data, opts.Workers)
-	} else {
+	default:
 		recs, err = trace.ParseBytes(data)
 	}
 	if err != nil {
@@ -195,7 +230,7 @@ func Analyze(recs []trace.Record, spec LoopSpec, opts Options) (*Result, error) 
 
 	// ---- Module 3: identification of critical variables ----
 	t0 = time.Now()
-	res.Critical = a.identify(recs, bStart, bEnd)
+	res.Critical = a.identify()
 	res.Timing.Identify = time.Since(t0)
 	res.Timing.Total = time.Since(total0)
 	return res, nil
@@ -372,14 +407,19 @@ func (a *analyzer) collectRegionBMatch(r *trace.Record) {
 // while collecting variables in regions A and B and matching them.
 func (a *analyzer) collectMLI(recs []trace.Record, bStart, bEnd int) {
 	for i := range recs {
-		r := &recs[i]
-		a.trackStorage(r)
-		switch {
-		case i < bStart:
-			a.collectRegionA(r)
-		case i <= bEnd:
-			a.collectRegionBMatch(r)
-		}
+		a.collectStep(&recs[i], i, bStart, bEnd)
+	}
+}
+
+// collectStep processes the i-th record of the module-1 pass; the
+// streaming driver (AnalyzeStream) shares it with collectMLI.
+func (a *analyzer) collectStep(r *trace.Record, i, bStart, bEnd int) {
+	a.trackStorage(r)
+	switch {
+	case i < bStart:
+		a.collectRegionA(r)
+	case i <= bEnd:
+		a.collectRegionBMatch(r)
 	}
 }
 

@@ -15,23 +15,33 @@ import (
 // (Fig. 5(c)): MLI vertices, local-variable vertices, and one vertex per
 // dynamic register instance, with an edge flush at every Store.
 func (a *analyzer) dependencyPass(recs []trace.Record, bStart, bEnd int) {
+	a.beginDependencyPass()
+	for i := range recs {
+		a.dependencyStep(&recs[i], i, bStart, bEnd)
+	}
+}
+
+// beginDependencyPass resets the replay state for module 2; the streaming
+// driver (AnalyzeStream) shares it with the materialized dependencyPass.
+func (a *analyzer) beginDependencyPass() {
 	a.vt = newVarTable() // replay storage so resolution is time-correct
 	if a.opts.BuildDDG {
 		a.graph = ddg.New()
 		a.regNode = make(map[regKey]*ddg.Node)
 		a.varNodes = make(map[VarID]*ddg.Node)
 	}
-	for i := range recs {
-		r := &recs[i]
-		a.trackStorage(r)
-		inB := i >= bStart && i <= bEnd
-		a.updateMaps(r, inB)
-		switch {
-		case inB:
-			a.processLoopRecord(r)
-		case i > bEnd:
-			a.processAfterLoop(r)
-		}
+}
+
+// dependencyStep processes the i-th record of the module-2 replay.
+func (a *analyzer) dependencyStep(r *trace.Record, i, bStart, bEnd int) {
+	a.trackStorage(r)
+	inB := i >= bStart && i <= bEnd
+	a.updateMaps(r, inB)
+	switch {
+	case inB:
+		a.processLoopRecord(r)
+	case i > bEnd:
+		a.processAfterLoop(r)
 	}
 }
 

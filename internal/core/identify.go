@@ -4,13 +4,14 @@ import (
 	"sort"
 
 	"autocheck/internal/cfg"
-	"autocheck/internal/trace"
 )
 
 // identify is module 3: classify MLI variables by their dependency pattern
 // and add the induction variable of the outermost main-computation loop
-// (§IV-C, Fig. 7).
-func (a *analyzer) identify(recs []trace.Record, bStart, bEnd int) []CriticalVar {
+// (§IV-C, Fig. 7). It works purely off the summaries accumulated by the
+// earlier passes, which is what lets the streaming and online drivers
+// share it without a record slice.
+func (a *analyzer) identify() []CriticalVar {
 	indexVars := a.findInductionVars()
 	isIndex := make(map[VarID]bool, len(indexVars))
 	for _, v := range indexVars {

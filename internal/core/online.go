@@ -75,7 +75,7 @@ func (c *Collector) Finish() (*Result, error) {
 	res.Stats.Records = c.counts[0] + c.counts[1] + c.counts[2]
 	res.Stats.RegionA, res.Stats.RegionB, res.Stats.RegionC = c.counts[0], c.counts[1], c.counts[2]
 	res.MLI = c.a.mliList()
-	res.Critical = c.a.identify(nil, 0, 0)
+	res.Critical = c.a.identify()
 	res.Timing.Total = time.Since(c.start)
 	return res, nil
 }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"autocheck/internal/ddg"
+	"autocheck/internal/trace"
+)
+
+// mliNames projects the MLI list to comparable identity tuples.
+func mliNames(res *Result) []string {
+	out := make([]string, len(res.MLI))
+	for i, v := range res.MLI {
+		out[i] = fmt.Sprintf("%s/%s@%x:%d", v.Fn, v.Name, v.Base, v.SizeBytes)
+	}
+	return out
+}
+
+// requireEquivalent asserts the parts of a Result that the paper's tables
+// report are identical between two analysis paths.
+func requireEquivalent(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Critical, got.Critical) {
+		t.Errorf("%s: critical variables differ:\nwant %+v\ngot  %+v", label, want.Critical, got.Critical)
+	}
+	if !reflect.DeepEqual(mliNames(want), mliNames(got)) {
+		t.Errorf("%s: MLI sets differ:\nwant %v\ngot  %v", label, mliNames(want), mliNames(got))
+	}
+	ws, gs := want.Stats, got.Stats
+	if ws.Records != gs.Records || ws.RegionA != gs.RegionA || ws.RegionB != gs.RegionB || ws.RegionC != gs.RegionC {
+		t.Errorf("%s: region stats differ: want %+v got %+v", label, ws, gs)
+	}
+}
+
+// TestStreamEquivalence pins the tentpole invariant: materialized text,
+// parallel text, binary, and streaming analyses (over both encodings)
+// produce identical results on the paper's Fig. 4 example.
+func TestStreamEquivalence(t *testing.T) {
+	recs, mod := traceOf(t, fig4Source)
+	opts := DefaultOptions()
+	opts.Module = mod
+	text := trace.EncodeAll(recs)
+	bin := trace.EncodeBinary(recs)
+
+	want, err := Analyze(recs, fig4Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []struct {
+		label string
+		data  []byte
+		tweak func(*Options)
+	}{
+		{"text-serial", text, nil},
+		{"text-parallel", text, func(o *Options) { o.Workers = 4 }},
+		{"binary", bin, nil},
+		{"text-streaming", text, func(o *Options) { o.Streaming = true }},
+		{"binary-streaming", bin, func(o *Options) { o.Streaming = true }},
+	}
+	for _, p := range paths {
+		o := opts
+		if p.tweak != nil {
+			p.tweak(&o)
+		}
+		got, err := AnalyzeBytes(p.data, fig4Spec, o)
+		if err != nil {
+			t.Fatalf("%s: %v", p.label, err)
+		}
+		requireEquivalent(t, p.label, want, got)
+		if got.Stats.TraceBytes != int64(len(p.data)) {
+			t.Errorf("%s: TraceBytes = %d, want %d", p.label, got.Stats.TraceBytes, len(p.data))
+		}
+	}
+}
+
+// TestStreamEquivalenceDDG checks the streaming path also supports DDG
+// construction identically.
+func TestStreamEquivalenceDDG(t *testing.T) {
+	recs, mod := traceOf(t, fig4Source)
+	opts := DefaultOptions()
+	opts.Module = mod
+	opts.BuildDDG = true
+	want, err := Analyze(recs, fig4Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Streaming = true
+	got, err := AnalyzeBytes(trace.EncodeAll(recs), fig4Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, "streaming+ddg", want, got)
+	if got.Contracted == nil || want.Contracted == nil {
+		t.Fatal("contracted DDG missing")
+	}
+	// Node IDs depend on contraction's internal iteration order, so
+	// compare canonical content: the sorted node names and the sorted
+	// R/W event multiset.
+	if w, g := canonicalGraph(want.Contracted), canonicalGraph(got.Contracted); !reflect.DeepEqual(w, g) {
+		t.Errorf("contracted DDGs differ:\nwant %v\ngot  %v", w, g)
+	}
+	if w, g := canonicalGraph(want.Complete), canonicalGraph(got.Complete); !reflect.DeepEqual(w, g) {
+		t.Errorf("complete DDGs differ (%d vs %d entries)", len(w), len(g))
+	}
+}
+
+func canonicalGraph(g *ddg.Graph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		out = append(out, fmt.Sprintf("node %s/%s", n.Name, n.Kind))
+	}
+	for _, e := range g.Events() {
+		out = append(out, fmt.Sprintf("ev %s %v @%d", e.Node.Name, e.Kind, e.Time))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAnalyzeFileStreaming exercises the never-load-the-file path over
+// both encodings.
+func TestAnalyzeFileStreaming(t *testing.T) {
+	recs, mod := traceOf(t, fig4Source)
+	opts := DefaultOptions()
+	opts.Module = mod
+	want, err := Analyze(recs, fig4Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for label, data := range map[string][]byte{
+		"text":   trace.EncodeAll(recs),
+		"binary": trace.EncodeBinary(recs),
+	} {
+		path := filepath.Join(dir, "trace."+label)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Streaming = true
+		got, err := AnalyzeFile(path, fig4Spec, o)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		requireEquivalent(t, "file-stream-"+label, want, got)
+		if got.Stats.TraceBytes != int64(len(data)) {
+			t.Errorf("%s: TraceBytes = %d, want %d", label, got.Stats.TraceBytes, len(data))
+		}
+	}
+}
+
+// TestStreamMissingLoop mirrors Analyze's error when the MCLR never
+// executes.
+func TestStreamMissingLoop(t *testing.T) {
+	recs, mod := traceOf(t, fig4Source)
+	opts := DefaultOptions()
+	opts.Module = mod
+	opts.Streaming = true
+	_, err := AnalyzeBytes(trace.EncodeAll(recs), LoopSpec{Function: "nope", StartLine: 1, EndLine: 2}, opts)
+	if err == nil {
+		t.Fatal("streaming analysis of absent loop succeeded")
+	}
+}
+
+// TestStreamPropagatesParseError ensures decode errors from mid-stream
+// surface instead of truncating the analysis silently.
+func TestStreamPropagatesParseError(t *testing.T) {
+	recs, _ := traceOf(t, fig4Source)
+	data := trace.EncodeAll(recs)
+	data = append(data, []byte("0,notanint,f,b,27,1\n")...)
+	opts := DefaultOptions()
+	opts.Streaming = true
+	if _, err := AnalyzeBytes(data, fig4Spec, opts); err == nil {
+		t.Fatal("corrupt tail did not fail the streaming analysis")
+	}
+}
+
+// TestStreamGlobalFootprintParity pins a subtle equivalence case: an
+// unnamed access beyond a global's footprint after the loop must not grow
+// the reported variable size on the streaming path (the materialized
+// pass-1 stops collecting at the loop's end, so the streaming passes must
+// too).
+func TestStreamGlobalFootprintParity(t *testing.T) {
+	mk := func(line int, fn string, op int, addr uint64, name string) trace.Record {
+		return trace.Record{
+			Line: line, Func: fn, Block: "b", Opcode: op, DynID: int64(line),
+			Ops:    []trace.Operand{{Index: 1, Size: 64, Value: trace.PtrValue(addr), IsReg: true, Name: name}},
+			Result: &trace.Operand{Index: 0, Size: 64, Value: trace.IntValue(1), IsReg: true, Name: "t"},
+		}
+	}
+	recs := []trace.Record{
+		mk(1, "main", trace.OpLoad, 0x1000, "g"), // region A: named global ref
+		mk(5, "main", trace.OpLoad, 0x1000, "g"), // region B (loop lines 4-6)
+		mk(9, "main", trace.OpLoad, 0x1020, ""),  // region C: unnamed far access
+	}
+	spec := LoopSpec{Function: "main", StartLine: 4, EndLine: 6}
+	opts := DefaultOptions()
+	want, err := Analyze(recs, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Streaming = true
+	got, err := AnalyzeBytes(trace.EncodeAll(recs), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, "global-footprint", want, got)
+	if len(want.MLI) != 1 || want.MLI[0].SizeBytes != got.MLI[0].SizeBytes {
+		t.Fatalf("footprints diverge: materialized %+v, streaming %+v", want.MLI, got.MLI)
+	}
+}

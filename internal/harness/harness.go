@@ -30,8 +30,20 @@ type Prepared struct {
 	Mod     *ir.Module
 	Spec    core.LoopSpec
 	Records []trace.Record
-	Data    []byte // encoded trace
+	Data    []byte // textual trace encoding
 	GenTime time.Duration
+
+	binData []byte // lazily encoded by BinData
+}
+
+// BinData returns the compact binary trace encoding, encoding it on
+// first use (Table IV and validation runs never need it, so Prepare does
+// not pay for it).
+func (p *Prepared) BinData() []byte {
+	if p.binData == nil {
+		p.binData = trace.EncodeBinary(p.Records)
+	}
+	return p.binData
 }
 
 // Prepare compiles, runs, and traces a benchmark at the given scale
@@ -58,12 +70,24 @@ func Prepare(b *progs.Benchmark, scale int) (*Prepared, error) {
 	}, nil
 }
 
-// Analyze runs AutoCheck over a prepared benchmark.
+// Analyze runs AutoCheck over a prepared benchmark's textual trace.
 func (p *Prepared) Analyze(workers int) (*core.Result, error) {
+	return p.AnalyzeData(p.Data, workers, false)
+}
+
+// AnalyzeBinary runs AutoCheck over the benchmark's binary trace.
+func (p *Prepared) AnalyzeBinary() (*core.Result, error) {
+	return p.AnalyzeData(p.BinData(), 0, false)
+}
+
+// AnalyzeData runs AutoCheck over the given trace encoding, optionally
+// through the streaming (never-materialized) path.
+func (p *Prepared) AnalyzeData(data []byte, workers int, streaming bool) (*core.Result, error) {
 	opts := core.DefaultOptions()
 	opts.Module = p.Mod
 	opts.Workers = workers
-	return core.AnalyzeBytes(p.Data, p.Spec, opts)
+	opts.Streaming = streaming
+	return core.AnalyzeBytes(data, p.Spec, opts)
 }
 
 // ---- Table II ----
@@ -73,7 +97,8 @@ type Table2Row struct {
 	Name        string
 	Description string
 	LOC         int
-	TraceBytes  int64
+	TraceBytes  int64 // textual trace size
+	BinaryBytes int64 // compact binary trace size
 	GenTime     time.Duration
 	Critical    []string // "name (Type)" in report order
 	MCLR        string
@@ -96,6 +121,7 @@ func RunTable2() ([]Table2Row, error) {
 			Description: b.Description,
 			LOC:         b.LOC(),
 			TraceBytes:  int64(len(p.Data)),
+			BinaryBytes: int64(len(p.BinData())),
 			GenTime:     p.GenTime,
 			MCLR:        fmt.Sprintf("%d-%d (main)", p.Spec.StartLine, p.Spec.EndLine),
 		}
@@ -112,10 +138,14 @@ func FormatTable2(rows []Table2Row) string {
 	var b strings.Builder
 	b.WriteString("Table II: benchmarks and detected critical variables\n")
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Name\tLOC\tTrace size\tTrace gen\tCritical variables (type)\tMCLR")
+	fmt.Fprintln(w, "Name\tLOC\tTrace size (text)\tTrace size (binary)\tTrace gen\tCritical variables (type)\tMCLR")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\n",
-			r.Name, r.LOC, fmtBytes(r.TraceBytes), fmtDur(r.GenTime),
+		bin := fmtBytes(r.BinaryBytes)
+		if r.TraceBytes > 0 && r.BinaryBytes > 0 {
+			bin = fmt.Sprintf("%s (%.0f%%)", bin, 100*float64(r.BinaryBytes)/float64(r.TraceBytes))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			r.Name, r.LOC, fmtBytes(r.TraceBytes), bin, fmtDur(r.GenTime),
 			strings.Join(r.Critical, ", "), r.MCLR)
 	}
 	w.Flush()
@@ -129,14 +159,15 @@ type Table3Row struct {
 	Name        string
 	PreSerial   time.Duration
 	PrePar      time.Duration
+	PreBinary   time.Duration // binary-format pre-processing (serial decode)
 	Dep         time.Duration
 	Identify    time.Duration
 	TotalSerial time.Duration
 	TotalPar    time.Duration
 }
 
-// RunTable3 regenerates Table III: per-phase analysis cost, serial and
-// with `workers`-way parallel pre-processing.
+// RunTable3 regenerates Table III: per-phase analysis cost — serial text,
+// `workers`-way parallel text, and compact binary pre-processing.
 func RunTable3(workers int) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, b := range progs.All() {
@@ -152,10 +183,15 @@ func RunTable3(workers int) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		bin, err := p.AnalyzeBinary()
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Table3Row{
 			Name:        b.Name,
 			PreSerial:   serial.Timing.Pre,
 			PrePar:      par.Timing.Pre,
+			PreBinary:   bin.Timing.Pre,
 			Dep:         serial.Timing.Dep,
 			Identify:    serial.Timing.Identify,
 			TotalSerial: serial.Timing.Total,
@@ -170,10 +206,10 @@ func FormatTable3(rows []Table3Row, workers int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table III: analysis cost (parallel pre-processing with %d workers)\n", workers)
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Name\tPre (par)\tDependency\tIdentify\tTotal (par)")
+	fmt.Fprintln(w, "Name\tPre (par / binary)\tDependency\tIdentify\tTotal (par)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s (%s)\t%s\t%s\t%s (%s)\n",
-			r.Name, fmtDur(r.PreSerial), fmtDur(r.PrePar),
+		fmt.Fprintf(w, "%s\t%s (%s / %s)\t%s\t%s\t%s (%s)\n",
+			r.Name, fmtDur(r.PreSerial), fmtDur(r.PrePar), fmtDur(r.PreBinary),
 			fmtDur(r.Dep), fmtDur(r.Identify),
 			fmtDur(r.TotalSerial), fmtDur(r.TotalPar))
 	}

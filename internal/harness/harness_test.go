@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"autocheck/internal/checkpoint"
+	"autocheck/internal/core"
 	"autocheck/internal/progs"
 	"autocheck/internal/store"
 )
@@ -208,4 +210,62 @@ func TestFormatHelpers(t *testing.T) {
 	if got := fmtDur(3 * time.Millisecond); got != "3.00ms" {
 		t.Errorf("fmtDur = %q", got)
 	}
+}
+
+// TestFormatEquivalenceAllBenchmarks pins the tentpole invariant on every
+// Table II port: the critical-variable report is byte-identical whether
+// the trace is analyzed from the text encoding, the binary encoding, in
+// parallel, or through the streaming (never-materialized) path.
+func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
+	for _, b := range progs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := Prepare(b, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := float64(len(p.BinData())) / float64(len(p.Data)); r > 0.7 {
+				t.Errorf("binary trace is %.0f%% of text, want <= 70%%", 100*r)
+			}
+			want, err := p.Analyze(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReport := criticalReport(want)
+			paths := map[string]func() (*core.Result, error){
+				"text-parallel":    func() (*core.Result, error) { return p.Analyze(8) },
+				"binary":           p.AnalyzeBinary,
+				"text-streaming":   func() (*core.Result, error) { return p.AnalyzeData(p.Data, 0, true) },
+				"binary-streaming": func() (*core.Result, error) { return p.AnalyzeData(p.BinData(), 0, true) },
+			}
+			for label, run := range paths {
+				got, err := run()
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if rep := criticalReport(got); rep != wantReport {
+					t.Errorf("%s report differs:\nwant %s\ngot  %s", label, wantReport, rep)
+				}
+				if got.Stats.Records != want.Stats.Records ||
+					got.Stats.RegionA != want.Stats.RegionA ||
+					got.Stats.RegionB != want.Stats.RegionB ||
+					got.Stats.RegionC != want.Stats.RegionC {
+					t.Errorf("%s region stats differ: want %+v got %+v", label, want.Stats, got.Stats)
+				}
+			}
+		})
+	}
+}
+
+// criticalReport renders the parts of a result Table II reports, in a
+// stable byte form.
+func criticalReport(res *core.Result) string {
+	var sb strings.Builder
+	for _, c := range res.Critical {
+		fmt.Fprintf(&sb, "%s/%s@%x:%d (%s); ", c.Fn, c.Name, c.Base, c.SizeBytes, c.Type)
+	}
+	for _, v := range res.MLI {
+		fmt.Fprintf(&sb, "mli %s/%s@%x:%d; ", v.Fn, v.Name, v.Base, v.SizeBytes)
+	}
+	return sb.String()
 }

@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"bytes"
+
 	"autocheck/internal/ir"
 	"autocheck/internal/lower"
 	"autocheck/internal/minic"
@@ -29,6 +31,40 @@ func TraceProgram(mod *ir.Module) ([]trace.Record, string, error) {
 	m.Tracer = func(r *trace.Record) { recs = append(recs, *r) }
 	out, err := m.Run()
 	return recs, out, err
+}
+
+// TraceProgramTo executes a module with the tracer wired straight into a
+// trace encoder (text or binary): records are serialized as they are
+// produced and never materialized as a []trace.Record. The writer is
+// flushed before returning.
+func TraceProgramTo(mod *ir.Module, w trace.RecordWriter) (string, error) {
+	m := New(mod)
+	var werr error
+	m.Tracer = func(r *trace.Record) {
+		if werr == nil {
+			werr = w.Write(r)
+		}
+	}
+	out, err := m.Run()
+	if err == nil {
+		err = werr
+	}
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	return out, err
+}
+
+// TraceProgramBinary executes a module emitting the compact binary trace
+// directly (no intermediate record slice), returning the encoded trace
+// and the program output.
+func TraceProgramBinary(mod *ir.Module) ([]byte, string, error) {
+	var buf bytes.Buffer
+	out, err := TraceProgramTo(mod, trace.NewBinaryWriter(&buf))
+	if err != nil {
+		return nil, out, err
+	}
+	return buf.Bytes(), out, nil
 }
 
 // TraceSource compiles and traces a source program in one step.

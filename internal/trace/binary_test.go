@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	recs := sampleRecords()
+	data := EncodeBinary(recs)
+	got, err := ParseBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Errorf("roundtrip mismatch:\nwant %+v\ngot  %+v", recs, got)
+	}
+}
+
+func TestBinaryScannerStreaming(t *testing.T) {
+	recs := sampleRecords()
+	sc := NewBinaryScanner(bytes.NewReader(EncodeBinary(recs)))
+	for i := range recs {
+		rec, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			t.Fatalf("premature EOF at record %d", i)
+		}
+		if !reflect.DeepEqual(*rec, recs[i]) {
+			t.Errorf("record %d mismatch:\nwant %+v\ngot  %+v", i, recs[i], *rec)
+		}
+	}
+	for range 2 {
+		rec, err := sc.Next()
+		if err != nil || rec != nil {
+			t.Errorf("after EOF: (%v, %v), want (nil, nil)", rec, err)
+		}
+	}
+	if name := sc.OpcodeTable()[OpLoad]; name != "Load" {
+		t.Errorf("self-description header: OpcodeTable()[OpLoad] = %q, want Load", name)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(11)), 2000)
+	text := EncodeAll(recs)
+	bin := EncodeBinary(recs)
+	if ratio := float64(len(bin)) / float64(len(text)); ratio > 0.7 {
+		t.Errorf("binary/text size ratio = %.2f (binary %d B, text %d B), want <= 0.7",
+			ratio, len(bin), len(text))
+	}
+}
+
+// Property: text -> records -> binary -> records -> text is the identity.
+func TestQuickTextBinaryText(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(size))
+		text := EncodeAll(recs)
+		viaText, err := ParseBytes(text)
+		if err != nil {
+			return false
+		}
+		viaBinary, err := ParseBinary(EncodeBinary(viaText))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(EncodeAll(viaBinary), text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binary -> records -> binary is the identity (the string table
+// is assigned in first-use order, so re-encoding reproduces the bytes).
+func TestQuickBinaryRecordsBinary(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bin := EncodeBinary(randomRecords(rng, int(size)))
+		recs, err := ParseBinary(bin)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(EncodeBinary(recs), bin)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the streaming BinaryScanner and the in-memory ParseBinary
+// agree.
+func TestQuickBinaryScannerEqualsParse(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bin := EncodeBinary(randomRecords(rng, int(size)))
+		fast, err := ParseBinary(bin)
+		if err != nil {
+			return false
+		}
+		sc := NewBinaryScanner(bytes.NewReader(bin))
+		var slow []Record
+		for {
+			rec, err := sc.Next()
+			if err != nil {
+				return false
+			}
+			if rec == nil {
+				break
+			}
+			slow = append(slow, *rec)
+		}
+		if len(fast) == 0 && len(slow) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	recs := sampleRecords()
+	data := EncodeBinary(recs)
+	// Every proper prefix must error or yield fewer records — never panic.
+	for cut := 1; cut < len(data); cut++ {
+		got, err := ParseBinary(data[:cut])
+		if err == nil && len(got) >= len(recs) {
+			t.Fatalf("truncated at %d/%d bytes: parsed %d records without error",
+				cut, len(data), len(got))
+		}
+		sc := NewBinaryScanner(bytes.NewReader(data[:cut]))
+		for {
+			rec, serr := sc.Next()
+			if serr != nil || rec == nil {
+				break
+			}
+		}
+	}
+}
+
+func TestBinaryCorruptHeader(t *testing.T) {
+	valid := EncodeBinary(sampleRecords())
+	cases := map[string][]byte{
+		"bad magic":        []byte("ACTX\x01rest"),
+		"bad version":      append(append([]byte{}, binaryMagic...), 99),
+		"header only cut":  valid[:4],
+		"no version":       binaryMagic,
+		"huge table count": append(append(append([]byte{}, binaryMagic...), binaryVersion), 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		if _, err := ParseBinary(data); err == nil {
+			t.Errorf("%s: ParseBinary succeeded, want error", name)
+		}
+		sc := NewBinaryScanner(bytes.NewReader(data))
+		if _, err := sc.Next(); err == nil {
+			t.Errorf("%s: BinaryScanner.Next succeeded, want error", name)
+		}
+	}
+	// An empty stream is an empty trace, not an error.
+	if recs, err := ParseBinary(nil); err != nil || len(recs) != 0 {
+		t.Errorf("ParseBinary(nil) = (%v, %v), want empty", recs, err)
+	}
+	sc := NewBinaryScanner(bytes.NewReader(nil))
+	if rec, err := sc.Next(); err != nil || rec != nil {
+		t.Errorf("BinaryScanner over empty stream = (%v, %v), want (nil, nil)", rec, err)
+	}
+}
+
+func TestBinaryCorruptBody(t *testing.T) {
+	data := EncodeBinary(sampleRecords())
+	// Flip every byte after the header region; the decoder must never
+	// panic, and the common corruptions must be detected.
+	for i := 5; i < len(data); i++ {
+		mut := append([]byte{}, data...)
+		mut[i] ^= 0xff
+		_, _ = ParseBinary(mut) // must not panic
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	recs := sampleRecords()
+	if f := DetectFormat(EncodeAll(recs)); f != FormatText {
+		t.Errorf("text detected as %v", f)
+	}
+	if f := DetectFormat(EncodeBinary(recs)); f != FormatBinary {
+		t.Errorf("binary detected as %v", f)
+	}
+	if f := DetectFormat(nil); f != FormatText {
+		t.Errorf("empty detected as %v", f)
+	}
+	// ParseBytes dispatches on the magic.
+	got, err := ParseBytes(EncodeBinary(recs))
+	if err != nil || !reflect.DeepEqual(got, recs) {
+		t.Errorf("ParseBytes on binary data: %v", err)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"text": FormatText, "binary": FormatBinary, "bin": FormatBinary, "txt": FormatText} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("protobuf"); err == nil {
+		t.Error("ParseFormat(protobuf) succeeded")
+	}
+}
+
+func TestNewAutoReader(t *testing.T) {
+	recs := sampleRecords()
+	for _, format := range []Format{FormatText, FormatBinary} {
+		rd, got, err := NewAutoReader(bytes.NewReader(Encode(recs, format)))
+		if err != nil || got != format {
+			t.Fatalf("NewAutoReader(%v) = format %v, err %v", format, got, err)
+		}
+		n := 0
+		for {
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec == nil {
+				break
+			}
+			n++
+		}
+		if n != len(recs) {
+			t.Errorf("%v: read %d records, want %d", format, n, len(recs))
+		}
+	}
+}
+
+func TestBinaryWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+}
+
+func TestBinaryEmptyWriterProducesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseBinary(buf.Bytes())
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty binary trace: (%v, %v)", recs, err)
+	}
+}
+
+func TestBinaryExtremeValues(t *testing.T) {
+	recs := []Record{{
+		Line: -1, Func: "f", Block: "b", Opcode: OpStore, DynID: math.MaxInt64,
+		Ops: []Operand{
+			{Index: -3, Size: 64, Value: IntValue(math.MinInt64), IsReg: true, Name: "x"},
+			{Index: 1, Size: 64, Value: FloatValue(math.Inf(-1)), Name: ""},
+			{Index: 2, Size: 64, Value: FloatValue(math.Copysign(0, -1)), Name: strings.Repeat("n", 300)},
+			{Index: 3, Size: 64, Value: PtrValue(math.MaxUint64), Name: "x"},
+		},
+	}}
+	got, err := ParseBinary(EncodeBinary(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Errorf("extreme values mangled:\nwant %+v\ngot  %+v", recs, got)
+	}
+	// NaN needs a bit-level check (NaN != NaN defeats DeepEqual).
+	nan := []Record{{Func: "f", Block: "b", Opcode: OpFAdd, DynID: 1,
+		Result: &Operand{Size: 64, Value: FloatValue(math.NaN()), IsReg: true, Name: "r"}}}
+	back, err := ParseBinary(EncodeBinary(nan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Result == nil || !math.IsNaN(back[0].Result.Value.Float) {
+		t.Errorf("NaN not preserved: %+v", back)
+	}
+}

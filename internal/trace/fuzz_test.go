@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseTrace exercises both parsers — the allocation-free text
+// decoder and the binary decoder — plus the streaming scanners on
+// arbitrary bytes. None of them may panic, and for inputs every text
+// decoder accepts, the serial, parallel, and streaming paths must agree.
+func FuzzParseTrace(f *testing.F) {
+	recs := sampleRecords()
+	f.Add(EncodeAll(recs))
+	f.Add(EncodeBinary(recs))
+	f.Add(EncodeAll(randomRecords(rand.New(rand.NewSource(3)), 40)))
+	f.Add(EncodeBinary(randomRecords(rand.New(rand.NewSource(4)), 40)))
+	f.Add([]byte("0,1,f,b,27,1\n1,1,64,0x10,1,p\nr,0,64,5,1,8\n"))
+	f.Add([]byte("0,-1,main,entry,26,0\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add(append(append([]byte{}, binaryMagic...), binaryVersion, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serial, serr := ParseBytes(data)
+		par, perr := ParseBytesParallel(data, 4)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("serial err %v, parallel err %v", serr, perr)
+		}
+		if serr == nil && len(serial) > 0 && !equalModuloNaN(serial, par) {
+			t.Fatalf("serial and parallel parse disagree on %q", data)
+		}
+		// The binary decoder and scanner must never panic either.
+		_, _ = ParseBinary(data)
+		sc := NewBinaryScanner(bytes.NewReader(data))
+		for {
+			rec, err := sc.Next()
+			if err != nil || rec == nil {
+				break
+			}
+		}
+		if serr != nil {
+			return
+		}
+		// Successful parses re-encode to a canonical form that parses to
+		// the same records on every path (text and binary alike).
+		canon := EncodeAll(serial)
+		again, err := ParseBytes(canon)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded trace failed: %v", err)
+		}
+		viaBinary, err := ParseBinary(EncodeBinary(serial))
+		if err != nil {
+			t.Fatalf("binary roundtrip failed: %v", err)
+		}
+		if len(serial) > 0 {
+			if !equalModuloNaN(serial, again) {
+				t.Fatalf("text re-encode not stable")
+			}
+			if !equalModuloNaN(serial, viaBinary) {
+				t.Fatalf("binary roundtrip not identical")
+			}
+		}
+	})
+}
+
+// equalModuloNaN is reflect.DeepEqual except that NaN values (which
+// compare unequal to themselves) are compared by bit pattern kind.
+func equalModuloNaN(a, b []Record) bool {
+	if reflect.DeepEqual(a, b) {
+		return true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	ta, tb := EncodeAll(a), EncodeAll(b)
+	return bytes.Equal(ta, tb)
+}

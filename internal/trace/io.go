@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -15,9 +13,9 @@ import (
 // It is not safe for concurrent use; the tracer is single-threaded
 // (LLVM-Tracer traces one-rank / one-thread executions, §II-C).
 type Writer struct {
-	bw    *bufio.Writer
-	buf   strings.Builder
-	count int64
+	bw      *bufio.Writer
+	scratch []byte
+	count   int64
 }
 
 // NewWriter returns a buffered trace writer.
@@ -25,12 +23,12 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
 }
 
-// Write appends one record to the trace.
+// Write appends one record to the trace. The record is encoded into a
+// reused scratch buffer and copied straight into the buffered writer.
 func (w *Writer) Write(r *Record) error {
-	w.buf.Reset()
-	writeRecord(&w.buf, r)
+	w.scratch = appendRecord(w.scratch[:0], r)
 	w.count++
-	_, err := w.bw.WriteString(w.buf.String())
+	_, err := w.bw.Write(w.scratch)
 	return err
 }
 
@@ -40,112 +38,132 @@ func (w *Writer) Count() int64 { return w.count }
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// parseLine splits a trace line into its comma-separated fields.
-// Names never contain commas (identifiers and labels only), so a plain
-// split is exact.
-func parseOperandLine(line string) (Operand, error) {
-	f := strings.Split(line, ",")
-	if len(f) != 6 {
-		return Operand{}, fmt.Errorf("trace: operand line has %d fields, want 6: %q", len(f), line)
-	}
-	idx, err := strconv.Atoi(f[1])
-	if err != nil {
-		return Operand{}, fmt.Errorf("trace: bad operand index in %q: %w", line, err)
-	}
-	size, err := strconv.Atoi(f[2])
-	if err != nil {
-		return Operand{}, fmt.Errorf("trace: bad operand size in %q: %w", line, err)
-	}
-	val, err := ParseValue(f[3])
-	if err != nil {
-		return Operand{}, err
-	}
-	return Operand{Index: idx, Size: size, Value: val, IsReg: f[4] == "1", Name: f[5]}, nil
-}
-
-func parseHeaderLine(line string) (Record, error) {
-	f := strings.Split(line, ",")
-	if len(f) != 6 {
-		return Record{}, fmt.Errorf("trace: header line has %d fields, want 6: %q", len(f), line)
-	}
-	ln, err := strconv.Atoi(f[1])
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad line number in %q: %w", line, err)
-	}
-	op, err := strconv.Atoi(f[4])
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad opcode in %q: %w", line, err)
-	}
-	dyn, err := strconv.ParseInt(f[5], 10, 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad dynamic id in %q: %w", line, err)
-	}
-	return Record{Line: ln, Func: f[2], Block: f[3], Opcode: op, DynID: dyn}, nil
-}
+// scannerMaxLine caps the per-line token size of the io.Reader-based
+// Scanner (the in-memory ParseBytes path has no such cap).
+const scannerMaxLine = 1 << 22
 
 // Scanner reads records one block at a time from a stream.
 type Scanner struct {
-	s       *bufio.Scanner
-	pending string // header line of the next block, already consumed
-	done    bool
+	s           *bufio.Scanner
+	d           *decoder
+	pending     Record // header of the next block, already consumed and parsed
+	havePending bool
+	done        bool
+	off         int64 // byte offset of the next unread line
 }
 
 // NewScanner returns a streaming trace reader.
 func NewScanner(r io.Reader) *Scanner {
 	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	return &Scanner{s: s}
+	s.Buffer(make([]byte, 0, 1<<16), scannerMaxLine)
+	s.Split(scanLinesKeepCR)
+	return &Scanner{s: s, d: newDecoder()}
 }
 
-// Next returns the next record, or (nil, nil) at end of stream.
+// scanLinesKeepCR is bufio.ScanLines without the \r stripping, so the
+// scanner's byte-offset accounting stays exact on CRLF input (the \r is
+// stripped after counting).
+func scanLinesKeepCR(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return i + 1, data[:i], nil
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
+
+// err wraps the underlying scanner error, adding the byte offset and a
+// hint when a pathological line overflows the token cap.
+func (sc *Scanner) err() error {
+	err := sc.s.Err()
+	if err == bufio.ErrTooLong {
+		return fmt.Errorf("trace: line at byte offset %d exceeds the %d-byte streaming line cap (parse in memory with ParseBytes, which has no cap): %w",
+			sc.off, scannerMaxLine, err)
+	}
+	return err
+}
+
+// scan advances to the next line, tracking the byte offset for error
+// context; the returned line has its trailing \r (if any) stripped.
+func (sc *Scanner) scan() ([]byte, bool) {
+	if !sc.s.Scan() {
+		return nil, false
+	}
+	line := sc.s.Bytes()
+	sc.off += int64(len(line)) + 1
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, true
+}
+
+// Next returns the next record, or (nil, nil) at end of stream. Lines are
+// parsed straight from the scan buffer — everything a Record retains
+// (interned names, values) is copied by the field parsers, so no per-line
+// string materializes.
 func (sc *Scanner) Next() (*Record, error) {
-	var header string
+	var rec Record
 	switch {
-	case sc.pending != "":
-		header = sc.pending
-		sc.pending = ""
+	case sc.havePending:
+		rec = sc.pending
+		sc.havePending = false
 	case sc.done:
 		return nil, nil
 	default:
+		var header []byte
 		for {
-			if !sc.s.Scan() {
+			line, ok := sc.scan()
+			if !ok {
 				sc.done = true
-				return nil, sc.s.Err()
+				return nil, sc.err()
 			}
-			if line := sc.s.Text(); line != "" {
+			if len(line) != 0 {
 				header = line
 				break
 			}
 		}
+		if !isHeaderLine(header) {
+			return nil, fmt.Errorf("trace: expected block header, got %q", header)
+		}
+		var err error
+		if rec, err = sc.d.parseHeader(header); err != nil {
+			return nil, err
+		}
 	}
-	if !strings.HasPrefix(header, "0,") {
-		return nil, fmt.Errorf("trace: expected block header, got %q", header)
-	}
-	rec, err := parseHeaderLine(header)
-	if err != nil {
-		return nil, err
-	}
-	for sc.s.Scan() {
-		line := sc.s.Text()
-		if line == "" {
+	for {
+		line, ok := sc.scan()
+		if !ok {
+			break
+		}
+		if len(line) == 0 {
 			continue
 		}
-		if strings.HasPrefix(line, "0,") {
-			sc.pending = line
+		if isHeaderLine(line) {
+			next, err := sc.d.parseHeader(line)
+			if err != nil {
+				return nil, err
+			}
+			sc.pending = next
+			sc.havePending = true
 			return &rec, nil
 		}
-		op, err := parseOperandLine(line)
+		op, err := sc.d.parseOperand(line)
 		if err != nil {
 			return nil, err
 		}
-		if strings.HasPrefix(line, "r,") {
-			rec.Result = &op
+		if line[0] == 'r' && line[1] == ',' {
+			res := op
+			rec.Result = &res
 		} else {
 			rec.Ops = append(rec.Ops, op)
 		}
 	}
 	sc.done = true
-	if err := sc.s.Err(); err != nil {
+	if err := sc.err(); err != nil {
 		return nil, err
 	}
 	return &rec, nil
@@ -167,9 +185,24 @@ func ReadAll(r io.Reader) ([]Record, error) {
 	}
 }
 
-// ParseBytes parses a complete in-memory trace serially.
+// ParseBytes parses a complete in-memory trace serially on the
+// allocation-free manual path: no line-length cap, field scanning without
+// intermediate strings, interned identifiers, and arena-backed operands.
 func ParseBytes(data []byte) ([]Record, error) {
-	return ReadAll(bytes.NewReader(data))
+	if DetectFormat(data) == FormatBinary {
+		return ParseBinary(data)
+	}
+	n := CountRecords(data)
+	if n == 0 {
+		// Preserve the old behavior for garbage without any header line:
+		// non-empty non-block input is an error, empty input is an empty
+		// trace.
+		d := newDecoder()
+		return d.decodeText(data, nil)
+	}
+	d := newDecoder()
+	d.ops = make([]Operand, 0, 2*n)
+	return d.decodeText(data, make([]Record, 0, n))
 }
 
 // splitChunks partitions data into at most n chunks whose boundaries fall on
@@ -210,33 +243,48 @@ func splitChunks(data []byte, n int) [][]byte {
 
 // ParseBytesParallel parses a complete in-memory trace using the given
 // number of worker goroutines (0 means GOMAXPROCS). Chunk boundaries are
-// aligned to instruction blocks; the result preserves trace order.
+// aligned to instruction blocks; the result preserves trace order. Each
+// chunk's record count is pre-counted so workers decode directly into
+// their slice of one pre-sized result — there is no final gather copy.
+// Binary traces (which are not line-splittable) fall back to the serial
+// binary decoder, which is faster than parallel text parsing anyway.
 func ParseBytesParallel(data []byte, workers int) ([]Record, error) {
+	if DetectFormat(data) == FormatBinary {
+		return ParseBinary(data)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	chunks := splitChunks(data, workers)
-	results := make([][]Record, len(chunks))
+	if len(chunks) <= 1 {
+		return ParseBytes(data)
+	}
+	offs := make([]int, len(chunks)+1)
+	for i, c := range chunks {
+		offs[i+1] = offs[i] + CountRecords(c)
+	}
+	out := make([]Record, offs[len(chunks)])
 	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
 	for i, c := range chunks {
 		wg.Add(1)
 		go func(i int, c []byte) {
 			defer wg.Done()
-			results[i], errs[i] = ParseBytes(c)
+			d := newDecoder()
+			lo, hi := offs[i], offs[i+1]
+			d.ops = make([]Operand, 0, 2*(hi-lo))
+			got, err := d.decodeText(c, out[lo:lo:hi])
+			if err == nil && len(got) != hi-lo {
+				err = fmt.Errorf("trace: chunk %d decoded %d records, expected %d", i, len(got), hi-lo)
+			}
+			errs[i] = err
 		}(i, c)
 	}
 	wg.Wait()
-	total := 0
-	for i := range chunks {
-		if errs[i] != nil {
-			return nil, errs[i]
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		total += len(results[i])
-	}
-	out := make([]Record, 0, total)
-	for _, rs := range results {
-		out = append(out, rs...)
 	}
 	return out, nil
 }
@@ -259,13 +307,21 @@ func ComputeStats(recs []Record) Stats {
 	return st
 }
 
-// EncodeAll renders records into the textual trace encoding.
+// EncodeAll renders records into the textual trace encoding, sizing the
+// buffer from a sample so large traces do not re-grow repeatedly.
 func EncodeAll(recs []Record) []byte {
-	var b bytes.Buffer
-	w := NewWriter(&b)
+	var b []byte
 	for i := range recs {
-		_ = w.Write(&recs[i]) // bytes.Buffer writes cannot fail
+		if i == 64 {
+			// Estimate the final size from the first 64 records.
+			est := len(b) / 64 * len(recs)
+			if est > cap(b) {
+				nb := make([]byte, len(b), est+est/8)
+				copy(nb, b)
+				b = nb
+			}
+		}
+		b = appendRecord(b, &recs[i])
 	}
-	_ = w.Flush()
-	return b.Bytes()
+	return b
 }

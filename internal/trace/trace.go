@@ -20,7 +20,6 @@
 package trace
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
@@ -61,71 +60,74 @@ const (
 	OpSelect        = 50
 )
 
+// opcodeNames is the dense opcode-number -> mnemonic lookup table. It is
+// also serialized into the binary format's self-description header, so a
+// reader can name opcodes without compiling against this package version.
+var opcodeNames = [...]string{
+	OpRet:           "Ret",
+	OpBr:            "Br",
+	OpSwitch:        "Switch",
+	OpAdd:           "Add",
+	OpFAdd:          "FAdd",
+	OpSub:           "Sub",
+	OpFSub:          "FSub",
+	OpMul:           "Mul",
+	OpFMul:          "FMul",
+	OpUDiv:          "UDiv",
+	OpSDiv:          "SDiv",
+	OpFDiv:          "FDiv",
+	OpURem:          "URem",
+	OpSRem:          "SRem",
+	OpFRem:          "FRem",
+	OpAlloca:        "Alloca",
+	OpLoad:          "Load",
+	OpStore:         "Store",
+	OpGetElementPtr: "GetElementPtr",
+	OpTrunc:         "Trunc",
+	OpZExt:          "ZExt",
+	OpSExt:          "SExt",
+	OpFPToSI:        "FPToSI",
+	OpSIToFP:        "SIToFP",
+	OpBitCast:       "BitCast",
+	OpICmp:          "ICmp",
+	OpFCmp:          "FCmp",
+	OpPHI:           "PHI",
+	OpCall:          "Call",
+	OpSelect:        "Select",
+}
+
+// opcodeByName is the reverse mapping, used when decoding a binary trace's
+// self-description header.
+var opcodeByName = func() map[string]int {
+	m := make(map[string]int, len(opcodeNames))
+	for op, name := range opcodeNames {
+		if name != "" {
+			m[name] = op
+		}
+	}
+	return m
+}()
+
 // OpcodeName returns a human-readable mnemonic for an opcode number.
 func OpcodeName(op int) string {
-	switch op {
-	case OpRet:
-		return "Ret"
-	case OpBr:
-		return "Br"
-	case OpSwitch:
-		return "Switch"
-	case OpAdd:
-		return "Add"
-	case OpFAdd:
-		return "FAdd"
-	case OpSub:
-		return "Sub"
-	case OpFSub:
-		return "FSub"
-	case OpMul:
-		return "Mul"
-	case OpFMul:
-		return "FMul"
-	case OpUDiv:
-		return "UDiv"
-	case OpSDiv:
-		return "SDiv"
-	case OpFDiv:
-		return "FDiv"
-	case OpURem:
-		return "URem"
-	case OpSRem:
-		return "SRem"
-	case OpFRem:
-		return "FRem"
-	case OpAlloca:
-		return "Alloca"
-	case OpLoad:
-		return "Load"
-	case OpStore:
-		return "Store"
-	case OpGetElementPtr:
-		return "GetElementPtr"
-	case OpTrunc:
-		return "Trunc"
-	case OpZExt:
-		return "ZExt"
-	case OpSExt:
-		return "SExt"
-	case OpFPToSI:
-		return "FPToSI"
-	case OpSIToFP:
-		return "SIToFP"
-	case OpBitCast:
-		return "BitCast"
-	case OpICmp:
-		return "ICmp"
-	case OpFCmp:
-		return "FCmp"
-	case OpPHI:
-		return "PHI"
-	case OpCall:
-		return "Call"
-	case OpSelect:
-		return "Select"
+	if op >= 0 && op < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
 	}
-	return fmt.Sprintf("Op%d", op)
+	return "Op" + strconv.Itoa(op)
+}
+
+// OpcodeByName returns the opcode number for a mnemonic, reversing
+// OpcodeName. Mnemonics of the form "OpN" resolve to N.
+func OpcodeByName(name string) (int, bool) {
+	if op, ok := opcodeByName[name]; ok {
+		return op, true
+	}
+	if strings.HasPrefix(name, "Op") {
+		if op, err := strconv.Atoi(name[2:]); err == nil {
+			return op, true
+		}
+	}
+	return 0, false
 }
 
 // IsArithmetic reports whether op is one of the arithmetic instructions
@@ -163,18 +165,39 @@ func PtrValue(a uint64) Value { return Value{Kind: KindPtr, Addr: a} }
 
 // String formats the value using the trace encoding.
 func (v Value) String() string {
+	return string(v.appendTo(nil))
+}
+
+// appendTo appends the value's trace encoding to b without intermediate
+// allocation (the writer hot path).
+func (v Value) appendTo(b []byte) []byte {
 	switch v.Kind {
 	case KindPtr:
-		return "0x" + strconv.FormatUint(v.Addr, 16)
+		b = append(b, '0', 'x')
+		return strconv.AppendUint(b, v.Addr, 16)
 	case KindFloat:
-		s := strconv.FormatFloat(v.Float, 'g', -1, 64)
-		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
-			s += ".0"
+		start := len(b)
+		b = strconv.AppendFloat(b, v.Float, 'g', -1, 64)
+		if !hasFloatMarker(b[start:]) {
+			b = append(b, '.', '0')
 		}
-		return s
+		return b
 	default:
-		return strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(b, v.Int, 10)
 	}
+}
+
+// hasFloatMarker reports whether a formatted float already carries a byte
+// that distinguishes it from an integer ('.', 'e', 'E') or is a special
+// value (Inf/NaN, which contain 'I'/'N').
+func hasFloatMarker(s []byte) bool {
+	for _, c := range s {
+		switch c {
+		case '.', 'e', 'E', 'I', 'N':
+			return true
+		}
+	}
+	return false
 }
 
 // Equal reports whether two values are identical (exact comparison; trace
@@ -196,34 +219,7 @@ func (v Value) Equal(o Value) bool {
 
 // ParseValue decodes a value from its trace encoding.
 func ParseValue(s string) (Value, error) {
-	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
-		neg := false
-		h := s
-		if strings.HasPrefix(h, "-") {
-			neg = true
-			h = h[1:]
-		}
-		a, err := strconv.ParseUint(h[2:], 16, 64)
-		if err != nil {
-			return Value{}, fmt.Errorf("trace: bad pointer value %q: %w", s, err)
-		}
-		if neg {
-			a = -a
-		}
-		return PtrValue(a), nil
-	}
-	if strings.ContainsAny(s, ".eE") || strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return Value{}, fmt.Errorf("trace: bad float value %q: %w", s, err)
-		}
-		return FloatValue(f), nil
-	}
-	i, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return Value{}, fmt.Errorf("trace: bad int value %q: %w", s, err)
-	}
-	return IntValue(i), nil
+	return parseValueBytes([]byte(s))
 }
 
 // Operand is one input operand or the result of a dynamic instruction.
@@ -264,46 +260,48 @@ func (r *Record) Operand(idx int) *Operand {
 // String renders the record in its trace block encoding (without trailing
 // newline separation between blocks; blocks are newline-terminated lines).
 func (r *Record) String() string {
-	var b strings.Builder
-	writeRecord(&b, r)
-	return b.String()
+	return string(appendRecord(nil, r))
 }
 
-func writeRecord(b *strings.Builder, r *Record) {
-	b.WriteString("0,")
-	b.WriteString(strconv.Itoa(r.Line))
-	b.WriteByte(',')
-	b.WriteString(r.Func)
-	b.WriteByte(',')
-	b.WriteString(r.Block)
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(r.Opcode))
-	b.WriteByte(',')
-	b.WriteString(strconv.FormatInt(r.DynID, 10))
-	b.WriteByte('\n')
+// appendRecord appends the record's textual block encoding to b. It is the
+// single encoding path: Writer.Write, EncodeAll, and Record.String all
+// build bytes directly instead of detouring through a strings.Builder.
+func appendRecord(b []byte, r *Record) []byte {
+	b = append(b, '0', ',')
+	b = strconv.AppendInt(b, int64(r.Line), 10)
+	b = append(b, ',')
+	b = append(b, r.Func...)
+	b = append(b, ',')
+	b = append(b, r.Block...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.Opcode), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, r.DynID, 10)
+	b = append(b, '\n')
 	for i := range r.Ops {
-		writeOperand(b, "1", &r.Ops[i])
+		b = appendOperand(b, '1', &r.Ops[i])
 	}
 	if r.Result != nil {
-		writeOperand(b, "r", r.Result)
+		b = appendOperand(b, 'r', r.Result)
 	}
+	return b
 }
 
-func writeOperand(b *strings.Builder, tag string, o *Operand) {
-	b.WriteString(tag)
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(o.Index))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(o.Size))
-	b.WriteByte(',')
-	b.WriteString(o.Value.String())
-	b.WriteByte(',')
+func appendOperand(b []byte, tag byte, o *Operand) []byte {
+	b = append(b, tag, ',')
+	b = strconv.AppendInt(b, int64(o.Index), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(o.Size), 10)
+	b = append(b, ',')
+	b = o.Value.appendTo(b)
+	b = append(b, ',')
 	if o.IsReg {
-		b.WriteByte('1')
+		b = append(b, '1')
 	} else {
-		b.WriteByte('0')
+		b = append(b, '0')
 	}
-	b.WriteByte(',')
-	b.WriteString(o.Name)
-	b.WriteByte('\n')
+	b = append(b, ',')
+	b = append(b, o.Name...)
+	b = append(b, '\n')
+	return b
 }

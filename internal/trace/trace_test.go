@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -356,5 +359,181 @@ func TestRecordStringIsBlockEncoding(t *testing.T) {
 	back, err := ParseBytes([]byte(s))
 	if err != nil || len(back) != 1 {
 		t.Fatalf("block encoding did not reparse: %v", err)
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := 0; op < 64; op++ {
+		name := OpcodeName(op)
+		back, ok := OpcodeByName(name)
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(OpcodeName(%d)=%q) = (%d, %v)", op, name, back, ok)
+		}
+	}
+	if _, ok := OpcodeByName("NotAnOpcode"); ok {
+		t.Error("OpcodeByName accepted garbage")
+	}
+}
+
+// The io.Reader Scanner has a line cap; overflowing it must produce an
+// error with the byte offset and a hint, not a bare bufio.ErrTooLong.
+func TestScannerTooLongContext(t *testing.T) {
+	name := strings.Repeat("f", scannerMaxLine+16)
+	rec := Record{Line: 1, Func: name, Block: "b", Opcode: OpBr, DynID: 1}
+	data := EncodeAll([]Record{rec})
+	sc := NewScanner(bytes.NewReader(data))
+	_, err := sc.Next()
+	if err == nil {
+		t.Fatal("Scanner accepted a line beyond the cap")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	for _, want := range []string{"byte offset", "ParseBytes"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+	// The manual in-memory parser has no cap at all.
+	got, perr := ParseBytes(data)
+	if perr != nil || len(got) != 1 || got[0].Func != name {
+		t.Errorf("ParseBytes rejected the long line: %v", perr)
+	}
+}
+
+// The byte offset in the wrapped error must point at the offending line,
+// not at zero.
+func TestScannerTooLongOffset(t *testing.T) {
+	good := EncodeAll(sampleRecords())
+	bad := append(append([]byte{}, good...), []byte("0,1,")...)
+	bad = append(bad, bytes.Repeat([]byte("x"), scannerMaxLine)...)
+	sc := NewScanner(bytes.NewReader(bad))
+	var err error
+	for {
+		var rec *Record
+		rec, err = sc.Next()
+		if rec == nil || err != nil {
+			break
+		}
+	}
+	if err == nil || !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("want wrapped ErrTooLong, got %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("byte offset %d", len(good))) {
+		t.Errorf("error %q does not name offset %d", err, len(good))
+	}
+}
+
+// The textual parse hot path must stay allocation-free per record: the
+// seed parser cost ~7 allocations per line; the manual decoder amortizes
+// to well under one per record.
+func TestParseBytesAllocs(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(5)), 5000)
+	data := EncodeAll(recs)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ParseBytes(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRecord := allocs / float64(len(recs)); perRecord > 0.05 {
+		t.Errorf("ParseBytes allocates %.3f times per record (%.0f total for %d records), want amortized ~0",
+			perRecord, allocs, len(recs))
+	}
+}
+
+func TestCountRecords(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(6)), 321)
+	data := EncodeAll(recs)
+	if n := CountRecords(data); n != len(recs) {
+		t.Errorf("CountRecords = %d, want %d", n, len(recs))
+	}
+	if n := CountRecords(nil); n != 0 {
+		t.Errorf("CountRecords(nil) = %d", n)
+	}
+}
+
+// Records parsed in parallel chunks land in one pre-sized slice; verify
+// against the serial parse on a trace large enough for many chunks.
+func TestParallelAssembly(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(8)), 5000)
+	data := EncodeAll(recs)
+	serial, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 48} {
+		par, err := ParseBytesParallel(data, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: parallel parse differs", workers)
+		}
+	}
+}
+
+// Ops slices of parsed records are capacity-clamped: appending to one
+// record's operands must not clobber its neighbor (they share an arena).
+func TestParsedOpsAppendSafe(t *testing.T) {
+	data := EncodeAll(sampleRecords())
+	recs, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := recs[1].Ops[0]
+	recs[0].Ops = append(recs[0].Ops, Operand{Index: 99, Name: "evil"})
+	if !reflect.DeepEqual(recs[1].Ops[0], want) {
+		t.Error("append to one record's Ops clobbered the next record")
+	}
+}
+
+func TestParseCRLF(t *testing.T) {
+	data := bytes.ReplaceAll(EncodeAll(sampleRecords()), []byte("\n"), []byte("\r\n"))
+	recs, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, sampleRecords()) {
+		t.Error("CRLF trace parsed differently")
+	}
+}
+
+// ParseBytes must accept exactly what the streaming Scanner accepts:
+// operand lines after a result line, and repeated result lines (the last
+// wins), as LLVM-Tracer-style producers are free to order block lines.
+func TestResultMidBlockParity(t *testing.T) {
+	cases := []string{
+		"0,1,main,e,27,1\nr,0,64,1,1,2\n1,1,64,0x10,0,g\n",               // operand after result
+		"0,1,main,e,27,1\nr,0,64,1,1,2\nr,0,64,5,1,3\n",                  // repeated result
+		"0,1,main,e,27,1\n1,1,64,7,0,a\nr,0,64,1,1,2\n1,2,64,8,0,b\n",    // result mid-block
+		"0,1,main,e,27,1\nr,0,64,1,1,2\n0,2,main,e,28,2\n1,1,64,9,0,c\n", // next block after result
+	}
+	for _, in := range cases {
+		want, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("ReadAll(%q): %v", in, err)
+		}
+		got, err := ParseBytes([]byte(in))
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", in, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("parsers disagree on %q:\nscanner %+v\nbytes   %+v", in, want, got)
+		}
+		par, err := ParseBytesParallel([]byte(in), 3)
+		if err != nil || !reflect.DeepEqual(want, par) {
+			t.Errorf("parallel parser disagrees on %q: %v", in, err)
+		}
+	}
+}
+
+func TestScannerCRLF(t *testing.T) {
+	data := bytes.ReplaceAll(EncodeAll(sampleRecords()), []byte("\n"), []byte("\r\n"))
+	got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRecords()) {
+		t.Error("CRLF trace read differently by Scanner")
 	}
 }
