@@ -57,6 +57,9 @@ type (
 	Result = core.Result
 	// CriticalVar is one variable to checkpoint.
 	CriticalVar = core.CriticalVar
+	// NoLoopError reports a LoopSpec that matched nothing in the trace
+	// (function, line range, and records scanned are in the message).
+	NoLoopError = core.NoLoopError
 	// DependencyType classifies why a variable is critical.
 	DependencyType = core.DependencyType
 	// Record is one dynamic trace instruction block.
@@ -121,9 +124,21 @@ func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
 	return core.AnalyzeFile(path, spec, opts)
 }
 
-// Collector is the online (single-pass, no trace file) analyzer — the
-// paper's §IX future-work mode where AutoCheck runs inside the
-// instrumentation itself.
+// Engine is the single incremental analysis core every mode adapts to:
+// feed it records one at a time via Observe and call Finish for the
+// Result. Analyze/AnalyzeStream run the same passes through a bounded
+// multi-sweep schedule; the Engine itself is the single-sweep (online)
+// configuration.
+type Engine = core.Engine
+
+// NewEngine prepares a single-sweep analysis session.
+func NewEngine(spec LoopSpec, opts Options) (*Engine, error) {
+	return core.NewEngine(spec, opts)
+}
+
+// Collector is the Engine under its historical name — the online
+// (single-pass, no trace file) analyzer of the paper's §IX future-work
+// mode, where AutoCheck runs inside the instrumentation itself.
 type Collector = core.Collector
 
 // NewCollector prepares an online analysis session; feed it records via
@@ -132,22 +147,32 @@ func NewCollector(spec LoopSpec, opts Options) (*Collector, error) {
 	return core.NewCollector(spec, opts)
 }
 
-// AnalyzeProgramOnline executes a module with the online analyzer wired
-// directly into the tracer: no trace is materialized. It returns the
-// analysis result and the program's printed output.
+// AnalyzeProgramOnline executes a module with the engine wired directly
+// into the tracer: no trace is materialized, encoded, or parsed. It
+// returns the analysis result and the program's printed output.
 func AnalyzeProgramOnline(mod *Module, spec LoopSpec, opts Options) (*Result, string, error) {
-	col, err := core.NewCollector(spec, opts)
+	eng, err := core.NewEngine(spec, opts)
 	if err != nil {
 		return nil, "", err
 	}
-	m := interp.New(mod)
-	m.Tracer = func(r *Record) { col.Observe(r) }
-	out, err := m.Run()
+	out, err := interp.TraceProgramInto(mod, eng)
 	if err != nil {
 		return nil, out, err
 	}
-	res, err := col.Finish()
+	res, err := eng.Finish()
 	return res, out, err
+}
+
+// AnalysisInput names one independent trace for AnalyzeMany: a spec plus
+// exactly one source (Records, Open, Data, or Path).
+type AnalysisInput = core.Input
+
+// AnalyzeMany analyzes independent traces concurrently, one engine per
+// trace, with at most workers engines in flight (<= 0 means GOMAXPROCS).
+// Results are positional; per-input failures leave a nil slot and are
+// joined into the returned error.
+func AnalyzeMany(inputs []AnalysisInput, workers int) ([]*Result, error) {
+	return core.AnalyzeMany(inputs, workers)
 }
 
 // CompileProgram compiles a mini-C source program to IR.

@@ -355,6 +355,79 @@ func BenchmarkTraceBinaryVsText(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineAdapters compares the engine's adapters on identical
+// input: the materialized offline schedule, the streaming schedule over
+// both encodings, and the single-sweep online engine on the largest port
+// — then the cross-trace dimension, serial analysis of all 14 ports
+// against core.AnalyzeMany pools of 1/4/8 engines (the §V-A parallelism
+// turned across traces instead of within one).
+func BenchmarkEngineAdapters(b *testing.B) {
+	p := prep(b, "HACC")
+	opts := core.DefaultOptions()
+	opts.Module = p.Mod
+	b.Run("Materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p.Records, p.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("StreamingText", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := p.AnalyzeData(p.Data, 0, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("StreamingBinary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(p.BinData())))
+		for i := 0; i < b.N; i++ {
+			if _, err := p.AnalyzeData(p.BinData(), 0, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Online", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.AnalyzeOnline(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Cross-trace parallelism over the whole Table II suite.
+	var inputs []core.Input
+	for _, bench := range progs.All() {
+		inputs = append(inputs, prep(b, bench.Name).Input())
+	}
+	b.Run("Suite14/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range inputs {
+				if _, err := core.Analyze(inputs[j].Records, inputs[j].Spec, inputs[j].Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("Suite14/many-workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeMany(inputs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_StreamingVsDDG compares the streaming classifier
 // (production path) against additionally materializing the complete DDG
 // (the paper's construct-then-contract formulation) — the DESIGN.md

@@ -8,14 +8,17 @@ import (
 	"testing"
 	"time"
 
+	"autocheck/internal/core"
 	"autocheck/internal/harness"
 	"autocheck/internal/progs"
 	"autocheck/internal/trace"
 )
 
 // cmdBench measures the trace hot path — text serial/parallel parse,
-// binary parse, and the two encodings' sizes — on one benchmark's trace
-// and appends the result to a JSON trajectory file, so the repo
+// binary parse, and the two encodings' sizes — on one benchmark's trace,
+// plus analysis throughput through the engine adapters (materialized,
+// streaming, online) and the cross-trace AnalyzeMany pool over all 14
+// ports, and appends the result to a JSON trajectory file, so the repo
 // accumulates perf history without hand-running `go test -bench`.
 
 // benchEntry is one measured configuration.
@@ -133,6 +136,59 @@ func cmdBench(args []string) error {
 			}
 		}),
 	)
+
+	// Analysis throughput: the three engine adapters on this benchmark's
+	// trace, then cross-trace parallelism (one engine per port) over all
+	// 14 ports at several pool sizes.
+	rep.Entries = append(rep.Entries,
+		runOne("analyze-materialized", len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Analyze(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne("analyze-streaming", len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.AnalyzeData(p.Data, 0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne("analyze-online", len(p.Data), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.AnalyzeOnline(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+	fmt.Println("preparing all 14 ports for the cross-trace sweep...")
+	var inputs []core.Input
+	totalText := 0
+	for _, bb := range progs.All() {
+		pp, err := harness.Prepare(bb, 0)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, pp.Input())
+		totalText += len(pp.Data)
+	}
+	for _, w := range []int{1, 4, 8} {
+		w := w
+		rep.Entries = append(rep.Entries,
+			runOne(fmt.Sprintf("analyze-many-%d", w), totalText, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.AnalyzeMany(inputs, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
 
 	history = append(history, rep)
 	data, err := json.MarshalIndent(history, "", "  ")

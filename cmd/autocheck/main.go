@@ -47,7 +47,7 @@ func main() {
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "table2":
-		err = cmdTable2()
+		err = cmdTable2(os.Args[2:])
 	case "table3":
 		err = cmdTable3(os.Args[2:])
 	case "table4":
@@ -71,7 +71,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg] [-stream]
+  autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg] [-stream] [-online]
       -file    mini-C source file (compiled and traced)
       -trace   pre-generated trace file, text or binary (alternative to -file)
       -func    function containing the main computation loop (default main)
@@ -80,6 +80,8 @@ func usage() {
       -workers parallel pre-processing workers (0 = serial; text format only)
       -stream  analyze the trace in bounded streaming passes
                (O(variables) memory instead of O(records))
+      -online  feed the analysis engine straight from the tracer while the
+               program runs: no trace bytes at all (requires -file)
       -ddg     also print the contracted DDG
   autocheck trace    -file prog.mc [-o trace.out] [-trace-format text|binary]
       -o            output trace file (default stdout)
@@ -89,7 +91,8 @@ func usage() {
                                 convert between the trace encodings
                                 (input format auto-detected; default -to
                                 is the opposite of the input)
-  autocheck table2              regenerate Table II  (critical variables)
+  autocheck table2 [-workers K] regenerate Table II  (critical variables)
+      -workers analyze the 14 ports concurrently with K engines (0 = serial)
   autocheck table3 [-workers K] regenerate Table III (analysis cost)
       -workers parallel pre-processing workers (default 48)
   autocheck table4              regenerate Table IV  (checkpoint storage)
@@ -106,8 +109,11 @@ func usage() {
       -shard-workers sharded backend write pool size (default 4)
   autocheck bench [-o BENCH_trace.json] [-benchmark HACC] [-scale N]
                                 measure the trace hot path (text serial /
-                                parallel / binary parse + sizes) and write
-                                the JSON perf trajectory
+                                parallel / binary parse + sizes) and the
+                                analysis engine adapters (materialized /
+                                streaming / online, plus the AnalyzeMany
+                                pool over all 14 ports) and write the
+                                JSON perf trajectory
   autocheck list                list the 14 benchmark ports`)
 }
 
@@ -128,6 +134,7 @@ func cmdAnalyze(args []string) error {
 	end := fs.Int("end", 0, "main loop end line")
 	workers := fs.Int("workers", 0, "parallel pre-processing workers (0 = serial)")
 	stream := fs.Bool("stream", false, "streaming analysis (bounded memory, multiple passes)")
+	online := fs.Bool("online", false, "analyze inside the tracer while the program runs (no trace bytes)")
 	ddg := fs.Bool("ddg", false, "also print the contracted DDG")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,10 +149,33 @@ func cmdAnalyze(args []string) error {
 	opts.BuildDDG = *ddg
 	var res *autocheck.Result
 	var err error
-	if *traceFile != "" {
+	switch {
+	case *online:
+		// Online mode: the engine observes records straight from the
+		// tracer as the program executes — nothing is encoded or parsed.
+		if *file == "" || *traceFile != "" {
+			return fmt.Errorf("analyze -online runs the program with the engine attached and needs -file, not -trace (use -stream to analyze a pre-generated trace)")
+		}
+		if *ddg {
+			return fmt.Errorf("-ddg requires offline analysis (drop -online)")
+		}
+		if *stream {
+			return fmt.Errorf("-online and -stream are different modes: online analyzes while the program runs, -stream re-reads a trace in bounded passes")
+		}
+		if *workers != 0 {
+			return fmt.Errorf("-workers only parallelizes text-trace decoding; online mode has no trace to decode (drop -workers)")
+		}
+		var mod *autocheck.Module
+		mod, err = compileFile(*file)
+		if err != nil {
+			return err
+		}
+		opts.Module = mod
+		res, _, err = autocheck.AnalyzeProgramOnline(mod, spec, opts)
+	case *traceFile != "":
 		// Trace-only mode: induction detection uses the dynamic heuristic.
 		res, err = autocheck.AnalyzeFile(*traceFile, spec, opts)
-	} else {
+	default:
 		var mod *autocheck.Module
 		mod, err = compileFile(*file)
 		if err != nil {
@@ -290,8 +320,19 @@ func cmdConvert(args []string) error {
 	return nil
 }
 
-func cmdTable2() error {
-	rows, err := harness.RunTable2()
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "analyze the 14 ports concurrently with this many engines (0 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rows []harness.Table2Row
+	var err error
+	if *workers > 0 {
+		rows, err = harness.RunTable2Parallel(*workers)
+	} else {
+		rows, err = harness.RunTable2()
+	}
 	if err != nil {
 		return err
 	}

@@ -198,61 +198,10 @@ func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// Analyze runs the three-module pipeline over parsed records.
+// Analyze runs the three-module pipeline over parsed records: the
+// engine's offline schedule with a slice-backed source (see engine.go).
 func Analyze(recs []trace.Record, spec LoopSpec, opts Options) (*Result, error) {
-	total0 := time.Now()
-	res := &Result{Spec: spec}
-	res.Stats.Records = len(recs)
-
-	// ---- Module 1: pre-processing (identify MLI variables) ----
-	t0 := time.Now()
-	a := newAnalyzer(spec, opts)
-	bStart, bEnd := partition(recs, spec)
-	if bStart < 0 {
-		return nil, fmt.Errorf("core: no trace records for function %q lines %d-%d (wrong main-loop location?)",
-			spec.Function, spec.StartLine, spec.EndLine)
-	}
-	res.Stats.RegionA = bStart
-	res.Stats.RegionB = bEnd - bStart + 1
-	res.Stats.RegionC = len(recs) - bEnd - 1
-	a.collectMLI(recs, bStart, bEnd)
-	res.MLI = a.mliList()
-	res.Timing.Pre = time.Since(t0)
-
-	// ---- Module 2: data dependency analysis ----
-	t0 = time.Now()
-	a.dependencyPass(recs, bStart, bEnd)
-	if opts.BuildDDG {
-		res.Complete = a.graph
-		res.Contracted = a.graph.Contract(func(n *ddg.Node) bool { return n.Kind == ddg.KindMLI })
-	}
-	res.Timing.Dep = time.Since(t0)
-
-	// ---- Module 3: identification of critical variables ----
-	t0 = time.Now()
-	res.Critical = a.identify()
-	res.Timing.Identify = time.Since(t0)
-	res.Timing.Total = time.Since(total0)
-	return res, nil
-}
-
-// partition locates the dynamic extent of the main computation loop:
-// region B spans from the first to the last record executed in
-// spec.Function at a source line within the MCLR. Records executed in
-// callees invoked from inside the loop fall inside that dynamic interval
-// and therefore belong to region B (the paper's trace partitioning).
-func partition(recs []trace.Record, spec LoopSpec) (int, int) {
-	first, last := -1, -1
-	for i := range recs {
-		r := &recs[i]
-		if r.Func == spec.Function && r.Line >= spec.StartLine && r.Line <= spec.EndLine {
-			if first < 0 {
-				first = i
-			}
-			last = i
-		}
-	}
-	return first, last
+	return analyzeSchedule(sliceSource(recs), spec, opts)
 }
 
 // regKey names a register within a function (registers are
@@ -400,26 +349,6 @@ func (a *analyzer) collectRegionBMatch(r *trace.Record) {
 		if _, inA := a.mliA[v.ID()]; inA {
 			a.mli[v.ID()] = v
 		}
-	}
-}
-
-// collectMLI is pass 1 of the offline pipeline: build the storage table
-// while collecting variables in regions A and B and matching them.
-func (a *analyzer) collectMLI(recs []trace.Record, bStart, bEnd int) {
-	for i := range recs {
-		a.collectStep(&recs[i], i, bStart, bEnd)
-	}
-}
-
-// collectStep processes the i-th record of the module-1 pass; the
-// streaming driver (AnalyzeStream) shares it with collectMLI.
-func (a *analyzer) collectStep(r *trace.Record, i, bStart, bEnd int) {
-	a.trackStorage(r)
-	switch {
-	case i < bStart:
-		a.collectRegionA(r)
-	case i <= bEnd:
-		a.collectRegionBMatch(r)
 	}
 }
 

@@ -8,48 +8,19 @@ import (
 	"autocheck/internal/trace"
 )
 
-// dependencyPass is pass 2 (module 2): it replays the trace with a fresh
-// storage table, maintains the reg-var and reg-reg maps on-the-fly, and
-// streams Read/Write information into per-variable summaries. With
-// Options.BuildDDG it additionally materializes the complete DDG
-// (Fig. 5(c)): MLI vertices, local-variable vertices, and one vertex per
-// dynamic register instance, with an edge flush at every Store.
-func (a *analyzer) dependencyPass(recs []trace.Record, bStart, bEnd int) {
-	a.beginDependencyPass()
-	for i := range recs {
-		a.dependencyStep(&recs[i], i, bStart, bEnd)
-	}
-}
-
-// beginDependencyPass resets the replay state for module 2; the streaming
-// driver (AnalyzeStream) shares it with the materialized dependencyPass.
-func (a *analyzer) beginDependencyPass() {
-	a.vt = newVarTable() // replay storage so resolution is time-correct
-	if a.opts.BuildDDG {
-		a.graph = ddg.New()
-		a.regNode = make(map[regKey]*ddg.Node)
-		a.varNodes = make(map[VarID]*ddg.Node)
-	}
-}
-
-// dependencyStep processes the i-th record of the module-2 replay.
-func (a *analyzer) dependencyStep(r *trace.Record, i, bStart, bEnd int) {
-	a.trackStorage(r)
-	inB := i >= bStart && i <= bEnd
-	a.updateMaps(r, inB)
-	switch {
-	case inB:
-		a.processLoopRecord(r)
-	case i > bEnd:
-		a.processAfterLoop(r)
-	}
-}
+// This file holds the per-record logic of the engine's dependency pass
+// (module 2, §IV-B): maintain the reg-var and reg-reg maps on-the-fly and
+// stream Read/Write information into per-variable summaries. With the ddg
+// pass active (Options.BuildDDG) it additionally materializes the
+// complete DDG (Fig. 5(c)): MLI vertices, local-variable vertices, and
+// one vertex per dynamic register instance, with an edge flush at every
+// Store. The dependPass in engine.go drives these steps.
 
 // updateMaps maintains the reg-var map (Load/Store/GEP/BitCast/Alloca and
 // Call parameter correlation, Table I) and the reg-reg map (arithmetic and
 // the single-Call form). It runs over the whole trace because region C
 // reads and induction detection also consult the maps.
-func (a *analyzer) updateMaps(r *trace.Record, inB bool) {
+func (a *analyzer) updateMaps(r *trace.Record) {
 	fn := r.Func
 	switch r.Opcode {
 	case trace.OpLoad:
@@ -71,10 +42,13 @@ func (a *analyzer) updateMaps(r *trace.Record, inB bool) {
 		}
 		key := regKey{fn, r.Result.Name}
 		// Resolve by the result address first (exact), then through the
-		// base operand's name chain (the paper's approach).
+		// base operand's name chain (the paper's approach). The result is
+		// a computed reference, not an access: resolveRef keeps reported
+		// footprints to what Loads and Stores actually touch, identically
+		// in every adapter.
 		var v *VarInfo
 		if r.Result.Value.Kind == trace.KindPtr {
-			v = a.vt.resolve(r.Result.Value.Addr)
+			v = a.vt.resolveRef(r.Result.Value.Addr)
 		}
 		if v == nil {
 			if base := r.Operand(1); base != nil && base.IsReg {
@@ -158,8 +132,9 @@ func (a *analyzer) updateCallMaps(r *trace.Record) {
 			v = a.rv[regKey{fn, arg.Name}]
 		}
 		if v == nil && arg != nil && arg.Value.Kind == trace.KindPtr {
-			// Pointer argument: resolve the pointed-to variable directly.
-			v = a.vt.resolve(arg.Value.Addr)
+			// Pointer argument: resolve the pointed-to variable directly
+			// (a reference, not an access — no footprint growth).
+			v = a.vt.resolveRef(arg.Value.Addr)
 		}
 		if v != nil {
 			a.rv[pkey] = v

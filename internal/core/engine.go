@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"autocheck/internal/ddg"
+	"autocheck/internal/trace"
+)
+
+// This file is the single incremental analysis core that every mode of
+// AutoCheck adapts to. The pipeline of the paper's Fig. 2 is expressed
+// once, as an explicit region state machine (partitioner) plus composable
+// passes that consume one trace.Record at a time:
+//
+//   - storagePass   — address→variable table maintenance (prerequisite of
+//     both analysis passes; owns the table reset between sweeps)
+//   - collectPass   — module 1, MLI variable collection (§IV-A)
+//   - dependPass    — module 2, on-the-fly dependency tracking (§IV-B)
+//   - ddgPass       — optional complete-DDG materialization (Fig. 5)
+//   - identifyPass  — module 3, critical-variable classification (§IV-C)
+//
+// The adapters differ only in how records reach the passes:
+//
+//   - Analyze / AnalyzeStream run the offline *schedule*
+//     (analyzeSchedule): three bounded sweeps over a replayable source —
+//     partition, storage+collect, storage+depend(+ddg) — so streaming
+//     keeps O(variables) memory without a parallel implementation.
+//   - Engine (and its Collector alias) is the single-sweep online
+//     configuration: the scanPartitioner discovers the loop extent
+//     incrementally and all passes run fused on a live record feed.
+//   - AnalyzeMany (many.go) runs N independent engines concurrently over
+//     distinct traces.
+
+// Region classifies one dynamic record relative to the main computation
+// loop (the paper's trace partitioning, §IV-A).
+type Region uint8
+
+// Regions, in trace order.
+const (
+	RegionBefore Region = iota // region A: before the loop's dynamic extent
+	RegionLoop                 // region B: inside the loop
+	RegionAfter                // region C: after the loop
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionBefore:
+		return "A"
+	case RegionLoop:
+		return "B"
+	default:
+		return "C"
+	}
+}
+
+// NoLoopError reports a LoopSpec that matched nothing: the whole trace
+// was scanned without one record of the loop function at a line inside
+// the MCLR, so there is no region B to analyze.
+type NoLoopError struct {
+	Spec    LoopSpec
+	Records int // records scanned before giving up
+}
+
+func (e *NoLoopError) Error() string {
+	return fmt.Sprintf("core: no trace records for function %q lines %d-%d in %d records scanned (wrong main-loop location?)",
+		e.Spec.Function, e.Spec.StartLine, e.Spec.EndLine, e.Records)
+}
+
+// The engine has two region state machines: spanPartitioner serves the
+// offline schedule (the loop's dynamic extent is known from the partition
+// sweep, so classification is a pure index comparison), and
+// scanPartitioner serves the online engine (the extent is discovered
+// incrementally from a live feed, with bounded lookahead buffering to
+// stay exactly offline-equivalent).
+
+// spanPartitioner classifies by the loop's dynamic extent [bStart, bEnd]:
+// every record inside that index interval is region B, including records
+// of callees invoked from the loop.
+type spanPartitioner struct {
+	spec         LoopSpec
+	bStart, bEnd int
+	n            int
+}
+
+func newSpanPartitioner(spec LoopSpec) *spanPartitioner {
+	return &spanPartitioner{spec: spec, bStart: -1, bEnd: -1}
+}
+
+// observe is the partition sweep: it learns the extent record by record.
+func (p *spanPartitioner) observe(i int, r *trace.Record) error {
+	p.n = i + 1
+	if r.Func == p.spec.Function && r.Line >= p.spec.StartLine && r.Line <= p.spec.EndLine {
+		if p.bStart < 0 {
+			p.bStart = i
+		}
+		p.bEnd = i
+	}
+	return nil
+}
+
+func (p *spanPartitioner) classify(r *trace.Record, i int) Region {
+	switch {
+	case i < p.bStart:
+		return RegionBefore
+	case i <= p.bEnd:
+		return RegionLoop
+	default:
+		return RegionAfter
+	}
+}
+
+func (p *spanPartitioner) stats() Stats {
+	return Stats{
+		Records: p.n,
+		RegionA: p.bStart,
+		RegionB: p.bEnd - p.bStart + 1,
+		RegionC: p.n - p.bEnd - 1,
+	}
+}
+
+func (p *spanPartitioner) sawLoop() bool { return p.bStart >= 0 }
+
+// scanPartitioner discovers the regions incrementally and is exactly
+// equivalent to the offline partition sweep: region B spans from the
+// first to the last record of the loop function at a line inside the
+// MCLR. The last such record cannot be recognized without lookahead —
+// a callee excursion or the loop's back edge looks just like the loop's
+// exit until the MCLR is (or is never) re-entered — so once the loop has
+// started, records outside the MCLR park in a pending buffer: the next
+// in-MCLR record proves the loop continued and flushes them as region B,
+// and the end of the stream resolves the final run as region C. Memory
+// is therefore bounded by the longest single run of records away from
+// the MCLR: one callee excursion during the loop, and — the trailing run
+// — the entire program epilogue, which only flushes at Finish. Under the
+// paper's model (the main computation loop dominates the program) the
+// epilogue is a handful of records; a program that does most of its work
+// after the loop pays O(post-loop records) here and should use the
+// offline schedule instead. The exactness is what the buffering buys:
+// deferred records must be replayed with their full dependency context,
+// so they cannot be processed eagerly without diverging from offline
+// map/storage state at their position.
+type scanPartitioner struct {
+	spec    LoopSpec
+	inLoop  bool           // region B entered
+	pending []trace.Record // records awaiting excursion/exit resolution
+	counts  [3]int
+}
+
+// observe classifies one record, emitting it (and any parked records
+// whose region its arrival resolves) in trace order.
+func (p *scanPartitioner) observe(r *trace.Record, emit func(*trace.Record, Region)) {
+	inRange := r.Func == p.spec.Function &&
+		r.Line >= p.spec.StartLine && r.Line <= p.spec.EndLine
+	switch {
+	case inRange:
+		// In the MCLR: everything parked since the last such record was
+		// an excursion inside the loop, i.e. region B.
+		p.inLoop = true
+		p.flush(RegionLoop, emit)
+		p.emit(r, RegionLoop, emit)
+	case p.inLoop:
+		// Deep-copy: the caller may reuse its record and operand buffers
+		// between Observe calls (nothing in the Observer contract forbids
+		// it), and parked records outlive the call.
+		p.pending = append(p.pending, r.Clone())
+	default:
+		p.emit(r, RegionBefore, emit)
+	}
+}
+
+// finish resolves the trailing pending run: no later record re-entered
+// the MCLR, so it was the loop's exit and the records are region C.
+func (p *scanPartitioner) finish(emit func(*trace.Record, Region)) {
+	p.flush(RegionAfter, emit)
+}
+
+func (p *scanPartitioner) flush(reg Region, emit func(*trace.Record, Region)) {
+	for i := range p.pending {
+		p.emit(&p.pending[i], reg, emit)
+	}
+	p.pending = p.pending[:0]
+}
+
+func (p *scanPartitioner) emit(r *trace.Record, reg Region, emit func(*trace.Record, Region)) {
+	p.counts[reg]++
+	emit(r, reg)
+}
+
+func (p *scanPartitioner) stats() Stats {
+	return Stats{
+		Records: p.counts[0] + p.counts[1] + p.counts[2],
+		RegionA: p.counts[0],
+		RegionB: p.counts[1],
+		RegionC: p.counts[2],
+	}
+}
+
+func (p *scanPartitioner) sawLoop() bool { return p.inLoop }
+
+// Pass is one composable stage of the engine. A pass consumes classified
+// records one at a time; schedules decide which passes share a sweep.
+// Future passes (new classifiers, per-rank reducers, trace statistics)
+// implement this interface and slot into a schedule — see DESIGN.md
+// "The analysis engine" for the contract.
+type Pass interface {
+	// Name identifies the pass in schedules and diagnostics.
+	Name() string
+	// Begin resets the pass for a sweep that starts at the head of the
+	// trace. It runs before any Step of that sweep.
+	Begin()
+	// Step consumes one record together with its region classification.
+	Step(r *trace.Record, i int, reg Region)
+	// Finish contributes the pass's output to the result after its final
+	// sweep.
+	Finish(res *Result)
+}
+
+// storagePass maintains the address→variable table that both analysis
+// passes resolve through. It owns the table reset: each sweep replays
+// storage from the start so resolution stays time-correct (the same
+// "active state at a certain point" semantics as the paper's reg-var
+// map).
+type storagePass struct{ a *analyzer }
+
+func (p *storagePass) Name() string                            { return "storage" }
+func (p *storagePass) Begin()                                  { p.a.vt = newVarTable() }
+func (p *storagePass) Step(r *trace.Record, i int, reg Region) { p.a.trackStorage(r) }
+func (p *storagePass) Finish(res *Result)                      {}
+
+// collectPass is module 1 (§IV-A): collect the variables accessed in
+// region A, match region-B accesses against them, and emit the MLI set.
+type collectPass struct{ a *analyzer }
+
+func (p *collectPass) Name() string { return "collect" }
+func (p *collectPass) Begin()       {}
+func (p *collectPass) Step(r *trace.Record, i int, reg Region) {
+	switch reg {
+	case RegionBefore:
+		p.a.collectRegionA(r)
+	case RegionLoop:
+		p.a.collectRegionBMatch(r)
+	}
+}
+func (p *collectPass) Finish(res *Result) { res.MLI = p.a.mliList() }
+
+// dependPass is module 2 (§IV-B): maintain the reg-var and reg-reg maps
+// over the whole trace and stream region-B/C read-write information into
+// the per-variable summaries that identification consumes.
+type dependPass struct{ a *analyzer }
+
+func (p *dependPass) Name() string { return "depend" }
+func (p *dependPass) Begin()       {}
+func (p *dependPass) Step(r *trace.Record, i int, reg Region) {
+	p.a.updateMaps(r)
+	switch reg {
+	case RegionLoop:
+		p.a.processLoopRecord(r)
+	case RegionAfter:
+		p.a.processAfterLoop(r)
+	}
+}
+func (p *dependPass) Finish(res *Result) {}
+
+// ddgPass activates complete-DDG materialization (Fig. 5(c)) for the
+// sweep that runs the dependency pass, and contracts it to the MLI
+// vertices (Algorithm 1) at the end. Graph construction itself rides the
+// dependency logic — the pass's contribution is turning it on and
+// finalizing the graphs.
+type ddgPass struct{ a *analyzer }
+
+func (p *ddgPass) Name() string { return "ddg" }
+func (p *ddgPass) Begin() {
+	p.a.graph = ddg.New()
+	p.a.regNode = make(map[regKey]*ddg.Node)
+	p.a.varNodes = make(map[VarID]*ddg.Node)
+}
+func (p *ddgPass) Step(r *trace.Record, i int, reg Region) {}
+func (p *ddgPass) Finish(res *Result) {
+	res.Complete = p.a.graph
+	res.Contracted = p.a.graph.Contract(func(n *ddg.Node) bool { return n.Kind == ddg.KindMLI })
+}
+
+// identifyPass is module 3 (§IV-C): classify the MLI variables from the
+// accumulated summaries and add the outermost loop's induction variable.
+// It consumes no records — everything it needs was streamed into the
+// summaries by the dependency pass — which is what lets every adapter
+// share it without a record slice.
+type identifyPass struct{ a *analyzer }
+
+func (p *identifyPass) Name() string                            { return "identify" }
+func (p *identifyPass) Begin()                                  {}
+func (p *identifyPass) Step(r *trace.Record, i int, reg Region) {}
+func (p *identifyPass) Finish(res *Result)                      { res.Critical = p.a.identify() }
+
+// ---- Offline schedule ----
+
+// source yields the records of one trace, replayable once per schedule
+// sweep.
+type source interface {
+	sweep(fn func(i int, r *trace.Record) error) error
+}
+
+// sliceSource adapts a materialized []trace.Record without copying.
+type sliceSource []trace.Record
+
+func (s sliceSource) sweep(fn func(i int, r *trace.Record) error) error {
+	for i := range s {
+		if err := fn(i, &s[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamSource adapts an AnalyzeStream-style opener: each sweep re-opens
+// the stream and decodes it once, so no record slice ever materializes.
+type streamSource func() (trace.Reader, error)
+
+func (open streamSource) sweep(fn func(i int, r *trace.Record) error) error {
+	rd, err := open()
+	if err != nil {
+		return err
+	}
+	return trace.ForEach(rd, fn)
+}
+
+// runSweep drives one schedule sweep: Begin every pass, then classify and
+// feed each record through the passes in order.
+func runSweep(src source, part *spanPartitioner, passes ...Pass) error {
+	for _, p := range passes {
+		p.Begin()
+	}
+	return src.sweep(func(i int, r *trace.Record) error {
+		reg := part.classify(r, i)
+		for _, p := range passes {
+			p.Step(r, i, reg)
+		}
+		return nil
+	})
+}
+
+// analyzeSchedule is the engine's bounded-memory offline schedule: sweep
+// 1 locates the loop's dynamic extent (building the span partitioner),
+// sweep 2 runs storage+collect, sweep 3 runs storage+depend (+ddg), and
+// identification closes the result. Analyze (materialized) and
+// AnalyzeStream (never-materialized) are thin adapters that only choose
+// the source; memory stays O(variables) whenever the source does.
+func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
+	total0 := time.Now()
+	a := newAnalyzer(spec, opts)
+	res := &Result{Spec: spec}
+
+	// Sweep 1: partition (locate the loop's dynamic extent).
+	t0 := time.Now()
+	part := newSpanPartitioner(spec)
+	if err := src.sweep(part.observe); err != nil {
+		return nil, err
+	}
+	if !part.sawLoop() {
+		return nil, &NoLoopError{Spec: spec, Records: part.n}
+	}
+	res.Stats = part.stats()
+
+	// Sweep 2: MLI collection (module 1).
+	collect := &collectPass{a}
+	if err := runSweep(src, part, &storagePass{a}, collect); err != nil {
+		return nil, err
+	}
+	collect.Finish(res)
+	res.Timing.Pre = time.Since(t0)
+
+	// Sweep 3: dependency analysis (module 2), optionally with the DDG.
+	t0 = time.Now()
+	passes := []Pass{&storagePass{a}, &dependPass{a}}
+	if opts.BuildDDG {
+		passes = append(passes, &ddgPass{a})
+	}
+	if err := runSweep(src, part, passes...); err != nil {
+		return nil, err
+	}
+	for _, p := range passes {
+		p.Finish(res)
+	}
+	res.Timing.Dep = time.Since(t0)
+
+	// Identification (module 3).
+	t0 = time.Now()
+	(&identifyPass{a}).Finish(res)
+	res.Timing.Identify = time.Since(t0)
+	res.Timing.Total = time.Since(total0)
+	return res, nil
+}
+
+// ---- Online (single-sweep) engine ----
+
+// Engine is the incremental core in its single-sweep configuration — the
+// paper's §IX online mode, where analysis runs inside the instrumentation
+// itself. Records are observed as they are produced (for example by
+// wiring Observe as the interpreter's Tracer callback); no trace is
+// materialized and no record is revisited.
+//
+// The offline schedule consults MLI membership while streaming dependency
+// events; fused into one sweep, the engine instead tracks summaries for
+// every variable and intersects with the MLI set at Finish. Region
+// boundaries come from the incremental scanPartitioner, which buffers
+// just enough lookahead to classify records exactly like the offline
+// partition sweep — results are byte-identical to Analyze on the same
+// records (Timing aside, and Stats.TraceBytes stays 0: no trace bytes
+// exist online). BuildDDG requires offline analysis: DDG vertex kinds
+// depend on MLI membership, which is only final when the stream ends.
+type Engine struct {
+	spec   LoopSpec
+	a      *analyzer
+	part   *scanPartitioner
+	passes []Pass
+	n      int
+	frozen bool
+	start  time.Time
+}
+
+// NewEngine prepares a single-sweep analysis session.
+func NewEngine(spec LoopSpec, opts Options) (*Engine, error) {
+	if opts.BuildDDG {
+		return nil, fmt.Errorf("core: BuildDDG requires offline analysis")
+	}
+	a := newAnalyzer(spec, opts)
+	a.trackAll = true
+	e := &Engine{
+		spec:   spec,
+		a:      a,
+		part:   &scanPartitioner{spec: spec},
+		passes: []Pass{&storagePass{a}, &collectPass{a}, &dependPass{a}},
+		start:  time.Now(),
+	}
+	for _, p := range e.passes {
+		p.Begin()
+	}
+	return e, nil
+}
+
+// Observe consumes one dynamic instruction record. The record may reach
+// the passes slightly later (copied into the partitioner's lookahead
+// buffer) when its region is not yet decidable; pass order always equals
+// trace order.
+func (e *Engine) Observe(r *trace.Record) {
+	e.part.observe(r, e.step)
+}
+
+// step feeds one region-resolved record through the fused passes.
+func (e *Engine) step(r *trace.Record, reg Region) {
+	if reg == RegionAfter && !e.frozen {
+		// Match the offline schedule's footprint semantics: its collect
+		// sweep stops observing at the loop's end, so region-C accesses
+		// never grow a reported global footprint. Freezing changes no
+		// address resolution (global resolution is by base, not extent) —
+		// only the recorded sizes.
+		e.frozen = true
+		e.a.vt.freeze()
+	}
+	for _, p := range e.passes {
+		p.Step(r, e.n, reg)
+	}
+	e.n++
+}
+
+// Finish resolves the trailing records, completes the analysis, and
+// returns the result. Call it exactly once, after the last Observe.
+func (e *Engine) Finish() (*Result, error) {
+	e.part.finish(e.step)
+	if !e.part.sawLoop() {
+		return nil, &NoLoopError{Spec: e.spec, Records: e.n}
+	}
+	res := &Result{Spec: e.spec}
+	res.Stats = e.part.stats()
+	for _, p := range e.passes {
+		p.Finish(res)
+	}
+	(&identifyPass{e.a}).Finish(res)
+	res.Timing.Total = time.Since(e.start)
+	return res, nil
+}

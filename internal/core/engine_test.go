@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autocheck/internal/trace"
+)
+
+// TestNoLoopErrorDescriptive pins the error contract of every offline
+// entry point: a LoopSpec that matches nothing yields a *NoLoopError
+// naming the function, the line range, and the number of records scanned
+// — never a silently empty Result.
+func TestNoLoopErrorDescriptive(t *testing.T) {
+	recs, _ := traceOf(t, fig4Source)
+	data := trace.EncodeAll(recs)
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := LoopSpec{Function: "nosuch", StartLine: 900, EndLine: 950}
+	paths := map[string]func(Options) (*Result, error){
+		"Analyze":             func(o Options) (*Result, error) { return Analyze(recs, bad, o) },
+		"AnalyzeBytes":        func(o Options) (*Result, error) { return AnalyzeBytes(data, bad, o) },
+		"AnalyzeFile":         func(o Options) (*Result, error) { return AnalyzeFile(path, bad, o) },
+		"AnalyzeBytes-stream": func(o Options) (*Result, error) { o.Streaming = true; return AnalyzeBytes(data, bad, o) },
+		"AnalyzeFile-stream":  func(o Options) (*Result, error) { o.Streaming = true; return AnalyzeFile(path, bad, o) },
+	}
+	for label, run := range paths {
+		res, err := run(DefaultOptions())
+		if err == nil {
+			t.Fatalf("%s: no error for absent loop (result %+v)", label, res)
+		}
+		var nle *NoLoopError
+		if !errors.As(err, &nle) {
+			t.Fatalf("%s: error is %T, want *NoLoopError: %v", label, err, err)
+		}
+		if nle.Records != len(recs) {
+			t.Errorf("%s: scanned %d records, want %d", label, nle.Records, len(recs))
+		}
+		msg := err.Error()
+		for _, want := range []string{`"nosuch"`, "900-950", fmt.Sprint(len(recs))} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: error %q missing %q", label, msg, want)
+			}
+		}
+	}
+}
+
+// TestNoLoopErrorOnline: the single-sweep engine reports the same typed
+// error when the loop never executes.
+func TestNoLoopErrorOnline(t *testing.T) {
+	recs, _ := traceOf(t, fig4Source)
+	eng, err := NewEngine(LoopSpec{Function: "main", StartLine: 900, EndLine: 950}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		eng.Observe(&recs[i])
+	}
+	_, err = eng.Finish()
+	var nle *NoLoopError
+	if !errors.As(err, &nle) {
+		t.Fatalf("Finish error is %T, want *NoLoopError: %v", err, err)
+	}
+	if nle.Records != len(recs) {
+		t.Errorf("scanned %d records, want %d", nle.Records, len(recs))
+	}
+}
+
+// TestEngineMatchesOffline drives the single-sweep engine over
+// materialized records and requires full result equivalence with the
+// offline schedule — critical variables, MLI identities (including
+// footprint sizes, thanks to the region-C freeze), and region stats.
+func TestEngineMatchesOffline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		spec LoopSpec
+	}{
+		{"fig4", fig4Source, fig4Spec},
+		{"cg", cgSource, cgSpec},
+		{"halo", haloSource, haloSpec},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			recs, mod := traceOf(t, tc.src)
+			opts := DefaultOptions()
+			opts.Module = mod
+			want, err := Analyze(recs, tc.spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(tc.spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range recs {
+				eng.Observe(&recs[i])
+			}
+			got, err := eng.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEquivalent(t, "engine-vs-offline", want, got)
+		})
+	}
+}
+
+// TestEngineRefResolutionNoFootprintGrowth pins a footprint-parity case:
+// a region-B GetElementPtr whose result points beyond a global's observed
+// footprint, with the address never dereferenced. Reported footprints
+// record Load/Store accesses only, so the reference must not grow the
+// global in any adapter (the offline schedule's reported table never even
+// sees depend-pass resolutions; the online engine shares one table and
+// must resolve references without growth).
+func TestEngineRefResolutionNoFootprintGrowth(t *testing.T) {
+	ptr := func(idx int, addr uint64, name string) trace.Operand {
+		return trace.Operand{Index: idx, Size: 64, Value: trace.PtrValue(addr), IsReg: true, Name: name}
+	}
+	reg := func(name string) *trace.Operand {
+		return &trace.Operand{Index: 0, Size: 64, Value: trace.IntValue(1), IsReg: true, Name: name}
+	}
+	recs := []trace.Record{
+		// Region A: named access registers and collects global g.
+		{Line: 1, Func: "main", Block: "b", Opcode: trace.OpLoad, DynID: 1,
+			Ops: []trace.Operand{ptr(1, 0x1000, "g")}, Result: reg("t0")},
+		// Region B (loop lines 4-6): access g, then compute a far
+		// reference into it that is never dereferenced.
+		{Line: 5, Func: "main", Block: "b", Opcode: trace.OpLoad, DynID: 2,
+			Ops: []trace.Operand{ptr(1, 0x1000, "g")}, Result: reg("t1")},
+		{Line: 5, Func: "main", Block: "b", Opcode: trace.OpGetElementPtr, DynID: 3,
+			Ops:    []trace.Operand{ptr(1, 0x1000, "g")},
+			Result: &trace.Operand{Index: 0, Size: 64, Value: trace.PtrValue(0x1320), IsReg: true, Name: "t2"}},
+	}
+	spec := LoopSpec{Function: "main", StartLine: 4, EndLine: 6}
+	want, err := Analyze(recs, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.MLI) != 1 || want.MLI[0].SizeBytes != 8 {
+		t.Fatalf("offline baseline footprint wrong: %+v", want.MLI)
+	}
+	eng, err := NewEngine(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		eng.Observe(&recs[i])
+	}
+	got, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, "ref-no-growth", want, got)
+}
+
+// TestEngineObserverBufferReuse: the Observer contract allows emitters to
+// reuse their record and operand buffers between calls (allocation-free
+// tracers do). Parked lookahead records must survive that, so the engine
+// deep-copies what it buffers. haloSource exercises parking heavily (its
+// spec excludes the loop's back-edge line).
+func TestEngineObserverBufferReuse(t *testing.T) {
+	recs, mod := traceOf(t, haloSource)
+	opts := DefaultOptions()
+	opts.Module = mod
+	want, err := Analyze(recs, haloSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(haloSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch trace.Record
+	var opsBuf []trace.Operand
+	var resBuf trace.Operand
+	for i := range recs {
+		r := &recs[i]
+		scratch = *r
+		opsBuf = append(opsBuf[:0], r.Ops...)
+		scratch.Ops = opsBuf
+		if r.Result != nil {
+			resBuf = *r.Result
+			scratch.Result = &resBuf
+		}
+		eng.Observe(&scratch)
+		// Poison the reused buffers: anything the engine retained by
+		// reference is now garbage.
+		for j := range opsBuf {
+			opsBuf[j] = trace.Operand{}
+		}
+		resBuf = trace.Operand{}
+	}
+	got, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, "reused-buffers", want, got)
+}
+
+// manyInputs builds one AnalyzeMany input per source kind over the same
+// three example programs, exercising every dispatch path.
+func manyInputs(t *testing.T, dir string) ([]Input, []*Result) {
+	t.Helper()
+	cases := []struct {
+		name string
+		src  string
+		spec LoopSpec
+	}{
+		{"fig4", fig4Source, fig4Spec},
+		{"cg", cgSource, cgSpec},
+		{"halo", haloSource, haloSpec},
+	}
+	var inputs []Input
+	var want []*Result
+	for i, tc := range cases {
+		recs, mod := traceOf(t, tc.src)
+		opts := DefaultOptions()
+		opts.Module = mod
+		res, err := Analyze(recs, tc.spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+		in := Input{Name: tc.name, Spec: tc.spec, Opts: opts}
+		switch i % 4 {
+		case 0:
+			in.Records = recs
+		case 1:
+			in.Data = trace.EncodeAll(recs)
+		case 2:
+			path := filepath.Join(dir, tc.name+".trace")
+			if err := os.WriteFile(path, trace.EncodeBinary(recs), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			in.Path = path
+		case 3:
+			in.Open = bytesReaderOpener(trace.EncodeBinary(recs))
+		}
+		inputs = append(inputs, in)
+	}
+	return inputs, want
+}
+
+// TestAnalyzeManyMatchesSerial: concurrent engines over independent
+// traces (every source kind) match per-trace serial analysis at several
+// pool sizes.
+func TestAnalyzeManyMatchesSerial(t *testing.T) {
+	inputs, want := manyInputs(t, t.TempDir())
+	for _, workers := range []int{0, 1, 2, 8} {
+		results, err := AnalyzeMany(inputs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(inputs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), len(inputs))
+		}
+		for i, got := range results {
+			requireEquivalent(t, fmt.Sprintf("workers=%d/%s", workers, inputs[i].Name), want[i], got)
+		}
+	}
+}
+
+// TestAnalyzeManyPartialFailure: one bad input must not hide the other
+// results; its error carries the input's label.
+func TestAnalyzeManyPartialFailure(t *testing.T) {
+	inputs, _ := manyInputs(t, t.TempDir())
+	inputs[1].Data = []byte("not a trace\n")
+	results, err := AnalyzeMany(inputs, 2)
+	if err == nil {
+		t.Fatal("corrupt input did not fail")
+	}
+	if !strings.Contains(err.Error(), inputs[1].Name) {
+		t.Errorf("error %q does not name the failing input %q", err, inputs[1].Name)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("healthy inputs lost their results")
+	}
+	if results[1] != nil {
+		t.Error("failed input produced a result")
+	}
+
+	var empty Input
+	if _, err := (&empty).analyze(); err == nil {
+		t.Error("input with no source should fail")
+	}
+}
+
+// TestAnalyzeManyEmpty: no inputs, no work, no deadlock.
+func TestAnalyzeManyEmpty(t *testing.T) {
+	results, err := AnalyzeMany(nil, 8)
+	if err != nil || results != nil {
+		t.Errorf("AnalyzeMany(nil) = %v, %v", results, err)
+	}
+}
+
+// TestRegionString covers the region labels used in diagnostics.
+func TestRegionString(t *testing.T) {
+	for reg, want := range map[Region]string{RegionBefore: "A", RegionLoop: "B", RegionAfter: "C"} {
+		if got := reg.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", reg, got, want)
+		}
+	}
+}
+
+// TestPassNames: every pass names itself (the schedule/diagnostic
+// contract of the Pass interface).
+func TestPassNames(t *testing.T) {
+	a := newAnalyzer(fig4Spec, DefaultOptions())
+	passes := []Pass{&storagePass{a}, &collectPass{a}, &dependPass{a}, &ddgPass{a}, &identifyPass{a}}
+	seen := map[string]bool{}
+	for _, p := range passes {
+		name := p.Name()
+		if name == "" || seen[name] {
+			t.Errorf("pass name %q empty or duplicated", name)
+		}
+		seen[name] = true
+	}
+}

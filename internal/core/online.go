@@ -1,81 +1,14 @@
 package core
 
-import (
-	"fmt"
-	"time"
-
-	"autocheck/internal/trace"
-)
-
-// Collector is the online (single-pass) form of the analysis — the
+// Collector is the online (single-sweep) adapter of the engine — the
 // paper's stated future work of incorporating AutoCheck into the
 // instrumentation itself "to eliminate the performance bottleneck because
-// of trace file processing" (§IX). Records are observed as they are
-// produced (for example by wiring Observe as the interpreter's Tracer
-// callback); no trace is materialized and the records are never revisited.
-//
-// The offline pipeline runs two passes because MLI membership is consulted
-// while streaming dependency events; online, the collector tracks
-// summaries for every variable and intersects with the MLI set at Finish.
-// Region boundaries are recognized incrementally: region B starts at the
-// first record of the loop function whose line falls inside the MCLR and
-// ends at the first record of the loop function whose line falls outside
-// it afterwards (the paper's model — one contiguous main loop, executed
-// once). BuildDDG is not supported online.
-type Collector struct {
-	a      *analyzer
-	opts   Options
-	region int // 0 = before loop, 1 = inside, 2 = after
-	counts [3]int
-	start  time.Time
-}
+// of trace file processing" (§IX). It is the Engine under its historical
+// name: wire Observe as the interpreter's Tracer callback and call
+// Finish when the program ends.
+type Collector = Engine
 
 // NewCollector prepares an online analysis session.
 func NewCollector(spec LoopSpec, opts Options) (*Collector, error) {
-	if opts.BuildDDG {
-		return nil, fmt.Errorf("core: BuildDDG requires offline analysis")
-	}
-	a := newAnalyzer(spec, opts)
-	a.trackAll = true
-	return &Collector{a: a, opts: opts, start: time.Now()}, nil
-}
-
-// Observe processes one dynamic instruction record.
-func (c *Collector) Observe(r *trace.Record) {
-	a := c.a
-	a.trackStorage(r)
-	if r.Func == a.spec.Function {
-		switch {
-		case c.region == 0 && r.Line >= a.spec.StartLine && r.Line <= a.spec.EndLine:
-			c.region = 1
-		case c.region == 1 && (r.Line < a.spec.StartLine || r.Line > a.spec.EndLine) && r.Line >= 0:
-			c.region = 2
-		}
-	}
-	c.counts[c.region]++
-	a.updateMaps(r, c.region == 1)
-	switch c.region {
-	case 0:
-		a.collectRegionA(r)
-	case 1:
-		a.collectRegionBMatch(r)
-		a.processLoopRecord(r)
-	case 2:
-		a.processAfterLoop(r)
-	}
-}
-
-// Finish completes the analysis and returns the result.
-func (c *Collector) Finish() (*Result, error) {
-	if c.region == 0 {
-		return nil, fmt.Errorf("core: main loop of %q (lines %d-%d) never executed",
-			c.a.spec.Function, c.a.spec.StartLine, c.a.spec.EndLine)
-	}
-	res := &Result{Spec: c.a.spec}
-	res.Stats.Records = c.counts[0] + c.counts[1] + c.counts[2]
-	res.Stats.RegionA, res.Stats.RegionB, res.Stats.RegionC = c.counts[0], c.counts[1], c.counts[2]
-	res.MLI = c.a.mliList()
-	res.Critical = c.a.identify()
-	res.Timing.Total = time.Since(c.start)
-	return res, nil
+	return NewEngine(spec, opts)
 }

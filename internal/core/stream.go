@@ -2,119 +2,26 @@ package core
 
 import (
 	"bytes"
-	"fmt"
 	"io"
 	"os"
-	"time"
 
-	"autocheck/internal/ddg"
 	"autocheck/internal/trace"
 )
 
-// AnalyzeStream runs the three-module pipeline over a replayable record
-// stream in three bounded passes, never materializing a []trace.Record.
-// It produces results identical to Analyze on the same records (the
-// equivalence is pinned by tests) because each pass drives exactly the
-// materialized pipeline's per-record steps: pass 1 is the partition scan
-// (plain state, no analyzer), pass 2 is collectMLI with the known loop
-// extent, pass 3 is the module-2/3 replay.
+// AnalyzeStream runs the engine's offline schedule over a replayable
+// record stream: three bounded sweeps (partition, MLI collection,
+// dependency replay), never materializing a []trace.Record. It produces
+// results identical to Analyze on the same records (the equivalence is
+// pinned by tests) because both are the same schedule over the same
+// passes — only the source differs; memory stays O(variables) at the
+// cost of decoding the trace once per sweep.
 //
-// open is called once per pass and must return a fresh reader positioned
+// open is called once per sweep and must return a fresh reader positioned
 // at the start of the same stream (for example a new Scanner or
 // BinaryScanner over the trace). Readers that implement io.Closer are
-// closed when their pass ends.
+// closed when their sweep ends.
 func AnalyzeStream(open func() (trace.Reader, error), spec LoopSpec, opts Options) (*Result, error) {
-	total0 := time.Now()
-	res := &Result{Spec: spec}
-	a := newAnalyzer(spec, opts)
-
-	// ---- Pass 1: partition (locate the loop's dynamic extent) ----
-	t0 := time.Now()
-	bStart, bEnd := -1, -1
-	n := 0
-	err := forEachRecord(open, func(i int, r *trace.Record) error {
-		n = i + 1
-		if r.Func == spec.Function && r.Line >= spec.StartLine && r.Line <= spec.EndLine {
-			if bStart < 0 {
-				bStart = i
-			}
-			bEnd = i
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if bStart < 0 {
-		return nil, fmt.Errorf("core: no trace records for function %q lines %d-%d (wrong main-loop location?)",
-			spec.Function, spec.StartLine, spec.EndLine)
-	}
-	res.Stats.Records = n
-	res.Stats.RegionA = bStart
-	res.Stats.RegionB = bEnd - bStart + 1
-	res.Stats.RegionC = n - bEnd - 1
-
-	// ---- Pass 2: MLI collection (module 1) ----
-	err = forEachRecord(open, func(i int, r *trace.Record) error {
-		a.collectStep(r, i, bStart, bEnd)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.MLI = a.mliList()
-	res.Timing.Pre = time.Since(t0)
-
-	// ---- Pass 3: dependency analysis (module 2) ----
-	t0 = time.Now()
-	a.beginDependencyPass()
-	err = forEachRecord(open, func(i int, r *trace.Record) error {
-		a.dependencyStep(r, i, bStart, bEnd)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if opts.BuildDDG {
-		res.Complete = a.graph
-		res.Contracted = a.graph.Contract(func(n *ddg.Node) bool { return n.Kind == ddg.KindMLI })
-	}
-	res.Timing.Dep = time.Since(t0)
-
-	// ---- Module 3: identification ----
-	t0 = time.Now()
-	res.Critical = a.identify()
-	res.Timing.Identify = time.Since(t0)
-	res.Timing.Total = time.Since(total0)
-	return res, nil
-}
-
-// forEachRecord drives one streaming pass, closing the reader if it is
-// also an io.Closer.
-func forEachRecord(open func() (trace.Reader, error), fn func(i int, r *trace.Record) error) (err error) {
-	rd, err := open()
-	if err != nil {
-		return err
-	}
-	if c, ok := rd.(io.Closer); ok {
-		defer func() {
-			if cerr := c.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
-	}
-	for i := 0; ; i++ {
-		r, rerr := rd.Next()
-		if rerr != nil {
-			return rerr
-		}
-		if r == nil {
-			return nil
-		}
-		if ferr := fn(i, r); ferr != nil {
-			return ferr
-		}
-	}
+	return analyzeSchedule(streamSource(open), spec, opts)
 }
 
 // bytesReaderOpener adapts an in-memory trace (either format) into the
@@ -127,7 +34,7 @@ func bytesReaderOpener(data []byte) func() (trace.Reader, error) {
 }
 
 // closingReader pairs a record reader with the file it scans, so each
-// streaming pass releases its descriptor.
+// streaming sweep releases its descriptor.
 type closingReader struct {
 	trace.Reader
 	c io.Closer
@@ -136,7 +43,7 @@ type closingReader struct {
 func (r closingReader) Close() error { return r.c.Close() }
 
 // fileReaderOpener re-opens a trace file (either format) for each
-// streaming pass.
+// streaming sweep.
 func fileReaderOpener(path string) func() (trace.Reader, error) {
 	return func() (trace.Reader, error) {
 		f, err := os.Open(path)

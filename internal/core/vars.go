@@ -62,7 +62,15 @@ type varTable struct {
 	locals  []span // sorted by lo, non-overlapping
 	globals []span // sorted by lo; hi grows with observed footprint
 	gByName map[string]*VarInfo
+	frozen  bool // stop growing global footprints (see freeze)
 }
+
+// freeze stops global-footprint growth. Resolution is unaffected —
+// globals resolve by greatest base, never by extent — so freezing changes
+// only the sizes recorded from here on. The online engine freezes at the
+// loop's end to match the offline schedule, whose collect sweep stops
+// observing footprints there.
+func (t *varTable) freeze() { t.frozen = true }
 
 func newVarTable() *varTable {
 	return &varTable{gByName: make(map[string]*VarInfo)}
@@ -118,10 +126,24 @@ func (t *varTable) resolveLocal(addr uint64) *VarInfo {
 	return nil
 }
 
-// resolve maps an address to its owning variable, or nil. Accesses beyond a
-// global's currently known footprint extend it (the next global's base
-// bounds the growth).
+// resolve maps an accessed address to its owning variable, or nil.
+// Accesses beyond a global's currently known footprint extend it (the
+// next global's base bounds the growth) — footprints record observed
+// element *accesses* (Load/Store), so use resolveRef for addresses that
+// are merely computed or passed around.
 func (t *varTable) resolve(addr uint64) *VarInfo {
+	return t.lookup(addr, true)
+}
+
+// resolveRef maps a referenced address — a GetElementPtr result, a
+// pointer argument — to its owning variable without growing any
+// footprint. Resolution is identical to resolve (globals resolve by
+// greatest base, never by extent); only the size bookkeeping differs.
+func (t *varTable) resolveRef(addr uint64) *VarInfo {
+	return t.lookup(addr, false)
+}
+
+func (t *varTable) lookup(addr uint64, access bool) *VarInfo {
 	// Locals: exact span containment.
 	i := sort.Search(len(t.locals), func(i int) bool { return t.locals[i].hi > addr })
 	if i < len(t.locals) && t.locals[i].lo <= addr {
@@ -136,7 +158,7 @@ func (t *varTable) resolve(addr uint64) *VarInfo {
 	if j < len(t.globals) && addr >= t.globals[j].lo {
 		return nil // inside the next global's territory (defensive; unreachable)
 	}
-	if addr >= g.hi {
+	if access && addr >= g.hi && !t.frozen {
 		g.hi = addr + 8
 		if g.v.SizeBytes < int64(g.hi-g.lo) {
 			g.v.SizeBytes = int64(g.hi - g.lo)

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"autocheck/internal/core"
 	"autocheck/internal/interp"
 	"autocheck/internal/ir"
+	"autocheck/internal/pool"
 	"autocheck/internal/progs"
 	"autocheck/internal/store"
 	"autocheck/internal/trace"
@@ -83,11 +85,36 @@ func (p *Prepared) AnalyzeBinary() (*core.Result, error) {
 // AnalyzeData runs AutoCheck over the given trace encoding, optionally
 // through the streaming (never-materialized) path.
 func (p *Prepared) AnalyzeData(data []byte, workers int, streaming bool) (*core.Result, error) {
-	opts := core.DefaultOptions()
-	opts.Module = p.Mod
+	opts := p.opts()
 	opts.Workers = workers
 	opts.Streaming = streaming
 	return core.AnalyzeBytes(data, p.Spec, opts)
+}
+
+// AnalyzeOnline runs the engine single-sweep over the prepared records,
+// feeding them one at a time as a live tracer would (§IX online mode; no
+// re-execution, the materialized records stand in for the feed).
+func (p *Prepared) AnalyzeOnline() (*core.Result, error) {
+	eng, err := core.NewEngine(p.Spec, p.opts())
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.Records {
+		eng.Observe(&p.Records[i])
+	}
+	return eng.Finish()
+}
+
+// Input adapts the prepared benchmark into a core.AnalyzeMany input over
+// its materialized records.
+func (p *Prepared) Input() core.Input {
+	return core.Input{Name: p.Bench.Name, Spec: p.Spec, Opts: p.opts(), Records: p.Records}
+}
+
+func (p *Prepared) opts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Module = p.Mod
+	return opts
 }
 
 // ---- Table II ----
@@ -116,21 +143,56 @@ func RunTable2() ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Table2Row{
-			Name:        b.Name,
-			Description: b.Description,
-			LOC:         b.LOC(),
-			TraceBytes:  int64(len(p.Data)),
-			BinaryBytes: int64(len(p.BinData())),
-			GenTime:     p.GenTime,
-			MCLR:        fmt.Sprintf("%d-%d (main)", p.Spec.StartLine, p.Spec.EndLine),
-		}
-		for _, c := range res.Critical {
-			row.Critical = append(row.Critical, fmt.Sprintf("%s (%s)", c.Name, c.Type))
-		}
-		rows = append(rows, row)
+		rows = append(rows, table2Row(p, res))
 	}
 	return rows, nil
+}
+
+// RunTable2Parallel regenerates Table II with the whole per-benchmark
+// pipeline fanned out over a worker pool: preparation (compile + trace)
+// runs workers-wide, then all 14 analyses run concurrently through
+// core.AnalyzeMany — one engine per trace. Rows are identical to
+// RunTable2 apart from timings.
+func RunTable2Parallel(workers int) ([]Table2Row, error) {
+	benches := progs.All()
+	preps := make([]*Prepared, len(benches))
+	perrs := make([]error, len(benches))
+	pool.ForEach(len(benches), workers, func(i int) {
+		preps[i], perrs[i] = Prepare(benches[i], 0)
+	})
+	if err := errors.Join(perrs...); err != nil {
+		return nil, err
+	}
+	inputs := make([]core.Input, len(preps))
+	for i, p := range preps {
+		inputs[i] = p.Input()
+	}
+	results, err := core.AnalyzeMany(inputs, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(preps))
+	for i, p := range preps {
+		rows[i] = table2Row(p, results[i])
+	}
+	return rows, nil
+}
+
+// table2Row renders one benchmark's analysis into its Table II row.
+func table2Row(p *Prepared, res *core.Result) Table2Row {
+	row := Table2Row{
+		Name:        p.Bench.Name,
+		Description: p.Bench.Description,
+		LOC:         p.Bench.LOC(),
+		TraceBytes:  int64(len(p.Data)),
+		BinaryBytes: int64(len(p.BinData())),
+		GenTime:     p.GenTime,
+		MCLR:        fmt.Sprintf("%d-%d (main)", p.Spec.StartLine, p.Spec.EndLine),
+	}
+	for _, c := range res.Critical {
+		row.Critical = append(row.Critical, fmt.Sprintf("%s (%s)", c.Name, c.Type))
+	}
+	return row
 }
 
 // FormatTable2 renders Table II.

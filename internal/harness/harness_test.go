@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -213,9 +214,9 @@ func TestFormatHelpers(t *testing.T) {
 }
 
 // TestFormatEquivalenceAllBenchmarks pins the tentpole invariant on every
-// Table II port: the critical-variable report is byte-identical whether
-// the trace is analyzed from the text encoding, the binary encoding, in
-// parallel, or through the streaming (never-materialized) path.
+// Table II port: the critical-variable report is byte-identical for every
+// engine adapter — materialized (text serial and parallel, binary),
+// streaming over both encodings, and the single-sweep online engine.
 func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
 	for _, b := range progs.All() {
 		b := b
@@ -237,6 +238,7 @@ func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
 				"binary":           p.AnalyzeBinary,
 				"text-streaming":   func() (*core.Result, error) { return p.AnalyzeData(p.Data, 0, true) },
 				"binary-streaming": func() (*core.Result, error) { return p.AnalyzeData(p.BinData(), 0, true) },
+				"online":           p.AnalyzeOnline,
 			}
 			for label, run := range paths {
 				got, err := run()
@@ -254,6 +256,81 @@ func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAnalyzeManyEquivalenceAllBenchmarks extends the invariant to the
+// parallel adapter: core.AnalyzeMany over all 14 ports — in both trace
+// encodings, at several pool sizes — produces the same byte-identical
+// reports as per-port serial analysis.
+func TestAnalyzeManyEquivalenceAllBenchmarks(t *testing.T) {
+	var preps []*Prepared
+	var want []string
+	for _, b := range progs.All() {
+		p, err := Prepare(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Analyze(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preps = append(preps, p)
+		want = append(want, criticalReport(res))
+	}
+	encodings := map[string]func(p *Prepared) core.Input{
+		"records": func(p *Prepared) core.Input { return p.Input() },
+		"text": func(p *Prepared) core.Input {
+			in := p.Input()
+			in.Records, in.Data = nil, p.Data
+			return in
+		},
+		"binary": func(p *Prepared) core.Input {
+			in := p.Input()
+			in.Records, in.Data = nil, p.BinData()
+			return in
+		},
+	}
+	for label, mk := range encodings {
+		inputs := make([]core.Input, len(preps))
+		for i, p := range preps {
+			inputs[i] = mk(p)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			results, err := core.AnalyzeMany(inputs, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", label, workers, err)
+			}
+			for i, res := range results {
+				if rep := criticalReport(res); rep != want[i] {
+					t.Errorf("%s workers=%d %s report differs:\nwant %s\ngot  %s",
+						label, workers, preps[i].Bench.Name, want[i], rep)
+				}
+			}
+		}
+	}
+}
+
+// TestRunTable2ParallelMatchesSerial: the parallel Table II pipeline
+// produces the same rows as the serial one (timings aside).
+func TestRunTable2ParallelMatchesSerial(t *testing.T) {
+	serial, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunTable2Parallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel has %d rows, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		s.GenTime, p.GenTime = 0, 0
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("row %d differs:\nserial   %+v\nparallel %+v", i, s, p)
+		}
 	}
 }
 

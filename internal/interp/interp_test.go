@@ -2,6 +2,7 @@ package interp
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -440,5 +441,45 @@ func TestIntFloatConversionOnStore(t *testing.T) {
 }`)
 	if out != "3.0 7\n" {
 		t.Errorf("output = %q, want \"3.0 7\"", out)
+	}
+}
+
+// recordSink is a minimal Observer for the direct tracer feed. It clones
+// what it retains: the Observer contract lets emitters reuse their
+// record and operand buffers between calls.
+type recordSink struct{ recs []trace.Record }
+
+func (s *recordSink) Observe(r *trace.Record) { s.recs = append(s.recs, r.Clone()) }
+
+// TestTraceProgramInto: the direct tracer→observer feed delivers exactly
+// the records TraceProgram materializes, in order, with the same program
+// output.
+func TestTraceProgramInto(t *testing.T) {
+	mod, err := Compile(`int main() {
+  int s = 0;
+  for (int i = 0; i < 4; i++) {
+    s += i;
+  }
+  print(s);
+  return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantOut, err := TraceProgram(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink recordSink
+	out, err := TraceProgramInto(mod, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != wantOut {
+		t.Errorf("output %q, want %q", out, wantOut)
+	}
+	if !reflect.DeepEqual(sink.recs, want) {
+		t.Errorf("observer saw %d records, TraceProgram %d (or contents differ)",
+			len(sink.recs), len(want))
 	}
 }

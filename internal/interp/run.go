@@ -55,6 +55,22 @@ func TraceProgramTo(mod *ir.Module, w trace.RecordWriter) (string, error) {
 	return out, err
 }
 
+// Observer consumes dynamic records as they are produced — the direct
+// tracer→analysis feed. core.Engine implements it, so an online analysis
+// needs no trace bytes at all (the paper's §IX mode).
+type Observer interface {
+	Observe(r *trace.Record)
+}
+
+// TraceProgramInto executes a module with the tracer wired straight into
+// obs: records flow to the observer as the program runs and are never
+// encoded, written, or materialized.
+func TraceProgramInto(mod *ir.Module, obs Observer) (string, error) {
+	m := New(mod)
+	m.Tracer = obs.Observe
+	return m.Run()
+}
+
 // TraceProgramBinary executes a module emitting the compact binary trace
 // directly (no intermediate record slice), returning the encoded trace
 // and the program output.

@@ -1,0 +1,43 @@
+// Package pool provides the bounded-index worker pool shared by the
+// parallel analysis paths (core.AnalyzeMany, harness.RunTable2Parallel).
+// Keeping the pattern in one place means panic-safety, cancellation, or
+// sizing fixes land everywhere at once.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns once every call has
+// finished. Indices are handed out in order but may complete in any
+// order; fn typically writes into its own slot of pre-sized result
+// slices and needs no further synchronization for that.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,47 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 100} {
+		n := 57
+		counts := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(i int) { ran = true })
+	ForEach(-3, 4, func(i int) { ran = true })
+	if ran {
+		t.Error("fn ran for empty range")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var inFlight, peak int32
+	ForEach(64, 2, func(i int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > 2 {
+		t.Errorf("observed %d concurrent calls, want <= 2", peak)
+	}
+}

@@ -1,0 +1,31 @@
+package trace
+
+import "io"
+
+// ForEach drives rd to the end of its stream, calling fn with each record
+// and its zero-based index. Iteration stops at the first error from rd or
+// fn. If rd also implements io.Closer it is closed before returning (a
+// close error is reported only when iteration itself succeeded) — so
+// callers can hand over file-backed scanners and forget about the
+// descriptor.
+func ForEach(rd Reader, fn func(i int, r *Record) error) (err error) {
+	if c, ok := rd.(io.Closer); ok {
+		defer func() {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	for i := 0; ; i++ {
+		r, rerr := rd.Next()
+		if rerr != nil {
+			return rerr
+		}
+		if r == nil {
+			return nil
+		}
+		if ferr := fn(i, r); ferr != nil {
+			return ferr
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// iterCloser wraps a Reader and records whether Close ran.
+type iterCloser struct {
+	Reader
+	closed   bool
+	closeErr error
+}
+
+func (c *iterCloser) Close() error {
+	c.closed = true
+	return c.closeErr
+}
+
+func iterTrace(t *testing.T) ([]Record, []byte) {
+	t.Helper()
+	recs := []Record{
+		{Line: 1, Func: "f", Block: "b", Opcode: OpAlloca, DynID: 1},
+		{Line: 2, Func: "f", Block: "b", Opcode: OpLoad, DynID: 2},
+		{Line: 3, Func: "g", Block: "b", Opcode: OpStore, DynID: 3},
+	}
+	return recs, EncodeAll(recs)
+}
+
+func TestForEachIndicesAndOrder(t *testing.T) {
+	recs, data := iterTrace(t)
+	var got []int
+	err := ForEach(NewScanner(bytes.NewReader(data)), func(i int, r *Record) error {
+		got = append(got, i)
+		if r.DynID != recs[i].DynID {
+			t.Errorf("record %d: DynID %d, want %d", i, r.DynID, recs[i].DynID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) || got[0] != 0 || got[len(got)-1] != len(recs)-1 {
+		t.Errorf("indices %v, want 0..%d", got, len(recs)-1)
+	}
+}
+
+func TestForEachStopsOnCallbackError(t *testing.T) {
+	_, data := iterTrace(t)
+	boom := errors.New("boom")
+	n := 0
+	err := ForEach(NewScanner(bytes.NewReader(data)), func(i int, r *Record) error {
+		n++
+		return boom
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Errorf("err=%v after %d records, want boom after 1", err, n)
+	}
+}
+
+func TestForEachPropagatesReaderError(t *testing.T) {
+	err := ForEach(NewScanner(strings.NewReader("0,notanint,f,b,27,1\n")), func(i int, r *Record) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("corrupt stream did not error")
+	}
+}
+
+func TestForEachClosesCloser(t *testing.T) {
+	_, data := iterTrace(t)
+	c := &iterCloser{Reader: NewScanner(bytes.NewReader(data))}
+	if err := ForEach(c, func(i int, r *Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !c.closed {
+		t.Error("reader not closed")
+	}
+
+	// A close failure after a clean iteration surfaces...
+	c = &iterCloser{Reader: NewScanner(bytes.NewReader(data)), closeErr: errors.New("close failed")}
+	if err := ForEach(c, func(i int, r *Record) error { return nil }); err == nil || !strings.Contains(err.Error(), "close failed") {
+		t.Errorf("close error lost: %v", err)
+	}
+
+	// ...but never masks the iteration's own error.
+	boom := errors.New("boom")
+	c = &iterCloser{Reader: NewScanner(bytes.NewReader(data)), closeErr: errors.New("close failed")}
+	if err := ForEach(c, func(i int, r *Record) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("iteration error masked by close: %v", err)
+	}
+}

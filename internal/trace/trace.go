@@ -242,6 +242,23 @@ type Record struct {
 	Result *Operand
 }
 
+// Clone returns a copy of the record that shares no mutable storage with
+// the original: the operand slice and the result operand are duplicated
+// (strings and values are immutable). Use it to retain a record beyond
+// the callback that delivered it — emitters are free to reuse their
+// record and operand buffers between emissions.
+func (r *Record) Clone() Record {
+	c := *r
+	if len(r.Ops) > 0 {
+		c.Ops = append([]Operand(nil), r.Ops...)
+	}
+	if r.Result != nil {
+		res := *r.Result
+		c.Result = &res
+	}
+	return c
+}
+
 // Opcode helpers on Record.
 
 // IsArith reports whether the record is an arithmetic instruction.
