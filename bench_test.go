@@ -9,6 +9,8 @@
 //	BenchmarkValidation_*          fail-stop + restart protocol (§VI-B)
 //	BenchmarkFig5_DDGContraction   complete-DDG build + Algorithm 1 (Fig. 5)
 //	BenchmarkParallelTraceRead/*   §V-A worker sweep
+//	BenchmarkRemoteStore/*         networked checkpoint service: concurrent
+//	                               clients + cached vs uncached restarts
 //	BenchmarkAblation_*            design-choice ablations from DESIGN.md
 //
 // Sizes are reported via b.ReportMetric, so `go test -bench=. -benchmem`
@@ -17,13 +19,17 @@
 package autocheck
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/harness"
+	"autocheck/internal/interp"
 	"autocheck/internal/progs"
+	"autocheck/internal/server"
 	"autocheck/internal/store"
 	"autocheck/internal/trace"
 	"autocheck/internal/validate"
@@ -526,4 +532,96 @@ func BenchmarkAblation_OnlineVsTraceFile(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRemoteStore prices the networked checkpoint service end to
+// end: N concurrent clients (each its own checkpoint.Context and service
+// namespace) checkpointing IS through store.Remote against one
+// in-process service, then the restart read path with and without the
+// read-through cache tier — repeated restarts re-fetch the same newest
+// checkpoint, which the cache turns from a network round trip into a
+// local decode.
+func BenchmarkRemoteStore(b *testing.B) {
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	for _, clients := range []int{1, 4, 8} {
+		clients := clients
+		b.Run(fmt.Sprintf("Put/clients-%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
+			var run *harness.ManyClientsRun
+			for i := 0; i < b.N; i++ {
+				var err error
+				run, err = harness.RunManyClients("IS", 0,
+					store.Config{Kind: store.KindRemote, Addr: ts.URL, Dir: "bench"},
+					checkpoint.L1, clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.RestartsOK != clients {
+					b.Fatalf("restarts %d/%d ok", run.RestartsOK, clients)
+				}
+			}
+			b.ReportMetric(run.CkptsPerSec, "ckpt/s")
+			b.ReportMetric(float64(run.BytesWritten), "written-B")
+		})
+	}
+
+	// Restart path, cold vs cached. Both namespaces are seeded with the
+	// same synthetic checkpoints (3 variables x 256 cells, 8 sequence
+	// points) so the only difference is the cache tier.
+	mod, err := CompileProgram(`int main() { return 0; }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		cacheMB int
+	}{
+		{"Restart/uncached", 0},
+		{"Restart/cached-64mb", 64},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := store.Config{
+				Kind: store.KindRemote, Addr: ts.URL,
+				Dir: "bench-restart-" + tc.name, CacheMB: tc.cacheMB,
+			}
+			ctx, err := checkpoint.NewContextStore(cfg, checkpoint.L1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ctx.Close()
+			m := interp.New(mod)
+			cells := make([]trace.Value, 256)
+			for _, base := range []uint64{0x1000, 0x2000, 0x3000} {
+				for i := range cells {
+					cells[i] = trace.IntValue(int64(base) + int64(i))
+				}
+				m.WriteRange(base, cells)
+				ctx.Protect(fmt.Sprintf("v%x", base), base, int64(len(cells)*8))
+			}
+			for i := 1; i <= 8; i++ {
+				if err := ctx.Checkpoint(m, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m2 := interp.New(mod)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				iter, err := ctx.Restart(m2, nil)
+				if err != nil || iter != 8 {
+					b.Fatalf("restart: iter=%d err=%v", iter, err)
+				}
+			}
+			b.StopTimer()
+			st := ctx.StoreStats()
+			b.ReportMetric(float64(st.CacheHits), "cache-hits")
+		})
+	}
 }

@@ -1,18 +1,57 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
 
+	"autocheck"
+	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/harness"
+	"autocheck/internal/interp"
 	"autocheck/internal/progs"
+	"autocheck/internal/server"
+	"autocheck/internal/store"
 	"autocheck/internal/trace"
 )
+
+// seedRemoteRestart opens a checkpoint context against the service under
+// its own namespace, seeds it with 8 synthetic checkpoints (3 variables
+// x 256 cells), and returns the context, a machine to restart into, and
+// the byte size of one restart's reads.
+func seedRemoteRestart(addr, name string, cacheMB int) (*checkpoint.Context, *interp.Machine, int, error) {
+	mod, err := autocheck.CompileProgram(`int main() { return 0; }`)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := store.Config{Kind: store.KindRemote, Addr: addr, Dir: "bench-" + name, CacheMB: cacheMB}
+	ctx, err := checkpoint.NewContextStore(cfg, checkpoint.L1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m := interp.New(mod)
+	cells := make([]trace.Value, 256)
+	for _, base := range []uint64{0x1000, 0x2000, 0x3000} {
+		for i := range cells {
+			cells[i] = trace.IntValue(int64(base) + int64(i))
+		}
+		m.WriteRange(base, cells)
+		ctx.Protect(fmt.Sprintf("v%x", base), base, int64(len(cells)*8))
+	}
+	for i := 1; i <= 8; i++ {
+		if err := ctx.Checkpoint(m, int64(i)); err != nil {
+			ctx.Close()
+			return nil, nil, 0, err
+		}
+	}
+	return ctx, interp.New(mod), int(ctx.LastBytes()), nil
+}
 
 // cmdBench measures the trace hot path — text serial/parallel parse,
 // binary parse, and the two encodings' sizes — on one benchmark's trace,
@@ -188,6 +227,64 @@ func cmdBench(args []string) error {
 					}
 				}
 			}))
+	}
+
+	// Networked checkpoint service: N concurrent IS clients checkpointing
+	// through store.Remote into one in-process service (latency +
+	// throughput vs client count), then the restart read path with and
+	// without the read-through cache tier.
+	fmt.Println("starting in-process checkpoint service for the remote series...")
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	for _, clients := range []int{1, 4, 8} {
+		clients := clients
+		tmpl := store.Config{Kind: store.KindRemote, Addr: ts.URL, Dir: "bench"}
+		// One calibration run sizes the traffic so MB/s is meaningful.
+		cal, err := harness.RunManyClients("IS", 0, tmpl, checkpoint.L1, clients)
+		if err != nil {
+			return err
+		}
+		rep.Entries = append(rep.Entries,
+			runOne(fmt.Sprintf("remote-put-clients-%d", clients), int(cal.BytesWritten), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					run, err := harness.RunManyClients("IS", 0, tmpl, checkpoint.L1, clients)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if run.RestartsOK != clients {
+						b.Fatalf("restarts %d/%d ok", run.RestartsOK, clients)
+					}
+				}
+			}))
+	}
+	for _, tc := range []struct {
+		name    string
+		cacheMB int
+	}{
+		{"remote-restart-uncached", 0},
+		{"remote-restart-cached", 64},
+	} {
+		tc := tc
+		ctx, m, bytesPerRestart, err := seedRemoteRestart(ts.URL, tc.name, tc.cacheMB)
+		if err != nil {
+			return err
+		}
+		rep.Entries = append(rep.Entries,
+			runOne(tc.name, bytesPerRestart, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					iter, err := ctx.Restart(m, nil)
+					if err != nil || iter != 8 {
+						b.Fatalf("restart: iter=%d err=%v", iter, err)
+					}
+				}
+			}))
+		ctx.Close()
 	}
 
 	history = append(history, rep)

@@ -4,8 +4,10 @@
 //	autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
 //	autocheck trace    -file prog.mc [-o trace.txt]
 //	autocheck table2 | table3 [-workers K] | table4
-//	autocheck validate [-store file|memory|sharded] [-level L1..L4]
+//	autocheck validate [-store file|memory|sharded|remote] [-addr HOST:PORT]
+//	                   [-cache-mb N] [-benchmark NAME] [-level L1..L4]
 //	                   [-async] [-incremental] [-keyframe N] [-shard-workers K]
+//	autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
 //	autocheck list
 //
 // `analyze` compiles a mini-C program, executes it under the tracing
@@ -13,19 +15,27 @@
 // given main-computation-loop range. The table subcommands regenerate the
 // paper's evaluation tables over the 14 benchmark ports; `validate` runs
 // the §VI-B fail-stop/restart protocol, optionally through any backend
-// and write-path decorator of the internal/store checkpoint engine.
+// and write-path decorator of the internal/store checkpoint engine —
+// including the networked checkpoint service started by `serve`, reached
+// with `-store remote -addr` and optionally fronted by the read-through
+// cache tier (`-cache-mb`).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"autocheck"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/harness"
 	"autocheck/internal/progs"
+	"autocheck/internal/server"
 	"autocheck/internal/store"
 	"autocheck/internal/trace"
 	"autocheck/internal/validate"
@@ -54,6 +64,8 @@ func main() {
 		err = cmdTable4()
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "help", "-h", "--help":
@@ -98,8 +110,11 @@ func usage() {
   autocheck table4              regenerate Table IV  (checkpoint storage)
   autocheck validate [storage flags]
                                 run the fail-stop/restart validation (§VI-B)
-      -store         checkpoint storage backend: file, memory, or sharded
-                     (default file)
+      -store         checkpoint storage backend: file, memory, sharded, or
+                     remote (default file)
+      -addr          remote backend: checkpoint service address
+      -cache-mb N    read-through LRU cache over the base backend (MB)
+      -benchmark     validate only this port (default: all 14)
       -level         checkpoint reliability level 1-4 or L1-L4 (default L1:
                      L2 adds a partner copy, L3 XOR parity, L4 fsync)
       -async         double-buffered asynchronous checkpoint writes
@@ -107,6 +122,17 @@ func usage() {
                      with periodic full keyframes
       -keyframe N    incremental: full checkpoint every N writes (default 8)
       -shard-workers sharded backend write pool size (default 4)
+  autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
+                                run the checkpoint storage service that
+                                "-store remote" clients checkpoint into
+      -addr          listen address (default 127.0.0.1:9473)
+      -store         per-namespace backend kind (default file)
+      -dir           storage root; one subdirectory per client namespace
+                     (default: a fresh temp dir)
+      -sync          fsync every write
+      -shard-workers sharded backend write pool size (default 4)
+      -max-inflight  bound on concurrently served requests; excess gets
+                     503 + Retry-After, which clients absorb by retrying
   autocheck bench [-o BENCH_trace.json] [-benchmark HACC] [-scale N]
                                 measure the trace hot path (text serial /
                                 parallel / binary parse + sizes) and the
@@ -365,7 +391,10 @@ func cmdTable4() error {
 
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
-	storeKind := fs.String("store", "file", "checkpoint storage backend (file, memory, sharded)")
+	storeKind := fs.String("store", "file", "checkpoint storage backend (file, memory, sharded, remote)")
+	addr := fs.String("addr", "", "remote backend: checkpoint service address")
+	cacheMB := fs.Int("cache-mb", 0, "read-through LRU cache over the base backend (MB, 0 = off)")
+	benchName := fs.String("benchmark", "", "validate only this port (default: all 14)")
 	level := fs.String("level", "L1", "checkpoint reliability level (1-4 or L1-L4)")
 	async := fs.Bool("async", false, "double-buffered asynchronous checkpoint writes")
 	incremental := fs.Bool("incremental", false, "delta checkpoints with periodic keyframes")
@@ -378,6 +407,12 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	if kind == store.KindRemote && *addr == "" {
+		return fmt.Errorf("validate -store remote needs -addr (start one with `autocheck serve`)")
+	}
+	if kind != store.KindRemote && *addr != "" {
+		return fmt.Errorf("-addr only applies to -store remote")
+	}
 	lvl, err := checkpoint.ParseLevel(*level)
 	if err != nil {
 		return err
@@ -386,6 +421,8 @@ func cmdValidate(args []string) error {
 		Level: lvl,
 		Store: store.Config{
 			Kind:        kind,
+			Addr:        *addr,
+			CacheMB:     *cacheMB,
 			Workers:     *shardWorkers,
 			Async:       *async,
 			Incremental: *incremental,
@@ -397,14 +434,85 @@ func cmdValidate(args []string) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	fmt.Printf("storage: backend=%s level=%s async=%v incremental=%v\n",
+	fmt.Printf("storage: backend=%s level=%s async=%v incremental=%v",
 		kind, lvl, *async, *incremental)
-	rows, err := harness.RunValidationWith(dir, opts)
+	if kind == store.KindRemote {
+		fmt.Printf(" addr=%s", *addr)
+	}
+	if *cacheMB > 0 {
+		fmt.Printf(" cache=%dMB", *cacheMB)
+	}
+	fmt.Println()
+	var names []string
+	if *benchName != "" {
+		names = []string{*benchName}
+	}
+	rows, err := harness.RunValidationBenchmarks(dir, opts, names)
 	if err != nil {
 		return err
 	}
 	fmt.Print(harness.FormatValidation(rows))
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9473", "listen address")
+	storeKind := fs.String("store", "file", "per-namespace backend kind (file, memory, sharded)")
+	dir := fs.String("dir", "", "storage root directory (default: a fresh temp dir)")
+	syncWrites := fs.Bool("sync", false, "fsync every write")
+	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "sharded backend write pool size")
+	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "bound on concurrently served requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := store.ParseKind(*storeKind)
+	if err != nil {
+		return err
+	}
+	root := *dir
+	if root == "" && kind != store.KindMemory {
+		if root, err = os.MkdirTemp("", "autocheck-serve-*"); err != nil {
+			return err
+		}
+		fmt.Printf("storage root: %s\n", root)
+	}
+	srv, err := server.New(server.Config{
+		Store:       store.Config{Kind: kind, Dir: root, Sync: *syncWrites, Workers: *shardWorkers},
+		MaxInFlight: *maxInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr, ready) }()
+	var bound string
+	select {
+	case bound = <-ready:
+	case err := <-serveErr:
+		return err
+	}
+	fmt.Printf("checkpoint service listening on %s (backend=%s, max in-flight %d)\n",
+		bound, kind, *maxInFlight)
+	fmt.Printf("clients: autocheck validate -store remote -addr %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining and shutting down...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		rep := srv.Stats()
+		fmt.Printf("served %d requests (%d shed) across %d namespaces; %d puts, %d gets\n",
+			rep.Requests, rep.Rejected, rep.Namespaces, rep.Store.Puts, rep.Store.Gets)
+		return nil
+	}
 }
 
 func cmdList() error {

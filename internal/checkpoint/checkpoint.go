@@ -86,6 +86,8 @@ type Context struct {
 	lastBytes int64
 	allBytes  int64
 	count     int
+	retain    int
+	pruned    int
 }
 
 // NewContext creates a checkpoint context writing one file per replica
@@ -295,10 +297,35 @@ func decodeCheckpoint(sections []store.Section) (iter int64, vars []Protected, c
 	return iter, vars, cells, nil
 }
 
+// Retain sets the retention policy: after every successful Checkpoint,
+// prune stored checkpoints older than the newest n. Objects a surviving
+// checkpoint still needs are never deleted — with the incremental
+// decorator a retained delta keeps its keyframe and every intermediate
+// delta alive (store.DependencyResolver), so a prune can never orphan a
+// restartable chain. n <= 0 disables pruning (the default: keep
+// everything, the behavior every existing caller relies on).
+//
+// Pruning lists and deletes through the backend chain, which drains a
+// pending asynchronous write first; callers stacking Retain on an async
+// backend trade some write-latency hiding for bounded storage.
+func (c *Context) Retain(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.retain = n
+}
+
+// Pruned returns the number of checkpoints deleted by the retention
+// policy so far.
+func (c *Context) Pruned() int { return c.pruned }
+
 // Checkpoint writes a checkpoint of all protected variables at the given
 // iteration number. With an asynchronous backend it returns as soon as
 // the cells are snapshotted into a staging buffer; write errors then
-// surface on a later Checkpoint, Flush, or Close.
+// surface on a later Checkpoint, Flush, or Close. When a retention
+// policy is set (Retain), older checkpoints are pruned after the write;
+// a prune failure is returned even though the new checkpoint itself is
+// durable.
 func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
 	sections := encodeCheckpoint(m, c.protected, iter)
 	c.seq++
@@ -308,6 +335,51 @@ func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
 	c.lastBytes = store.EncodedSize(sections)
 	c.allBytes += c.lastBytes
 	c.count++
+	if c.retain > 0 {
+		if err := c.prune(); err != nil {
+			return fmt.Errorf("checkpoint: seq %d written, but retention prune failed: %w", c.seq, err)
+		}
+	}
+	return nil
+}
+
+// prune deletes checkpoints older than the newest c.retain, keeping any
+// object a retained checkpoint's reconstruction still depends on.
+func (c *Context) prune() error {
+	keys, err := c.backend.List()
+	if err != nil {
+		return err
+	}
+	ckpts := keys[:0:0]
+	for _, k := range keys {
+		if strings.HasPrefix(k, keyPrefix) {
+			ckpts = append(ckpts, k)
+		}
+	}
+	if len(ckpts) <= c.retain {
+		return nil
+	}
+	// List order is lexicographic = chronological; the tail is retained.
+	retained := ckpts[len(ckpts)-c.retain:]
+	required := make(map[string]bool, len(retained))
+	for _, k := range retained {
+		deps, err := store.DependenciesOf(c.backend, k)
+		if err != nil {
+			return err
+		}
+		for _, d := range deps {
+			required[d] = true
+		}
+	}
+	for _, k := range ckpts[:len(ckpts)-c.retain] {
+		if required[k] {
+			continue
+		}
+		if err := c.backend.Delete(k); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+		c.pruned++
+	}
 	return nil
 }
 

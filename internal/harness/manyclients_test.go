@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"autocheck/internal/checkpoint"
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+)
+
+// The many-clients scenario must hold whatever the storage kind: every
+// client's checkpoints land, every client's restart recovers, and the
+// per-client runs match a serial single-client run of the same
+// benchmark (same checkpoint count per client).
+func TestRunManyClientsAcrossBackends(t *testing.T) {
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	single, err := RunManyClients("IS", 0, store.Config{Kind: store.KindMemory}, checkpoint.L1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Checkpoints == 0 || single.RestartsOK != 1 {
+		t.Fatalf("single-client baseline: %+v", single)
+	}
+	perClient := single.Checkpoints
+
+	for name, tmpl := range map[string]store.Config{
+		"memory":        {Kind: store.KindMemory},
+		"file":          {Kind: store.KindFile, Dir: t.TempDir()},
+		"remote":        {Kind: store.KindRemote, Addr: ts.URL, Dir: "mc"},
+		"remote-cached": {Kind: store.KindRemote, Addr: ts.URL, Dir: "mc", CacheMB: 8},
+	} {
+		t.Run(name, func(t *testing.T) {
+			const clients = 3
+			run, err := RunManyClients("IS", 0, tmpl, checkpoint.L1, clients)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Clients != clients || run.RestartsOK != clients {
+				t.Errorf("restarts %d/%d ok", run.RestartsOK, run.Clients)
+			}
+			if run.Checkpoints != clients*perClient {
+				t.Errorf("checkpoints = %d, want %d (= %d clients x %d)",
+					run.Checkpoints, clients*perClient, clients, perClient)
+			}
+			if run.BytesWritten <= 0 || run.CkptsPerSec <= 0 {
+				t.Errorf("accounting: %+v", run)
+			}
+			if FormatManyClients(run) == "" {
+				t.Error("empty formatting")
+			}
+		})
+	}
+	// The shared service saw every remote client's traffic in its own
+	// namespace: 2 scenarios x 3 clients = 6 namespaces minimum.
+	if rep := svc.Stats(); rep.Namespaces < 6 || rep.Store.Puts == 0 {
+		t.Errorf("service stats = %+v", rep)
+	}
+}
+
+func TestRunManyClientsUnknownBenchmark(t *testing.T) {
+	if _, err := RunManyClients("nope", 0, store.Config{Kind: store.KindMemory}, checkpoint.L1, 2); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

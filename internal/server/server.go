@@ -1,0 +1,498 @@
+// Package server is the networked checkpoint storage service: a
+// stdlib-only HTTP object server over the pluggable backends of
+// internal/store, so many concurrent clients (store.Remote) checkpoint
+// into one shared store without sharing a filesystem — the ROADMAP's
+// "heavy traffic, multi-backend" direction made concrete.
+//
+// The wire format is the store package's CRC-framed object encoding:
+// clients PUT/GET exactly the blob a local backend would persist. The
+// service verifies the CRC before committing a Put, so a client that
+// dies mid-upload (or a bit flip in transit) never creates an object;
+// and because the file-like backends commit with temp-file + rename (or
+// a manifest), a service killed with SIGKILL mid-Put leaves either the
+// previous object or none — never a readable torn one.
+//
+// Keys live in namespaces — /v1/{ns}/objects/{key} — each namespace
+// backed by its own backend instance (for file-like kinds, its own
+// subdirectory of the service root), so independent clients get
+// disjoint key spaces and List order stays per-client chronological.
+//
+// Concurrency: backends are already safe for concurrent use; on top of
+// that the service holds a per-key write lock across Put/Delete (reads
+// take the shared side), serializing conflicting writes to one key
+// while unrelated keys proceed in parallel, and sheds load with 503
+// once MaxInFlight requests are being served — store.Remote treats
+// that as transient and retries with backoff. Shutdown stops accepting,
+// drains in-flight requests, then flushes and closes every backend.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"autocheck/internal/store"
+)
+
+// Config parameterizes a service.
+type Config struct {
+	// Store is the template for per-namespace backends. Kind, Sync and
+	// Workers apply as-is; for the file-like kinds each namespace is
+	// rooted at Dir/<namespace>. KindRemote is rejected (the service
+	// does not proxy to another service).
+	Store store.Config
+
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are rejected with 503 + Retry-After (default DefaultMaxInFlight).
+	MaxInFlight int
+
+	// MaxObjectBytes bounds one object upload (default
+	// DefaultMaxObjectBytes).
+	MaxObjectBytes int64
+}
+
+// Config defaults.
+const (
+	DefaultMaxInFlight    = 64
+	DefaultMaxObjectBytes = int64(1) << 30
+)
+
+// Server is one checkpoint service instance.
+type Server struct {
+	cfg     Config
+	factory func(ns string) (store.Backend, error)
+	handler http.Handler
+	sem     chan struct{}
+
+	// draining + inflight drain requests that arrived through Handler()
+	// directly (httptest, custom listeners) — http.Server.Shutdown only
+	// drains connections it accepted itself.
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	keyLocks sync.Map // "ns\x00key" -> *sync.RWMutex
+
+	mu       sync.Mutex
+	backends map[string]store.Backend
+	httpSrv  *http.Server
+	closed   bool
+	final    *StatsReport // snapshot taken at shutdown, before backends close
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New creates a service whose namespaces are backed by cfg.Store.
+func New(cfg Config) (*Server, error) {
+	tmpl := cfg.Store
+	if tmpl.Kind == store.KindRemote {
+		return nil, errors.New("server: refusing to back the service with another remote service")
+	}
+	if tmpl.Kind != store.KindMemory && tmpl.Dir == "" {
+		return nil, fmt.Errorf("server: %s-backed service needs a root directory", tmpl.Kind)
+	}
+	return NewWithFactory(cfg, func(ns string) (store.Backend, error) {
+		nscfg := tmpl
+		if nscfg.Dir != "" {
+			nscfg.Dir = filepath.Join(tmpl.Dir, ns)
+		}
+		return store.Open(nscfg)
+	}), nil
+}
+
+// NewWithFactory creates a service whose per-namespace backends come
+// from factory (tests inject memory backends; embedders can inject
+// arbitrary chains).
+func NewWithFactory(cfg Config, factory func(ns string) (store.Backend, error)) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxObjectBytes <= 0 {
+		cfg.MaxObjectBytes = DefaultMaxObjectBytes
+	}
+	s := &Server{
+		cfg:      cfg,
+		factory:  factory,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		backends: make(map[string]store.Backend),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/{ns}/objects/{key}", s.handlePut)
+	mux.HandleFunc("GET /v1/{ns}/objects/{key}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/{ns}/objects/{key}", s.handleDelete)
+	mux.HandleFunc("GET /v1/{ns}/objects", s.handleList)
+	mux.HandleFunc("POST /v1/{ns}/flush", s.handleFlush)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handler = s.bound(mux)
+	return s
+}
+
+// bound is the load-shedding middleware: at most MaxInFlight requests
+// are served at once; the rest get 503 + Retry-After, which
+// store.Remote's retry loop absorbs.
+func (s *Server) bound(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server: shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.inflight.Add(1)
+			defer func() { <-s.sem; s.inflight.Done() }()
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server: too many in-flight requests", http.StatusServiceUnavailable)
+			return
+		}
+		s.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Handler returns the service's HTTP handler (httptest servers, custom
+// listeners/middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown (which makes it return
+// nil) or a listener error.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	hs := &http.Server{Handler: s.handler}
+	s.httpSrv = hs
+	s.mu.Unlock()
+	if err := hs.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr and serves; ready (optional) receives
+// the bound address once the listener is open — callers passing ":0"
+// learn the port, and CLI/test startup can synchronize on it.
+func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the service: no new requests, in-flight
+// requests drain (bounded by ctx), then every namespace backend is
+// flushed and closed. The first error wins; shutdown proceeds past
+// failures so no backend is leaked.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.httpSrv
+	s.mu.Unlock()
+	var first error
+	if hs != nil {
+		first = hs.Shutdown(ctx)
+	}
+	// Drain requests that came in through Handler() directly (httptest,
+	// embedders' own listeners): new ones are refused with 503, in-flight
+	// ones finish before any backend closes — bounded by ctx.
+	s.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		if first == nil {
+			first = ctx.Err()
+		}
+	}
+	// Snapshot the aggregate accounting while the backends still exist,
+	// so post-shutdown Stats() reports the service's lifetime totals.
+	rep := s.Stats()
+	s.mu.Lock()
+	s.closed = true
+	s.final = &rep
+	backends := s.backends
+	s.backends = make(map[string]store.Backend)
+	s.mu.Unlock()
+	// Deterministic close order keeps error attribution stable.
+	names := make([]string, 0, len(backends))
+	for ns := range backends {
+		names = append(names, ns)
+	}
+	sort.Strings(names)
+	for _, ns := range names {
+		b := backends[ns]
+		if err := b.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("server: flushing namespace %q: %w", ns, err)
+		}
+		if err := b.Close(); err != nil && first == nil {
+			first = fmt.Errorf("server: closing namespace %q: %w", ns, err)
+		}
+	}
+	return first
+}
+
+// backend returns (creating on first use) the namespace's backend.
+func (s *Server) backend(ns string) (store.Backend, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("server: shutting down")
+	}
+	if b, ok := s.backends[ns]; ok {
+		return b, nil
+	}
+	b, err := s.factory(ns)
+	if err != nil {
+		return nil, err
+	}
+	s.backends[ns] = b
+	return b, nil
+}
+
+// keyLock returns the lock serializing writes to one key of one
+// namespace. Entries live as long as the object: handleDelete drops
+// them, so a service whose clients prune with a retention policy holds
+// locks only for live keys instead of every key ever written.
+func (s *Server) keyLock(ns, key string) *sync.RWMutex {
+	m, _ := s.keyLocks.LoadOrStore(ns+"\x00"+key, &sync.RWMutex{})
+	return m.(*sync.RWMutex)
+}
+
+// dropKeyLock forgets a deleted key's lock. A request racing the delete
+// may briefly hold the retired mutex while a new request mints a fresh
+// one; that only weakens write ordering on a key being deleted, and
+// every backend is independently safe for concurrent use.
+func (s *Server) dropKeyLock(ns, key string) {
+	s.keyLocks.Delete(ns + "\x00" + key)
+}
+
+// names extracts and validates the {ns} (and optionally {key}) path
+// values, answering 400 itself on failure.
+func (s *Server) names(w http.ResponseWriter, r *http.Request, withKey bool) (ns, key string, ok bool) {
+	ns = r.PathValue("ns")
+	if !store.ValidName(ns) {
+		http.Error(w, fmt.Sprintf("server: invalid namespace %q", ns), http.StatusBadRequest)
+		return "", "", false
+	}
+	if withKey {
+		key = r.PathValue("key")
+		if !store.ValidName(key) {
+			http.Error(w, fmt.Sprintf("server: invalid key %q", key), http.StatusBadRequest)
+			return "", "", false
+		}
+	}
+	return ns, key, true
+}
+
+// nsBackend resolves the namespace backend, answering 503 itself on
+// failure (backend construction errors are server-side conditions).
+func (s *Server) nsBackend(w http.ResponseWriter, ns string) (store.Backend, bool) {
+	b, err := s.backend(ns)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return nil, false
+	}
+	return b, true
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	ns, key, ok := s.names(w, r, true)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxObjectBytes))
+	if err != nil {
+		// Includes a client that died mid-upload (unexpected EOF against
+		// the declared Content-Length): nothing is committed.
+		http.Error(w, fmt.Sprintf("server: reading object: %v", err), http.StatusBadRequest)
+		return
+	}
+	if r.ContentLength >= 0 && int64(len(body)) != r.ContentLength {
+		http.Error(w, "server: truncated upload", http.StatusBadRequest)
+		return
+	}
+	// Verify the CRC framing before the backend sees the object: a blob
+	// corrupted in transit must not replace a good one.
+	sections, err := store.DecodeSections(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("server: rejecting object: %v", err), http.StatusBadRequest)
+		return
+	}
+	b, ok := s.nsBackend(w, ns)
+	if !ok {
+		return
+	}
+	lock := s.keyLock(ns, key)
+	lock.Lock()
+	err = b.Put(key, sections)
+	lock.Unlock()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("server: put %s/%s: %v", ns, key, err), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ns, key, ok := s.names(w, r, true)
+	if !ok {
+		return
+	}
+	b, ok := s.nsBackend(w, ns)
+	if !ok {
+		return
+	}
+	lock := s.keyLock(ns, key)
+	lock.RLock()
+	sections, err := b.Get(key)
+	lock.RUnlock()
+	if errors.Is(err, store.ErrNotFound) {
+		http.Error(w, "server: object not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		// Verification failures (torn/corrupt object) land here too: the
+		// client sees an error, never bad bytes, and its restart logic
+		// falls back to an older checkpoint.
+		http.Error(w, fmt.Sprintf("server: get %s/%s: %v", ns, key, err), http.StatusInternalServerError)
+		return
+	}
+	blob := store.EncodeSections(sections)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+	w.Write(blob)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	ns, key, ok := s.names(w, r, true)
+	if !ok {
+		return
+	}
+	b, ok := s.nsBackend(w, ns)
+	if !ok {
+		return
+	}
+	lock := s.keyLock(ns, key)
+	lock.Lock()
+	err := b.Delete(key)
+	lock.Unlock()
+	if errors.Is(err, store.ErrNotFound) {
+		http.Error(w, "server: object not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("server: delete %s/%s: %v", ns, key, err), http.StatusInternalServerError)
+		return
+	}
+	s.dropKeyLock(ns, key)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ns, _, ok := s.names(w, r, false)
+	if !ok {
+		return
+	}
+	b, ok := s.nsBackend(w, ns)
+	if !ok {
+		return
+	}
+	keys, err := b.List()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("server: list %s: %v", ns, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(keys) > 0 {
+		io.WriteString(w, strings.Join(keys, "\n")+"\n")
+	}
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	ns, _, ok := s.names(w, r, false)
+	if !ok {
+		return
+	}
+	b, ok := s.nsBackend(w, ns)
+	if !ok {
+		return
+	}
+	if err := b.Flush(); err != nil {
+		http.Error(w, fmt.Sprintf("server: flush %s: %v", ns, err), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// StatsReport is the service-wide accounting served at GET /v1/stats.
+type StatsReport struct {
+	Namespaces int         `json:"namespaces"`
+	Requests   int64       `json:"requests"`
+	Rejected   int64       `json:"rejected"` // load-shed with 503
+	Store      store.Stats `json:"store"`    // summed across namespaces
+}
+
+// Stats aggregates the service's counters and every namespace backend's
+// storage accounting; after Shutdown it reports the lifetime totals
+// captured as the backends closed.
+func (s *Server) Stats() StatsReport {
+	s.mu.Lock()
+	if s.final != nil {
+		rep := *s.final
+		s.mu.Unlock()
+		return rep
+	}
+	backends := make([]store.Backend, 0, len(s.backends))
+	for _, b := range s.backends {
+		backends = append(backends, b)
+	}
+	n := len(s.backends)
+	s.mu.Unlock()
+	rep := StatsReport{
+		Namespaces: n,
+		Requests:   s.requests.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+	for _, b := range backends {
+		st := b.Stats()
+		rep.Store.Puts += st.Puts
+		rep.Store.Gets += st.Gets
+		rep.Store.Deletes += st.Deletes
+		rep.Store.BytesWritten += st.BytesWritten
+		rep.Store.BytesRead += st.BytesRead
+		rep.Store.SectionsWritten += st.SectionsWritten
+		rep.Store.SectionsSkipped += st.SectionsSkipped
+		rep.Store.Keyframes += st.Keyframes
+		rep.Store.Deltas += st.Deltas
+		rep.Store.CacheHits += st.CacheHits
+		rep.Store.CacheMisses += st.CacheMisses
+	}
+	return rep
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

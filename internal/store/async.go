@@ -142,6 +142,13 @@ func (a *Async) Stats() Stats {
 	return a.inner.Stats()
 }
 
+// Dependencies forwards to the inner backend's resolver (flushes first:
+// a dependency answer must reflect every Put already accepted).
+func (a *Async) Dependencies(key string) ([]string, error) {
+	a.drain()
+	return DependenciesOf(a.inner, key)
+}
+
 // Close implements Backend: drain, stop the writer, close the inner
 // backend.
 func (a *Async) Close() error {

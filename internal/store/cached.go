@@ -1,0 +1,230 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cached is a byte-bounded read-through/write-through LRU tier over a
+// backend. It exists for remote bases, where a Get is a network round
+// trip: a restart that re-reads recent checkpoints (or several restarts
+// re-reading the same keyframe) is served from local memory instead.
+//
+// Entries are the encoded object blobs, so the byte bound accounts for
+// real object size and every cache hit decodes a fresh deep copy —
+// callers can never alias cached memory. Put writes through (inner
+// first, cache on success), Delete evicts, and concurrent Gets of the
+// same missing key are deduplicated: one leader performs the inner Get
+// while the others wait and share its result, so N clients restarting
+// from the same checkpoint cost one inner read.
+//
+// Coherence: the cache assumes it is the only writer to its namespace
+// of the inner store, which is how the checkpoint layer uses it (one
+// Context, one namespace). A second process writing the same keys
+// behind the cache's back would be served stale objects until eviction.
+type Cached struct {
+	inner Backend
+	limit int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	size    int64
+	flight  map[string]*flightCall
+	stats   Stats // CacheHits/CacheMisses only; the rest is inner's
+}
+
+type cacheEntry struct {
+	key  string
+	blob []byte
+}
+
+// flightCall is one in-progress inner Get shared by concurrent callers.
+type flightCall struct {
+	done chan struct{}
+	blob []byte
+	err  error
+}
+
+// DefaultCacheBytes is the cache bound when none is given.
+const DefaultCacheBytes = int64(64) << 20
+
+// NewCached wraps inner with an LRU cache bounded to maxBytes of encoded
+// objects (<= 0 selects DefaultCacheBytes).
+func NewCached(inner Backend, maxBytes int64) *Cached {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cached{
+		inner:   inner,
+		limit:   maxBytes,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// insert adds or refreshes key's blob and evicts from the cold end until
+// the bound holds. Objects larger than the whole bound are not cached.
+// Caller holds c.mu.
+func (c *Cached) insert(key string, blob []byte) {
+	if int64(len(blob)) > c.limit {
+		c.evict(key)
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.size += int64(len(blob)) - int64(len(el.Value.(*cacheEntry).blob))
+		el.Value.(*cacheEntry).blob = blob
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, blob: blob})
+		c.size += int64(len(blob))
+	}
+	for c.size > c.limit {
+		cold := c.lru.Back()
+		if cold == nil {
+			break
+		}
+		c.removeElement(cold)
+	}
+}
+
+func (c *Cached) evict(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *Cached) removeElement(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.size -= int64(len(e.blob))
+}
+
+// Put implements Backend: write through, then cache the encoded object.
+// The extra encode (the inner backend also frames the object) is the
+// price of populating on write, which lets a restart that re-reads the
+// newest checkpoint hit without ever touching the inner store; it is
+// only paid after the write lands.
+func (c *Cached) Put(key string, sections []Section) error {
+	if err := c.inner.Put(key, sections); err != nil {
+		// The write may have partially (or wholly) replaced the inner
+		// object; a cached copy of either generation could now be wrong.
+		c.mu.Lock()
+		c.evict(key)
+		c.mu.Unlock()
+		return err
+	}
+	blob := EncodeSections(sections)
+	c.mu.Lock()
+	c.insert(key, blob)
+	c.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend: cache hit, or a single-flighted inner read.
+func (c *Cached) Get(key string) ([]Section, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		blob := el.Value.(*cacheEntry).blob
+		// Cache-served reads keep the uniform Get accounting the inner
+		// backend would have recorded, plus the hit counter.
+		c.stats.CacheHits++
+		c.stats.Gets++
+		c.stats.BytesRead += int64(len(blob))
+		c.mu.Unlock()
+		return DecodeSections(blob)
+	}
+	if call, ok := c.flight[key]; ok {
+		// Another Get of this key is already reading the inner backend;
+		// share its result. Counted as a hit: the point of the stat is
+		// inner reads avoided.
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		c.mu.Lock()
+		c.stats.Gets++
+		c.stats.BytesRead += int64(len(call.blob))
+		c.mu.Unlock()
+		return DecodeSections(call.blob)
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.stats.CacheMisses++
+	c.mu.Unlock()
+
+	sections, err := c.inner.Get(key)
+	if err == nil {
+		call.blob = EncodeSections(sections)
+	}
+	call.err = err
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		c.insert(key, call.blob)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	if err != nil {
+		return nil, err
+	}
+	return sections, nil
+}
+
+// List implements Backend (pass-through: the cache holds objects, not
+// the key space).
+func (c *Cached) List() ([]string, error) { return c.inner.List() }
+
+// Delete implements Backend: delete through, evict locally even when the
+// inner delete fails (a half-deleted object must not be served).
+func (c *Cached) Delete(key string) error {
+	err := c.inner.Delete(key)
+	c.mu.Lock()
+	c.evict(key)
+	c.mu.Unlock()
+	return err
+}
+
+// Stats implements Backend: the inner backend's accounting plus this
+// tier's hit/miss counters and cache-served reads.
+func (c *Cached) Stats() Stats {
+	s := c.inner.Stats()
+	c.mu.Lock()
+	s.CacheHits += c.stats.CacheHits
+	s.CacheMisses += c.stats.CacheMisses
+	s.Gets += c.stats.Gets
+	s.BytesRead += c.stats.BytesRead
+	c.mu.Unlock()
+	return s
+}
+
+// Flush implements Backend.
+func (c *Cached) Flush() error { return c.inner.Flush() }
+
+// Close implements Backend: drop the cache and close the inner backend.
+func (c *Cached) Close() error {
+	c.mu.Lock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.size = 0
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// CachedBytes reports the current cache occupancy (tests and the
+// examples walkthrough).
+func (c *Cached) CachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Dependencies forwards to the inner backend's resolver, if any.
+func (c *Cached) Dependencies(key string) ([]string, error) {
+	return DependenciesOf(c.inner, key)
+}

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingBackend wraps a backend counting inner operations, with an
+// optional gate that holds Gets open (single-flight tests).
+type countingBackend struct {
+	Backend
+	mu   sync.Mutex
+	gets int
+	gate chan struct{} // if non-nil, Get blocks until it is closed
+}
+
+func (c *countingBackend) Get(key string) ([]Section, error) {
+	c.mu.Lock()
+	c.gets++
+	gate := c.gate
+	c.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return c.Backend.Get(key)
+}
+
+func (c *countingBackend) innerGets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gets
+}
+
+func TestCachedWriteThroughServesHitsWithoutInnerReads(t *testing.T) {
+	inner := &countingBackend{Backend: NewMemory()}
+	c := NewCached(inner, 1<<20)
+	want := sampleSections(1)
+	if err := c.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.Get("k1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("get %d: sections differ", i)
+		}
+	}
+	if inner.innerGets() != 0 {
+		t.Errorf("write-through cache reached the inner backend %d times", inner.innerGets())
+	}
+	st := c.Stats()
+	if st.CacheHits != 3 || st.CacheMisses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 3/0", st.CacheHits, st.CacheMisses)
+	}
+	// The inner write happened (write-through, not write-back).
+	if got, err := inner.Backend.Get("k1"); err != nil || !reflect.DeepEqual(got, want) {
+		t.Errorf("inner object missing after write-through: %v", err)
+	}
+}
+
+func TestCachedReadThroughPopulatesOnMiss(t *testing.T) {
+	mem := NewMemory()
+	if err := mem.Put("cold", sampleSections(7)); err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingBackend{Backend: mem}
+	c := NewCached(inner, 1<<20)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Get("cold"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.innerGets() != 1 {
+		t.Errorf("inner gets = %d, want 1 (read-through then cached)", inner.innerGets())
+	}
+	st := c.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 3 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestCachedReturnsIndependentCopies(t *testing.T) {
+	c := NewCached(NewMemory(), 1<<20)
+	if err := c.Put("k", sampleSections(3)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[1].Data[0] ^= 0xFF // caller scribbles on its copy
+	b, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, sampleSections(3)) {
+		t.Error("a caller's mutation leaked into the cached object")
+	}
+}
+
+func TestCachedEvictsColdEntriesAtByteBound(t *testing.T) {
+	inner := &countingBackend{Backend: NewMemory()}
+	one := EncodedSize(sampleSections(0))
+	c := NewCached(inner, 2*one) // room for exactly two objects
+	for _, k := range []string{"a", "b", "cvict"} {
+		if err := c.Put(k, sampleSections(k[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CachedBytes(); got > 2*one {
+		t.Errorf("cache holds %d bytes, bound is %d", got, 2*one)
+	}
+	// "a" was coldest and must have been evicted; reading it goes inner.
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.innerGets() != 1 {
+		t.Errorf("inner gets = %d, want 1 (only the evicted key)", inner.innerGets())
+	}
+	// "cvict" is hot and still cached.
+	if _, err := c.Get("cvict"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.innerGets() != 1 {
+		t.Errorf("inner gets = %d after hot read, want 1", inner.innerGets())
+	}
+}
+
+func TestCachedLRUOrderRespectsRecentUse(t *testing.T) {
+	inner := &countingBackend{Backend: NewMemory()}
+	one := EncodedSize(sampleSections(0))
+	c := NewCached(inner, 2*one)
+	c.Put("a", sampleSections('a'))
+	c.Put("b", sampleSections('b'))
+	c.Get("a")                      // refresh "a": now "b" is coldest
+	c.Put("c", sampleSections('c')) // evicts "b"
+	c.Get("a")
+	if inner.innerGets() != 0 {
+		t.Errorf("recently used key was evicted (inner gets = %d)", inner.innerGets())
+	}
+	c.Get("b")
+	if inner.innerGets() != 1 {
+		t.Errorf("cold key should have been the evicted one (inner gets = %d)", inner.innerGets())
+	}
+}
+
+func TestCachedSkipsObjectsLargerThanBound(t *testing.T) {
+	c := NewCached(NewMemory(), 64) // smaller than any sample object
+	if err := c.Put("big", sampleSections(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CachedBytes(); got != 0 {
+		t.Errorf("oversized object cached (%d bytes)", got)
+	}
+	if _, err := c.Get("big"); err != nil {
+		t.Fatal(err) // still served read-through
+	}
+}
+
+func TestCachedDeleteEvicts(t *testing.T) {
+	c := NewCached(NewMemory(), 1<<20)
+	c.Put("k", sampleSections(2))
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key served from cache: %v", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second delete = %v, want ErrNotFound", err)
+	}
+}
+
+// toggleFailBackend fails every Put while fail is set.
+type toggleFailBackend struct {
+	*Memory
+	fail bool
+}
+
+func (f *toggleFailBackend) Put(key string, sections []Section) error {
+	if f.fail {
+		return errors.New("injected write failure")
+	}
+	return f.Memory.Put(key, sections)
+}
+
+func TestCachedFailedPutInvalidates(t *testing.T) {
+	failing := &toggleFailBackend{Memory: NewMemory()}
+	c := NewCached(failing, 1<<20)
+	if err := c.Put("k", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	failing.fail = true
+	if err := c.Put("k", sampleSections(2)); err == nil {
+		t.Fatal("failed inner Put not surfaced")
+	}
+	// The stale cached copy must not be served: the inner object's state
+	// is the only truth after a failed overwrite.
+	got, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleSections(1)) {
+		t.Error("cache served a version inconsistent with the inner store")
+	}
+}
+
+func TestCachedSingleFlightDeduplicatesConcurrentGets(t *testing.T) {
+	mem := NewMemory()
+	if err := mem.Put("k", sampleSections(5)); err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingBackend{Backend: mem, gate: make(chan struct{})}
+	c := NewCached(inner, 1<<20)
+	const readers = 16
+	var wg sync.WaitGroup
+	results := make([][]Section, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Get("k")
+		}(i)
+	}
+	// Let the leader reach the inner Get and the rest pile up on the
+	// flight entry, then release.
+	for inner.innerGets() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+	if inner.innerGets() != 1 {
+		t.Errorf("inner gets = %d, want 1 (single-flight)", inner.innerGets())
+	}
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], sampleSections(5)) {
+			t.Errorf("reader %d got wrong sections", i)
+		}
+	}
+}

@@ -361,6 +361,56 @@ func overlay(state map[string][]byte, order []string, sections []Section) ([]str
 	return order, nil
 }
 
+// Dependencies implements DependencyResolver: a keyframe depends only on
+// itself; a delta depends on every key from its keyframe up to itself —
+// exactly the chain Get walks to reconstruct it. The retention policy
+// uses this to never delete a keyframe (or intermediate delta) still
+// referenced by a retained chain.
+//
+// Keys inside the current session's chain (the overwhelmingly common
+// case: retention always retains the newest keys) are answered from the
+// decorator's in-memory chain bounds without reading the object — with
+// a remote base, fetching each retained object in full on every
+// post-checkpoint prune would multiply steady-state network traffic by
+// the retained-set size. Keys from earlier sessions fall back to
+// reading the stored metadata.
+func (inc *Incremental) Dependencies(key string) ([]string, error) {
+	inc.mu.Lock()
+	base, prev := inc.baseKey, inc.prevKey
+	inc.mu.Unlock()
+	baseKey := ""
+	switch {
+	case base != "" && key == base:
+		return []string{key}, nil // the current chain's keyframe
+	case base != "" && key > base && key <= prev:
+		baseKey = base // a delta of the current chain
+	default:
+		obj, err := inc.inner.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		kind, b, _, _, err := parseObject(obj)
+		if err != nil {
+			return nil, err
+		}
+		if kind == kindKeyframe {
+			return []string{key}, nil
+		}
+		baseKey = b
+	}
+	keys, err := inc.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	var deps []string
+	for _, k := range keys {
+		if k >= baseKey && k <= key {
+			deps = append(deps, k)
+		}
+	}
+	return deps, nil
+}
+
 // List implements Backend.
 func (inc *Incremental) List() ([]string, error) { return inc.inner.List() }
 

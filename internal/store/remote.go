@@ -1,0 +1,267 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Remote is the client backend for the networked checkpoint service of
+// internal/server: objects are PUT/GET as the same CRC-framed blobs the
+// file-like backends persist, under one namespace of a shared service,
+// so many concurrent clients checkpoint into a single store without
+// sharing a filesystem.
+//
+// The HTTP client keeps connections alive and reuses them across
+// requests (every response body is fully drained so the transport can
+// recycle the connection). Transient failures — network errors and 5xx
+// responses, including the service's 503 load-shedding when its
+// in-flight bound is hit — are retried with exponential backoff, at
+// most MaxAttempts times; 4xx responses are permanent and returned
+// immediately. Get re-verifies the CRC framing end to end, so a torn or
+// bit-flipped payload fails the same way it would on disk and
+// checkpoint.Restart falls back to an older checkpoint.
+type Remote struct {
+	// MaxAttempts and Backoff tune the retry loop (total tries and the
+	// first retry's delay, doubling per attempt). They may be adjusted
+	// before the first request; the defaults suit a LAN service.
+	MaxAttempts int
+	Backoff     time.Duration
+
+	base   string // http://host:port/v1/<ns>, no trailing slash
+	ns     string
+	client *http.Client
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Remote retry defaults: 4 attempts, 25ms first backoff (25+50+100 ms of
+// waiting before the last try).
+const (
+	DefaultRemoteAttempts = 4
+	DefaultRemoteBackoff  = 25 * time.Millisecond
+)
+
+// NewRemote returns a client backend for the checkpoint service at addr
+// (host:port or full URL), storing under the given namespace ("" means
+// "default"). It does not contact the service: a service that is still
+// starting up is absorbed by the first request's retry loop.
+func NewRemote(addr, namespace string) (*Remote, error) {
+	if namespace == "" {
+		namespace = "default"
+	}
+	if !ValidName(namespace) {
+		return nil, fmt.Errorf("store: invalid remote namespace %q", namespace)
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote address: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("store: remote address %q: unsupported scheme %q", addr, u.Scheme)
+	}
+	return &Remote{
+		MaxAttempts: DefaultRemoteAttempts,
+		Backoff:     DefaultRemoteBackoff,
+		base:        strings.TrimSuffix(u.String(), "/") + "/v1/" + url.PathEscape(namespace),
+		ns:          namespace,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			Timeout: 2 * time.Minute,
+		},
+	}, nil
+}
+
+// Namespace returns the service-side key namespace this client writes to.
+func (r *Remote) Namespace() string { return r.ns }
+
+// ValidName reports whether s is safe as a service namespace or key
+// path segment (no traversal, no separators). The client and the
+// service (internal/server) share this single definition so their
+// accepted alphabets cannot drift apart.
+func ValidName(s string) bool {
+	if s == "" || len(s) > 128 || s == "." || s == ".." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// errRemoteStatus is a non-2xx response; transient reports whether the
+// retry loop may try again.
+type errRemoteStatus struct {
+	status int
+	msg    string
+}
+
+func (e *errRemoteStatus) Error() string {
+	return fmt.Sprintf("store: remote service: %d %s: %s",
+		e.status, http.StatusText(e.status), strings.TrimSpace(e.msg))
+}
+
+func transientStatus(status int) bool { return status >= 500 }
+
+// do performs one HTTP exchange with bounded retry/backoff, returning
+// the response body. body may be nil; it is re-sent on every attempt.
+func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := r.Backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, r.base+path, reader)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.ContentLength = int64(len(body))
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("store: remote service: %w", err)
+			continue // network-level failure: transient
+		}
+		// Read the body in full either way so the connection is reusable.
+		data, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, ErrNotFound
+		case resp.StatusCode >= 300:
+			lastErr = &errRemoteStatus{status: resp.StatusCode, msg: string(data)}
+			if !transientStatus(resp.StatusCode) {
+				return nil, lastErr
+			}
+			continue
+		case readErr != nil:
+			lastErr = fmt.Errorf("store: remote service: reading response: %w", readErr)
+			continue // truncated response: transient
+		}
+		return data, nil
+	}
+	return nil, lastErr
+}
+
+// Put implements Backend.
+func (r *Remote) Put(key string, sections []Section) error {
+	if !ValidName(key) {
+		return fmt.Errorf("store: invalid remote key %q", key)
+	}
+	blob := EncodeSections(sections)
+	if _, err := r.do(http.MethodPut, "/objects/"+url.PathEscape(key), blob); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.stats.Puts++
+	r.stats.BytesWritten += int64(len(blob))
+	r.stats.SectionsWritten += int64(len(sections))
+	r.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend.
+func (r *Remote) Get(key string) ([]Section, error) {
+	if !ValidName(key) {
+		return nil, fmt.Errorf("store: invalid remote key %q", key)
+	}
+	blob, err := r.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	sections, err := DecodeSections(blob)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote object %q: %w", key, err)
+	}
+	r.mu.Lock()
+	r.stats.Gets++
+	r.stats.BytesRead += int64(len(blob))
+	r.mu.Unlock()
+	return sections, nil
+}
+
+// List implements Backend.
+func (r *Remote) List() ([]string, error) {
+	data, err := r.do(http.MethodGet, "/objects", nil)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			// A namespace nothing was written to yet is an empty store,
+			// not an error.
+			return nil, nil
+		}
+		return nil, err
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			keys = append(keys, line)
+		}
+	}
+	return keys, nil
+}
+
+// Delete implements Backend.
+func (r *Remote) Delete(key string) error {
+	if !ValidName(key) {
+		return fmt.Errorf("store: invalid remote key %q", key)
+	}
+	if _, err := r.do(http.MethodDelete, "/objects/"+url.PathEscape(key), nil); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.stats.Deletes++
+	r.mu.Unlock()
+	return nil
+}
+
+// Stats implements Backend, reporting this client's view of the traffic
+// it generated (the service aggregates all clients at GET /v1/stats).
+func (r *Remote) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Flush implements Backend: ask the service to flush the namespace's
+// backend (a no-op unless the service itself runs an async store).
+func (r *Remote) Flush() error {
+	_, err := r.do(http.MethodPost, "/flush", nil)
+	return err
+}
+
+// Close implements Backend: release pooled connections. The service's
+// objects are unaffected — closing a client never discards checkpoints.
+func (r *Remote) Close() error {
+	r.client.CloseIdleConnections()
+	return nil
+}

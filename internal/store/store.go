@@ -39,6 +39,8 @@ type Stats struct {
 	SectionsWritten     int64
 	SectionsSkipped     int64 // unchanged sections elided by the incremental decorator
 	Keyframes, Deltas   int64 // incremental decorator object kinds
+	CacheHits           int64 // Gets served by the cache tier without an inner read
+	CacheMisses         int64 // Gets that had to reach the inner backend
 }
 
 // ErrNotFound is returned by Get and Delete for a missing key.
@@ -77,6 +79,7 @@ const (
 	KindFile Kind = iota
 	KindMemory
 	KindSharded
+	KindRemote
 )
 
 func (k Kind) String() string {
@@ -87,6 +90,8 @@ func (k Kind) String() string {
 		return "memory"
 	case KindSharded:
 		return "sharded"
+	case KindRemote:
+		return "remote"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -100,16 +105,22 @@ func ParseKind(s string) (Kind, error) {
 		return KindMemory, nil
 	case "sharded", "shard":
 		return KindSharded, nil
+	case "remote":
+		return KindRemote, nil
 	}
-	return 0, fmt.Errorf("store: unknown backend kind %q (want file, memory, or sharded)", s)
+	return 0, fmt.Errorf("store: unknown backend kind %q (want file, memory, sharded, or remote)", s)
 }
 
 // Config selects and parameterizes a backend chain.
 type Config struct {
 	Kind    Kind
-	Dir     string // root directory (file and sharded kinds)
+	Dir     string // root directory (file and sharded kinds); namespace seed (remote kind)
 	Sync    bool   // fsync every write (checkpoint level L4)
 	Workers int    // sharded write pool size (default 4)
+
+	Addr      string // remote kind: checkpoint service address (host:port or URL)
+	Namespace string // remote kind: key namespace on the service (default: derived from Dir)
+	CacheMB   int    // wrap the base backend with a read-through LRU cache of this many MB
 
 	Async       bool // wrap with the async double-buffered decorator
 	Incremental bool // wrap with the delta/incremental decorator
@@ -117,9 +128,23 @@ type Config struct {
 	ChunkBytes  int  // incremental: intra-section diff granularity (default 256)
 }
 
-// Open constructs the base backend selected by cfg (without decorators;
-// see Decorate).
+// Open constructs the base backend selected by cfg, including the cache
+// tier when cfg.CacheMB is set — the cache is a property of how the base
+// store is reached (it must sit below the reliability/incremental/async
+// decorators so replicas and deltas are cached like any other object),
+// not a write-path decorator; see Decorate for those.
 func Open(cfg Config) (Backend, error) {
+	b, err := openBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheMB > 0 {
+		b = NewCached(b, int64(cfg.CacheMB)<<20)
+	}
+	return b, nil
+}
+
+func openBase(cfg Config) (Backend, error) {
 	switch cfg.Kind {
 	case KindMemory:
 		return NewMemory(), nil
@@ -133,6 +158,15 @@ func Open(cfg Config) (Backend, error) {
 			return nil, errors.New("store: sharded backend needs a directory")
 		}
 		return NewSharded(cfg.Dir, cfg.Workers, cfg.Sync)
+	case KindRemote:
+		if cfg.Addr == "" {
+			return nil, errors.New("store: remote backend needs a service address")
+		}
+		ns := cfg.Namespace
+		if ns == "" {
+			ns = NamespaceForDir(cfg.Dir)
+		}
+		return NewRemote(cfg.Addr, ns)
 	}
 	return nil, fmt.Errorf("store: unknown backend kind %d", cfg.Kind)
 }
@@ -220,6 +254,58 @@ func DecodeSections(buf []byte) ([]Section, error) {
 		sections = append(sections, s)
 	}
 	return sections, nil
+}
+
+// DependencyResolver is optionally implemented by backends whose stored
+// objects depend on other keys for reconstruction (the incremental
+// decorator's delta chains). Dependencies returns every key that must
+// remain in the store for Get(key) to keep succeeding, key itself
+// included. Decorators that merely forward Get (Async, the reliability
+// levels) forward this too; for self-contained backends every key
+// depends only on itself.
+type DependencyResolver interface {
+	Dependencies(key string) ([]string, error)
+}
+
+// DependenciesOf reports the keys Get(key) depends on through b's
+// decorator chain, falling back to {key} for self-contained backends.
+// The retention policy of checkpoint.Context uses it to avoid deleting a
+// keyframe (or an intermediate delta) still referenced by a retained
+// delta chain.
+func DependenciesOf(b Backend, key string) ([]string, error) {
+	if r, ok := b.(DependencyResolver); ok {
+		return r.Dependencies(key)
+	}
+	return []string{key}, nil
+}
+
+// NamespaceForDir derives a remote-service namespace from a scratch
+// directory path, so code that points each logical store at its own
+// directory (the validation harness's per-scenario dirs, the
+// many-clients scenario's per-client dirs) gets disjoint key spaces on a
+// shared service without knowing about namespaces. The result is the
+// sanitized path tail plus a hash of the full path, and is stable for a
+// given path.
+func NamespaceForDir(dir string) string {
+	if dir == "" {
+		return "default"
+	}
+	sum := crc32.ChecksumIEEE([]byte(dir))
+	tail := dir
+	if len(tail) > 40 {
+		tail = tail[len(tail)-40:]
+	}
+	buf := make([]byte, 0, len(tail)+9)
+	for i := 0; i < len(tail); i++ {
+		c := tail[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			buf = append(buf, c)
+		default:
+			buf = append(buf, '-')
+		}
+	}
+	return fmt.Sprintf("%s-%08x", buf, sum)
 }
 
 // copySections deep-copies sections (decorator staging buffers must not

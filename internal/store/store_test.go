@@ -53,6 +53,13 @@ func openAll(t *testing.T) map[string]Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cachedFile, err := NewFile(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newFakeService(t)
+	remote := fastRemote(t, svc.srv.URL, "all")
+	remoteCached := fastRemote(t, svc.srv.URL, "all-cached")
 	return map[string]Backend{
 		"memory":             NewMemory(),
 		"file":               file,
@@ -63,6 +70,10 @@ func openAll(t *testing.T) map[string]Backend {
 		"async-file":         NewAsync(asyncInner),
 		"incremental-memory": NewIncremental(NewMemory(), 3, 64),
 		"async-incremental":  NewAsync(NewIncremental(NewMemory(), 3, 64)),
+		"cached-memory":      NewCached(NewMemory(), 1<<20),
+		"cached-file":        NewCached(cachedFile, 1<<20),
+		"remote":             remote,
+		"remote-cached":      NewCached(remoteCached, 1<<20),
 	}
 }
 

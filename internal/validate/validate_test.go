@@ -1,12 +1,15 @@
 package validate
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
 
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/interp"
 	"autocheck/internal/ir"
+	"autocheck/internal/server"
 	"autocheck/internal/store"
 )
 
@@ -165,9 +168,19 @@ func TestStencilValidation(t *testing.T) {
 }
 
 // The §VI-B protocol must hold unchanged across every storage backend
-// and write-path decorator: same sufficiency, same necessity verdicts.
+// and write-path decorator — network and cache tiers included: same
+// sufficiency, same necessity verdicts. The remote cases run against a
+// live checkpoint service (httptest); each failure scenario's scratch
+// dir maps to its own service namespace, so scenarios stay disjoint the
+// same way they do on disk.
 func TestFig4ValidationAcrossStoreBackends(t *testing.T) {
 	mod, res := analyzed(t, fig4Source, core.LoopSpec{Function: "main", StartLine: 17, EndLine: 25})
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
 	for name, opts := range map[string]Options{
 		"memory":           {Store: store.Config{Kind: store.KindMemory}},
 		"sharded":          {Store: store.Config{Kind: store.KindSharded, Workers: 2}},
@@ -176,6 +189,15 @@ func TestFig4ValidationAcrossStoreBackends(t *testing.T) {
 		"sharded-async-incremental-L2": {
 			Level: checkpoint.L2,
 			Store: store.Config{Kind: store.KindSharded, Workers: 2, Async: true, Incremental: true, Keyframe: 4},
+		},
+		"file-cached": {Store: store.Config{Kind: store.KindFile, CacheMB: 4}},
+		"remote":      {Store: store.Config{Kind: store.KindRemote, Addr: ts.URL}},
+		"remote-cached-incremental": {
+			Store: store.Config{Kind: store.KindRemote, Addr: ts.URL, CacheMB: 4, Incremental: true, Keyframe: 4},
+		},
+		"remote-L2": {
+			Level: checkpoint.L2,
+			Store: store.Config{Kind: store.KindRemote, Addr: ts.URL, CacheMB: 2},
 		},
 	} {
 		t.Run(name, func(t *testing.T) {
