@@ -7,6 +7,7 @@
 //	autocheck validate [-store file|memory|sharded|remote] [-addr HOST:PORT]
 //	                   [-cache-mb N] [-benchmark NAME] [-level L1..L4]
 //	                   [-async] [-incremental] [-keyframe N] [-shard-workers K]
+//	autocheck chaos    [-seed N] [-quick] [-benchmark B,..] [-stack S,..] [-schedule X,..]
 //	autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
 //	autocheck list
 //
@@ -64,6 +65,8 @@ func main() {
 		err = cmdTable4()
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "list":
@@ -122,6 +125,18 @@ func usage() {
                      with periodic full keyframes
       -keyframe N    incremental: full checkpoint every N writes (default 8)
       -shard-workers sharded backend write pool size (default 4)
+  autocheck chaos [-seed N] [-quick] [-benchmark B,...] [-stack S,...]
+                  [-schedule NAME,...] [-list] [-v]
+                                deterministic fault-injection sweep:
+                                benchmark x store stack x failpoint
+                                schedule, each run killed by its injected
+                                fault, restarted, and verified
+                                byte-for-byte against the failure-free
+                                run; failures print the seed + schedule
+                                that replay them exactly
+      -seed          fault randomness root (default 1)
+      -quick         CI smoke subset
+      -list          list stacks and schedules
   autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
                                 run the checkpoint storage service that
                                 "-store remote" clients checkpoint into

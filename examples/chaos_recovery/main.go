@@ -1,0 +1,91 @@
+// Chaos recovery walkthrough: what deterministic fault injection looks
+// like at each altitude of the checkpoint stack.
+//
+// Part 1 arms failpoints directly on a file backend and shows the raw
+// mechanics — an injected error aborting a commit, a torn write
+// persisting a truncated object that the CRC framing rejects on read,
+// and the same schedule replaying identically from its seed.
+//
+// Part 2 runs a slice of the real chaos validation sweep
+// (harness.RunChaosValidation, the engine behind `autocheck chaos`):
+// the IS port checkpointing through two store stacks while a schedule
+// kills it mid-run, then restarting and verifying the recovered state
+// byte-for-byte against the failure-free execution.
+//
+//	go run ./examples/chaos_recovery
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"autocheck/internal/faultinject"
+	"autocheck/internal/harness"
+	"autocheck/internal/store"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "autocheck-chaos-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- Part 1: failpoints on a bare backend ----
+	fmt.Println("== failpoints on a file backend ==")
+	reg := faultinject.NewRegistry(7)
+	if err := reg.ArmSchedule("store.put=error@nth=2;store.put=torn@nth=3"); err != nil {
+		log.Fatal(err)
+	}
+	b, err := store.NewFile(dir+"/part1", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.SetFaults(reg)
+	sections := []store.Section{{Name: "x", Data: []byte("the critical variable")}}
+
+	fmt.Printf("put #1: %v\n", b.Put("ckpt-000001", sections)) // clean
+	err = b.Put("ckpt-000002", sections)                       // injected error: nothing committed
+	fmt.Printf("put #2: %v (injected=%v)\n", err, errors.Is(err, faultinject.ErrInjected))
+	if _, err := b.Get("ckpt-000002"); errors.Is(err, store.ErrNotFound) {
+		fmt.Println("        -> aborted commit left no object behind")
+	}
+	err = b.Put("ckpt-000003", sections) // torn: a truncated object reaches the disk
+	fmt.Printf("put #3: %v\n", err)
+	if _, err := b.Get("ckpt-000003"); err != nil {
+		fmt.Printf("        -> torn object rejected on read: %v\n", err)
+	}
+	if got, err := b.Get("ckpt-000001"); err == nil {
+		fmt.Printf("        -> older checkpoint intact: %q\n", got[0].Data)
+	}
+	fmt.Printf("fired events: %v\n", reg.Events())
+
+	// Determinism: the same seed + schedule replays the same firings.
+	replay := faultinject.NewRegistry(7)
+	replay.ArmSchedule("store.put=error@nth=2;store.put=torn@nth=3")
+	b2, _ := store.NewFile(dir+"/replay", false)
+	b2.SetFaults(replay)
+	for i := 1; i <= 3; i++ {
+		b2.Put(fmt.Sprintf("ckpt-%06d", i), sections)
+	}
+	fmt.Printf("replayed     : %v (identical from seed %d)\n\n", replay.Events(), replay.Seed())
+
+	// ---- Part 2: a slice of the chaos validation sweep ----
+	fmt.Println("== chaos validation: kill, restart, verify ==")
+	rep, err := harness.RunChaosValidation(dir+"/sweep", harness.ChaosOptions{
+		Seed:       1,
+		Benchmarks: []string{"IS"},
+		Stacks:     []string{"file+async+incr", "remote+cached"},
+		Schedules:  []string{"torn-write", "crash-committed", "shed-storm"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(harness.FormatChaos(rep))
+	if rep.Failures == 0 {
+		fmt.Println("\nevery injected failure either recovered to a byte-identical state")
+		fmt.Println("or was refused with a typed error — nothing silently corrupted.")
+	}
+}

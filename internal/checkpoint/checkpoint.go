@@ -30,9 +30,25 @@ import (
 	"sort"
 	"strings"
 
+	"autocheck/internal/faultinject"
 	"autocheck/internal/interp"
 	"autocheck/internal/store"
 	"autocheck/internal/trace"
+)
+
+// Failpoint sites of the checkpoint layer's commit protocol.
+const (
+	// SiteCheckpointPut fires inside Checkpoint before the backend sees
+	// the image: a crash here is a process death with nothing of this
+	// checkpoint durable.
+	SiteCheckpointPut = "ckpt.put"
+	// SiteCheckpointCommitted fires after the backend accepted the image
+	// and before the context updates its own accounting or prunes: a
+	// crash here is a process death with a durable checkpoint the dying
+	// process never got to acknowledge — restart must still find it.
+	SiteCheckpointCommitted = "ckpt.committed"
+	// SiteCheckpointPrune fires at the head of a retention prune.
+	SiteCheckpointPrune = "ckpt.prune"
 )
 
 // Level selects the reliability level.
@@ -81,6 +97,7 @@ type Protected struct {
 type Context struct {
 	backend   store.Backend
 	level     Level
+	faults    *faultinject.Registry
 	protected []Protected
 	seq       int
 	lastBytes int64
@@ -89,6 +106,11 @@ type Context struct {
 	retain    int
 	pruned    int
 }
+
+// SetFaults arms (nil: disarms) fault injection on the context's own
+// commit-point sites. NewContextStore arms it from store.Config.Faults;
+// NewContextBackend callers set it here.
+func (c *Context) SetFaults(r *faultinject.Registry) { c.faults = r }
 
 // NewContext creates a checkpoint context writing one file per replica
 // into dir with the given reliability level — the original on-disk
@@ -112,7 +134,7 @@ func NewContextStore(cfg store.Config, level Level) (*Context, error) {
 		return nil, err
 	}
 	backend := store.Decorate(store.Backend(newLevelBackend(base, level)), cfg)
-	c := &Context{backend: backend, level: level}
+	c := &Context{backend: backend, level: level, faults: cfg.Faults}
 	if err := c.resumeSeq(); err != nil {
 		backend.Close()
 		return nil, err
@@ -329,7 +351,18 @@ func (c *Context) Pruned() int { return c.pruned }
 func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
 	sections := encodeCheckpoint(m, c.protected, iter)
 	c.seq++
+	if err := c.faults.Hit(SiteCheckpointPut); err != nil {
+		return err
+	}
 	if err := c.backend.Put(c.key(c.seq), sections); err != nil {
+		return err
+	}
+	// The image is with the backend (with an async decorator: snapshotted
+	// and accepted). A crash injected here models dying after the commit
+	// but before acknowledging it — the sequence resumption in resumeSeq
+	// and Restart's newest-first scan must both cope with a checkpoint
+	// the writer never accounted for.
+	if err := c.faults.Hit(SiteCheckpointCommitted); err != nil {
 		return err
 	}
 	c.lastBytes = store.EncodedSize(sections)
@@ -346,6 +379,9 @@ func (c *Context) Checkpoint(m *interp.Machine, iter int64) error {
 // prune deletes checkpoints older than the newest c.retain, keeping any
 // object a retained checkpoint's reconstruction still depends on.
 func (c *Context) prune() error {
+	if err := c.faults.Hit(SiteCheckpointPrune); err != nil {
+		return err
+	}
 	keys, err := c.backend.List()
 	if err != nil {
 		return err

@@ -1,0 +1,503 @@
+// Package faultinject is a deterministic, seedable failpoint framework
+// for the checkpoint stack. Code that touches durability declares named
+// sites ("store.put", "async.writer", "server.request", ...) and asks an
+// optional *Registry whether a fault is armed there; a nil registry
+// evaluates to a nil check and the site costs nothing, so production hot
+// paths are unchanged when no faults are configured.
+//
+// A Registry is armed with Failpoints: a site name, a trigger policy
+// (fire on the Nth hit, every Kth hit, with seeded probability, one-shot)
+// and an action (return an injected error, persist a torn write, crash
+// the goroutine with a panic, delay, or drop the response). All
+// randomness — probability triggers and torn-write cut points — comes
+// from per-failpoint generators derived from the registry seed, so a
+// schedule replays identically from (seed, schedule spec) regardless of
+// which other sites fire in between. The registry records every fired
+// event; a chaos sweep failure prints its seed and schedule and is
+// reproduced exactly by arming the same spec on a registry with the same
+// seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is what a triggered failpoint does.
+type Action int
+
+// Actions.
+const (
+	// ActionError makes the site return an injected error without
+	// performing its operation.
+	ActionError Action = iota
+	// ActionTorn makes a blob-carrying write site persist a truncated
+	// copy of its payload and then fail — the torn object stays on the
+	// medium for the read path's CRC framing to catch.
+	ActionTorn
+	// ActionCrash panics with *Crash, killing the goroutine mid-site the
+	// way a fail-stop process death would. Harnesses recover the panic
+	// and treat it as the process boundary.
+	ActionCrash
+	// ActionDelay sleeps for the failpoint's Delay and then lets the
+	// operation proceed (slow media, slow networks, widened race
+	// windows).
+	ActionDelay
+	// ActionDrop tells the site to skip its operation and swallow the
+	// response entirely — a server aborts the connection without
+	// answering (and without touching its backend), so the client sees
+	// a network error and retries. It models a request lost on the
+	// wire, not a committed-but-unacknowledged write; use ActionCrash at
+	// a post-commit site (e.g. "ckpt.committed") for that window.
+	ActionDrop
+)
+
+var actionNames = map[Action]string{
+	ActionError: "error",
+	ActionTorn:  "torn",
+	ActionCrash: "crash",
+	ActionDelay: "delay",
+	ActionDrop:  "drop",
+}
+
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// ParseAction parses an action name as used in failpoint specs.
+func ParseAction(s string) (Action, error) {
+	for a, name := range actionNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown action %q (want error, torn, crash, delay, or drop)", s)
+}
+
+// DefaultDelay is the sleep of an ActionDelay failpoint that does not
+// set one explicitly.
+const DefaultDelay = 2 * time.Millisecond
+
+// ErrInjected is the sentinel every injected error wraps;
+// errors.Is(err, ErrInjected) distinguishes injected failures from real
+// ones.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// InjectedError is the error returned by a fired ActionError, ActionTorn
+// or ActionDrop failpoint. It wraps ErrInjected.
+type InjectedError struct {
+	Site   string
+	Action Action
+	Hit    int // 1-based hit count of the site when the failpoint fired
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s (hit %d)", e.Action, e.Site, e.Hit)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// ActionOf reports the action of an injected error, if err is one.
+func ActionOf(err error) (Action, bool) {
+	var inj *InjectedError
+	if errors.As(err, &inj) {
+		return inj.Action, true
+	}
+	return 0, false
+}
+
+// IsTorn reports whether err is an injected torn-write failure — the one
+// action whose site must still persist (the mutated blob) before
+// returning the error.
+func IsTorn(err error) bool {
+	a, ok := ActionOf(err)
+	return ok && a == ActionTorn
+}
+
+// Crash is the panic value of a fired ActionCrash failpoint. It
+// implements error so recovered crashes convert cleanly.
+type Crash struct {
+	Site string
+	Hit  int
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("faultinject: crash at %s (hit %d)", c.Site, c.Hit)
+}
+
+// AsCrash reports whether a recover() value is an injected crash.
+func AsCrash(v any) (*Crash, bool) {
+	c, ok := v.(*Crash)
+	return c, ok
+}
+
+// Failpoint is one armed fault: where, when, and what.
+type Failpoint struct {
+	Site   string
+	Action Action
+
+	// Trigger policy. At most one of Nth / EveryK / Prob is set; none
+	// set means "every hit". OneShot composes with any of them: the
+	// failpoint disarms after its first firing.
+	Nth     int     // fire on exactly the Nth hit of the site (1-based)
+	EveryK  int     // fire on every Kth hit
+	Prob    float64 // fire with this probability, from the seeded generator
+	OneShot bool
+
+	Delay time.Duration // ActionDelay sleep (0 = DefaultDelay)
+}
+
+// String renders the failpoint in the spec syntax Parse accepts.
+func (f Failpoint) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s", f.Site, f.Action)
+	switch {
+	case f.Nth > 0:
+		fmt.Fprintf(&b, "@nth=%d", f.Nth)
+	case f.EveryK > 0:
+		fmt.Fprintf(&b, "@every=%d", f.EveryK)
+	case f.Prob > 0:
+		fmt.Fprintf(&b, "@p=%g", f.Prob)
+	}
+	if f.OneShot {
+		b.WriteString("@oneshot")
+	}
+	if f.Action == ActionDelay && f.Delay > 0 {
+		fmt.Fprintf(&b, "@delay=%s", f.Delay)
+	}
+	return b.String()
+}
+
+// Parse parses one failpoint spec:
+//
+//	<site>=<action>[@nth=N | @every=K | @p=0.25][@oneshot][@delay=5ms]
+//
+// e.g. "store.put=torn@nth=3" or "server.request=error@p=0.3".
+func Parse(spec string) (Failpoint, error) {
+	spec = strings.TrimSpace(spec)
+	site, rest, ok := strings.Cut(spec, "=")
+	if !ok || site == "" {
+		return Failpoint{}, fmt.Errorf("faultinject: spec %q: want <site>=<action>[@trigger]", spec)
+	}
+	parts := strings.Split(rest, "@")
+	action, err := ParseAction(parts[0])
+	if err != nil {
+		return Failpoint{}, fmt.Errorf("faultinject: spec %q: %w", spec, err)
+	}
+	fp := Failpoint{Site: site, Action: action}
+	triggers := 0
+	for _, mod := range parts[1:] {
+		key, val, _ := strings.Cut(mod, "=")
+		switch key {
+		case "nth":
+			fp.Nth, err = strconv.Atoi(val)
+			triggers++
+		case "every":
+			fp.EveryK, err = strconv.Atoi(val)
+			triggers++
+		case "p":
+			fp.Prob, err = strconv.ParseFloat(val, 64)
+			triggers++
+		case "oneshot":
+			fp.OneShot = true
+		case "delay":
+			fp.Delay, err = time.ParseDuration(val)
+		default:
+			return Failpoint{}, fmt.Errorf("faultinject: spec %q: unknown modifier %q", spec, mod)
+		}
+		if err != nil {
+			return Failpoint{}, fmt.Errorf("faultinject: spec %q: modifier %q: %w", spec, mod, err)
+		}
+	}
+	if triggers > 1 {
+		return Failpoint{}, fmt.Errorf("faultinject: spec %q: at most one of nth/every/p", spec)
+	}
+	if fp.Nth < 0 || fp.EveryK < 0 || fp.Prob < 0 || fp.Prob > 1 {
+		return Failpoint{}, fmt.Errorf("faultinject: spec %q: trigger out of range", spec)
+	}
+	return fp, nil
+}
+
+// ParseSchedule parses a ';'-separated list of failpoint specs (empty
+// and whitespace-only items are skipped, so trailing separators are
+// harmless).
+func ParseSchedule(spec string) ([]Failpoint, error) {
+	var fps []Failpoint
+	for _, one := range strings.Split(spec, ";") {
+		if strings.TrimSpace(one) == "" {
+			continue
+		}
+		fp, err := Parse(one)
+		if err != nil {
+			return nil, err
+		}
+		fps = append(fps, fp)
+	}
+	return fps, nil
+}
+
+// FormatSchedule renders failpoints as the spec ParseSchedule accepts.
+func FormatSchedule(fps []Failpoint) string {
+	specs := make([]string, len(fps))
+	for i, fp := range fps {
+		specs[i] = fp.String()
+	}
+	return strings.Join(specs, ";")
+}
+
+// Event is one failpoint firing.
+type Event struct {
+	Site   string
+	Action Action
+	Hit    int // the site's 1-based hit count at firing time
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s=%s@hit=%d", e.Site, e.Action, e.Hit)
+}
+
+// armed is one failpoint plus its private deterministic generator and
+// live state.
+type armed struct {
+	Failpoint
+	rng   *rand.Rand
+	fired int
+	spent bool // OneShot already fired
+}
+
+// Registry is a set of armed failpoints plus the deterministic state
+// behind them. All methods are safe for concurrent use and safe on a nil
+// receiver (every evaluation on a nil registry is a no-op) — sites hold
+// an optional *Registry and call it unconditionally.
+type Registry struct {
+	seed int64
+
+	mu     sync.Mutex
+	points map[string][]*armed
+	hits   map[string]int
+	events []Event
+}
+
+// NewRegistry creates an empty registry whose probability triggers and
+// torn-write cut points derive from seed.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{
+		seed:   seed,
+		points: make(map[string][]*armed),
+		hits:   make(map[string]int),
+	}
+}
+
+// Seed returns the registry's seed.
+func (r *Registry) Seed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.seed
+}
+
+// pointSeed derives a per-failpoint generator seed from the registry
+// seed, the site, and the failpoint's arm index, so each armed point's
+// random stream is independent of hit interleaving at other sites.
+func pointSeed(seed int64, site string, idx int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return seed ^ int64(h.Sum64()) ^ int64(idx)<<32
+}
+
+// Arm adds a failpoint. Multiple failpoints may share a site; they are
+// evaluated in arm order and the first that triggers wins the hit.
+func (r *Registry) Arm(fp Failpoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := &armed{Failpoint: fp}
+	a.rng = rand.New(rand.NewSource(pointSeed(r.seed, fp.Site, len(r.points[fp.Site]))))
+	r.points[fp.Site] = append(r.points[fp.Site], a)
+}
+
+// ArmSchedule parses and arms a ';'-separated schedule spec.
+func (r *Registry) ArmSchedule(spec string) error {
+	fps, err := ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+	for _, fp := range fps {
+		r.Arm(fp)
+	}
+	return nil
+}
+
+// DisarmAll removes every failpoint, keeping hit counters and the event
+// log (a recovery phase re-arms its own schedule on the same registry).
+func (r *Registry) DisarmAll() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.points = make(map[string][]*armed)
+	r.mu.Unlock()
+}
+
+// Schedule renders the currently armed failpoints as a replayable spec,
+// sites in sorted order, arm order within a site.
+func (r *Registry) Schedule() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sites := make([]string, 0, len(r.points))
+	for site := range r.points {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	var fps []Failpoint
+	for _, site := range sites {
+		for _, a := range r.points[site] {
+			fps = append(fps, a.Failpoint)
+		}
+	}
+	return FormatSchedule(fps)
+}
+
+// Events returns a copy of the fired-event log, in firing order.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Fired reports how many failpoints have fired so far.
+func (r *Registry) Fired() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// evaluate is the shared trigger logic: count the hit, find the first
+// armed failpoint that fires, log it. The returned action is applied by
+// the caller outside the lock (sleeping or panicking under r.mu would
+// serialize every site in the process with the sleeper).
+func (r *Registry) evaluate(site string) (*armed, int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	points := r.points[site]
+	if len(points) == 0 {
+		return nil, 0, false
+	}
+	r.hits[site]++
+	hit := r.hits[site]
+	for _, a := range points {
+		if a.spent {
+			continue
+		}
+		fire := false
+		switch {
+		case a.Nth > 0:
+			fire = hit == a.Nth
+		case a.EveryK > 0:
+			fire = hit%a.EveryK == 0
+		case a.Prob > 0:
+			fire = a.rng.Float64() < a.Prob
+		default:
+			fire = true
+		}
+		if !fire {
+			continue
+		}
+		a.fired++
+		if a.OneShot {
+			a.spent = true
+		}
+		r.events = append(r.events, Event{Site: site, Action: a.Action, Hit: hit})
+		return a, hit, true
+	}
+	return nil, 0, false
+}
+
+// tornCut draws the deterministic truncation point for a torn write of
+// an n-byte blob from the fired failpoint's private generator: anywhere
+// from one byte to all-but-one, so both near-empty and nearly-complete
+// torn objects occur across a sweep.
+func (r *Registry) tornCut(a *armed, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return 1 + a.rng.Intn(n-1)
+}
+
+// Hit evaluates the site. It returns nil (proceed), sleeps and returns
+// nil (ActionDelay), returns an *InjectedError (ActionError, ActionTorn,
+// ActionDrop — the caller interprets torn/drop), or panics with *Crash
+// (ActionCrash). Safe and free on a nil registry.
+func (r *Registry) Hit(site string) error {
+	if r == nil {
+		return nil
+	}
+	a, hit, fired := r.evaluate(site)
+	if !fired {
+		return nil
+	}
+	switch a.Action {
+	case ActionDelay:
+		d := a.Delay
+		if d <= 0 {
+			d = DefaultDelay
+		}
+		time.Sleep(d)
+		return nil
+	case ActionCrash:
+		panic(&Crash{Site: site, Hit: hit})
+	}
+	return &InjectedError{Site: site, Action: a.Action, Hit: hit}
+}
+
+// HitBlob is Hit for write sites carrying an encoded object. A fired
+// torn-write failpoint returns a deterministically truncated copy of
+// blob together with the injected error: the site must persist the
+// returned blob, then return the error — leaving the torn object on the
+// medium for the read path to reject. Every other action behaves exactly
+// like Hit, with blob passed through untouched.
+func (r *Registry) HitBlob(site string, blob []byte) ([]byte, error) {
+	if r == nil {
+		return blob, nil
+	}
+	a, hit, fired := r.evaluate(site)
+	if !fired {
+		return blob, nil
+	}
+	switch a.Action {
+	case ActionDelay:
+		d := a.Delay
+		if d <= 0 {
+			d = DefaultDelay
+		}
+		time.Sleep(d)
+		return blob, nil
+	case ActionCrash:
+		panic(&Crash{Site: site, Hit: hit})
+	case ActionTorn:
+		cut := r.tornCut(a, len(blob))
+		return append([]byte(nil), blob[:cut]...), &InjectedError{Site: site, Action: a.Action, Hit: hit}
+	}
+	return blob, &InjectedError{Site: site, Action: a.Action, Hit: hit}
+}

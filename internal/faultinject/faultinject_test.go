@@ -1,0 +1,288 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.Hit("store.put"); err != nil {
+		t.Fatalf("nil registry Hit: %v", err)
+	}
+	blob := []byte{1, 2, 3}
+	out, err := r.HitBlob("store.put", blob)
+	if err != nil || !reflect.DeepEqual(out, blob) {
+		t.Fatalf("nil registry HitBlob: %v %v", out, err)
+	}
+	if r.Fired() != 0 || r.Events() != nil || r.Schedule() != "" || r.Seed() != 0 {
+		t.Fatal("nil registry should report empty state")
+	}
+	r.DisarmAll() // must not panic
+}
+
+func TestNthTrigger(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionError, Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := r.Hit("s")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Site != "s" || inj.Hit != 3 {
+				t.Fatalf("bad injected error: %+v", err)
+			}
+		}
+	}
+	if got := r.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+}
+
+func TestEveryKTrigger(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionError, EveryK: 2})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if r.Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{2, 4, 6}) {
+		t.Fatalf("every=2 fired on %v", fired)
+	}
+}
+
+func TestOneShotDisarmsAfterFirstFire(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionError, EveryK: 2, OneShot: true})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if r.Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{2}) {
+		t.Fatalf("one-shot every=2 fired on %v", fired)
+	}
+}
+
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		r.Arm(Failpoint{Site: "s", Action: ActionError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Hit("s") != nil
+		}
+		return out
+	}
+	if !reflect.DeepEqual(pattern(7), pattern(7)) {
+		t.Fatal("same seed produced different firing patterns")
+	}
+	if reflect.DeepEqual(pattern(7), pattern(8)) {
+		t.Fatal("different seeds produced identical firing patterns (suspicious)")
+	}
+	fires := 0
+	for _, f := range pattern(7) {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == 64 {
+		t.Fatalf("p=0.5 fired %d/64 times", fires)
+	}
+}
+
+func TestProbabilityIndependentOfOtherSites(t *testing.T) {
+	// The per-failpoint generator must not be perturbed by hits on other
+	// sites, or a schedule would not replay when the workload changes
+	// shape elsewhere.
+	run := func(noise bool) []bool {
+		r := NewRegistry(42)
+		r.Arm(Failpoint{Site: "a", Action: ActionError, Prob: 0.4})
+		r.Arm(Failpoint{Site: "b", Action: ActionError, Prob: 0.9})
+		out := make([]bool, 32)
+		for i := range out {
+			if noise {
+				r.Hit("b")
+			}
+			out[i] = r.Hit("a") != nil
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("site a's firing pattern changed when site b was hit in between")
+	}
+}
+
+func TestTornWriteTruncatesDeterministically(t *testing.T) {
+	blob := make([]byte, 100)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	torn := func(seed int64) []byte {
+		r := NewRegistry(seed)
+		r.Arm(Failpoint{Site: "s", Action: ActionTorn, Nth: 1})
+		out, err := r.HitBlob("s", blob)
+		if !IsTorn(err) {
+			t.Fatalf("expected torn error, got %v", err)
+		}
+		return out
+	}
+	a, b := torn(3), torn(3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different torn blobs")
+	}
+	if len(a) == 0 || len(a) >= len(blob) {
+		t.Fatalf("torn blob has %d bytes of %d", len(a), len(blob))
+	}
+	if !reflect.DeepEqual(a, blob[:len(a)]) {
+		t.Fatal("torn blob is not a prefix of the original")
+	}
+	// The original must be untouched (sites may retry with it).
+	for i := range blob {
+		if blob[i] != byte(i) {
+			t.Fatal("HitBlob mutated the caller's blob")
+		}
+	}
+}
+
+func TestCrashPanicsWithTypedValue(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionCrash, Nth: 1})
+	defer func() {
+		c, ok := AsCrash(recover())
+		if !ok {
+			t.Fatalf("expected *Crash panic, got %v", c)
+		}
+		if c.Site != "s" || c.Hit != 1 {
+			t.Fatalf("bad crash value: %+v", c)
+		}
+		if c.Error() == "" {
+			t.Fatal("Crash must describe itself as an error")
+		}
+	}()
+	r.Hit("s")
+	t.Fatal("crash failpoint did not panic")
+}
+
+func TestDelayActionSleepsAndProceeds(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionDelay, Nth: 1, Delay: 5 * time.Millisecond})
+	t0 := time.Now()
+	if err := r.Hit("s"); err != nil {
+		t.Fatalf("delay action returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 5*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestDropActionIsDistinguishable(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionDrop, Nth: 1})
+	err := r.Hit("s")
+	if a, ok := ActionOf(err); !ok || a != ActionDrop {
+		t.Fatalf("ActionOf(%v) = %v %v", err, a, ok)
+	}
+	if IsTorn(err) {
+		t.Fatal("drop mistaken for torn")
+	}
+}
+
+func TestParseAndStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"store.put=torn@nth=3",
+		"store.get=error@every=2",
+		"server.request=error@p=0.3",
+		"async.writer=crash@nth=1@oneshot",
+		"remote.do=drop",
+		"store.put=delay@every=4@delay=2ms",
+	}
+	for _, spec := range specs {
+		fp, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := fp.String(); got != spec {
+			t.Fatalf("round trip %q -> %q", spec, got)
+		}
+	}
+	sched := "store.put=torn@nth=3;server.request=error@p=0.25"
+	fps, err := ParseSchedule(sched + ";")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if got := FormatSchedule(fps); got != sched {
+		t.Fatalf("schedule round trip %q -> %q", sched, got)
+	}
+	for _, bad := range []string{"noaction", "s=explode", "s=error@nth=1@every=2", "s=error@p=1.5", "s=error@wat=1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegistryScheduleAndReplay(t *testing.T) {
+	r := NewRegistry(9)
+	if err := r.ArmSchedule("a=error@nth=2;b=torn@nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schedule(); got != "a=error@nth=2;b=torn@nth=1" {
+		t.Fatalf("Schedule() = %q", got)
+	}
+	run := func() []Event {
+		r2 := NewRegistry(9)
+		if err := r2.ArmSchedule(r.Schedule()); err != nil {
+			t.Fatal(err)
+		}
+		r2.Hit("a")
+		r2.HitBlob("b", []byte{1, 2, 3, 4})
+		r2.Hit("a")
+		return r2.Events()
+	}
+	want := []Event{{Site: "b", Action: ActionTorn, Hit: 1}, {Site: "a", Action: ActionError, Hit: 2}}
+	if got := run(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed events = %v, want %v", got, want)
+	}
+	r.DisarmAll()
+	if r.Schedule() != "" {
+		t.Fatal("DisarmAll left failpoints armed")
+	}
+	if err := r.Hit("a"); err != nil {
+		t.Fatalf("disarmed site still fires: %v", err)
+	}
+}
+
+func TestUnarmedSitesDoNotCountHits(t *testing.T) {
+	// Hit counters only advance while at least one failpoint is armed at
+	// the site, so "nth=3" means the 3rd hit after arming regardless of
+	// earlier traffic — that is what makes a printed schedule replayable.
+	r := NewRegistry(1)
+	for i := 0; i < 10; i++ {
+		r.Hit("s")
+	}
+	r.Arm(Failpoint{Site: "s", Action: ActionError, Nth: 1})
+	if err := r.Hit("s"); err == nil {
+		t.Fatal("nth=1 did not fire on the first post-arm hit")
+	}
+}
+
+func TestEventStringMentionsSiteAndHit(t *testing.T) {
+	e := Event{Site: "store.put", Action: ActionTorn, Hit: 4}
+	if got, want := e.String(), "store.put=torn@hit=4"; got != want {
+		t.Fatalf("Event.String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(ActionCrash) != "crash" {
+		t.Fatal("Action.String broken")
+	}
+}

@@ -1,0 +1,633 @@
+// Chaos validation: the §VI-B fail-stop protocol generalized from
+// "kill the process at two hand-picked iterations" to "enumerate every
+// crash window in the storage stack". A sweep runs benchmark × store
+// stack × failpoint schedule; each run checkpoints the AutoCheck
+// critical variables through a fault-armed backend chain, lets the
+// schedule kill, tear, delay or shed wherever it was armed, then
+// restarts from the surviving checkpoints and verifies — byte for byte
+// — that the recovered state is one the failure-free execution actually
+// passed through and that the re-run converges to the failure-free
+// final state. A run may also end in a clean typed error (everything
+// destroyed, or the recovery path itself under injected fire); what it
+// may never do is restart from fabricated state. Every run derives its
+// fault randomness from the sweep seed, so a failure is replayed
+// exactly from the (seed, benchmark, stack, schedule) triple the report
+// prints.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"autocheck/internal/cfg"
+	"autocheck/internal/checkpoint"
+	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
+	"autocheck/internal/interp"
+	"autocheck/internal/ir"
+	"autocheck/internal/progs"
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+	"autocheck/internal/trace"
+)
+
+// ChaosOptions parameterizes a sweep. Zero values select the defaults.
+type ChaosOptions struct {
+	Seed       int64    // fault randomness root (0 means 1)
+	Benchmarks []string // ports to sweep (default: IS, EP, CG; Quick: IS)
+	Stacks     []string // store stacks (default: ChaosStacks(); Quick: a 3-stack subset)
+	Schedules  []string // schedule names (default: every applicable schedule)
+	Quick      bool     // CI smoke subset
+}
+
+// ChaosSchedule is one named failpoint schedule: what is armed while
+// the workload checkpoints (Write) and what is armed while it recovers
+// (Restart). Needs restricts the schedule to stacks where its sites
+// exist; Retain arms a retention policy so prune-path sites get
+// traffic.
+type ChaosSchedule struct {
+	Name    string
+	Write   string
+	Restart string
+	Needs   string // "": any stack; "async", "incr", "remote": feature required
+	Retain  int
+}
+
+// ChaosSchedules returns the sweep's schedule catalog. Site hit counts
+// are per physical operation, so one logical checkpoint advances
+// "store.put" once on a plain stack and two or three times under L2/L3
+// replication — the schedules below use small ordinals so they fire
+// within any benchmark's handful of iterations.
+func ChaosSchedules(quick bool) []ChaosSchedule {
+	base := []ChaosSchedule{
+		// A Put that fails mid-run: the process dies with the previous
+		// checkpoints durable.
+		{Name: "put-error", Write: "store.put=error@nth=3"},
+		// A write torn on the medium: restart must reject it by CRC (or
+		// manifest verification) and fall back.
+		{Name: "torn-write", Write: "store.put=torn@nth=4"},
+		// Process death after the backend committed but before the writer
+		// acknowledged — the durable-but-unacknowledged checkpoint window.
+		{Name: "crash-committed", Write: "ckpt.committed=crash@nth=3"},
+	}
+	if quick {
+		return append(base, ChaosSchedule{
+			Name: "shed-storm", Needs: "remote",
+			Write:   "server.request=error@p=0.25",
+			Restart: "server.request=error@p=0.25",
+		})
+	}
+	return append(base,
+		// Process death inside the backend's own commit path.
+		ChaosSchedule{Name: "crash-put", Write: "store.put=crash@nth=2"},
+		// Death before anything of the checkpoint reaches the backend.
+		ChaosSchedule{Name: "crash-before-put", Write: "ckpt.put=crash@nth=2"},
+		// A transient read failure of the newest checkpoint during
+		// recovery: restart must fall back (or retry) — never fabricate.
+		ChaosSchedule{Name: "get-blip-restart", Restart: "store.get=error@nth=1@oneshot"},
+		// Retention pruning whose delete fails mid-churn.
+		ChaosSchedule{Name: "prune-delete-error", Write: "store.delete=error@nth=1", Retain: 2},
+		// The dedicated writer goroutine dies with a buffered checkpoint.
+		ChaosSchedule{Name: "writer-crash", Write: "async.writer=crash@nth=2", Needs: "async"},
+		// Network blips every few requests: the client's retry loop must
+		// absorb them without the workload noticing.
+		ChaosSchedule{Name: "flaky-network", Write: "remote.do=error@every=3", Needs: "remote"},
+		// A 503 storm across both phases, Retry-After hints included.
+		ChaosSchedule{Name: "shed-storm", Needs: "remote",
+			Write:   "server.request=error@p=0.25",
+			Restart: "server.request=error@p=0.25"},
+		// A slow service: no failures, just latency on every few requests.
+		ChaosSchedule{Name: "slow-server", Write: "server.request=delay@every=3@delay=1ms", Needs: "remote"},
+	)
+}
+
+// ChaosStacks returns every store stack the full sweep covers.
+func ChaosStacks() []string {
+	return []string{
+		"memory", "file", "sharded", "file+l2",
+		"file+async", "file+incr", "file+async+incr",
+		"remote", "remote+cached",
+	}
+}
+
+func chaosQuickStacks() []string {
+	return []string{"file", "file+async+incr", "remote+cached"}
+}
+
+// chaosStackConfig translates a stack name ("file+async+incr",
+// "remote+cached", "file+l2", ...) into a store configuration rooted at
+// dir, the checkpoint level, and whether the stack needs a live
+// checkpoint service.
+func chaosStackConfig(stack, dir string) (store.Config, checkpoint.Level, bool, error) {
+	scfg := store.Config{Dir: dir}
+	level := checkpoint.L1
+	remote := false
+	for i, part := range strings.Split(stack, "+") {
+		if i == 0 {
+			kind, err := store.ParseKind(part)
+			if err != nil {
+				return scfg, level, false, fmt.Errorf("harness: stack %q: %w", stack, err)
+			}
+			scfg.Kind = kind
+			remote = kind == store.KindRemote
+			continue
+		}
+		switch part {
+		case "async":
+			scfg.Async = true
+		case "incr":
+			scfg.Incremental = true
+			scfg.Keyframe = 4
+		case "cached":
+			scfg.CacheMB = 8
+		case "l2":
+			level = checkpoint.L2
+		default:
+			return scfg, level, false, fmt.Errorf("harness: stack %q: unknown layer %q", stack, part)
+		}
+	}
+	return scfg, level, remote, nil
+}
+
+func stackSatisfies(stack, needs string) bool {
+	switch needs {
+	case "":
+		return true
+	case "remote":
+		return strings.HasPrefix(stack, "remote")
+	default:
+		return strings.Contains(stack, needs)
+	}
+}
+
+// ChaosRun is one swept combination's outcome.
+type ChaosRun struct {
+	Bench    string
+	Stack    string
+	Schedule string
+	Seed     int64 // this run's derived fault seed
+	Events   int   // failpoints fired across both phases
+	EventLog []string
+	// Outcome: "recovered" (restart landed on a verified checkpoint and
+	// the re-run matched the reference), "absorbed" (the schedule fired
+	// but the stack rode it out and still recovered), "clean-error"
+	// (recovery refused with a typed error — nothing valid survived, or
+	// the recovery path was itself under fire), "no-fire" (the schedule
+	// never triggered on this stack; recovery verified anyway).
+	Outcome string
+	OK      bool
+	Detail  string
+}
+
+// Replay renders the CLI invocation that reruns exactly this
+// combination.
+func (r ChaosRun) Replay(sweepSeed int64) string {
+	return fmt.Sprintf("autocheck chaos -seed %d -benchmark %s -stack %s -schedule %s",
+		sweepSeed, r.Bench, r.Stack, r.Schedule)
+}
+
+// ChaosReport is the sweep summary.
+type ChaosReport struct {
+	Seed     int64
+	Runs     []ChaosRun
+	Failures int
+}
+
+// chaosPrep caches one benchmark's analysis and reference trajectory.
+type chaosPrep struct {
+	mod     *ir.Module
+	res     *core.Result
+	header  *ir.Block
+	iters   int64
+	perIter map[int64]map[string][]trace.Value // critical cells at each iteration
+	final   chaosState
+}
+
+type chaosState struct {
+	output string
+	cells  map[string][]trace.Value
+}
+
+func (p *chaosPrep) capture(m *interp.Machine) map[string][]trace.Value {
+	cells := make(map[string][]trace.Value, len(p.res.Critical))
+	for _, c := range p.res.Critical {
+		if c.Base == 0 {
+			continue
+		}
+		cells[c.Name] = m.ReadRange(c.Base, (c.SizeBytes+7)/8)
+	}
+	return cells
+}
+
+// chaosPrepare compiles, analyzes, and records the failure-free
+// trajectory of one benchmark: the critical cells at every main-loop
+// iteration (what a checkpoint at that iteration must restore) and the
+// final state (what any recovery must converge back to).
+func chaosPrepare(name string) (*chaosPrep, error) {
+	bench := progs.Get(name)
+	if bench == nil {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	}
+	p, err := Prepare(bench, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Analyze(0)
+	if err != nil {
+		return nil, err
+	}
+	fn := p.Mod.Func(res.Spec.Function)
+	if fn == nil {
+		return nil, fmt.Errorf("harness: no function %s", res.Spec.Function)
+	}
+	loop := cfg.New(fn).OutermostLoopInRange(res.Spec.StartLine, res.Spec.EndLine)
+	if loop == nil {
+		return nil, fmt.Errorf("harness: no loop for %s", res.Spec.Function)
+	}
+	prep := &chaosPrep{mod: p.Mod, res: res, header: loop.Header,
+		perIter: make(map[int64]map[string][]trace.Value)}
+	m := interp.New(p.Mod)
+	var entries int64
+	m.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+		if blk != prep.header || f.Fn.Name != res.Spec.Function {
+			return nil
+		}
+		entries++
+		if entries >= 2 {
+			prep.perIter[entries-1] = prep.capture(mm)
+		}
+		return nil
+	}
+	out, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: chaos reference run: %w", err)
+	}
+	prep.iters = entries - 1
+	prep.final = chaosState{output: out, cells: prep.capture(m)}
+	if prep.iters < 2 {
+		return nil, fmt.Errorf("harness: %s: main loop ran only %d iterations", name, prep.iters)
+	}
+	return prep, nil
+}
+
+// chaosSeed derives one combination's fault seed from the sweep seed.
+func chaosSeed(seed int64, bench, stack, schedule string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", bench, stack, schedule)
+	derived := seed ^ int64(h.Sum64())
+	if derived == 0 {
+		derived = 1
+	}
+	return derived
+}
+
+// runGuarded executes fn, converting an injected-crash panic into a
+// process-death marker; any other panic propagates.
+func runGuarded(fn func() error) (err error, crashed *faultinject.Crash) {
+	defer func() {
+		if p := recover(); p != nil {
+			c, ok := faultinject.AsCrash(p)
+			if !ok {
+				panic(p)
+			}
+			crashed = c
+		}
+	}()
+	return fn(), nil
+}
+
+// chaosService is the per-run checkpoint service of the remote stacks:
+// memory-backed namespaces, the run's registry armed on both the
+// request path and the namespace backends.
+type chaosService struct {
+	srv  *server.Server
+	addr string
+	errc chan error
+}
+
+func startChaosService(reg *faultinject.Registry) (*chaosService, error) {
+	srv := server.NewWithFactory(
+		server.Config{MaxInFlight: 16, Faults: reg},
+		func(ns string) (store.Backend, error) {
+			b := store.NewMemory()
+			store.InjectFaults(b, reg)
+			return b, nil
+		})
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	select {
+	case addr := <-ready:
+		return &chaosService{srv: srv, addr: addr, errc: errc}, nil
+	case err := <-errc:
+		return nil, fmt.Errorf("harness: chaos service: %w", err)
+	}
+}
+
+func (s *chaosService) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.srv.Shutdown(ctx)
+	<-s.errc
+}
+
+// RunChaosValidation executes the sweep and reports every run. The
+// returned error covers harness-level problems (unknown benchmark,
+// broken stack name); injected failures never error the sweep — they
+// land in the report, failures counted and replayable.
+func RunChaosValidation(scratch string, opts ChaosOptions) (*ChaosReport, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	benches := opts.Benchmarks
+	if len(benches) == 0 {
+		if opts.Quick {
+			benches = []string{"IS"}
+		} else {
+			benches = []string{"IS", "EP", "CG"}
+		}
+	}
+	stacks := opts.Stacks
+	if len(stacks) == 0 {
+		if opts.Quick {
+			stacks = chaosQuickStacks()
+		} else {
+			stacks = ChaosStacks()
+		}
+	}
+	catalog := ChaosSchedules(opts.Quick)
+	if len(opts.Schedules) > 0 {
+		var filtered []ChaosSchedule
+		for _, name := range opts.Schedules {
+			found := false
+			for _, s := range catalog {
+				if s.Name == name {
+					filtered = append(filtered, s)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("harness: unknown chaos schedule %q", name)
+			}
+		}
+		catalog = filtered
+	}
+	rep := &ChaosReport{Seed: opts.Seed}
+	for _, bname := range benches {
+		prep, err := chaosPrepare(bname)
+		if err != nil {
+			return nil, err
+		}
+		for _, stack := range stacks {
+			if _, _, _, err := chaosStackConfig(stack, "x"); err != nil {
+				return nil, err
+			}
+			for runIdx, sched := range catalog {
+				if !stackSatisfies(stack, sched.Needs) {
+					continue
+				}
+				dir := filepath.Join(scratch, fmt.Sprintf("%s-%s-%s-%d", bname, strings.ReplaceAll(stack, "+", "_"), sched.Name, runIdx))
+				run := chaosOne(prep, bname, stack, sched, dir, chaosSeed(opts.Seed, bname, stack, sched.Name))
+				if !run.OK {
+					rep.Failures++
+				}
+				rep.Runs = append(rep.Runs, run)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// chaosOne runs one benchmark × stack × schedule combination.
+func chaosOne(prep *chaosPrep, bname, stack string, sched ChaosSchedule, dir string, seed int64) ChaosRun {
+	run := ChaosRun{Bench: bname, Stack: stack, Schedule: sched.Name, Seed: seed}
+	fail := func(format string, args ...any) ChaosRun {
+		run.OK = false
+		run.Detail = fmt.Sprintf(format, args...)
+		return run
+	}
+	reg := faultinject.NewRegistry(seed)
+	if err := reg.ArmSchedule(sched.Write); err != nil {
+		return fail("bad write schedule: %v", err)
+	}
+	scfg, level, needsRemote, err := chaosStackConfig(stack, dir)
+	if err != nil {
+		return fail("%v", err)
+	}
+	scfg.Faults = reg
+	var svc *chaosService
+	if needsRemote {
+		if svc, err = startChaosService(reg); err != nil {
+			return fail("%v", err)
+		}
+		defer svc.stop()
+		scfg.Addr = svc.addr
+	}
+
+	// The memory backend is volatile: nothing survives process death, so
+	// its chaos scenario is the in-process restart — the store outlives
+	// the checkpointing Context (a failed worker re-attaching to a live
+	// embedded store) rather than the process. One backend instance is
+	// shared by both phases; the durable kinds re-open from the medium.
+	volatile := scfg.Kind == store.KindMemory
+	var sharedBase store.Backend
+	openCtx := func() (*checkpoint.Context, error) {
+		if !volatile {
+			return checkpoint.NewContextStore(scfg, level)
+		}
+		if sharedBase == nil {
+			b, err := store.Open(scfg)
+			if err != nil {
+				return nil, err
+			}
+			sharedBase = b
+		}
+		return checkpoint.NewContextBackend(sharedBase, level)
+	}
+
+	// ---- fault phase: checkpoint every iteration until the schedule
+	// kills the "process" (error or crash) or the run completes.
+	ctx, err := openCtx()
+	if err != nil {
+		return fail("open context: %v", err)
+	}
+	ctx.SetFaults(reg)
+	for _, c := range prep.res.Critical {
+		ctx.Protect(c.Name, c.Base, c.SizeBytes)
+	}
+	if sched.Retain > 0 {
+		ctx.Retain(sched.Retain)
+	}
+	committed := 0
+	runErr, crashed := runGuarded(func() error {
+		m := interp.New(prep.mod)
+		var entries int64
+		m.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+			if blk != prep.header || f.Fn.Name != prep.res.Spec.Function {
+				return nil
+			}
+			entries++
+			if entries < 2 {
+				return nil
+			}
+			if err := ctx.Checkpoint(mm, entries-1); err != nil {
+				return err
+			}
+			committed++
+			return nil
+		}
+		_, err := m.Run()
+		return err
+	})
+	died := crashed != nil || runErr != nil
+	// Settle durability knowledge: without an async layer every counted
+	// commit is durable; with one, only a clean flush proves it.
+	durable := committed > 0
+	if flushErr := ctx.Flush(); flushErr != nil && scfg.Async {
+		durable = false
+	}
+	ctx.Close()
+
+	// ---- recovery phase: fresh context over the surviving store, the
+	// restart schedule (if any) armed on the same registry.
+	reg.DisarmAll()
+	if err := reg.ArmSchedule(sched.Restart); err != nil {
+		return fail("bad restart schedule: %v", err)
+	}
+	var restored, finalCells map[string][]trace.Value
+	var restartIter int64
+	var out string
+	recErr, recCrashed := runGuarded(func() error {
+		ctx2, err := openCtx()
+		if err != nil {
+			return err
+		}
+		defer ctx2.Close()
+		ctx2.SetFaults(reg)
+		for _, c := range prep.res.Critical {
+			ctx2.Protect(c.Name, c.Base, c.SizeBytes)
+		}
+		m2 := interp.New(prep.mod)
+		var entries int64
+		m2.BlockHook = func(mm *interp.Machine, f *interp.Frame, blk *ir.Block) error {
+			if blk != prep.header || f.Fn.Name != prep.res.Spec.Function {
+				return nil
+			}
+			entries++
+			if entries == 1 {
+				iter, rerr := ctx2.Restart(mm, nil)
+				if rerr != nil {
+					return rerr
+				}
+				restartIter = iter
+				restored = prep.capture(mm)
+			}
+			return nil
+		}
+		out, err = m2.Run()
+		if err == nil {
+			finalCells = prep.capture(m2)
+		}
+		return err
+	})
+	run.Events = reg.Fired()
+	for _, e := range reg.Events() {
+		run.EventLog = append(run.EventLog, e.String())
+	}
+
+	switch {
+	case recCrashed != nil:
+		// A crash during recovery is only legitimate if the restart
+		// schedule armed one.
+		if sched.Restart == "" {
+			return fail("recovery crashed with no restart schedule armed: %v", recCrashed)
+		}
+		run.OK = true
+		run.Outcome = "clean-error"
+		run.Detail = recCrashed.Error()
+	case recErr != nil:
+		// Recovery refused. That is the contract — a typed error, never
+		// fabricated state — but only when there was genuinely nothing
+		// durable to recover, or the recovery path itself was under
+		// injected fire.
+		if durable && sched.Restart == "" {
+			return fail("restart failed despite %d durable checkpoints: %v", committed, recErr)
+		}
+		run.OK = true
+		run.Outcome = "clean-error"
+		run.Detail = recErr.Error()
+	default:
+		if restartIter < 1 || restartIter > prep.iters {
+			return fail("restart recovered impossible iteration %d (run had %d)", restartIter, prep.iters)
+		}
+		want, ok := prep.perIter[restartIter]
+		if !ok {
+			return fail("no reference state for recovered iteration %d", restartIter)
+		}
+		if !reflect.DeepEqual(restored, want) {
+			return fail("restored state at iteration %d differs from the failure-free run (silent corruption)", restartIter)
+		}
+		if out != prep.final.output {
+			return fail("re-run output diverged after restart at iteration %d", restartIter)
+		}
+		if !reflect.DeepEqual(finalCells, prep.final.cells) {
+			return fail("final critical-variable state diverged after restart at iteration %d", restartIter)
+		}
+		run.OK = true
+		switch {
+		case run.Events == 0:
+			run.Outcome = "no-fire"
+		case died:
+			run.Outcome = "recovered"
+			run.Detail = fmt.Sprintf("died after %d commits, recovered iteration %d", committed, restartIter)
+		default:
+			run.Outcome = "absorbed"
+			run.Detail = fmt.Sprintf("%d faults absorbed; recovery verified at iteration %d", run.Events, restartIter)
+		}
+	}
+	return run
+}
+
+// FormatChaos renders the sweep report, failures first in replayable
+// form.
+func FormatChaos(rep *ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos validation sweep (seed %d): %d runs, %d failures\n",
+		rep.Seed, len(rep.Runs), rep.Failures)
+	for _, r := range rep.Runs {
+		status := "PASS"
+		if !r.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %s  %-8s %-16s %-18s events=%-3d %-11s %s\n",
+			status, r.Bench, r.Stack, r.Schedule, r.Events, r.Outcome, r.Detail)
+		if !r.OK {
+			fmt.Fprintf(&b, "        seed=%d  schedule={write:%q restart:%q}\n        replay: %s\n",
+				r.Seed, scheduleSpec(r.Schedule, true), scheduleSpec(r.Schedule, false), r.Replay(rep.Seed))
+			for _, e := range r.EventLog {
+				fmt.Fprintf(&b, "        fired: %s\n", e)
+			}
+		}
+	}
+	return b.String()
+}
+
+// scheduleSpec looks a named schedule's spec back up for the report.
+func scheduleSpec(name string, write bool) string {
+	for _, quick := range []bool{false, true} {
+		for _, s := range ChaosSchedules(quick) {
+			if s.Name == name {
+				if write {
+					return s.Write
+				}
+				return s.Restart
+			}
+		}
+	}
+	return ""
+}

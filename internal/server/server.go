@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -40,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"autocheck/internal/faultinject"
 	"autocheck/internal/store"
 )
 
@@ -58,7 +60,21 @@ type Config struct {
 	// MaxObjectBytes bounds one object upload (default
 	// DefaultMaxObjectBytes).
 	MaxObjectBytes int64
+
+	// Faults arms deterministic fault injection on the request path (the
+	// SiteRequest failpoint); backend-side faults travel in Store.Faults.
+	// nil leaves the service fault-free.
+	Faults *faultinject.Registry
 }
+
+// SiteRequest is the service's failpoint: it fires after admission, once
+// per served request. An error action sheds the request with 503 +
+// Retry-After (a load/unavailability storm), drop swallows the response
+// after performing nothing (the client sees a dead connection), delay
+// slows the service, and crash kills the handling goroutine (net/http
+// recovers it per-connection, which the client also experiences as a
+// connection error).
+const SiteRequest = "server.request"
 
 // Config defaults.
 const (
@@ -156,6 +172,25 @@ func (s *Server) bound(next http.Handler) http.Handler {
 			http.Error(w, "server: too many in-flight requests", http.StatusServiceUnavailable)
 			return
 		}
+		// Before the requests counter, mirroring real load shedding: an
+		// injected 503 or dropped connection was never served, so the
+		// requests/rejected accounting stays consistent across both
+		// paths.
+		if err := s.cfg.Faults.Hit(SiteRequest); err != nil {
+			if a, _ := faultinject.ActionOf(err); a == faultinject.ActionDrop {
+				// Swallow the response: abort the connection without
+				// writing anything, which the client sees as a network
+				// error and retries.
+				panic(http.ErrAbortHandler)
+			}
+			s.rejected.Add(1)
+			// Injected unavailability looks exactly like load shedding,
+			// with an immediate-retry hint so chaos sweeps spend their
+			// time on retries, not sleeps.
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "server: injected unavailability", http.StatusServiceUnavailable)
+			return
+		}
 		s.requests.Add(1)
 		next.ServeHTTP(w, r)
 	})
@@ -174,6 +209,11 @@ func (s *Server) Serve(l net.Listener) error {
 		return errors.New("server: already shut down")
 	}
 	hs := &http.Server{Handler: s.handler}
+	if s.cfg.Faults != nil {
+		// Injected crashes panic handler goroutines on purpose; net/http
+		// logging every one would bury a chaos sweep's real output.
+		hs.ErrorLog = log.New(io.Discard, "", 0)
+	}
 	s.httpSrv = hs
 	s.mu.Unlock()
 	if err := hs.Serve(l); !errors.Is(err, http.ErrServerClosed) {
@@ -343,9 +383,16 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lock := s.keyLock(ns, key)
-	lock.Lock()
-	err = b.Put(key, sections)
-	lock.Unlock()
+	err = func() error {
+		lock.Lock()
+		// Deferred, not inline: a backend that panics mid-Put (an
+		// injected crash, or any real bug) must not leave the key's
+		// write lock held forever — net/http recovers the handler panic
+		// and only kills this connection, so a leaked lock would hang
+		// every later request for the key until the client times out.
+		defer lock.Unlock()
+		return b.Put(key, sections)
+	}()
 	if err != nil {
 		http.Error(w, fmt.Sprintf("server: put %s/%s: %v", ns, key, err), http.StatusInternalServerError)
 		return
@@ -363,9 +410,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lock := s.keyLock(ns, key)
-	lock.RLock()
-	sections, err := b.Get(key)
-	lock.RUnlock()
+	sections, err := func() ([]store.Section, error) {
+		lock.RLock()
+		defer lock.RUnlock() // released even if the backend panics
+		return b.Get(key)
+	}()
 	if errors.Is(err, store.ErrNotFound) {
 		http.Error(w, "server: object not found", http.StatusNotFound)
 		return
@@ -393,9 +442,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lock := s.keyLock(ns, key)
-	lock.Lock()
-	err := b.Delete(key)
-	lock.Unlock()
+	err := func() error {
+		lock.Lock()
+		defer lock.Unlock() // released even if the backend panics
+		return b.Delete(key)
+	}()
 	if errors.Is(err, store.ErrNotFound) {
 		http.Error(w, "server: object not found", http.StatusNotFound)
 		return

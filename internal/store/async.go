@@ -2,7 +2,10 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // Async decorates a backend with double-buffered asynchronous writes, the
@@ -18,10 +21,11 @@ import (
 // on Close. Reads (Get/List/Delete/Stats) flush pending writes first so
 // the decorator is sequentially consistent with itself.
 type Async struct {
-	inner Backend
-	slots chan struct{} // staging-buffer tokens (capacity = 2)
-	jobs  chan asyncJob
-	wg    sync.WaitGroup // pending + in-flight writes
+	inner  Backend
+	faults *faultinject.Registry
+	slots  chan struct{} // staging-buffer tokens (capacity = 2)
+	jobs   chan asyncJob
+	wg     sync.WaitGroup // pending + in-flight writes
 
 	// opMu serializes Put/Flush/Close so a Flush cannot observe a Put
 	// between its closed-check and its enqueue (and Close cannot close
@@ -52,9 +56,12 @@ func NewAsync(inner Backend) *Async {
 	return a
 }
 
+// SetFaults implements FaultInjectable.
+func (a *Async) SetFaults(r *faultinject.Registry) { a.faults = r }
+
 func (a *Async) writer() {
 	for job := range a.jobs {
-		if err := a.inner.Put(job.key, job.sections); err != nil {
+		if err := a.writeJob(job); err != nil {
 			a.mu.Lock()
 			if a.err == nil {
 				a.err = err
@@ -64,6 +71,28 @@ func (a *Async) writer() {
 		<-a.slots
 		a.wg.Done()
 	}
+}
+
+// writeJob persists one staged buffer. An injected crash panic is
+// contained here and converted into the decorator's sticky deferred
+// error — the dedicated writer "died", its buffered write is lost, and
+// the next Put/Flush/Close reports it — instead of taking down the
+// whole process from a goroutine no harness can recover. Real panics
+// from the inner backend still propagate.
+func (a *Async) writeJob(job asyncJob) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c, ok := faultinject.AsCrash(p)
+			if !ok {
+				panic(p)
+			}
+			err = fmt.Errorf("store: async writer crashed: %w", c)
+		}
+	}()
+	if ferr := a.faults.Hit(SiteAsyncWriter); ferr != nil {
+		return ferr
+	}
+	return a.inner.Put(job.key, job.sections)
 }
 
 func (a *Async) deferredErr() error {
@@ -87,6 +116,9 @@ func (a *Async) Put(key string, sections []Section) error {
 		return err
 	}
 	a.mu.Unlock()
+	if err := a.faults.Hit(SiteAsyncPut); err != nil {
+		return err
+	}
 	a.slots <- struct{}{} // blocks iff both staging buffers are in flight
 	a.wg.Add(1)
 	a.jobs <- asyncJob{key: key, sections: copySections(sections)}
@@ -130,9 +162,22 @@ func (a *Async) List() ([]string, error) {
 	return a.inner.List()
 }
 
-// Delete implements Backend (flushes first).
+// Delete implements Backend. Unlike the read-side operations, Delete
+// holds opMu across both the drain and the inner delete: with the
+// drain-then-release pattern a Put accepted in the window between the
+// two could be applied by the background writer after the inner delete
+// ran — or the delete could land between the Put's enqueue and its
+// write, deleting nothing and letting the buffered write resurrect the
+// object. Holding opMu makes Delete atomic with respect to Put: every
+// Put that returned before Delete was called is drained and then
+// deleted; every Put issued while Delete runs is applied after it.
 func (a *Async) Delete(key string) error {
-	a.drain()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.wg.Wait()
+	if err := a.faults.Hit(SiteAsyncDelete); err != nil {
+		return err
+	}
 	return a.inner.Delete(key)
 }
 

@@ -2,7 +2,10 @@ package store
 
 import (
 	"container/list"
+	"errors"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // Cached is a byte-bounded read-through/write-through LRU tier over a
@@ -23,15 +26,17 @@ import (
 // Context, one namespace). A second process writing the same keys
 // behind the cache's back would be served stale objects until eviction.
 type Cached struct {
-	inner Backend
-	limit int64
+	inner  Backend
+	limit  int64
+	faults *faultinject.Registry
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recent; values are *cacheEntry
 	size    int64
 	flight  map[string]*flightCall
-	stats   Stats // CacheHits/CacheMisses only; the rest is inner's
+	delSeq  uint64 // bumped by every Delete; guards Put's post-write insert
+	stats   Stats  // CacheHits/CacheMisses only; the rest is inner's
 }
 
 type cacheEntry struct {
@@ -44,10 +49,18 @@ type flightCall struct {
 	done chan struct{}
 	blob []byte
 	err  error
+	// stale is set (under c.mu) by a Put or Delete of the key while the
+	// leader's inner read is in flight: whatever the leader got back no
+	// longer reflects the inner store and must not populate the cache.
+	stale bool
 }
 
 // DefaultCacheBytes is the cache bound when none is given.
 const DefaultCacheBytes = int64(64) << 20
+
+// errFlightAbandoned fails followers of a single-flight leader that
+// panicked away; each follower retries and one of them re-reads.
+var errFlightAbandoned = errors.New("store: cache read leader crashed")
 
 // NewCached wraps inner with an LRU cache bounded to maxBytes of encoded
 // objects (<= 0 selects DefaultCacheBytes).
@@ -61,6 +74,18 @@ func NewCached(inner Backend, maxBytes int64) *Cached {
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 		flight:  make(map[string]*flightCall),
+	}
+}
+
+// SetFaults implements FaultInjectable.
+func (c *Cached) SetFaults(r *faultinject.Registry) { c.faults = r }
+
+// invalidateFlight marks any in-progress single-flight read of key as
+// stale so its result cannot repopulate the cache over this mutation.
+// Caller holds c.mu.
+func (c *Cached) invalidateFlight(key string) {
+	if call, ok := c.flight[key]; ok {
+		call.stale = true
 	}
 }
 
@@ -108,72 +133,130 @@ func (c *Cached) removeElement(el *list.Element) {
 // newest checkpoint hit without ever touching the inner store; it is
 // only paid after the write lands.
 func (c *Cached) Put(key string, sections []Section) error {
+	c.mu.Lock()
+	seq := c.delSeq
+	c.mu.Unlock()
 	if err := c.inner.Put(key, sections); err != nil {
 		// The write may have partially (or wholly) replaced the inner
-		// object; a cached copy of either generation could now be wrong.
+		// object; a cached copy of either generation could now be wrong,
+		// and so could an in-flight leader's read of it.
 		c.mu.Lock()
+		c.invalidateFlight(key)
 		c.evict(key)
 		c.mu.Unlock()
 		return err
 	}
 	blob := EncodeSections(sections)
 	c.mu.Lock()
-	c.insert(key, blob)
+	c.invalidateFlight(key) // a leader mid-read now holds the older generation
+	// A Delete that ran between the inner write and here has already
+	// removed the inner object; caching the blob would serve a deleted
+	// checkpoint forever. The global sequence is deliberately coarse —
+	// deletes are rare (retention pruning), and skipping one cache fill
+	// costs a future miss, not correctness.
+	if seq == c.delSeq {
+		c.insert(key, blob)
+	}
 	c.mu.Unlock()
 	return nil
 }
 
 // Get implements Backend: cache hit, or a single-flighted inner read.
+// When the flight leader's read fails, waiting followers do not adopt
+// that error as their own answer: the flight entry is already cleared,
+// so each follower retries from the top — one becomes the next leader —
+// and only a leader's own inner error (or a definitive ErrNotFound) is
+// ever returned to a caller. A transient blip on one read therefore
+// fails one caller's read at most, instead of every piled-up restart.
 func (c *Cached) Get(key string) ([]Section, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		blob := el.Value.(*cacheEntry).blob
-		// Cache-served reads keep the uniform Get accounting the inner
-		// backend would have recorded, plus the hit counter.
-		c.stats.CacheHits++
-		c.stats.Gets++
-		c.stats.BytesRead += int64(len(blob))
-		c.mu.Unlock()
-		return DecodeSections(blob)
-	}
-	if call, ok := c.flight[key]; ok {
-		// Another Get of this key is already reading the inner backend;
-		// share its result. Counted as a hit: the point of the stat is
-		// inner reads avoided.
-		c.stats.CacheHits++
-		c.mu.Unlock()
-		<-call.done
-		if call.err != nil {
-			return nil, call.err
-		}
+	for {
 		c.mu.Lock()
-		c.stats.Gets++
-		c.stats.BytesRead += int64(len(call.blob))
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			blob := el.Value.(*cacheEntry).blob
+			// Cache-served reads keep the uniform Get accounting the inner
+			// backend would have recorded, plus the hit counter.
+			c.stats.CacheHits++
+			c.stats.Gets++
+			c.stats.BytesRead += int64(len(blob))
+			c.mu.Unlock()
+			return DecodeSections(blob)
+		}
+		if call, ok := c.flight[key]; ok {
+			// Another Get of this key is already reading the inner
+			// backend; share its result.
+			c.mu.Unlock()
+			<-call.done
+			if call.err != nil {
+				if call.err == ErrNotFound {
+					// Absence is an answer, not a failure; retrying would
+					// just re-read the inner store for the same no. Still
+					// a hit: the shared flight avoided an inner read.
+					c.mu.Lock()
+					c.stats.CacheHits++
+					c.mu.Unlock()
+					return nil, call.err
+				}
+				// The leader failed; this Get goes back around and does
+				// its own read — nothing was avoided, nothing counted.
+				continue
+			}
+			// Counted as a hit only now that the shared result is
+			// actually consumed: the point of the stat is inner reads
+			// avoided.
+			c.mu.Lock()
+			c.stats.CacheHits++
+			c.stats.Gets++
+			c.stats.BytesRead += int64(len(call.blob))
+			c.mu.Unlock()
+			return DecodeSections(call.blob)
+		}
+		call := &flightCall{done: make(chan struct{})}
+		c.flight[key] = call
+		c.stats.CacheMisses++
 		c.mu.Unlock()
-		return DecodeSections(call.blob)
-	}
-	call := &flightCall{done: make(chan struct{})}
-	c.flight[key] = call
-	c.stats.CacheMisses++
-	c.mu.Unlock()
 
-	sections, err := c.inner.Get(key)
-	if err == nil {
-		call.blob = EncodeSections(sections)
+		sections, err := func() (_ []Section, err error) {
+			// A panic out of the leader (an injected crash at this site
+			// or inside the inner backend) must not strand followers on
+			// a flight that will never complete: fail the flight, then
+			// let the panic continue to the caller's crash boundary.
+			defer func() {
+				if p := recover(); p != nil {
+					call.err = errFlightAbandoned
+					c.mu.Lock()
+					delete(c.flight, key)
+					c.mu.Unlock()
+					close(call.done)
+					panic(p)
+				}
+			}()
+			if err := c.faults.Hit(SiteCachedLeader); err != nil {
+				return nil, err
+			}
+			return c.inner.Get(key)
+		}()
+		if err == nil {
+			call.blob = EncodeSections(sections)
+		}
+		call.err = err
+		c.mu.Lock()
+		delete(c.flight, key)
+		// A Put or Delete of this key during the inner read marked the
+		// flight stale: the sections in hand belong to a superseded
+		// generation (or to an object that no longer exists) and must
+		// not repopulate the cache. The leader still returns them — its
+		// read was correct when it was issued.
+		if err == nil && !call.stale {
+			c.insert(key, call.blob)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		if err != nil {
+			return nil, err
+		}
+		return sections, nil
 	}
-	call.err = err
-	c.mu.Lock()
-	delete(c.flight, key)
-	if err == nil {
-		c.insert(key, call.blob)
-	}
-	c.mu.Unlock()
-	close(call.done)
-	if err != nil {
-		return nil, err
-	}
-	return sections, nil
 }
 
 // List implements Backend (pass-through: the cache holds objects, not
@@ -181,10 +264,14 @@ func (c *Cached) Get(key string) ([]Section, error) {
 func (c *Cached) List() ([]string, error) { return c.inner.List() }
 
 // Delete implements Backend: delete through, evict locally even when the
-// inner delete fails (a half-deleted object must not be served).
+// inner delete fails (a half-deleted object must not be served), and
+// invalidate any in-flight read so a Get racing this Delete cannot
+// re-populate the cache with the deleted blob.
 func (c *Cached) Delete(key string) error {
 	err := c.inner.Delete(key)
 	c.mu.Lock()
+	c.delSeq++
+	c.invalidateFlight(key)
 	c.evict(key)
 	c.mu.Unlock()
 	return err

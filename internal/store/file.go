@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // File is the single-file backend: one object per file under dir, the
@@ -16,12 +18,16 @@ import (
 // a crash mid-write never leaves a half-object under the real key; a torn
 // rename is still caught by the CRC framing on Get.
 type File struct {
-	dir  string
-	sync bool
+	dir    string
+	sync   bool
+	faults *faultinject.Registry
 
 	mu    sync.Mutex
 	stats Stats
 }
+
+// SetFaults implements FaultInjectable.
+func (f *File) SetFaults(r *faultinject.Registry) { f.faults = r }
 
 const tmpSuffix = ".tmp"
 
@@ -40,8 +46,18 @@ func (f *File) path(key string) string { return filepath.Join(f.dir, key) }
 // Put implements Backend.
 func (f *File) Put(key string, sections []Section) error {
 	blob := EncodeSections(sections)
+	blob, ferr := f.faults.HitBlob(SitePut, blob)
+	if ferr != nil && !faultinject.IsTorn(ferr) {
+		return ferr
+	}
+	// A torn injection commits the truncated blob through the same
+	// atomic-rename path — modelling a write torn below the rename
+	// boundary (a partial page, a lying disk) that Get's CRC must catch.
 	if err := writeFileAtomic(f.path(key), blob, f.sync); err != nil {
 		return err
+	}
+	if ferr != nil {
+		return ferr
 	}
 	f.mu.Lock()
 	f.stats.Puts++
@@ -108,6 +124,9 @@ func syncDir(dir string) error {
 
 // Get implements Backend.
 func (f *File) Get(key string) ([]Section, error) {
+	if err := f.faults.Hit(SiteGet); err != nil {
+		return nil, err
+	}
 	blob, err := os.ReadFile(f.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNotFound
@@ -141,6 +160,9 @@ func (f *File) List() ([]string, error) {
 
 // Delete implements Backend.
 func (f *File) Delete(key string) error {
+	if err := f.faults.Hit(SiteDelete); err != nil {
+		return err
+	}
 	err := os.Remove(f.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
 		return ErrNotFound

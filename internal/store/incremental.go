@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // Incremental decorates a backend with delta checkpoints: every Keyframe
@@ -29,10 +31,43 @@ import (
 // earlier session whose keyframe has since been overwritten (or any other
 // base/delta mismatch) fails reconstruction with an error instead of
 // silently patching stale chunks onto new content.
+// ChainBrokenError is returned by Incremental.Get when the delta chain
+// beneath a key can no longer reconstruct it: its keyframe is gone, an
+// intermediate delta was deleted, or a link's recorded predecessor
+// digest does not match the object actually stored beneath it. It is a
+// typed refusal to fabricate state — callers (checkpoint.Restart, the
+// chaos harness) treat it like any other verification failure and fall
+// back to an older checkpoint. The retention path never provokes it:
+// checkpoint.Context.Retain resolves Dependencies before deleting, so
+// only out-of-band deletes (or lost objects) break a chain.
+type ChainBrokenError struct {
+	Key    string // the key whose reconstruction failed
+	Link   string // the chain link that is missing or mismatched ("" if unknown)
+	Reason string
+	Err    error // underlying cause when a link read failed (nil for structural breaks)
+}
+
+func (e *ChainBrokenError) Error() string {
+	reason := e.Reason
+	if e.Err != nil {
+		reason = e.Err.Error()
+	}
+	if e.Link != "" {
+		return fmt.Sprintf("store: delta chain for %q broken at %q: %s", e.Key, e.Link, reason)
+	}
+	return fmt.Sprintf("store: delta chain for %q broken: %s", e.Key, reason)
+}
+
+// Unwrap exposes the cause of a failed link read, so callers can still
+// tell "the chain is structurally broken" from "one read failed"
+// (errors.Is(err, ErrNotFound), an injected fault, a remote 5xx).
+func (e *ChainBrokenError) Unwrap() error { return e.Err }
+
 type Incremental struct {
 	inner    Backend
 	keyframe int
 	chunk    int
+	faults   *faultinject.Registry
 
 	mu         sync.Mutex
 	puts       int
@@ -104,10 +139,16 @@ func objectDigest(sections []Section) uint64 {
 	return h.Sum64()
 }
 
+// SetFaults implements FaultInjectable.
+func (inc *Incremental) SetFaults(r *faultinject.Registry) { inc.faults = r }
+
 // Put implements Backend.
 func (inc *Incremental) Put(key string, sections []Section) error {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
+	if err := inc.faults.Hit(SiteIncrementalPut); err != nil {
+		return err
+	}
 	// A key that does not sort after the last stored object (e.g. an
 	// overwrite of an existing object) cannot be expressed as a delta:
 	// reconstruction walks keys in (baseKey, key] order, and a delta over
@@ -280,7 +321,7 @@ func (inc *Incremental) Get(key string) ([]Section, error) {
 		}
 	}
 	if len(chain) == 0 || chain[0] != baseKey {
-		return nil, fmt.Errorf("store: keyframe %q for delta %q is gone", baseKey, key)
+		return nil, &ChainBrokenError{Key: key, Link: baseKey, Reason: "keyframe is gone"}
 	}
 	var order []string
 	var running uint64
@@ -288,7 +329,7 @@ func (inc *Incremental) Get(key string) ([]Section, error) {
 	for i, k := range chain {
 		prior, err := inc.inner.Get(k)
 		if err != nil {
-			return nil, fmt.Errorf("store: delta chain for %q: %w", key, err)
+			return nil, &ChainBrokenError{Key: key, Link: k, Reason: "reading chain link", Err: err}
 		}
 		priorKind, _, priorPred, sections, err := parseObject(prior)
 		if err != nil {
@@ -296,10 +337,11 @@ func (inc *Incremental) Get(key string) ([]Section, error) {
 		}
 		if i == 0 {
 			if priorKind != kindKeyframe {
-				return nil, fmt.Errorf("store: base %q of delta %q is not a keyframe", k, key)
+				return nil, &ChainBrokenError{Key: key, Link: k, Reason: "base of the chain is not a keyframe"}
 			}
 		} else if priorKind != kindDelta || priorPred != running {
-			return nil, fmt.Errorf("store: delta %q does not descend from the stored %q (stale delta from an earlier chain)", k, chain[i-1])
+			return nil, &ChainBrokenError{Key: key, Link: k,
+				Reason: fmt.Sprintf("delta does not descend from the stored %q (deleted intermediate, or stale delta from an earlier chain)", chain[i-1])}
 		}
 		running = objectDigest(prior)
 		if order, err = overlay(state, order, sections); err != nil {
@@ -307,7 +349,8 @@ func (inc *Incremental) Get(key string) ([]Section, error) {
 		}
 	}
 	if predDigest != running {
-		return nil, fmt.Errorf("store: delta %q does not descend from the stored %q (stale delta from an earlier chain)", key, chain[len(chain)-1])
+		return nil, &ChainBrokenError{Key: key, Link: chain[len(chain)-1],
+			Reason: "delta does not descend from the stored predecessor (deleted intermediate, or stale delta from an earlier chain)"}
 	}
 	if order, err = overlay(state, order, payload); err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package store
 import (
 	"sort"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // Memory is the in-memory backend: objects live in a map as encoded
@@ -11,10 +13,15 @@ import (
 // keep the same CRC framing as the file backend so integrity checking and
 // byte accounting are identical across backends.
 type Memory struct {
+	faults *faultinject.Registry
+
 	mu      sync.Mutex
 	objects map[string][]byte
 	stats   Stats
 }
+
+// SetFaults implements FaultInjectable.
+func (m *Memory) SetFaults(r *faultinject.Registry) { m.faults = r }
 
 // NewMemory creates an empty in-memory backend.
 func NewMemory() *Memory {
@@ -24,9 +31,19 @@ func NewMemory() *Memory {
 // Put implements Backend.
 func (m *Memory) Put(key string, sections []Section) error {
 	blob := EncodeSections(sections)
+	blob, ferr := m.faults.HitBlob(SitePut, blob)
+	if ferr != nil && !faultinject.IsTorn(ferr) {
+		return ferr
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// A torn injection still commits its truncated blob — the write
+	// "reached the medium" half-done and the CRC framing must catch it
+	// on Get — but fails the Put and is not counted as a good write.
 	m.objects[key] = blob
+	if ferr != nil {
+		return ferr
+	}
 	m.stats.Puts++
 	m.stats.BytesWritten += int64(len(blob))
 	m.stats.SectionsWritten += int64(len(sections))
@@ -35,6 +52,9 @@ func (m *Memory) Put(key string, sections []Section) error {
 
 // Get implements Backend.
 func (m *Memory) Get(key string) ([]Section, error) {
+	if err := m.faults.Hit(SiteGet); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	blob, ok := m.objects[key]
 	if ok {
@@ -62,6 +82,9 @@ func (m *Memory) List() ([]string, error) {
 
 // Delete implements Backend.
 func (m *Memory) Delete(key string) error {
+	if err := m.faults.Hit(SiteDelete); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.objects[key]; !ok {

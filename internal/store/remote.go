@@ -7,9 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"autocheck/internal/faultinject"
 )
 
 // Remote is the client backend for the networked checkpoint service of
@@ -23,30 +26,44 @@ import (
 // recycle the connection). Transient failures — network errors and 5xx
 // responses, including the service's 503 load-shedding when its
 // in-flight bound is hit — are retried with exponential backoff, at
-// most MaxAttempts times; 4xx responses are permanent and returned
-// immediately. Get re-verifies the CRC framing end to end, so a torn or
-// bit-flipped payload fails the same way it would on disk and
-// checkpoint.Restart falls back to an older checkpoint.
+// most MaxAttempts times and within a MaxElapsed wall-clock budget;
+// when a 503 carries a Retry-After hint the next wait follows the hint
+// instead of the local schedule (the service knows how long its drain
+// or shed condition lasts better than a blind doubling does). 4xx
+// responses are permanent and returned immediately. Get re-verifies the
+// CRC framing end to end, so a torn or bit-flipped payload fails the
+// same way it would on disk and checkpoint.Restart falls back to an
+// older checkpoint.
 type Remote struct {
 	// MaxAttempts and Backoff tune the retry loop (total tries and the
-	// first retry's delay, doubling per attempt). They may be adjusted
-	// before the first request; the defaults suit a LAN service.
+	// first retry's delay, doubling per attempt). MaxElapsed caps one
+	// operation's total wall-clock across all attempts and waits, so a
+	// Retry-After storm cannot pin a checkpointing client indefinitely.
+	// They may be adjusted before the first request; the defaults suit a
+	// LAN service.
 	MaxAttempts int
 	Backoff     time.Duration
+	MaxElapsed  time.Duration
 
 	base   string // http://host:port/v1/<ns>, no trailing slash
 	ns     string
 	client *http.Client
+	faults *faultinject.Registry
+
+	// Test seams for the retry loop's clock; nil means the real one.
+	sleep func(time.Duration)
+	now   func() time.Time
 
 	mu    sync.Mutex
 	stats Stats
 }
 
 // Remote retry defaults: 4 attempts, 25ms first backoff (25+50+100 ms of
-// waiting before the last try).
+// waiting before the last try), 15s total wall-clock per operation.
 const (
-	DefaultRemoteAttempts = 4
-	DefaultRemoteBackoff  = 25 * time.Millisecond
+	DefaultRemoteAttempts   = 4
+	DefaultRemoteBackoff    = 25 * time.Millisecond
+	DefaultRemoteMaxElapsed = 15 * time.Second
 )
 
 // NewRemote returns a client backend for the checkpoint service at addr
@@ -73,6 +90,7 @@ func NewRemote(addr, namespace string) (*Remote, error) {
 	return &Remote{
 		MaxAttempts: DefaultRemoteAttempts,
 		Backoff:     DefaultRemoteBackoff,
+		MaxElapsed:  DefaultRemoteMaxElapsed,
 		base:        strings.TrimSuffix(u.String(), "/") + "/v1/" + url.PathEscape(namespace),
 		ns:          namespace,
 		client: &http.Client{
@@ -121,19 +139,86 @@ func (e *errRemoteStatus) Error() string {
 
 func transientStatus(status int) bool { return status >= 500 }
 
+// SetFaults implements FaultInjectable.
+func (r *Remote) SetFaults(reg *faultinject.Registry) { r.faults = reg }
+
+func (r *Remote) clock() (func(time.Duration), func() time.Time) {
+	sleep, now := r.sleep, r.now
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return sleep, now
+}
+
+// parseRetryAfter interprets a Retry-After header value — delay-seconds
+// or an HTTP-date — as a wait duration. ok distinguishes an explicit
+// "retry immediately" hint (0, true) from an absent or unparseable
+// header (0, false).
+func parseRetryAfter(v string, now time.Time) (_ time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // do performs one HTTP exchange with bounded retry/backoff, returning
-// the response body. body may be nil; it is re-sent on every attempt.
+// the response body. body may be nil; the request is rebuilt from it on
+// every attempt (a reader consumed by a failed send is never reused),
+// and GetBody is set so the transport can replay it inside one attempt
+// too. A transient response carrying Retry-After overrides the next
+// backoff wait with the server's hint. Total retry wall-clock — waits
+// included — is capped by MaxElapsed: a wait that would overrun the
+// budget is not taken and the operation fails with the last error.
 func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 	attempts := r.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	maxElapsed := r.MaxElapsed
+	if maxElapsed <= 0 {
+		maxElapsed = DefaultRemoteMaxElapsed
+	}
+	sleep, now := r.clock()
+	start := now()
 	backoff := r.Backoff
 	var lastErr error
+	var hint time.Duration // Retry-After from the previous attempt
+	var hinted bool        // set even for an explicit "retry now" (0s) hint
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			wait := backoff
 			backoff *= 2
+			if hinted {
+				wait, hint, hinted = hint, 0, false
+			}
+			if elapsed := now().Sub(start); elapsed+wait > maxElapsed {
+				return nil, fmt.Errorf("store: remote service: retry budget %v exhausted after %v (%d attempts): %w",
+					maxElapsed, elapsed, attempt, lastErr)
+			}
+			if wait > 0 {
+				sleep(wait)
+			}
+		}
+		if ferr := r.faults.Hit(SiteRemoteDo); ferr != nil {
+			// Injected network failure: transient, costs an attempt.
+			lastErr = fmt.Errorf("store: remote service: %w", ferr)
+			continue
 		}
 		var reader io.Reader
 		if body != nil {
@@ -146,6 +231,9 @@ func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 		if body != nil {
 			req.ContentLength = int64(len(body))
 			req.Header.Set("Content-Type", "application/octet-stream")
+			req.GetBody = func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(body)), nil
+			}
 		}
 		resp, err := r.client.Do(req)
 		if err != nil {
@@ -163,6 +251,7 @@ func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 			if !transientStatus(resp.StatusCode) {
 				return nil, lastErr
 			}
+			hint, hinted = parseRetryAfter(resp.Header.Get("Retry-After"), now())
 			continue
 		case readErr != nil:
 			lastErr = fmt.Errorf("store: remote service: reading response: %w", readErr)

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"autocheck/internal/faultinject"
 )
 
 // fakeService is a minimal scripted stand-in for internal/server (which
@@ -298,5 +300,205 @@ func TestNamespaceForDir(t *testing.T) {
 	long := NamespaceForDir(strings.Repeat("/very/long/path", 20))
 	if !ValidName(long) {
 		t.Errorf("long-path namespace %q invalid", long)
+	}
+}
+
+// fakeClock is the retry loop's test clock: sleeps advance it instantly
+// and are recorded, so Retry-After and budget behavior are asserted
+// without real waiting.
+type fakeClock struct {
+	mu    sync.Mutex
+	t     time.Time
+	waits []time.Duration
+}
+
+func (c *fakeClock) install(r *Remote) {
+	c.t = time.Unix(1000, 0)
+	r.sleep = func(d time.Duration) {
+		c.mu.Lock()
+		c.waits = append(c.waits, d)
+		c.t = c.t.Add(d)
+		c.mu.Unlock()
+	}
+	r.now = func() time.Time {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.t
+	}
+}
+
+func (c *fakeClock) slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.waits...)
+}
+
+func TestRemoteHonorsRetryAfterHint(t *testing.T) {
+	var mu sync.Mutex
+	shed := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		s := shed > 0
+		if s {
+			shed--
+		}
+		mu.Unlock()
+		if s {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	r := fastRemote(t, srv.URL, "hint")
+	defer r.Close()
+	clock := &fakeClock{}
+	clock.install(r)
+	if err := r.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatalf("put through the shed window: %v", err)
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if got := clock.slept(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("waits = %v, want the server's Retry-After hint %v (not the local backoff)", got, want)
+	}
+}
+
+func TestRemoteRetryAfterParsing(t *testing.T) {
+	now := time.Unix(1000, 0)
+	if d, ok := parseRetryAfter(now.Add(3*time.Second).UTC().Format(http.TimeFormat), now); !ok || d <= 0 || d > 3*time.Second {
+		t.Errorf("HTTP-date Retry-After parsed to (%v, %v)", d, ok)
+	}
+	if d, ok := parseRetryAfter("garbage", now); ok || d != 0 {
+		t.Errorf("unparseable Retry-After = (%v, %v), want (0, false)", d, ok)
+	}
+	if d, ok := parseRetryAfter("-5", now); ok || d != 0 {
+		t.Errorf("negative Retry-After = (%v, %v), want (0, false)", d, ok)
+	}
+	// An explicit 0 is a real hint ("retry now"), not an absent header.
+	if d, ok := parseRetryAfter("0", now); !ok || d != 0 {
+		t.Errorf("Retry-After: 0 = (%v, %v), want (0, true)", d, ok)
+	}
+}
+
+// TestRemoteImmediateRetryHint: a 503 carrying "Retry-After: 0" means
+// retry now — the client must not substitute its own backoff sleep.
+func TestRemoteImmediateRetryHint(t *testing.T) {
+	var mu sync.Mutex
+	shed := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		s := shed > 0
+		if s {
+			shed--
+		}
+		mu.Unlock()
+		if s {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "retry immediately", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	r := fastRemote(t, srv.URL, "now")
+	defer r.Close()
+	clock := &fakeClock{}
+	clock.install(r)
+	if err := r.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if waits := clock.slept(); len(waits) != 0 {
+		t.Fatalf("client slept %v despite an immediate-retry hint", waits)
+	}
+}
+
+func TestRemoteRetryBudgetCapsWallClock(t *testing.T) {
+	requests := 0
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "down for a while", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	r := fastRemote(t, srv.URL, "budget")
+	defer r.Close()
+	r.MaxAttempts = 10
+	r.MaxElapsed = 10 * time.Second
+	clock := &fakeClock{}
+	clock.install(r)
+	err := r.Put("ckpt-000001", sampleSections(1))
+	if err == nil {
+		t.Fatal("put succeeded against a shedding service")
+	}
+	if !strings.Contains(err.Error(), "retry budget") || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error = %v, want budget exhaustion wrapping the last 503", err)
+	}
+	// The 30s hint overruns the 10s budget: no wait is taken, exactly one
+	// request is made, and the op fails fast instead of sleeping blindly.
+	mu.Lock()
+	got := requests
+	mu.Unlock()
+	if got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if len(clock.slept()) != 0 {
+		t.Errorf("client slept %v past its budget", clock.slept())
+	}
+}
+
+func TestRemoteRebuildsBodyOnRetry(t *testing.T) {
+	blob := EncodeSections(sampleSections(6))
+	var mu sync.Mutex
+	var bodies [][]byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, body)
+		first := len(bodies) == 1
+		mu.Unlock()
+		if first {
+			// Consume the whole upload, then fail: a client reusing the
+			// spent reader would send an empty body on the retry.
+			http.Error(w, "try again", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	r := fastRemote(t, srv.URL, "rebuild")
+	defer r.Close()
+	if err := r.Put("ckpt-000001", sampleSections(6)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 2 {
+		t.Fatalf("requests = %d, want 2", len(bodies))
+	}
+	for i, b := range bodies {
+		if !reflect.DeepEqual(b, blob) {
+			t.Errorf("attempt %d body has %d bytes, want the full %d-byte object", i+1, len(b), len(blob))
+		}
+	}
+}
+
+func TestRemoteInjectedNetworkFaultIsTransient(t *testing.T) {
+	f := newFakeService(t)
+	r := fastRemote(t, f.srv.URL, "inject")
+	defer r.Close()
+	reg := faultinject.NewRegistry(1)
+	reg.Arm(faultinject.Failpoint{Site: SiteRemoteDo, Action: faultinject.ActionError, Nth: 1})
+	r.SetFaults(reg)
+	if err := r.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatalf("put should ride out the injected network fault: %v", err)
+	}
+	// The injected failure happened before the wire: the service saw only
+	// the successful second attempt.
+	if got := f.requestCount(); got != 1 {
+		t.Errorf("service requests = %d, want 1", got)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"autocheck/internal/faultinject"
 )
 
 // Sharded is the sharded-file backend: each object is a directory holding
@@ -29,6 +31,7 @@ type Sharded struct {
 	dir     string
 	workers int
 	sync    bool
+	faults  *faultinject.Registry
 
 	// keyMu holds one mutex per key serializing Put/Delete on that key: a
 	// Put is a multi-file read-modify-write (generation pick, shard
@@ -70,6 +73,9 @@ func NewSharded(dir string, workers int, sync bool) (*Sharded, error) {
 }
 
 func (s *Sharded) objDir(key string) string { return filepath.Join(s.dir, key) }
+
+// SetFaults implements FaultInjectable.
+func (s *Sharded) SetFaults(r *faultinject.Registry) { s.faults = r }
 
 // keyLock returns the mutex serializing writes to key (entries persist
 // for the backend's lifetime; one pointer per key ever written).
@@ -213,8 +219,19 @@ func (s *Sharded) Put(key string, sections []Section) error {
 		bytes += int64(len(sec.Data))
 	}
 	manifest := EncodeSections(entries)
+	// The put failpoint guards the manifest because the manifest IS the
+	// commit point: an error here leaves the previous committed object
+	// intact (crash-before-commit), a torn manifest commits an object
+	// whose Get fails manifest verification.
+	manifest, ferr := s.faults.HitBlob(SitePut, manifest)
+	if ferr != nil && !faultinject.IsTorn(ferr) {
+		return ferr
+	}
 	if err := writeFileAtomic(filepath.Join(dir, manifestName), manifest, s.sync); err != nil {
 		return err
+	}
+	if ferr != nil {
+		return ferr
 	}
 	if s.sync && !cached {
 		// First commit of this key by this instance: the store root's
@@ -282,6 +299,9 @@ func manifestEntries(manifest []byte, key string) (uint64, []Section, error) {
 // overwrite's post-commit sweep from deleting the generation this
 // reader's manifest references mid-read.
 func (s *Sharded) Get(key string) ([]Section, error) {
+	if err := s.faults.Hit(SiteGet); err != nil {
+		return nil, err
+	}
 	s.sweepMu.RLock()
 	sections, read, err := s.getOnce(key)
 	s.sweepMu.RUnlock()
@@ -358,6 +378,9 @@ func (s *Sharded) List() ([]string, error) {
 
 // Delete implements Backend.
 func (s *Sharded) Delete(key string) error {
+	if err := s.faults.Hit(SiteDelete); err != nil {
+		return err
+	}
 	lock := s.keyLock(key)
 	lock.Lock()
 	defer lock.Unlock()

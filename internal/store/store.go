@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"autocheck/internal/faultinject"
 )
 
 // Section is one named chunk of an object. The checkpoint layer writes
@@ -126,6 +128,66 @@ type Config struct {
 	Incremental bool // wrap with the delta/incremental decorator
 	Keyframe    int  // incremental: full checkpoint every N puts (default 8)
 	ChunkBytes  int  // incremental: intra-section diff granularity (default 256)
+
+	// Faults, when set, arms deterministic fault injection on every
+	// layer Open/Decorate construct. nil (the default) leaves the sites
+	// as nil checks — the hot paths are unchanged.
+	Faults *faultinject.Registry
+}
+
+// Failpoint sites of the store package. The base backends share one set
+// of role-named sites (exactly one base sits in any chain, so a schedule
+// like "store.put=torn@nth=3" means the same thing on every stack);
+// decorators get their own.
+const (
+	// SitePut guards a base backend's object commit and carries the
+	// encoded blob (HitBlob): error aborts before the medium is touched,
+	// torn persists a truncated object, crash kills the goroutine
+	// mid-commit. For the sharded backend the site guards the manifest —
+	// its commit point.
+	SitePut = "store.put"
+	// SiteGet guards a base backend's object read.
+	SiteGet = "store.get"
+	// SiteDelete guards a base backend's object removal.
+	SiteDelete = "store.delete"
+	// SiteAsyncPut fires on the synchronous half of an async Put, before
+	// the sections are staged.
+	SiteAsyncPut = "async.put"
+	// SiteAsyncWriter fires on the background writer, before it hands a
+	// staged buffer to the inner backend; errors and crashes surface as
+	// the decorator's deferred write error.
+	SiteAsyncWriter = "async.writer"
+	// SiteAsyncDelete fires inside Async.Delete's critical section,
+	// after pending writes drained and before the inner delete — the
+	// exact window of the delete/buffered-put ordering race.
+	SiteAsyncDelete = "async.delete"
+	// SiteIncrementalPut fires before the incremental decorator decides
+	// between keyframe and delta.
+	SiteIncrementalPut = "incr.put"
+	// SiteCachedLeader fires on a cache miss's single-flight leader,
+	// after it won the flight and before it reads the inner backend —
+	// the window in which a concurrent Delete or failing leader must not
+	// poison followers.
+	SiteCachedLeader = "cached.get.leader"
+	// SiteRemoteDo fires before every HTTP attempt of the remote client,
+	// injected failures counting as transient network errors against the
+	// retry budget.
+	SiteRemoteDo = "remote.do"
+)
+
+// FaultInjectable is implemented by every backend and decorator in this
+// package: SetFaults arms (or, with nil, disarms) the layer's own
+// failpoint sites. It does not recurse — Open and Decorate arm each
+// layer as they build the chain.
+type FaultInjectable interface {
+	SetFaults(*faultinject.Registry)
+}
+
+// InjectFaults arms b's own failpoint sites when it has any.
+func InjectFaults(b Backend, r *faultinject.Registry) {
+	if fi, ok := b.(FaultInjectable); ok {
+		fi.SetFaults(r)
+	}
 }
 
 // Open constructs the base backend selected by cfg, including the cache
@@ -138,8 +200,10 @@ func Open(cfg Config) (Backend, error) {
 	if err != nil {
 		return nil, err
 	}
+	InjectFaults(b, cfg.Faults)
 	if cfg.CacheMB > 0 {
 		b = NewCached(b, int64(cfg.CacheMB)<<20)
+		InjectFaults(b, cfg.Faults)
 	}
 	return b, nil
 }
@@ -178,9 +242,11 @@ func openBase(cfg Config) (Backend, error) {
 func Decorate(b Backend, cfg Config) Backend {
 	if cfg.Incremental {
 		b = NewIncremental(b, cfg.Keyframe, cfg.ChunkBytes)
+		InjectFaults(b, cfg.Faults)
 	}
 	if cfg.Async {
 		b = NewAsync(b)
+		InjectFaults(b, cfg.Faults)
 	}
 	return b
 }
