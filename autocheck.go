@@ -57,6 +57,9 @@ type (
 	Result = core.Result
 	// CriticalVar is one variable to checkpoint.
 	CriticalVar = core.CriticalVar
+	// Provenance explains one variable's classification decision (set in
+	// Result.Provenance with Options.Explain).
+	Provenance = core.Provenance
 	// NoLoopError reports a LoopSpec that matched nothing in the trace
 	// (function, line range, and records scanned are in the message).
 	NoLoopError = core.NoLoopError

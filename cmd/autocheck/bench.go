@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"autocheck/internal/core"
 	"autocheck/internal/harness"
 	"autocheck/internal/interp"
+	"autocheck/internal/obs"
 	"autocheck/internal/progs"
 	"autocheck/internal/server"
 	"autocheck/internal/store"
@@ -25,12 +27,12 @@ import (
 // its own namespace, seeds it with 8 synthetic checkpoints (3 variables
 // x 256 cells), and returns the context, a machine to restart into, and
 // the byte size of one restart's reads.
-func seedRemoteRestart(addr, name string, cacheMB int) (*checkpoint.Context, *interp.Machine, int, error) {
+func seedRemoteRestart(addr, name string, cacheMB int, reg *obs.Registry) (*checkpoint.Context, *interp.Machine, int, error) {
 	mod, err := autocheck.CompileProgram(`int main() { return 0; }`)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	cfg := store.Config{Kind: store.KindRemote, Addr: addr, Dir: "bench-" + name, CacheMB: cacheMB}
+	cfg := store.Config{Kind: store.KindRemote, Addr: addr, Dir: "bench-" + name, CacheMB: cacheMB, Obs: reg}
 	ctx, err := checkpoint.NewContextStore(cfg, checkpoint.L1)
 	if err != nil {
 		return nil, nil, 0, err
@@ -69,16 +71,26 @@ type benchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// benchObsSnapshot condenses the telemetry registry that observed the
+// remote series into the trajectory: p95 latency per store/server
+// operation and the cache tier's hit rate, so perf history carries the
+// distribution tails alongside the ns/op means.
+type benchObsSnapshot struct {
+	P95Ns        map[string]int64 `json:"p95_ns"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+}
+
 // benchReport is one `autocheck bench` run.
 type benchReport struct {
-	Date            string       `json:"date"`
-	Benchmark       string       `json:"benchmark"`
-	Scale           int          `json:"scale"`
-	Records         int          `json:"records"`
-	TextBytes       int          `json:"text_bytes"`
-	BinaryBytes     int          `json:"binary_bytes"`
-	BinaryTextRatio float64      `json:"binary_text_ratio"`
-	Entries         []benchEntry `json:"entries"`
+	Date            string            `json:"date"`
+	Benchmark       string            `json:"benchmark"`
+	Scale           int               `json:"scale"`
+	Records         int               `json:"records"`
+	TextBytes       int               `json:"text_bytes"`
+	BinaryBytes     int               `json:"binary_bytes"`
+	BinaryTextRatio float64           `json:"binary_text_ratio"`
+	Entries         []benchEntry      `json:"entries"`
+	Obs             *benchObsSnapshot `json:"obs,omitempty"`
 }
 
 func runOne(name string, totalBytes int, fn func(b *testing.B)) benchEntry {
@@ -234,7 +246,11 @@ func cmdBench(args []string) error {
 	// throughput vs client count), then the restart read path with and
 	// without the read-through cache tier.
 	fmt.Println("starting in-process checkpoint service for the remote series...")
-	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+	// One registry observes the whole remote series — service routes,
+	// per-namespace store stacks, and the cached clients — and its
+	// snapshot rides into the trajectory entry.
+	reg := obs.New()
+	svc := server.NewWithFactory(server.Config{Obs: reg}, func(ns string) (store.Backend, error) {
 		return store.NewMemory(), nil
 	})
 	ts := httptest.NewServer(svc.Handler())
@@ -270,7 +286,7 @@ func cmdBench(args []string) error {
 		{"remote-restart-cached", 64},
 	} {
 		tc := tc
-		ctx, m, bytesPerRestart, err := seedRemoteRestart(ts.URL, tc.name, tc.cacheMB)
+		ctx, m, bytesPerRestart, err := seedRemoteRestart(ts.URL, tc.name, tc.cacheMB, reg)
 		if err != nil {
 			return err
 		}
@@ -286,6 +302,22 @@ func cmdBench(args []string) error {
 			}))
 		ctx.Close()
 	}
+
+	// Fold the remote series' telemetry into the entry: per-op p95 tails
+	// plus the cache tier's hit rate.
+	snap := reg.Snapshot()
+	bo := &benchObsSnapshot{P95Ns: make(map[string]int64)}
+	for name, h := range snap.Histograms {
+		if strings.HasSuffix(name, ".ns") && h.Count > 0 {
+			bo.P95Ns[name] = h.P95Ns
+		}
+	}
+	hits := snap.Counters["store.cache.hits"] + snap.Counters["store.cache.follower_hits"]
+	if total := hits + snap.Counters["store.cache.misses"]; total > 0 {
+		bo.CacheHitRate = float64(hits) / float64(total)
+	}
+	rep.Obs = bo
+	fmt.Printf("obs: %d op histograms, cache hit rate %.1f%%\n", len(bo.P95Ns), 100*bo.CacheHitRate)
 
 	history = append(history, rep)
 	data, err := json.MarshalIndent(history, "", "  ")

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+)
+
+// Doctor exit codes, one per failure class, so scripts and CI can branch
+// without parsing output. Documented in DESIGN.md ("Observability").
+const (
+	doctorOK           = 0
+	doctorConnectivity = 10 // service unreachable / store stack won't open
+	doctorCanary       = 11 // write/read/delete round trip failed or returned wrong bytes
+	doctorIntegrity    = 12 // broken dependency chain or unreadable checkpoint
+	doctorMetrics      = 13 // metrics endpoint missing or malformed
+)
+
+// cmdDoctor probes a checkpoint deployment's health: a live service
+// (-addr) or a local store stack (-dir/-store). Every check prints a
+// line; the first failure aborts with its class's exit code.
+func cmdDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	addr := fs.String("addr", "", "probe a live checkpoint service at this address")
+	ns := fs.String("ns", "doctor", "live mode: service namespace for the canary probe")
+	storeKind := fs.String("store", "file", "local mode: backend kind (file, memory, sharded)")
+	dir := fs.String("dir", "", "local mode: storage root to examine")
+	cacheMB := fs.Int("cache-mb", 0, "local mode: read-through cache tier (MB, 0 = off)")
+	async := fs.Bool("async", false, "local mode: async write decorator")
+	incremental := fs.Bool("incremental", false, "local mode: incremental decorator")
+	keyframe := fs.Int("keyframe", 8, "local mode: incremental keyframe interval")
+	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "local mode: sharded write pool size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr != "" {
+		return doctorLive(*addr, *ns)
+	}
+	kind, err := store.ParseKind(*storeKind)
+	if err != nil {
+		return err
+	}
+	if kind == store.KindRemote {
+		return fmt.Errorf("doctor probes a live service with -addr, not -store remote")
+	}
+	if *dir == "" && kind != store.KindMemory {
+		return fmt.Errorf("doctor needs -addr (live service) or -dir (local store)")
+	}
+	return doctorLocal(store.Config{
+		Kind:        kind,
+		Dir:         *dir,
+		CacheMB:     *cacheMB,
+		Workers:     *shardWorkers,
+		Async:       *async,
+		Incremental: *incremental,
+		Keyframe:    *keyframe,
+	})
+}
+
+// canarySections is the deterministic payload of the canary round trip.
+// The CRC spot check is implicit: a Get only succeeds if every section's
+// stored checksum still matches its bytes.
+func canarySections() []store.Section {
+	payload := bytes.Repeat([]byte("autocheck-doctor"), 16)
+	return []store.Section{
+		{Name: "canary", Data: payload},
+		{Name: "stamp", Data: []byte("doctor")},
+	}
+}
+
+const canaryKey = "doctor-canary"
+
+// canaryRoundTrip writes, reads back, verifies, and deletes the canary
+// key on any backend. The key carries no "ckpt-" prefix, so retention
+// and restart logic never consider it.
+func canaryRoundTrip(b store.Backend) error {
+	want := canarySections()
+	if err := b.Put(canaryKey, want); err != nil {
+		return fmt.Errorf("canary put: %w", err)
+	}
+	if err := b.Flush(); err != nil {
+		return fmt.Errorf("canary flush: %w", err)
+	}
+	got, err := b.Get(canaryKey)
+	if err != nil {
+		return fmt.Errorf("canary get: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("canary read back %d sections, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || !bytes.Equal(got[i].Data, want[i].Data) {
+			return fmt.Errorf("canary section %q does not match what was written", want[i].Name)
+		}
+	}
+	if err := b.Delete(canaryKey); err != nil {
+		return fmt.Errorf("canary delete: %w", err)
+	}
+	return nil
+}
+
+// doctorLive probes a running checkpoint service: connectivity via
+// /v1/stats, a canary round trip through a real client, and the metrics
+// endpoint's health.
+func doctorLive(addr, ns string) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Connectivity: the stats endpoint answers and decodes.
+	var stats server.StatsReport
+	if err := getJSON(client, base+"/v1/stats", &stats); err != nil {
+		return &exitError{doctorConnectivity, fmt.Errorf("doctor: connectivity: %w", err)}
+	}
+	fmt.Printf("doctor: connectivity OK (addr=%s namespaces=%d requests=%d)\n",
+		addr, stats.Namespaces, stats.Requests)
+
+	// Canary: a full write/read/delete through the real client path,
+	// CRC-verified on decode.
+	r, err := store.NewRemote(addr, ns)
+	if err != nil {
+		return &exitError{doctorCanary, fmt.Errorf("doctor: canary client: %w", err)}
+	}
+	defer r.Close()
+	r.MaxAttempts = 2
+	r.Backoff = 50 * time.Millisecond
+	if err := canaryRoundTrip(r); err != nil {
+		return &exitError{doctorCanary, fmt.Errorf("doctor: %w", err)}
+	}
+	fmt.Printf("doctor: canary OK (namespace=%s key=%s)\n", ns, canaryKey)
+
+	// Metrics: the endpoint answers, decodes, and covers the canary
+	// traffic just generated.
+	var rep server.MetricsReport
+	if err := getJSON(client, base+"/v1/metrics", &rep); err != nil {
+		return &exitError{doctorMetrics, fmt.Errorf("doctor: metrics: %w", err)}
+	}
+	if rep.Metrics.Histograms["server.put.ns"].Count == 0 {
+		return &exitError{doctorMetrics, fmt.Errorf("doctor: metrics: no server.put.ns samples after canary write")}
+	}
+	fmt.Printf("doctor: metrics OK (put p95=%s get p95=%s%s)\n",
+		time.Duration(rep.Metrics.Histograms["server.put.ns"].P95Ns),
+		time.Duration(rep.Metrics.Histograms["server.get.ns"].P95Ns),
+		cacheRateText(rep.Stats.Store))
+	fmt.Println("doctor: all checks passed")
+	return nil
+}
+
+// doctorLocal opens a store stack and examines it in place: open,
+// canary round trip, then an integrity walk over every stored key.
+func doctorLocal(cfg store.Config) error {
+	b, err := store.Open(cfg)
+	if err != nil {
+		return &exitError{doctorConnectivity, fmt.Errorf("doctor: open: %w", err)}
+	}
+	b = store.Decorate(b, cfg)
+	defer b.Close()
+	fmt.Printf("doctor: open OK (store=%s dir=%q async=%v incremental=%v)\n",
+		cfg.Kind, cfg.Dir, cfg.Async, cfg.Incremental)
+
+	if err := canaryRoundTrip(b); err != nil {
+		return &exitError{doctorCanary, fmt.Errorf("doctor: %w", err)}
+	}
+	fmt.Printf("doctor: canary OK (key=%s)\n", canaryKey)
+
+	// Integrity walk: every stored object's dependency chain must be
+	// complete, and the newest checkpoint must read back CRC-clean.
+	keys, err := b.List()
+	if err != nil {
+		return &exitError{doctorIntegrity, fmt.Errorf("doctor: list: %w", err)}
+	}
+	present := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		present[k] = true
+	}
+	for _, k := range keys {
+		deps, err := store.DependenciesOf(b, k)
+		if err != nil {
+			return &exitError{doctorIntegrity, fmt.Errorf("doctor: dependencies of %s: %w", k, err)}
+		}
+		for _, dep := range deps {
+			if !present[dep] {
+				return &exitError{doctorIntegrity,
+					fmt.Errorf("doctor: %s depends on missing key %s (broken chain)", k, dep)}
+			}
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		newest := keys[len(keys)-1]
+		if _, err := b.Get(newest); err != nil {
+			return &exitError{doctorIntegrity, fmt.Errorf("doctor: reading newest key %s: %w", newest, err)}
+		}
+		fmt.Printf("doctor: integrity OK (%d keys, chains complete, newest %s reads back)\n", len(keys), newest)
+	} else {
+		fmt.Println("doctor: integrity OK (store is empty)")
+	}
+
+	st := b.Stats()
+	fmt.Printf("doctor: stats puts=%d gets=%d bytes-written=%d%s\n",
+		st.Puts, st.Gets, st.BytesWritten, cacheRateText(st))
+	fmt.Println("doctor: all checks passed")
+	return nil
+}
+
+// cacheRateText renders the cache hit rate when a cache tier saw any
+// traffic, and nothing otherwise.
+func cacheRateText(st store.Stats) string {
+	total := st.CacheHits + st.CacheFollowerHits + st.CacheMisses
+	if total == 0 {
+		return ""
+	}
+	rate := float64(st.CacheHits+st.CacheFollowerHits) / float64(total)
+	return fmt.Sprintf(" cache-hit-rate=%.1f%%", 100*rate)
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"autocheck/internal/store"
+)
+
+func TestDoctorLocalHealthy(t *testing.T) {
+	if err := doctorLocal(store.Config{Kind: store.KindFile, Dir: t.TempDir()}); err != nil {
+		t.Fatalf("doctorLocal on a fresh store = %v, want nil", err)
+	}
+}
+
+// TestDoctorLocalBrokenChain deletes a keyframe out from under a delta
+// chain and checks the integrity walk reports it with the typed exit
+// code.
+func TestDoctorLocalBrokenChain(t *testing.T) {
+	dir := t.TempDir()
+	cfg := store.Config{Kind: store.KindFile, Dir: dir, Incremental: true, Keyframe: 8}
+	b, err := store.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = store.Decorate(b, cfg)
+	secs := func(fill byte) []store.Section {
+		return []store.Section{{Name: "v", Data: bytes.Repeat([]byte{fill}, 64)}}
+	}
+	if err := b.Put("ckpt-000001", secs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("ckpt-000002", secs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the keyframe behind the decorator's back: the delta for
+	// ckpt-000002 can no longer be reconstructed.
+	inner, err := store.Open(store.Config{Kind: store.KindFile, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Delete("ckpt-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = doctorLocal(cfg)
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != doctorIntegrity {
+		t.Fatalf("doctorLocal over broken chain = %v, want exit code %d", err, doctorIntegrity)
+	}
+}

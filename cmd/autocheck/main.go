@@ -2,6 +2,8 @@
 // reproduction.
 //
 //	autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
+//	autocheck explain  -file prog.mc -start N -end M [-func main]
+//	autocheck doctor   [-addr HOST:PORT | -dir DIR [-store KIND]]
 //	autocheck trace    -file prog.mc [-o trace.txt]
 //	autocheck table2 | table3 [-workers K] | table4
 //	autocheck validate [-store file|memory|sharded|remote] [-addr HOST:PORT]
@@ -24,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +45,17 @@ import (
 	"autocheck/internal/validate"
 )
 
+// exitError carries a typed process exit code alongside the failure, so
+// scripted callers (the doctor's CI smoke job, health probes) can branch
+// on the failure class instead of parsing messages.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -51,6 +65,10 @@ func main() {
 	switch os.Args[1] {
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "doctor":
+		err = cmdDoctor(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "convert":
@@ -80,6 +98,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autocheck: %v\n", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }
@@ -106,6 +128,23 @@ func usage() {
                                 convert between the trace encodings
                                 (input format auto-detected; default -to
                                 is the opposite of the input)
+  autocheck explain  -file prog.mc -start N -end M [-func main]
+                                analyze and print the per-variable
+                                provenance trail: the classification
+                                listing (identical to analyze) plus, for
+                                every MLI variable, the accumulated
+                                signals and the rule that decided
+  autocheck doctor   [-addr HOST:PORT | -dir DIR [-store KIND]]
+                                probe a checkpoint deployment's health;
+                                typed exit codes per failure class:
+                                0 healthy, 10 connectivity, 11 canary
+                                round trip, 12 chain/CRC integrity,
+                                13 metrics endpoint
+      -addr          live mode: service address (checks /v1/stats, a
+                     canary write/read/delete, and /v1/metrics)
+      -ns            live mode: canary namespace (default doctor)
+      -dir, -store   local mode: open the stack and walk every stored
+                     key's dependency chain, plus the canary round trip
   autocheck table2 [-workers K] regenerate Table II  (critical variables)
       -workers analyze the 14 ports concurrently with K engines (0 = serial)
   autocheck table3 [-workers K] regenerate Table III (analysis cost)
@@ -245,6 +284,21 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	printAnalysis(res)
+	if *ddg && res.Contracted != nil {
+		fmt.Println("\ncontracted DDG (DOT):")
+		fmt.Print(res.Contracted.DOT("contracted"))
+	}
+	fmt.Printf("timing: pre=%v dep=%v identify=%v total=%v\n",
+		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
+	return nil
+}
+
+// printAnalysis renders the classification part of an analysis result.
+// Both `analyze` and `explain` go through it, so an explain run's
+// critical-variable listing is byte-identical to analyze's on the same
+// trace.
+func printAnalysis(res *autocheck.Result) {
 	fmt.Printf("trace: %d records (A=%d B=%d C=%d)\n",
 		res.Stats.Records, res.Stats.RegionA, res.Stats.RegionB, res.Stats.RegionC)
 	fmt.Printf("MLI variables: ")
@@ -263,13 +317,6 @@ func cmdAnalyze(args []string) error {
 		}
 		fmt.Printf("  %-24s %-8s %8d bytes  (%s)\n", c.Name, c.Type, c.SizeBytes, where)
 	}
-	if *ddg && res.Contracted != nil {
-		fmt.Println("\ncontracted DDG (DOT):")
-		fmt.Print(res.Contracted.DOT("contracted"))
-	}
-	fmt.Printf("timing: pre=%v dep=%v identify=%v total=%v\n",
-		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
-	return nil
 }
 
 func cmdTrace(args []string) error {
@@ -508,8 +555,11 @@ func cmdServe(args []string) error {
 	case err := <-serveErr:
 		return err
 	}
-	fmt.Printf("checkpoint service listening on %s (backend=%s, max in-flight %d)\n",
-		bound, kind, *maxInFlight)
+	// One structured line each for startup and shutdown: greppable
+	// key=value pairs that log collectors and the doctor smoke job can
+	// consume without parsing prose.
+	fmt.Printf("serve: start addr=%s store=%s dir=%q max-inflight=%d sync=%v\n",
+		bound, kind, root, *maxInFlight, *syncWrites)
 	fmt.Printf("clients: autocheck validate -store remote -addr %s\n", bound)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -524,8 +574,10 @@ func cmdServe(args []string) error {
 			return err
 		}
 		rep := srv.Stats()
-		fmt.Printf("served %d requests (%d shed) across %d namespaces; %d puts, %d gets\n",
-			rep.Requests, rep.Rejected, rep.Namespaces, rep.Store.Puts, rep.Store.Gets)
+		fmt.Printf("serve: stop addr=%s requests=%d shed=%d namespaces=%d puts=%d gets=%d bytes-written=%d bytes-read=%d cache-hits=%d cache-follower-hits=%d cache-misses=%d\n",
+			bound, rep.Requests, rep.Rejected, rep.Namespaces,
+			rep.Store.Puts, rep.Store.Gets, rep.Store.BytesWritten, rep.Store.BytesRead,
+			rep.Store.CacheHits, rep.Store.CacheFollowerHits, rep.Store.CacheMisses)
 		return nil
 	}
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"autocheck/internal/interp"
+	"autocheck/internal/trace"
+)
+
+func BenchmarkObserveHot(b *testing.B) {
+	mod, err := interp.Compile(fig4Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := interp.TraceProgram(mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(fig4Spec, Options{IncludeGlobals: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range recs {
+		e.Observe(&recs[i])
+	}
+	var hot *trace.Record
+	for i := range recs {
+		r := &recs[i]
+		if r.Opcode == trace.OpLoad && r.Func == fig4Spec.Function &&
+			r.Line >= fig4Spec.StartLine && r.Line <= fig4Spec.EndLine {
+			hot = r
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(hot)
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"time"
 
 	"autocheck/internal/ddg"
 	"autocheck/internal/ir"
+	"autocheck/internal/obs"
 	"autocheck/internal/trace"
 )
 
@@ -48,6 +48,15 @@ type Options struct {
 	// identification via loop analysis (the paper's llvm-pass-loop API).
 	// Without it a trace-based heuristic is used.
 	Module *ir.Module
+	// Obs, when non-nil, receives per-sweep timing histograms and record
+	// counters ("core.sweep.*.ns", "core.identify.ns", "core.analyze.records").
+	// Recording happens once per sweep, never per record, so the hot paths
+	// are untouched either way.
+	Obs *obs.Registry
+	// Explain additionally fills Result.Provenance: one entry per MLI
+	// variable describing the accumulated signals and the rule that did
+	// (or did not) classify it. Classification itself is unaffected.
+	Explain bool
 }
 
 // DefaultOptions returns the recommended configuration.
@@ -108,11 +117,40 @@ type Result struct {
 	Spec     LoopSpec
 	MLI      []*VarInfo
 	Critical []CriticalVar
+	// Provenance is only set with Options.Explain: one entry per MLI (and
+	// induction) variable, in classification order first, then the
+	// variables no rule matched.
+	Provenance []Provenance
 	// Contracted and Complete are only set with Options.BuildDDG.
 	Contracted *ddg.Graph
 	Complete   *ddg.Graph
 	Timing     Timing
 	Stats      Stats
+}
+
+// Provenance explains one variable's classification decision: the signals
+// module 2 accumulated while streaming the trace and the §IV-C rule module
+// 3 applied to them. Both identify and explain derive from the same
+// classifySummary call, so a printed trail can never disagree with the
+// critical-variable list.
+type Provenance struct {
+	Name     string
+	Fn       string // declaring function; "" for globals
+	Critical bool
+	Type     DependencyType // meaningful only when Critical
+	Rule     string         // the decision, in words
+	// Region-B signals (dependency pass).
+	FirstAccess   string // "read", "write", or "none"
+	FirstDyn      int64  // dynamic id of the first region-B access, -1 if none
+	Reads, Writes int64
+	UncoveredRead bool  // read an array element never written earlier in B
+	UncoveredDyn  int64 // dynamic id of the first such read, -1 if none
+	// Region-C signal.
+	ReadAfterLoop bool
+	AfterLoopDyn  int64 // dynamic id of the first region-C read, -1 if none
+	// Induction signals.
+	SelfUpdates int64 // stores of v computed from v
+	CmpUses     int64 // loads of v feeding comparisons
 }
 
 // CriticalNames returns the sorted names of the critical variables.
@@ -224,6 +262,12 @@ type varSummary struct {
 	readAfterLoop bool            // read in region C
 	selfUpdate    int64           // stores of v computed from v (induction signal)
 	cmpUses       int64           // loads of v feeding comparisons (induction signal)
+	// Provenance captures: the dynamic ids where the decisive signals
+	// first fired. Set once inside branches the pass takes anyway, so
+	// they cost nothing when Explain is off.
+	firstDyn     int64 // first region-B access
+	uncoveredDyn int64 // first uncovered read
+	afterDyn     int64 // first region-C read
 }
 
 type analyzer struct {
@@ -287,12 +331,27 @@ func (a *analyzer) trackStorage(r *trace.Record) {
 	}
 }
 
+// isNumeric reports whether s is an (optionally signed) decimal integer.
+// Hand-rolled rather than strconv.Atoi: this runs for every named operand
+// of every Load/Store/GEP, and Atoi's error return allocates on the
+// non-numeric names that dominate real traces.
 func isNumeric(s string) bool {
 	if s == "" {
 		return false
 	}
-	_, err := strconv.Atoi(s)
-	return err == nil
+	i := 0
+	if s[0] == '-' || s[0] == '+' {
+		if len(s) == 1 {
+			return false
+		}
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // accessAddr returns the memory address a Load or Store touches, or 0.
@@ -377,7 +436,8 @@ func (a *analyzer) isMLI(v *VarInfo) bool {
 func (a *analyzer) summary(v *VarInfo) *varSummary {
 	s, ok := a.sums[v.ID()]
 	if !ok {
-		s = &varSummary{v: v, written: make(map[uint64]bool)}
+		s = &varSummary{v: v, written: make(map[uint64]bool),
+			firstDyn: -1, uncoveredDyn: -1, afterDyn: -1}
 		a.sums[v.ID()] = s
 	}
 	return s

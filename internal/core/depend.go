@@ -184,9 +184,13 @@ func (a *analyzer) processLoopRecord(r *trace.Record) {
 			if !s.haveFirst {
 				s.haveFirst = true
 				s.firstIsRead = true
+				s.firstDyn = r.DynID
 			}
 			s.reads++
 			if !s.written[addr] {
+				if !s.uncoveredRead {
+					s.uncoveredDyn = r.DynID
+				}
 				s.uncoveredRead = true
 			}
 		}
@@ -208,6 +212,7 @@ func (a *analyzer) processLoopRecord(r *trace.Record) {
 			s := a.summary(v)
 			if !s.haveFirst {
 				s.haveFirst = true
+				s.firstDyn = r.DynID
 			}
 			s.writes++
 			s.written[addr] = true
@@ -290,7 +295,11 @@ func (a *analyzer) processAfterLoop(r *trace.Record) {
 		return
 	}
 	if v := a.vt.resolve(addr); v != nil && (a.trackAll || a.isMLI(v)) {
-		a.summary(v).readAfterLoop = true
+		s := a.summary(v)
+		if !s.readAfterLoop {
+			s.afterDyn = r.DynID
+		}
+		s.readAfterLoop = true
 	}
 }
 

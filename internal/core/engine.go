@@ -291,7 +291,12 @@ type identifyPass struct{ a *analyzer }
 func (p *identifyPass) Name() string                            { return "identify" }
 func (p *identifyPass) Begin()                                  {}
 func (p *identifyPass) Step(r *trace.Record, i int, reg Region) {}
-func (p *identifyPass) Finish(res *Result)                      { res.Critical = p.a.identify() }
+func (p *identifyPass) Finish(res *Result) {
+	res.Critical = p.a.identify()
+	if p.a.opts.Explain {
+		res.Provenance = p.a.provenance(res.Critical)
+	}
+}
 
 // ---- Offline schedule ----
 
@@ -361,14 +366,17 @@ func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
 		return nil, &NoLoopError{Spec: spec, Records: part.n}
 	}
 	res.Stats = part.stats()
+	opts.Obs.Histogram("core.sweep.partition.ns").ObserveSince(t0)
 
 	// Sweep 2: MLI collection (module 1).
+	t1 := time.Now()
 	collect := &collectPass{a}
 	if err := runSweep(src, part, &storagePass{a}, collect); err != nil {
 		return nil, err
 	}
 	collect.Finish(res)
 	res.Timing.Pre = time.Since(t0)
+	opts.Obs.Histogram("core.sweep.collect.ns").ObserveSince(t1)
 
 	// Sweep 3: dependency analysis (module 2), optionally with the DDG.
 	t0 = time.Now()
@@ -383,12 +391,15 @@ func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
 		p.Finish(res)
 	}
 	res.Timing.Dep = time.Since(t0)
+	opts.Obs.Histogram("core.sweep.depend.ns").ObserveSince(t0)
 
 	// Identification (module 3).
 	t0 = time.Now()
 	(&identifyPass{a}).Finish(res)
 	res.Timing.Identify = time.Since(t0)
 	res.Timing.Total = time.Since(total0)
+	opts.Obs.Histogram("core.identify.ns").ObserveSince(t0)
+	opts.Obs.Counter("core.analyze.records").Add(int64(res.Stats.Records))
 	return res, nil
 }
 
@@ -414,6 +425,7 @@ type Engine struct {
 	a      *analyzer
 	part   *scanPartitioner
 	passes []Pass
+	emit   func(*trace.Record, Region) // e.step, bound once: a per-Observe method value would allocate
 	n      int
 	frozen bool
 	start  time.Time
@@ -433,6 +445,7 @@ func NewEngine(spec LoopSpec, opts Options) (*Engine, error) {
 		passes: []Pass{&storagePass{a}, &collectPass{a}, &dependPass{a}},
 		start:  time.Now(),
 	}
+	e.emit = e.step
 	for _, p := range e.passes {
 		p.Begin()
 	}
@@ -444,7 +457,7 @@ func NewEngine(spec LoopSpec, opts Options) (*Engine, error) {
 // buffer) when its region is not yet decidable; pass order always equals
 // trace order.
 func (e *Engine) Observe(r *trace.Record) {
-	e.part.observe(r, e.step)
+	e.part.observe(r, e.emit)
 }
 
 // step feeds one region-resolved record through the fused passes.
@@ -466,6 +479,9 @@ func (e *Engine) step(r *trace.Record, reg Region) {
 
 // Finish resolves the trailing records, completes the analysis, and
 // returns the result. Call it exactly once, after the last Observe.
+// With Options.Obs the fused sweep's total and the identification step
+// are recorded here — once per session, never per record, so Observe's
+// hot path carries no telemetry cost when disabled or enabled.
 func (e *Engine) Finish() (*Result, error) {
 	e.part.finish(e.step)
 	if !e.part.sawLoop() {
@@ -476,7 +492,13 @@ func (e *Engine) Finish() (*Result, error) {
 	for _, p := range e.passes {
 		p.Finish(res)
 	}
+	t0 := time.Now()
 	(&identifyPass{e.a}).Finish(res)
+	res.Timing.Identify = time.Since(t0)
 	res.Timing.Total = time.Since(e.start)
+	obsReg := e.a.opts.Obs
+	obsReg.Histogram("core.identify.ns").Observe(res.Timing.Identify)
+	obsReg.Histogram("core.engine.sweep.ns").Observe(res.Timing.Total)
+	obsReg.Counter("core.engine.records").Add(int64(res.Stats.Records))
 	return res, nil
 }

@@ -27,19 +27,8 @@ func (a *analyzer) identify() []CriticalVar {
 		if s == nil {
 			continue // matched by pre-processing but never accessed in B
 		}
-		isArray := v.SizeBytes > 8
-		switch {
-		case s.firstIsRead && s.writes > 0:
-			// WAR: the variable's old value is consumed before the loop
-			// overwrites it; a restart would lose the cross-iteration state.
-			out = append(out, critical(v, WAR))
-		case isArray && s.writes > 0 && s.reads > 0 && s.uncoveredRead:
-			// RAPO: the loop overwrites only part of the array before
-			// reading it; the unwritten elements cannot be recomputed.
-			out = append(out, critical(v, RAPO))
-		case s.writes > 0 && s.readAfterLoop:
-			// Outcome: the loop's result feeds post-loop computation.
-			out = append(out, critical(v, Outcome))
+		if t, ok := classifySummary(v, s); ok {
+			out = append(out, critical(v, t))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -56,6 +45,115 @@ func (a *analyzer) identify() []CriticalVar {
 
 func critical(v *VarInfo, t DependencyType) CriticalVar {
 	return CriticalVar{Name: v.Name, Fn: v.Fn, Base: v.Base, SizeBytes: v.SizeBytes, Type: t}
+}
+
+// classifySummary applies the §IV-C decision rules to one variable's
+// accumulated signals. It is the single point of truth: identify builds
+// the critical list from it and the explain trail reports it, so the two
+// can never diverge.
+func classifySummary(v *VarInfo, s *varSummary) (DependencyType, bool) {
+	isArray := v.SizeBytes > 8
+	switch {
+	case s.firstIsRead && s.writes > 0:
+		// WAR: the variable's old value is consumed before the loop
+		// overwrites it; a restart would lose the cross-iteration state.
+		return WAR, true
+	case isArray && s.writes > 0 && s.reads > 0 && s.uncoveredRead:
+		// RAPO: the loop overwrites only part of the array before
+		// reading it; the unwritten elements cannot be recomputed.
+		return RAPO, true
+	case s.writes > 0 && s.readAfterLoop:
+		// Outcome: the loop's result feeds post-loop computation.
+		return Outcome, true
+	}
+	return 0, false
+}
+
+// ruleText spells out, for the explain trail, why a classification fired
+// or why none did. The conditions mirror classifySummary branch for
+// branch.
+func ruleText(v *VarInfo, s *varSummary, t DependencyType, crit bool) string {
+	if crit {
+		switch t {
+		case WAR:
+			return "first region-B access is a read and the loop writes it: the pre-loop value is consumed before being overwritten (WAR)"
+		case RAPO:
+			return "array is partially overwritten before being read: an element was read that no earlier region-B store covered (RAPO)"
+		case Outcome:
+			return "the loop writes it and region C reads it: the loop's result feeds post-loop computation (Outcome)"
+		case Index:
+			return "induction variable of the outermost main-computation loop (Index)"
+		}
+	}
+	switch {
+	case s == nil || (s.reads == 0 && s.writes == 0):
+		return "matched by pre-processing but never accessed inside the loop: recomputable, not critical"
+	case s.writes == 0:
+		return "only read inside the loop, never written: its value survives a restart unchanged, not critical"
+	default:
+		return "first access is a write, every read was covered by an earlier store, and region C never reads it: fully recomputable, not critical"
+	}
+}
+
+// provenance builds the explain trail: one entry per classified variable
+// in the exact order identify emitted them, followed by the MLI variables
+// no rule matched (sorted by name). critVars is identify's output for
+// this analyzer; index membership is recomputed the same way identify did.
+func (a *analyzer) provenance(critVars []CriticalVar) []Provenance {
+	entries := make([]Provenance, 0, len(a.mli))
+	covered := make(map[VarID]bool, len(critVars))
+	find := func(name string, fn string, base uint64) *VarInfo {
+		for _, v := range a.mliList() {
+			if v.Name == name && v.Fn == fn && v.Base == base {
+				return v
+			}
+		}
+		// Index variables need not be MLI members.
+		for _, s := range a.sums {
+			if s.v.Name == name && s.v.Fn == fn && s.v.Base == base {
+				return s.v
+			}
+		}
+		return nil
+	}
+	for _, c := range critVars {
+		v := find(c.Name, c.Fn, c.Base)
+		if v == nil {
+			continue
+		}
+		covered[v.ID()] = true
+		entries = append(entries, a.provEntry(v, c.Type, true))
+	}
+	for _, v := range a.mliList() {
+		if covered[v.ID()] {
+			continue
+		}
+		entries = append(entries, a.provEntry(v, 0, false))
+	}
+	return entries
+}
+
+func (a *analyzer) provEntry(v *VarInfo, t DependencyType, crit bool) Provenance {
+	p := Provenance{
+		Name: v.Name, Fn: v.Fn, Critical: crit, Type: t,
+		FirstAccess: "none", FirstDyn: -1, UncoveredDyn: -1, AfterLoopDyn: -1,
+	}
+	s := a.sums[v.ID()]
+	if s != nil {
+		if s.haveFirst {
+			p.FirstAccess = "write"
+			if s.firstIsRead {
+				p.FirstAccess = "read"
+			}
+		}
+		p.FirstDyn = s.firstDyn
+		p.Reads, p.Writes = s.reads, s.writes
+		p.UncoveredRead, p.UncoveredDyn = s.uncoveredRead, s.uncoveredDyn
+		p.ReadAfterLoop, p.AfterLoopDyn = s.readAfterLoop, s.afterDyn
+		p.SelfUpdates, p.CmpUses = s.selfUpdate, s.cmpUses
+	}
+	p.Rule = ruleText(v, s, t, crit)
+	return p
 }
 
 // findInductionVars identifies the induction variable(s) of the outermost

@@ -456,10 +456,11 @@ type ManyClientsRun struct {
 	BytesWritten    int64         // bytes handed to storage (client-observed)
 	Elapsed         time.Duration // wall clock for the concurrent phase
 	CkptsPerSec     float64
-	RestartsOK      int   // clients whose final restart recovered the last checkpoint
-	CacheHits       int64 // summed across clients (cache tier only)
-	CacheMisses     int64
-	SectionsWritten int64
+	RestartsOK        int   // clients whose final restart recovered the last checkpoint
+	CacheHits         int64 // summed across clients (cache tier only)
+	CacheFollowerHits int64 // single-flight followers served by a leader's fetch
+	CacheMisses       int64
+	SectionsWritten   int64
 }
 
 // manyClientsRunSeq disambiguates the scratch locations (directories,
@@ -543,6 +544,7 @@ func RunManyClients(benchName string, scale int, tmpl store.Config, level checkp
 		out.BytesWritten += run.PersistedBytes
 		out.SectionsWritten += stats[i].SectionsWritten
 		out.CacheHits += stats[i].CacheHits
+		out.CacheFollowerHits += stats[i].CacheFollowerHits
 		out.CacheMisses += stats[i].CacheMisses
 		// A restart that fell back to an older checkpoint (torn/corrupt
 		// newest object) is recovery, but not the "recovered the last
@@ -560,9 +562,9 @@ func RunManyClients(benchName string, scale int, tmpl store.Config, level checkp
 // FormatManyClients renders one scenario line.
 func FormatManyClients(r *ManyClientsRun) string {
 	return fmt.Sprintf(
-		"%d clients: %d checkpoints in %v (%.0f ckpt/s), %s written, restarts %d/%d ok, cache %d hit / %d miss\n",
+		"%d clients: %d checkpoints in %v (%.0f ckpt/s), %s written, restarts %d/%d ok, cache %d hit / %d follower / %d miss\n",
 		r.Clients, r.Checkpoints, r.Elapsed.Round(time.Millisecond), r.CkptsPerSec,
-		fmtBytes(r.BytesWritten), r.RestartsOK, r.Clients, r.CacheHits, r.CacheMisses)
+		fmtBytes(r.BytesWritten), r.RestartsOK, r.Clients, r.CacheHits, r.CacheFollowerHits, r.CacheMisses)
 }
 
 // FormatTable4 renders Table IV.

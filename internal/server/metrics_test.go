@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"autocheck/internal/obs"
+	"autocheck/internal/store"
+)
+
+// TestMetricsEndpoint drives traffic through the service and checks the
+// /v1/metrics payload: per-route histograms, per-namespace counters, and
+// the embedded stats aggregate.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := memService(t, Config{})
+	c := client(t, ts.URL, "obs-ns")
+	defer c.Close()
+
+	if err := c.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("ckpt-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d, want 200", resp.StatusCode)
+	}
+	var rep MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := rep.Metrics.Histograms["server.put.ns"].Count; got != 1 {
+		t.Errorf("server.put.ns count = %d, want 1", got)
+	}
+	if got := rep.Metrics.Histograms["server.get.ns"].Count; got != 2 {
+		t.Errorf("server.get.ns count = %d, want 2", got)
+	}
+	if got := rep.Metrics.Counters["server.get.err.not_found"]; got != 1 {
+		t.Errorf("server.get.err.not_found = %d, want 1", got)
+	}
+	if got := rep.Metrics.Counters["server.ns.obs-ns.requests"]; got != 3 {
+		t.Errorf("per-namespace requests = %d, want 3", got)
+	}
+	if rep.Metrics.Counters["server.ns.obs-ns.bytes_in"] == 0 ||
+		rep.Metrics.Counters["server.ns.obs-ns.bytes_out"] == 0 {
+		t.Errorf("per-namespace byte counters missing: %v", rep.Metrics.Counters)
+	}
+	if g, ok := rep.Metrics.Gauges["server.inflight"]; !ok {
+		t.Error("server.inflight gauge absent")
+	} else if g != 1 {
+		// The metrics request itself is the one in flight at snapshot time.
+		t.Errorf("server.inflight = %d, want 1", g)
+	}
+	if rep.Stats.Store.Puts != 1 || rep.Stats.Store.Gets != 1 {
+		t.Errorf("embedded stats = %+v", rep.Stats.Store)
+	}
+}
+
+// TestMetricsSharedRegistry checks that a registry passed via Config is
+// the one the service records into, so an embedder sees server and its
+// own instruments in one snapshot.
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := obs.New()
+	s, ts := memService(t, Config{Obs: reg})
+	if s.Obs() != reg {
+		t.Fatal("service did not adopt the provided registry")
+	}
+	c := client(t, ts.URL, "shared")
+	defer c.Close()
+	if err := c.Put("ckpt-000001", sampleSections(2)); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Snapshot().Histograms["server.put.ns"].Count != 1 {
+		t.Fatal("traffic not recorded into the shared registry")
+	}
+}
+
+// TestShedCounter fills the in-flight bound and checks rejected requests
+// land in server.shed.
+func TestShedCounter(t *testing.T) {
+	block := make(chan struct{})
+	release := make(chan struct{})
+	s := NewWithFactory(Config{MaxInFlight: 1}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	// Occupy the single slot with a request that blocks inside the
+	// handler chain: wrap the backend factory? Simpler: hold the slot by
+	// sending a request to a slow endpoint is not available — instead
+	// drive the bound middleware directly with a hanging inner handler.
+	bound := s.bound(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(block)
+		<-release
+	}))
+	ts := httptest.NewServer(bound)
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		http.Get(ts.URL + "/hold")
+	}()
+	<-block
+	resp, err := http.Get(ts.URL + "/second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request = %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	<-done
+	if got := s.Obs().Snapshot().Counters["server.shed"]; got != 1 {
+		t.Fatalf("server.shed = %d, want 1", got)
+	}
+	if got := s.Obs().Snapshot().Gauges["server.inflight"]; got != 0 {
+		t.Fatalf("server.inflight after drain = %d, want 0", got)
+	}
+}

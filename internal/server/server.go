@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 	"autocheck/internal/store"
 )
 
@@ -65,6 +66,14 @@ type Config struct {
 	// SiteRequest failpoint); backend-side faults travel in Store.Faults.
 	// nil leaves the service fault-free.
 	Faults *faultinject.Registry
+
+	// Obs is the telemetry registry serving GET /v1/metrics: per-route
+	// latency histograms, in-flight/shed gauges, and per-namespace
+	// request/byte counters. nil makes the service create its own — a
+	// service is always observable; pass a registry to share it with an
+	// embedding process (the bench harness, a store stack armed with the
+	// same registry).
+	Obs *obs.Registry
 }
 
 // SiteRequest is the service's failpoint: it fires after admission, once
@@ -97,6 +106,11 @@ type Server struct {
 
 	keyLocks sync.Map // "ns\x00key" -> *sync.RWMutex
 
+	obs       *obs.Registry
+	inflightG *obs.Gauge   // server.inflight: requests being served now
+	shedC     *obs.Counter // server.shed: rejected with 503 (bound or drain)
+	nsCounts  sync.Map     // ns -> *nsMetrics
+
 	mu       sync.Mutex
 	backends map[string]store.Backend
 	httpSrv  *http.Server
@@ -107,9 +121,37 @@ type Server struct {
 	rejected atomic.Int64
 }
 
+// nsMetrics is one namespace's request/byte breakdown, resolved once and
+// then touched with atomics only.
+type nsMetrics struct {
+	requests, bytesIn, bytesOut *obs.Counter
+}
+
+// nsStats returns (creating on first use) the namespace's counters.
+func (s *Server) nsStats(ns string) *nsMetrics {
+	if m, ok := s.nsCounts.Load(ns); ok {
+		return m.(*nsMetrics)
+	}
+	m := &nsMetrics{
+		requests: s.obs.Counter("server.ns." + ns + ".requests"),
+		bytesIn:  s.obs.Counter("server.ns." + ns + ".bytes_in"),
+		bytesOut: s.obs.Counter("server.ns." + ns + ".bytes_out"),
+	}
+	actual, _ := s.nsCounts.LoadOrStore(ns, m)
+	return actual.(*nsMetrics)
+}
+
 // New creates a service whose namespaces are backed by cfg.Store.
 func New(cfg Config) (*Server, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
 	tmpl := cfg.Store
+	if tmpl.Obs == nil {
+		// Backend-side telemetry lands in the service registry by default,
+		// so /v1/metrics covers the whole stack, routes through store ops.
+		tmpl.Obs = cfg.Obs
+	}
 	if tmpl.Kind == store.KindRemote {
 		return nil, errors.New("server: refusing to back the service with another remote service")
 	}
@@ -135,21 +177,85 @@ func NewWithFactory(cfg Config, factory func(ns string) (store.Backend, error)) 
 	if cfg.MaxObjectBytes <= 0 {
 		cfg.MaxObjectBytes = DefaultMaxObjectBytes
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
 	s := &Server{
 		cfg:      cfg,
 		factory:  factory,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		backends: make(map[string]store.Backend),
 	}
+	s.obs = cfg.Obs
+	s.inflightG = s.obs.Gauge("server.inflight")
+	s.shedC = s.obs.Counter("server.shed")
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /v1/{ns}/objects/{key}", s.handlePut)
-	mux.HandleFunc("GET /v1/{ns}/objects/{key}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/{ns}/objects/{key}", s.handleDelete)
-	mux.HandleFunc("GET /v1/{ns}/objects", s.handleList)
-	mux.HandleFunc("POST /v1/{ns}/flush", s.handleFlush)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("PUT /v1/{ns}/objects/{key}", s.route("put", s.handlePut))
+	mux.HandleFunc("GET /v1/{ns}/objects/{key}", s.route("get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/{ns}/objects/{key}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/{ns}/objects", s.route("list", s.handleList))
+	mux.HandleFunc("POST /v1/{ns}/flush", s.route("flush", s.handleFlush))
+	mux.HandleFunc("GET /v1/stats", s.route("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.route("metrics", s.handleMetrics))
 	s.handler = s.bound(mux)
 	return s
+}
+
+// Obs returns the service's telemetry registry (embedders, tests, the
+// bench harness).
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// statusWriter captures the response status for route telemetry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// classOfStatus buckets a response status for the per-route error-class
+// counters; "" means success. status 0 means the handler never wrote —
+// it panicked (an injected crash or drop) and the connection died.
+func classOfStatus(status int) string {
+	switch {
+	case status == 0:
+		return "aborted"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status >= 500:
+		return "server_error"
+	case status >= 400:
+		return "bad_request"
+	}
+	return ""
+}
+
+// route wraps a handler with its per-route telemetry: a latency
+// histogram "server.<name>.ns" and error-class counters keyed by
+// response status. The recorder is resolved once at construction; the
+// deferred Done runs even when an injected crash panics the handler.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	op := s.obs.Op("server." + name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := op.Start()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			op.Done(start, 0, classOfStatus(sw.status))
+		}()
+		h(sw, r)
+	}
 }
 
 // bound is the load-shedding middleware: at most MaxInFlight requests
@@ -158,6 +264,7 @@ func NewWithFactory(cfg Config, factory func(ns string) (store.Backend, error)) 
 func (s *Server) bound(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
+			s.shedC.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server: shutting down", http.StatusServiceUnavailable)
 			return
@@ -165,9 +272,11 @@ func (s *Server) bound(next http.Handler) http.Handler {
 		select {
 		case s.sem <- struct{}{}:
 			s.inflight.Add(1)
-			defer func() { <-s.sem; s.inflight.Done() }()
+			s.inflightG.Inc()
+			defer func() { <-s.sem; s.inflight.Done(); s.inflightG.Dec() }()
 		default:
 			s.rejected.Add(1)
+			s.shedC.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server: too many in-flight requests", http.StatusServiceUnavailable)
 			return
@@ -184,6 +293,7 @@ func (s *Server) bound(next http.Handler) http.Handler {
 				panic(http.ErrAbortHandler)
 			}
 			s.rejected.Add(1)
+			s.shedC.Inc()
 			// Injected unavailability looks exactly like load shedding,
 			// with an immediate-retry hint so chaos sweeps spend their
 			// time on retries, not sleeps.
@@ -341,6 +451,7 @@ func (s *Server) names(w http.ResponseWriter, r *http.Request, withKey bool) (ns
 			return "", "", false
 		}
 	}
+	s.nsStats(ns).requests.Inc()
 	return ns, key, true
 }
 
@@ -397,6 +508,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("server: put %s/%s: %v", ns, key, err), http.StatusInternalServerError)
 		return
 	}
+	s.nsStats(ns).bytesIn.Add(int64(len(body)))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -427,6 +539,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	blob := store.EncodeSections(sections)
+	s.nsStats(ns).bytesOut.Add(int64(len(blob)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
 	w.Write(blob)
@@ -536,6 +649,7 @@ func (s *Server) Stats() StatsReport {
 		rep.Store.Keyframes += st.Keyframes
 		rep.Store.Deltas += st.Deltas
 		rep.Store.CacheHits += st.CacheHits
+		rep.Store.CacheFollowerHits += st.CacheFollowerHits
 		rep.Store.CacheMisses += st.CacheMisses
 	}
 	return rep
@@ -546,4 +660,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Stats())
+}
+
+// MetricsReport is the payload of GET /v1/metrics: the full instrument
+// snapshot (per-route and per-store-op histograms, gauges, per-namespace
+// counters) plus the same aggregate accounting /v1/stats serves, in one
+// consistent read.
+type MetricsReport struct {
+	Metrics obs.Snapshot `json:"metrics"`
+	Stats   StatsReport  `json:"stats"`
+}
+
+// Metrics captures the service's full telemetry report.
+func (s *Server) Metrics() MetricsReport {
+	return MetricsReport{Metrics: s.obs.Snapshot(), Stats: s.Stats()}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Metrics())
 }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Async decorates a backend with double-buffered asynchronous writes, the
@@ -23,9 +25,14 @@ import (
 type Async struct {
 	inner  Backend
 	faults *faultinject.Registry
-	slots  chan struct{} // staging-buffer tokens (capacity = 2)
-	jobs   chan asyncJob
-	wg     sync.WaitGroup // pending + in-flight writes
+	ops    opSet
+	// writerLat times the background persist of one staged buffer —
+	// the half of a Put the application never waits for; ops.put times
+	// only the synchronous snapshot-and-enqueue half.
+	writerLat *obs.Histogram
+	slots     chan struct{} // staging-buffer tokens (capacity = 2)
+	jobs      chan asyncJob
+	wg        sync.WaitGroup // pending + in-flight writes
 
 	// opMu serializes Put/Flush/Close so a Flush cannot observe a Put
 	// between its closed-check and its enqueue (and Close cannot close
@@ -59,9 +66,23 @@ func NewAsync(inner Backend) *Async {
 // SetFaults implements FaultInjectable.
 func (a *Async) SetFaults(r *faultinject.Registry) { a.faults = r }
 
+// SetObs implements Observable.
+func (a *Async) SetObs(r *obs.Registry) {
+	a.ops = newOpSet(r, "store.async")
+	a.writerLat = r.Histogram("store.async.writer.ns")
+}
+
 func (a *Async) writer() {
 	for job := range a.jobs {
-		if err := a.writeJob(job); err != nil {
+		var t0 time.Time
+		if a.writerLat != nil {
+			t0 = time.Now()
+		}
+		err := a.writeJob(job)
+		if a.writerLat != nil {
+			a.writerLat.ObserveSince(t0)
+		}
+		if err != nil {
 			a.mu.Lock()
 			if a.err == nil {
 				a.err = err
@@ -102,8 +123,16 @@ func (a *Async) deferredErr() error {
 }
 
 // Put implements Backend: snapshot and enqueue, blocking only on buffer
-// reuse.
+// reuse. The recorded latency is the synchronous half only — what the
+// application actually waits for; store.async.writer.ns has the persist.
 func (a *Async) Put(key string, sections []Section) error {
+	start := a.ops.put.Start()
+	err := a.put(key, sections)
+	a.ops.put.Done(start, 0, errClass(err))
+	return err
+}
+
+func (a *Async) put(key string, sections []Section) error {
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	a.mu.Lock()
@@ -150,10 +179,15 @@ func (a *Async) drain() {
 	a.opMu.Unlock()
 }
 
-// Get implements Backend (flushes first).
+// Get implements Backend (flushes first). The recorded latency includes
+// the drain wait, so store.async.get.ns minus the inner get is the cost
+// of reading behind buffered writes.
 func (a *Async) Get(key string) ([]Section, error) {
+	start := a.ops.get.Start()
 	a.drain()
-	return a.inner.Get(key)
+	sections, err := a.inner.Get(key)
+	a.ops.get.Done(start, 0, errClass(err))
+	return sections, err
 }
 
 // List implements Backend (flushes first).

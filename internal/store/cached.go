@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Cached is a byte-bounded read-through/write-through LRU tier over a
@@ -29,6 +30,10 @@ type Cached struct {
 	inner  Backend
 	limit  int64
 	faults *faultinject.Registry
+	ops    opSet
+	// Cache outcome counters mirrored into obs (nil when disabled):
+	// hits/followers/misses, for /v1/metrics and bench snapshots.
+	obsHits, obsFollowers, obsMisses *obs.Counter
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
@@ -79,6 +84,14 @@ func NewCached(inner Backend, maxBytes int64) *Cached {
 
 // SetFaults implements FaultInjectable.
 func (c *Cached) SetFaults(r *faultinject.Registry) { c.faults = r }
+
+// SetObs implements Observable.
+func (c *Cached) SetObs(r *obs.Registry) {
+	c.ops = newOpSet(r, "store.cached")
+	c.obsHits = r.Counter("store.cache.hits")
+	c.obsFollowers = r.Counter("store.cache.follower_hits")
+	c.obsMisses = r.Counter("store.cache.misses")
+}
 
 // invalidateFlight marks any in-progress single-flight read of key as
 // stale so its result cannot repopulate the cache over this mutation.
@@ -133,6 +146,17 @@ func (c *Cached) removeElement(el *list.Element) {
 // newest checkpoint hit without ever touching the inner store; it is
 // only paid after the write lands.
 func (c *Cached) Put(key string, sections []Section) error {
+	start := c.ops.put.Start()
+	err := c.put(key, sections)
+	var n int64
+	if err == nil {
+		n = EncodedSize(sections)
+	}
+	c.ops.put.Done(start, n, errClass(err))
+	return err
+}
+
+func (c *Cached) put(key string, sections []Section) error {
 	c.mu.Lock()
 	seq := c.delSeq
 	c.mu.Unlock()
@@ -169,6 +193,13 @@ func (c *Cached) Put(key string, sections []Section) error {
 // ever returned to a caller. A transient blip on one read therefore
 // fails one caller's read at most, instead of every piled-up restart.
 func (c *Cached) Get(key string) ([]Section, error) {
+	start := c.ops.get.Start()
+	sections, n, err := c.get(key)
+	c.ops.get.Done(start, n, errClass(err))
+	return sections, err
+}
+
+func (c *Cached) get(key string) ([]Section, int64, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
@@ -180,7 +211,9 @@ func (c *Cached) Get(key string) ([]Section, error) {
 			c.stats.Gets++
 			c.stats.BytesRead += int64(len(blob))
 			c.mu.Unlock()
-			return DecodeSections(blob)
+			c.obsHits.Inc()
+			sections, err := DecodeSections(blob)
+			return sections, int64(len(blob)), err
 		}
 		if call, ok := c.flight[key]; ok {
 			// Another Get of this key is already reading the inner
@@ -191,30 +224,36 @@ func (c *Cached) Get(key string) ([]Section, error) {
 				if call.err == ErrNotFound {
 					// Absence is an answer, not a failure; retrying would
 					// just re-read the inner store for the same no. Still
-					// a hit: the shared flight avoided an inner read.
+					// a follower hit: the shared flight avoided an inner
+					// read, even though no cached object was involved.
 					c.mu.Lock()
-					c.stats.CacheHits++
+					c.stats.CacheFollowerHits++
 					c.mu.Unlock()
-					return nil, call.err
+					c.obsFollowers.Inc()
+					return nil, 0, call.err
 				}
 				// The leader failed; this Get goes back around and does
 				// its own read — nothing was avoided, nothing counted.
 				continue
 			}
-			// Counted as a hit only now that the shared result is
-			// actually consumed: the point of the stat is inner reads
-			// avoided.
+			// Counted only now that the shared result is actually
+			// consumed: the point of the stat is inner reads avoided.
+			// A follower hit, not a cache hit — the object was never in
+			// the LRU; another caller's in-flight read was shared.
 			c.mu.Lock()
-			c.stats.CacheHits++
+			c.stats.CacheFollowerHits++
 			c.stats.Gets++
 			c.stats.BytesRead += int64(len(call.blob))
 			c.mu.Unlock()
-			return DecodeSections(call.blob)
+			c.obsFollowers.Inc()
+			sections, err := DecodeSections(call.blob)
+			return sections, int64(len(call.blob)), err
 		}
 		call := &flightCall{done: make(chan struct{})}
 		c.flight[key] = call
 		c.stats.CacheMisses++
 		c.mu.Unlock()
+		c.obsMisses.Inc()
 
 		sections, err := func() (_ []Section, err error) {
 			// A panic out of the leader (an injected crash at this site
@@ -253,9 +292,9 @@ func (c *Cached) Get(key string) ([]Section, error) {
 		c.mu.Unlock()
 		close(call.done)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return sections, nil
+		return sections, int64(len(call.blob)), nil
 	}
 }
 
@@ -268,6 +307,13 @@ func (c *Cached) List() ([]string, error) { return c.inner.List() }
 // invalidate any in-flight read so a Get racing this Delete cannot
 // re-populate the cache with the deleted blob.
 func (c *Cached) Delete(key string) error {
+	start := c.ops.del.Start()
+	err := c.del(key)
+	c.ops.del.Done(start, 0, errClass(err))
+	return err
+}
+
+func (c *Cached) del(key string) error {
 	err := c.inner.Delete(key)
 	c.mu.Lock()
 	c.delSeq++
@@ -283,6 +329,7 @@ func (c *Cached) Stats() Stats {
 	s := c.inner.Stats()
 	c.mu.Lock()
 	s.CacheHits += c.stats.CacheHits
+	s.CacheFollowerHits += c.stats.CacheFollowerHits
 	s.CacheMisses += c.stats.CacheMisses
 	s.Gets += c.stats.Gets
 	s.BytesRead += c.stats.BytesRead

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // File is the single-file backend: one object per file under dir, the
@@ -21,6 +22,7 @@ type File struct {
 	dir    string
 	sync   bool
 	faults *faultinject.Registry
+	ops    opSet
 
 	mu    sync.Mutex
 	stats Stats
@@ -28,6 +30,9 @@ type File struct {
 
 // SetFaults implements FaultInjectable.
 func (f *File) SetFaults(r *faultinject.Registry) { f.faults = r }
+
+// SetObs implements Observable.
+func (f *File) SetObs(r *obs.Registry) { f.ops = newOpSet(r, "store.file") }
 
 const tmpSuffix = ".tmp"
 
@@ -45,26 +50,33 @@ func (f *File) path(key string) string { return filepath.Join(f.dir, key) }
 
 // Put implements Backend.
 func (f *File) Put(key string, sections []Section) error {
+	start := f.ops.put.Start()
+	n, err := f.put(key, sections)
+	f.ops.put.Done(start, n, errClass(err))
+	return err
+}
+
+func (f *File) put(key string, sections []Section) (int64, error) {
 	blob := EncodeSections(sections)
 	blob, ferr := f.faults.HitBlob(SitePut, blob)
 	if ferr != nil && !faultinject.IsTorn(ferr) {
-		return ferr
+		return 0, ferr
 	}
 	// A torn injection commits the truncated blob through the same
 	// atomic-rename path — modelling a write torn below the rename
 	// boundary (a partial page, a lying disk) that Get's CRC must catch.
 	if err := writeFileAtomic(f.path(key), blob, f.sync); err != nil {
-		return err
+		return 0, err
 	}
 	if ferr != nil {
-		return ferr
+		return int64(len(blob)), ferr
 	}
 	f.mu.Lock()
 	f.stats.Puts++
 	f.stats.BytesWritten += int64(len(blob))
 	f.stats.SectionsWritten += int64(len(sections))
 	f.mu.Unlock()
-	return nil
+	return int64(len(blob)), nil
 }
 
 func writeFileAtomic(path string, data []byte, sync bool) error {
@@ -124,25 +136,40 @@ func syncDir(dir string) error {
 
 // Get implements Backend.
 func (f *File) Get(key string) ([]Section, error) {
+	start := f.ops.get.Start()
+	sections, n, err := f.get(key)
+	f.ops.get.Done(start, n, errClass(err))
+	return sections, err
+}
+
+func (f *File) get(key string) ([]Section, int64, error) {
 	if err := f.faults.Hit(SiteGet); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	blob, err := os.ReadFile(f.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, ErrNotFound
+		return nil, 0, ErrNotFound
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	f.mu.Lock()
 	f.stats.Gets++
 	f.stats.BytesRead += int64(len(blob))
 	f.mu.Unlock()
-	return DecodeSections(blob)
+	sections, err := DecodeSections(blob)
+	return sections, int64(len(blob)), err
 }
 
 // List implements Backend.
 func (f *File) List() ([]string, error) {
+	start := f.ops.list.Start()
+	keys, err := f.list()
+	f.ops.list.Done(start, 0, errClass(err))
+	return keys, err
+}
+
+func (f *File) list() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
 		return nil, err
@@ -160,6 +187,13 @@ func (f *File) List() ([]string, error) {
 
 // Delete implements Backend.
 func (f *File) Delete(key string) error {
+	start := f.ops.del.Start()
+	err := f.del(key)
+	f.ops.del.Done(start, 0, errClass(err))
+	return err
+}
+
+func (f *File) del(key string) error {
 	if err := f.faults.Hit(SiteDelete); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Incremental decorates a backend with delta checkpoints: every Keyframe
@@ -68,6 +69,10 @@ type Incremental struct {
 	keyframe int
 	chunk    int
 	faults   *faultinject.Registry
+	ops      opSet
+	// obsKeyframes/obsDeltas mirror the object-kind counters into obs
+	// (nil when disabled) so /v1/metrics shows the keyframe/delta mix.
+	obsKeyframes, obsDeltas *obs.Counter
 
 	mu         sync.Mutex
 	puts       int
@@ -142,8 +147,23 @@ func objectDigest(sections []Section) uint64 {
 // SetFaults implements FaultInjectable.
 func (inc *Incremental) SetFaults(r *faultinject.Registry) { inc.faults = r }
 
-// Put implements Backend.
+// SetObs implements Observable.
+func (inc *Incremental) SetObs(r *obs.Registry) {
+	inc.ops = newOpSet(r, "store.incr")
+	inc.obsKeyframes = r.Counter("store.incr.keyframes")
+	inc.obsDeltas = r.Counter("store.incr.deltas")
+}
+
+// Put implements Backend. The recorded latency covers the diff/encode
+// work plus the inner write; get latency covers chain reconstruction.
 func (inc *Incremental) Put(key string, sections []Section) error {
+	start := inc.ops.put.Start()
+	err := inc.put(key, sections)
+	inc.ops.put.Done(start, 0, errClass(err))
+	return err
+}
+
+func (inc *Incremental) put(key string, sections []Section) error {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	if err := inc.faults.Hit(SiteIncrementalPut); err != nil {
@@ -174,6 +194,7 @@ func (inc *Incremental) Put(key string, sections []Section) error {
 		inc.prevKey = key
 		inc.prevDigest = objectDigest(out)
 		inc.stats.Keyframes++
+		inc.obsKeyframes.Inc()
 		return nil
 	}
 
@@ -219,6 +240,7 @@ func (inc *Incremental) Put(key string, sections []Section) error {
 	inc.prevKey = key
 	inc.prevDigest = objectDigest(out)
 	inc.stats.Deltas++
+	inc.obsDeltas.Inc()
 	return nil
 }
 
@@ -299,6 +321,13 @@ func parseObject(sections []Section) (kind byte, baseKey string, predDigest uint
 // since been replaced (e.g. a keyframe overwritten by a later session)
 // fails with an error instead of reconstructing fabricated state.
 func (inc *Incremental) Get(key string) ([]Section, error) {
+	start := inc.ops.get.Start()
+	sections, err := inc.get(key)
+	inc.ops.get.Done(start, 0, errClass(err))
+	return sections, err
+}
+
+func (inc *Incremental) get(key string) ([]Section, error) {
 	obj, err := inc.inner.Get(key)
 	if err != nil {
 		return nil, err

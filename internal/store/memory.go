@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Memory is the in-memory backend: objects live in a map as encoded
@@ -14,6 +15,7 @@ import (
 // byte accounting are identical across backends.
 type Memory struct {
 	faults *faultinject.Registry
+	ops    opSet
 
 	mu      sync.Mutex
 	objects map[string][]byte
@@ -23,6 +25,9 @@ type Memory struct {
 // SetFaults implements FaultInjectable.
 func (m *Memory) SetFaults(r *faultinject.Registry) { m.faults = r }
 
+// SetObs implements Observable.
+func (m *Memory) SetObs(r *obs.Registry) { m.ops = newOpSet(r, "store.memory") }
+
 // NewMemory creates an empty in-memory backend.
 func NewMemory() *Memory {
 	return &Memory{objects: make(map[string][]byte)}
@@ -30,10 +35,19 @@ func NewMemory() *Memory {
 
 // Put implements Backend.
 func (m *Memory) Put(key string, sections []Section) error {
+	start := m.ops.put.Start()
+	n, err := m.put(key, sections)
+	m.ops.put.Done(start, n, errClass(err))
+	return err
+}
+
+// put is the uninstrumented Put; it reports the bytes committed to the
+// medium (a torn injection still commits its truncated blob).
+func (m *Memory) put(key string, sections []Section) (int64, error) {
 	blob := EncodeSections(sections)
 	blob, ferr := m.faults.HitBlob(SitePut, blob)
 	if ferr != nil && !faultinject.IsTorn(ferr) {
-		return ferr
+		return 0, ferr
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -42,18 +56,25 @@ func (m *Memory) Put(key string, sections []Section) error {
 	// on Get — but fails the Put and is not counted as a good write.
 	m.objects[key] = blob
 	if ferr != nil {
-		return ferr
+		return int64(len(blob)), ferr
 	}
 	m.stats.Puts++
 	m.stats.BytesWritten += int64(len(blob))
 	m.stats.SectionsWritten += int64(len(sections))
-	return nil
+	return int64(len(blob)), nil
 }
 
 // Get implements Backend.
 func (m *Memory) Get(key string) ([]Section, error) {
+	start := m.ops.get.Start()
+	sections, n, err := m.get(key)
+	m.ops.get.Done(start, n, errClass(err))
+	return sections, err
+}
+
+func (m *Memory) get(key string) ([]Section, int64, error) {
 	if err := m.faults.Hit(SiteGet); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m.mu.Lock()
 	blob, ok := m.objects[key]
@@ -63,13 +84,21 @@ func (m *Memory) Get(key string) ([]Section, error) {
 	}
 	m.mu.Unlock()
 	if !ok {
-		return nil, ErrNotFound
+		return nil, 0, ErrNotFound
 	}
-	return DecodeSections(blob)
+	sections, err := DecodeSections(blob)
+	return sections, int64(len(blob)), err
 }
 
 // List implements Backend.
 func (m *Memory) List() ([]string, error) {
+	start := m.ops.list.Start()
+	keys, err := m.list()
+	m.ops.list.Done(start, 0, errClass(err))
+	return keys, err
+}
+
+func (m *Memory) list() ([]string, error) {
 	m.mu.Lock()
 	keys := make([]string, 0, len(m.objects))
 	for k := range m.objects {
@@ -82,6 +111,13 @@ func (m *Memory) List() ([]string, error) {
 
 // Delete implements Backend.
 func (m *Memory) Delete(key string) error {
+	start := m.ops.del.Start()
+	err := m.del(key)
+	m.ops.del.Done(start, 0, errClass(err))
+	return err
+}
+
+func (m *Memory) del(key string) error {
 	if err := m.faults.Hit(SiteDelete); err != nil {
 		return err
 	}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
+)
+
+func obsSections() []Section {
+	return []Section{
+		{Name: "a", Data: []byte("0123456789abcdef")},
+		{Name: "b", Data: []byte("fedcba9876543210")},
+	}
+}
+
+// TestObsThroughStack opens a cached memory stack with decorators armed
+// and checks every layer recorded its operations.
+func TestObsThroughStack(t *testing.T) {
+	reg := obs.New()
+	b, err := Open(Config{Kind: KindMemory, CacheMB: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = Decorate(b, Config{Incremental: true, Async: true, Obs: reg})
+	defer b.Close()
+
+	for _, key := range []string{"k-000001", "k-000002"} {
+		if err := b.Put(key, obsSections()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("k-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.List(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	for _, h := range []string{
+		"store.memory.put.ns", "store.cached.put.ns", "store.incr.put.ns",
+		"store.async.put.ns", "store.async.writer.ns", "store.incr.get.ns",
+	} {
+		if s.Histograms[h].Count == 0 {
+			t.Errorf("histogram %q recorded nothing", h)
+		}
+	}
+	if got := s.Counters["store.incr.keyframes"] + s.Counters["store.incr.deltas"]; got != 2 {
+		t.Errorf("keyframes+deltas = %d, want 2", got)
+	}
+	if s.Counters["store.memory.put.bytes"] == 0 {
+		t.Error("store.memory.put.bytes not recorded")
+	}
+}
+
+// TestObsErrorClasses checks that errors land in the right class counter.
+func TestObsErrorClasses(t *testing.T) {
+	reg := obs.New()
+	m := NewMemory()
+	m.SetObs(reg)
+
+	if _, err := m.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if err := m.Put("k", obsSections()); err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt("k", 5)
+	if _, err := m.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(corrupted) = %v, want ErrCorrupt", err)
+	}
+
+	faults := faultinject.NewRegistry(1)
+	if err := faults.ArmSchedule("store.get=error@nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaults(faults)
+	if _, err := m.Get("k"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Get(injected) = %v, want injected", err)
+	}
+
+	s := reg.Snapshot()
+	for counter, want := range map[string]int64{
+		"store.memory.get.err.not_found": 1,
+		"store.memory.get.err.corrupt":   1,
+		"store.memory.get.err.injected":  1,
+	} {
+		if got := s.Counters[counter]; got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+}
+
+// TestObsChainBrokenClass drives the incremental decorator into a broken
+// chain and checks the error classifies as chain_broken.
+func TestObsChainBrokenClass(t *testing.T) {
+	reg := obs.New()
+	inner := NewMemory()
+	inc := NewIncremental(inner, 4, 0)
+	inc.SetObs(reg)
+	if err := inc.Put("c-000001", obsSections()); err != nil {
+		t.Fatal(err)
+	}
+	mutated := obsSections()
+	mutated[0].Data[0] ^= 0xFF
+	if err := inc.Put("c-000002", mutated); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the keyframe behind the decorator's back: the delta chain
+	// for c-000002 can no longer be reconstructed.
+	if err := inner.Delete("c-000001"); err != nil {
+		t.Fatal(err)
+	}
+	var chain *ChainBrokenError
+	if _, err := inc.Get("c-000002"); !errors.As(err, &chain) {
+		t.Fatalf("Get over broken chain = %v, want ChainBrokenError", err)
+	}
+	if got := reg.Snapshot().Counters["store.incr.get.err.chain_broken"]; got != 1 {
+		t.Fatalf("chain_broken counter = %d, want 1", got)
+	}
+}
+
+// TestCacheFollowerHitCounters checks the obs mirror of the cache outcome
+// counters agrees with Stats after serial traffic.
+func TestCacheFollowerHitCounters(t *testing.T) {
+	reg := obs.New()
+	c := NewCached(NewMemory(), 1<<20)
+	c.SetObs(reg)
+	if err := c.Put("k", obsSections()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil { // cache hit (populated on write)
+		t.Fatal(err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) { // miss
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CacheFollowerHits != 0 {
+		t.Fatalf("stats = hits %d followers %d misses %d, want 1/0/1",
+			st.CacheHits, st.CacheFollowerHits, st.CacheMisses)
+	}
+	s := reg.Snapshot()
+	if s.Counters["store.cache.hits"] != 1 || s.Counters["store.cache.misses"] != 1 {
+		t.Fatalf("obs cache counters = %v", s.Counters)
+	}
+}
+
+// TestDisabledObsAddsNoAllocs pins that the telemetry wrappers are free
+// when disabled: Put/Get on a backend with no registry allocate exactly
+// as much as with a registry armed (recording is pure atomics), and the
+// wrapper itself adds nothing on top of the store work.
+func TestDisabledObsAddsNoAllocs(t *testing.T) {
+	sections := obsSections()
+	measure := func(reg *obs.Registry) (putAllocs, getAllocs float64) {
+		m := NewMemory()
+		if reg != nil {
+			m.SetObs(reg)
+		}
+		// Warm up: key exists, maps sized.
+		if err := m.Put("k", sections); err != nil {
+			t.Fatal(err)
+		}
+		putAllocs = testing.AllocsPerRun(200, func() {
+			if err := m.Put("k", sections); err != nil {
+				t.Fatal(err)
+			}
+		})
+		getAllocs = testing.AllocsPerRun(200, func() {
+			if _, err := m.Get("k"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return putAllocs, getAllocs
+	}
+	putOff, getOff := measure(nil)
+	putOn, getOn := measure(obs.New())
+	if putOff != putOn {
+		t.Errorf("Put allocs: disabled %.1f vs enabled %.1f — telemetry wrapper not free", putOff, putOn)
+	}
+	if getOff != getOn {
+		t.Errorf("Get allocs: disabled %.1f vs enabled %.1f — telemetry wrapper not free", getOff, getOn)
+	}
+}

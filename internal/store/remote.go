@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Remote is the client backend for the networked checkpoint service of
@@ -49,6 +50,11 @@ type Remote struct {
 	ns     string
 	client *http.Client
 	faults *faultinject.Registry
+
+	obsReg     *obs.Registry
+	ops        opSet
+	attemptLat *obs.Histogram // one HTTP exchange, waits excluded
+	obsRetries *obs.Counter   // attempts beyond each operation's first
 
 	// Test seams for the retry loop's clock; nil means the real one.
 	sleep func(time.Duration)
@@ -142,6 +148,18 @@ func transientStatus(status int) bool { return status >= 500 }
 // SetFaults implements FaultInjectable.
 func (r *Remote) SetFaults(reg *faultinject.Registry) { r.faults = reg }
 
+// SetObs implements Observable. Besides the standard per-op recorders
+// (whose latency spans the whole retry loop, waits included), the remote
+// client records each HTTP exchange as a "remote.attempt" span — visible
+// once a span sink is installed — plus an attempt-latency histogram and
+// a retry counter, so backoff behavior is observable per attempt.
+func (r *Remote) SetObs(reg *obs.Registry) {
+	r.obsReg = reg
+	r.ops = newOpSet(reg, "store.remote")
+	r.attemptLat = reg.Histogram("store.remote.attempt.ns")
+	r.obsRetries = reg.Counter("store.remote.retries")
+}
+
 func (r *Remote) clock() (func(time.Duration), func() time.Time) {
 	sleep, now := r.sleep, r.now
 	if sleep == nil {
@@ -215,92 +233,143 @@ func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 				sleep(wait)
 			}
 		}
-		if ferr := r.faults.Hit(SiteRemoteDo); ferr != nil {
-			// Injected network failure: transient, costs an attempt.
-			lastErr = fmt.Errorf("store: remote service: %w", ferr)
-			continue
+		if attempt > 0 {
+			r.obsRetries.Inc()
 		}
-		var reader io.Reader
-		if body != nil {
-			reader = bytes.NewReader(body)
+		var t0 time.Time
+		if r.attemptLat != nil {
+			t0 = time.Now()
 		}
-		req, err := http.NewRequest(method, r.base+path, reader)
-		if err != nil {
-			return nil, err
+		sp := r.obsReg.StartSpan("remote.attempt")
+		var data []byte
+		var done bool
+		var err error
+		data, done, hint, hinted, err = r.attempt(method, path, body, now)
+		if r.attemptLat != nil {
+			r.attemptLat.ObserveSince(t0)
 		}
-		if body != nil {
-			req.ContentLength = int64(len(body))
-			req.Header.Set("Content-Type", "application/octet-stream")
-			req.GetBody = func() (io.ReadCloser, error) {
-				return io.NopCloser(bytes.NewReader(body)), nil
+		if sp.Active() {
+			errText := ""
+			if err != nil {
+				errText = err.Error()
 			}
+			sp.End(fmt.Sprintf("%s %s attempt=%d/%d", method, path, attempt+1, attempts), errText)
 		}
-		resp, err := r.client.Do(req)
-		if err != nil {
-			lastErr = fmt.Errorf("store: remote service: %w", err)
-			continue // network-level failure: transient
+		if done {
+			return data, err
 		}
-		// Read the body in full either way so the connection is reusable.
-		data, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusNotFound:
-			return nil, ErrNotFound
-		case resp.StatusCode >= 300:
-			lastErr = &errRemoteStatus{status: resp.StatusCode, msg: string(data)}
-			if !transientStatus(resp.StatusCode) {
-				return nil, lastErr
-			}
-			hint, hinted = parseRetryAfter(resp.Header.Get("Retry-After"), now())
-			continue
-		case readErr != nil:
-			lastErr = fmt.Errorf("store: remote service: reading response: %w", readErr)
-			continue // truncated response: transient
-		}
-		return data, nil
+		lastErr = err
 	}
 	return nil, lastErr
 }
 
+// attempt performs one HTTP exchange. done reports that the retry loop
+// must stop and return (data, err) as the operation's final answer; a
+// transient failure returns done=false with the error to remember and
+// any Retry-After hint for the next wait.
+func (r *Remote) attempt(method, path string, body []byte, now func() time.Time) (data []byte, done bool, hint time.Duration, hinted bool, _ error) {
+	if ferr := r.faults.Hit(SiteRemoteDo); ferr != nil {
+		// Injected network failure: transient, costs an attempt.
+		return nil, false, 0, false, fmt.Errorf("store: remote service: %w", ferr)
+	}
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.base+path, reader)
+	if err != nil {
+		return nil, true, 0, false, err
+	}
+	if body != nil {
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false, 0, false, fmt.Errorf("store: remote service: %w", err) // network-level failure: transient
+	}
+	// Read the body in full either way so the connection is reusable.
+	data, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, true, 0, false, ErrNotFound
+	case resp.StatusCode >= 300:
+		statusErr := &errRemoteStatus{status: resp.StatusCode, msg: string(data)}
+		if !transientStatus(resp.StatusCode) {
+			return nil, true, 0, false, statusErr
+		}
+		hint, hinted = parseRetryAfter(resp.Header.Get("Retry-After"), now())
+		return nil, false, hint, hinted, statusErr
+	case readErr != nil:
+		return nil, false, 0, false, fmt.Errorf("store: remote service: reading response: %w", readErr) // truncated response: transient
+	}
+	return data, true, 0, false, nil
+}
+
 // Put implements Backend.
 func (r *Remote) Put(key string, sections []Section) error {
+	start := r.ops.put.Start()
+	n, err := r.put(key, sections)
+	r.ops.put.Done(start, n, errClass(err))
+	return err
+}
+
+func (r *Remote) put(key string, sections []Section) (int64, error) {
 	if !ValidName(key) {
-		return fmt.Errorf("store: invalid remote key %q", key)
+		return 0, fmt.Errorf("store: invalid remote key %q", key)
 	}
 	blob := EncodeSections(sections)
 	if _, err := r.do(http.MethodPut, "/objects/"+url.PathEscape(key), blob); err != nil {
-		return err
+		return 0, err
 	}
 	r.mu.Lock()
 	r.stats.Puts++
 	r.stats.BytesWritten += int64(len(blob))
 	r.stats.SectionsWritten += int64(len(sections))
 	r.mu.Unlock()
-	return nil
+	return int64(len(blob)), nil
 }
 
 // Get implements Backend.
 func (r *Remote) Get(key string) ([]Section, error) {
+	start := r.ops.get.Start()
+	sections, n, err := r.get(key)
+	r.ops.get.Done(start, n, errClass(err))
+	return sections, err
+}
+
+func (r *Remote) get(key string) ([]Section, int64, error) {
 	if !ValidName(key) {
-		return nil, fmt.Errorf("store: invalid remote key %q", key)
+		return nil, 0, fmt.Errorf("store: invalid remote key %q", key)
 	}
 	blob, err := r.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sections, err := DecodeSections(blob)
 	if err != nil {
-		return nil, fmt.Errorf("store: remote object %q: %w", key, err)
+		return nil, 0, fmt.Errorf("store: remote object %q: %w", key, err)
 	}
 	r.mu.Lock()
 	r.stats.Gets++
 	r.stats.BytesRead += int64(len(blob))
 	r.mu.Unlock()
-	return sections, nil
+	return sections, int64(len(blob)), nil
 }
 
 // List implements Backend.
 func (r *Remote) List() ([]string, error) {
+	start := r.ops.list.Start()
+	keys, err := r.list()
+	r.ops.list.Done(start, 0, errClass(err))
+	return keys, err
+}
+
+func (r *Remote) list() ([]string, error) {
 	data, err := r.do(http.MethodGet, "/objects", nil)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
@@ -321,6 +390,13 @@ func (r *Remote) List() ([]string, error) {
 
 // Delete implements Backend.
 func (r *Remote) Delete(key string) error {
+	start := r.ops.del.Start()
+	err := r.del(key)
+	r.ops.del.Done(start, 0, errClass(err))
+	return err
+}
+
+func (r *Remote) del(key string) error {
 	if !ValidName(key) {
 		return fmt.Errorf("store: invalid remote key %q", key)
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Sharded is the sharded-file backend: each object is a directory holding
@@ -32,6 +33,7 @@ type Sharded struct {
 	workers int
 	sync    bool
 	faults  *faultinject.Registry
+	ops     opSet
 
 	// keyMu holds one mutex per key serializing Put/Delete on that key: a
 	// Put is a multi-file read-modify-write (generation pick, shard
@@ -76,6 +78,9 @@ func (s *Sharded) objDir(key string) string { return filepath.Join(s.dir, key) }
 
 // SetFaults implements FaultInjectable.
 func (s *Sharded) SetFaults(r *faultinject.Registry) { s.faults = r }
+
+// SetObs implements Observable.
+func (s *Sharded) SetObs(r *obs.Registry) { s.ops = newOpSet(r, "store.sharded") }
 
 // keyLock returns the mutex serializing writes to key (entries persist
 // for the backend's lifetime; one pointer per key ever written).
@@ -159,6 +164,19 @@ func (s *Sharded) pool(n int, fn func(i int) error) error {
 // (and Get-able) until the new manifest atomically replaces the old one,
 // after which the stale generation is swept.
 func (s *Sharded) Put(key string, sections []Section) error {
+	start := s.ops.put.Start()
+	err := s.put(key, sections)
+	var n int64
+	if err == nil {
+		for _, sec := range sections {
+			n += int64(len(sec.Data))
+		}
+	}
+	s.ops.put.Done(start, n, errClass(err))
+	return err
+}
+
+func (s *Sharded) put(key string, sections []Section) error {
 	lock := s.keyLock(key)
 	lock.Lock()
 	defer lock.Unlock()
@@ -299,20 +317,27 @@ func manifestEntries(manifest []byte, key string) (uint64, []Section, error) {
 // overwrite's post-commit sweep from deleting the generation this
 // reader's manifest references mid-read.
 func (s *Sharded) Get(key string) ([]Section, error) {
+	start := s.ops.get.Start()
+	sections, n, err := s.get(key)
+	s.ops.get.Done(start, n, errClass(err))
+	return sections, err
+}
+
+func (s *Sharded) get(key string) ([]Section, int64, error) {
 	if err := s.faults.Hit(SiteGet); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	s.sweepMu.RLock()
 	sections, read, err := s.getOnce(key)
 	s.sweepMu.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	s.mu.Lock()
 	s.stats.Gets++
 	s.stats.BytesRead += read
 	s.mu.Unlock()
-	return sections, nil
+	return sections, read, nil
 }
 
 func (s *Sharded) getOnce(key string) ([]Section, int64, error) {
@@ -359,6 +384,13 @@ func (s *Sharded) getOnce(key string) ([]Section, int64, error) {
 // List implements Backend. Only committed objects (manifest present) are
 // listed.
 func (s *Sharded) List() ([]string, error) {
+	start := s.ops.list.Start()
+	keys, err := s.list()
+	s.ops.list.Done(start, 0, errClass(err))
+	return keys, err
+}
+
+func (s *Sharded) list() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
@@ -378,6 +410,13 @@ func (s *Sharded) List() ([]string, error) {
 
 // Delete implements Backend.
 func (s *Sharded) Delete(key string) error {
+	start := s.ops.del.Start()
+	err := s.del(key)
+	s.ops.del.Done(start, 0, errClass(err))
+	return err
+}
+
+func (s *Sharded) del(key string) error {
 	if err := s.faults.Hit(SiteDelete); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 
 	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
 )
 
 // Section is one named chunk of an object. The checkpoint layer writes
@@ -41,12 +42,17 @@ type Stats struct {
 	SectionsWritten     int64
 	SectionsSkipped     int64 // unchanged sections elided by the incremental decorator
 	Keyframes, Deltas   int64 // incremental decorator object kinds
-	CacheHits           int64 // Gets served by the cache tier without an inner read
+	CacheHits           int64 // Gets served by a cached object without an inner read
+	CacheFollowerHits   int64 // Gets served by sharing another caller's in-flight inner read
 	CacheMisses         int64 // Gets that had to reach the inner backend
 }
 
 // ErrNotFound is returned by Get and Delete for a missing key.
 var ErrNotFound = errors.New("store: object not found")
+
+// ErrCorrupt is returned by Get when the CRC framing rejects a torn or
+// bit-flipped object. The message keeps the historical wording.
+var ErrCorrupt = errors.New("store: object CRC mismatch (corrupted)")
 
 // Backend is a keyed object store for checkpoint images.
 //
@@ -133,6 +139,12 @@ type Config struct {
 	// layer Open/Decorate construct. nil (the default) leaves the sites
 	// as nil checks — the hot paths are unchanged.
 	Faults *faultinject.Registry
+
+	// Obs, when set, arms per-operation telemetry (latency histograms,
+	// byte counters, error-class counters, retry spans) on every layer
+	// Open/Decorate construct. nil (the default) leaves each call site
+	// as a nil check — disabled telemetry costs nothing on hot paths.
+	Obs *obs.Registry
 }
 
 // Failpoint sites of the store package. The base backends share one set
@@ -190,6 +202,69 @@ func InjectFaults(b Backend, r *faultinject.Registry) {
 	}
 }
 
+// Observable is implemented by every backend and decorator in this
+// package: SetObs arms (or, with nil, disarms) the layer's telemetry.
+// Like SetFaults it does not recurse — Open and Decorate arm each layer
+// as they build the chain. Instrument names follow "store.<layer>.<op>".
+type Observable interface {
+	SetObs(*obs.Registry)
+}
+
+// InjectObs arms b's own telemetry when it has any.
+func InjectObs(b Backend, r *obs.Registry) {
+	if o, ok := b.(Observable); ok {
+		o.SetObs(r)
+	}
+}
+
+// opSet bundles the per-operation recorders one layer holds. The zero
+// value (the disabled state) is fully no-op: each recorder is nil and
+// its Start/Done calls reduce to a nil check without reading the clock.
+type opSet struct {
+	put, get, del, list *obs.Op
+}
+
+// newOpSet resolves the four standard per-op recorders for a layer
+// ("store.memory", "store.cached", ...). A nil registry yields the
+// disabled zero value.
+func newOpSet(r *obs.Registry, layer string) opSet {
+	if r == nil {
+		return opSet{}
+	}
+	return opSet{
+		put:  r.Op(layer + ".put"),
+		get:  r.Op(layer + ".get"),
+		del:  r.Op(layer + ".delete"),
+		list: r.Op(layer + ".list"),
+	}
+}
+
+// errClass buckets an operation error for telemetry; "" means success.
+// The classes are the failure modes an operator acts on differently:
+// not_found (expected absence), corrupt (CRC framing rejected the
+// object), chain_broken (incremental delta chain unreconstructable),
+// injected (deterministic fault injection, so chaos runs don't read as
+// real faults), and io for everything else.
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, ErrNotFound) {
+		return "not_found"
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return "corrupt"
+	}
+	if errors.Is(err, faultinject.ErrInjected) {
+		return "injected"
+	}
+	var chain *ChainBrokenError
+	if errors.As(err, &chain) {
+		return "chain_broken"
+	}
+	return "io"
+}
+
 // Open constructs the base backend selected by cfg, including the cache
 // tier when cfg.CacheMB is set — the cache is a property of how the base
 // store is reached (it must sit below the reliability/incremental/async
@@ -201,9 +276,11 @@ func Open(cfg Config) (Backend, error) {
 		return nil, err
 	}
 	InjectFaults(b, cfg.Faults)
+	InjectObs(b, cfg.Obs)
 	if cfg.CacheMB > 0 {
 		b = NewCached(b, int64(cfg.CacheMB)<<20)
 		InjectFaults(b, cfg.Faults)
+		InjectObs(b, cfg.Obs)
 	}
 	return b, nil
 }
@@ -243,10 +320,12 @@ func Decorate(b Backend, cfg Config) Backend {
 	if cfg.Incremental {
 		b = NewIncremental(b, cfg.Keyframe, cfg.ChunkBytes)
 		InjectFaults(b, cfg.Faults)
+		InjectObs(b, cfg.Obs)
 	}
 	if cfg.Async {
 		b = NewAsync(b)
 		InjectFaults(b, cfg.Faults)
+		InjectObs(b, cfg.Obs)
 	}
 	return b
 }
@@ -290,7 +369,7 @@ func DecodeSections(buf []byte) ([]Section, error) {
 	}
 	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, errors.New("store: object CRC mismatch (corrupted)")
+		return nil, ErrCorrupt
 	}
 	if binary.LittleEndian.Uint32(body[0:4]) != objectMagic ||
 		binary.LittleEndian.Uint32(body[4:8]) != objectVersion {
