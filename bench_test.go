@@ -22,10 +22,13 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
 	"autocheck/internal/harness"
 	"autocheck/internal/interp"
 	"autocheck/internal/progs"
@@ -622,6 +625,105 @@ func BenchmarkRemoteStore(b *testing.B) {
 			b.StopTimer()
 			st := ctx.StoreStats()
 			b.ReportMetric(float64(st.CacheHits), "cache-hits")
+		})
+	}
+}
+
+// BenchmarkReplicatedStore prices the quorum tier over a 3-node
+// in-process cluster: Put throughput at each write quorum (W=1 acks the
+// fastest node, W=3 waits for every replica), then the read tail with
+// one deterministically slow replica — hedged vs unhedged, with p99
+// reported per sub-benchmark so the hedging win is visible, not averaged
+// away.
+func BenchmarkReplicatedStore(b *testing.B) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+			return store.NewMemory(), nil
+		})
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		defer svc.Shutdown(context.Background())
+		addrs = append(addrs, ts.URL)
+	}
+	payload := []store.Section{{Name: "v", Data: make([]byte, 64<<10)}}
+	for _, w := range []int{1, 2, 3} {
+		w := w
+		b.Run(fmt.Sprintf("Put/w-%d", w), func(b *testing.B) {
+			rb, err := store.Open(store.Config{
+				Kind: store.KindReplicated, Addrs: addrs,
+				Namespace:   fmt.Sprintf("bench-w%d", w),
+				WriteQuorum: w, HedgeAfter: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rb.Close()
+			b.SetBytes(int64(len(payload[0].Data)))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := rb.Put("ckpt-bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Read tail: replica 0 is slowed by a client-side delay failpoint, and
+	// the tier reads with R=1 so every read starts on the slow node. The
+	// unhedged tier eats the delay each time; the hedged tier races a
+	// second replica after its hedge timer.
+	seed, err := store.Open(store.Config{
+		Kind: store.KindReplicated, Addrs: addrs, Namespace: "bench-hedge",
+		WriteQuorum: 3, HedgeAfter: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Put("ckpt-hedge", payload); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+	freg := faultinject.NewRegistry(1)
+	if err := freg.ArmSchedule(store.SiteReplicaGet(0) + "=delay@every=1@delay=4ms"); err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		hedge time.Duration
+	}{
+		{"Get/slow-replica-unhedged", -1},
+		{"Get/slow-replica-hedged", 100 * time.Microsecond},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rb, err := store.Open(store.Config{
+				Kind: store.KindReplicated, Addrs: addrs, Namespace: "bench-hedge",
+				ReadQuorum: 1, HedgeAfter: tc.hedge, Faults: freg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rb.Close()
+			durs := make([]time.Duration, 0, b.N)
+			b.SetBytes(int64(len(payload[0].Data)))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, err := rb.Get("ckpt-hedge"); err != nil {
+					b.Fatal(err)
+				}
+				durs = append(durs, time.Since(start))
+			}
+			b.StopTimer()
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			b.ReportMetric(float64(durs[len(durs)*99/100].Nanoseconds()), "p99-ns")
+			st := rb.Stats()
+			b.ReportMetric(float64(st.HedgesWon), "hedges-won")
 		})
 	}
 }

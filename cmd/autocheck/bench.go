@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"autocheck"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
 	"autocheck/internal/harness"
 	"autocheck/internal/interp"
 	"autocheck/internal/obs"
@@ -69,6 +71,7 @@ type benchEntry struct {
 	MBPerSec    float64 `json:"mb_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	P99Ns       int64   `json:"p99_ns,omitempty"`
 }
 
 // benchObsSnapshot condenses the telemetry registry that observed the
@@ -107,6 +110,80 @@ func runOne(name string, totalBytes int, fn func(b *testing.B)) benchEntry {
 	fmt.Printf("  %-22s %10.2f ms/op  %8.1f MB/s  %8d allocs/op\n",
 		name, float64(e.NsPerOp)/1e6, e.MBPerSec, e.AllocsPerOp)
 	return e
+}
+
+// benchHedgedReads measures the replicated tier's read tail with one
+// deterministically slow replica (a client-side delay failpoint on r0's
+// get site): the unhedged tier eats the delay on every read, the hedged
+// tier races a second replica after its hedge timer. The p99 column is
+// the comparison that matters.
+func benchHedgedReads(addrs []string) ([]benchEntry, error) {
+	const (
+		key       = "ckpt-hedge"
+		iters     = 300
+		slowDelay = 4 * time.Millisecond
+	)
+	seed, err := store.Open(store.Config{
+		Kind: store.KindReplicated, Addrs: addrs, Namespace: "bench-hedge",
+		WriteQuorum: 3, HedgeAfter: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	payload := []store.Section{{Name: "v", Data: make([]byte, 64<<10)}}
+	if err := seed.Put(key, payload); err != nil {
+		seed.Close()
+		return nil, err
+	}
+	if err := seed.Close(); err != nil {
+		return nil, err
+	}
+	freg := faultinject.NewRegistry(1)
+	if err := freg.ArmSchedule(fmt.Sprintf("%s=delay@every=1@delay=%s", store.SiteReplicaGet(0), slowDelay)); err != nil {
+		return nil, err
+	}
+	var entries []benchEntry
+	for _, tc := range []struct {
+		name       string
+		hedgeAfter time.Duration
+	}{
+		{"replicated-get-slow-unhedged", -1},
+		{"replicated-get-slow-hedged", 500 * time.Microsecond},
+	} {
+		rb, err := store.Open(store.Config{
+			Kind: store.KindReplicated, Addrs: addrs, Namespace: "bench-hedge",
+			ReadQuorum: 1, HedgeAfter: tc.hedgeAfter, Faults: freg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		durs := make([]time.Duration, 0, iters)
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := rb.Get(key); err != nil {
+				rb.Close()
+				return nil, fmt.Errorf("%s: get: %w", tc.name, err)
+			}
+			d := time.Since(start)
+			durs = append(durs, d)
+			total += d
+		}
+		if err := rb.Close(); err != nil {
+			return nil, err
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		e := benchEntry{
+			Name:    tc.name,
+			NsPerOp: (total / iters).Nanoseconds(),
+			P99Ns:   durs[iters*99/100].Nanoseconds(),
+		}
+		e.MBPerSec = float64(len(payload[0].Data)) / (float64(e.NsPerOp) / 1e9) / 1e6
+		fmt.Printf("  %-28s %10.2f ms/op  %8.1f MB/s  p99=%.2fms\n",
+			e.Name, float64(e.NsPerOp)/1e6, e.MBPerSec, float64(e.P99Ns)/1e6)
+		entries = append(entries, e)
+	}
+	return entries, nil
 }
 
 func cmdBench(args []string) error {
@@ -302,6 +379,48 @@ func cmdBench(args []string) error {
 			}))
 		ctx.Close()
 	}
+
+	// Replicated quorum tier: put throughput at each write quorum over a
+	// 3-node in-process cluster, then the read tail with one slow replica
+	// — hedged vs unhedged — where the p99 column is the point.
+	fmt.Println("starting a 3-node in-process cluster for the replicated series...")
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		nsvc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+			return store.NewMemory(), nil
+		})
+		nts := httptest.NewServer(nsvc.Handler())
+		defer nts.Close()
+		defer nsvc.Shutdown(context.Background())
+		addrs = append(addrs, nts.URL)
+	}
+	repPayload := []store.Section{{Name: "v", Data: make([]byte, 64<<10)}}
+	for _, w := range []int{1, 2, 3} {
+		rb, err := store.Open(store.Config{
+			Kind: store.KindReplicated, Addrs: addrs, Namespace: fmt.Sprintf("bench-w%d", w),
+			WriteQuorum: w, ReadQuorum: 2, HedgeAfter: -1,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Entries = append(rep.Entries,
+			runOne(fmt.Sprintf("replicated-put-w%d", w), len(repPayload[0].Data), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := rb.Put("ckpt-bench", repPayload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		if err := rb.Close(); err != nil {
+			return err
+		}
+	}
+	hedgeEntries, err := benchHedgedReads(addrs)
+	if err != nil {
+		return err
+	}
+	rep.Entries = append(rep.Entries, hedgeEntries...)
 
 	// Fold the remote series' telemetry into the entry: per-op p95 tails
 	// plus the cache tier's hit rate.

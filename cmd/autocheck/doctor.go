@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -22,6 +23,7 @@ const (
 	doctorCanary       = 11 // write/read/delete round trip failed or returned wrong bytes
 	doctorIntegrity    = 12 // broken dependency chain or unreadable checkpoint
 	doctorMetrics      = 13 // metrics endpoint missing or malformed
+	doctorQuorum       = 14 // replica quorum unavailable, or replicas diverged
 )
 
 // cmdDoctor probes a checkpoint deployment's health: a live service
@@ -30,6 +32,9 @@ const (
 func cmdDoctor(args []string) error {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
 	addr := fs.String("addr", "", "probe a live checkpoint service at this address")
+	addrsFlag := fs.String("addrs", "", "probe a replicated cluster at these comma-separated addresses")
+	writeQuorum := fs.Int("write-quorum", 0, "cluster mode: acks required per write (0 = majority)")
+	readQuorum := fs.Int("read-quorum", 0, "cluster mode: replicas consulted per read (0 = majority)")
 	ns := fs.String("ns", "doctor", "live mode: service namespace for the canary probe")
 	storeKind := fs.String("store", "file", "local mode: backend kind (file, memory, sharded)")
 	dir := fs.String("dir", "", "local mode: storage root to examine")
@@ -40,6 +45,13 @@ func cmdDoctor(args []string) error {
 	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "local mode: sharded write pool size")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	addrs := splitAddrs(*addrsFlag)
+	if *addr != "" && len(addrs) > 0 {
+		return fmt.Errorf("doctor takes -addr (one service) or -addrs (a cluster), not both")
+	}
+	if len(addrs) > 0 {
+		return doctorCluster(addrs, *ns, *writeQuorum, *readQuorum)
 	}
 	if *addr != "" {
 		return doctorLive(*addr, *ns)
@@ -153,6 +165,78 @@ func doctorLive(addr, ns string) error {
 		time.Duration(rep.Metrics.Histograms["server.put.ns"].P95Ns),
 		time.Duration(rep.Metrics.Histograms["server.get.ns"].P95Ns),
 		cacheRateText(rep.Stats.Store))
+	fmt.Println("doctor: all checks passed")
+	return nil
+}
+
+// doctorCluster probes a replicated deployment: every node's health
+// endpoint, then a canary round trip and a cross-replica divergence scan
+// through the real quorum tier. Dead nodes are tolerated as long as the
+// healthy count still covers both quorums; anything less — and any
+// divergence the scan finds — exits with the quorum class (14).
+func doctorCluster(addrs []string, ns string, writeQuorum, readQuorum int) error {
+	n := len(addrs)
+	client := &http.Client{Timeout: 10 * time.Second}
+	healthy := 0
+	for i, a := range addrs {
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		var stats server.StatsReport
+		if err := getJSON(client, strings.TrimSuffix(base, "/")+"/v1/stats", &stats); err != nil {
+			fmt.Printf("doctor: node %d DOWN (addr=%s: %v)\n", i, a, err)
+			continue
+		}
+		healthy++
+		fmt.Printf("doctor: node %d OK (addr=%s namespaces=%d requests=%d)\n",
+			i, a, stats.Namespaces, stats.Requests)
+	}
+	w, r := writeQuorum, readQuorum
+	if w <= 0 {
+		w = n/2 + 1
+	}
+	if r <= 0 {
+		r = n/2 + 1
+	}
+	need := max(w, r)
+	if healthy < need {
+		return &exitError{doctorQuorum,
+			fmt.Errorf("doctor: quorum unavailable: %d/%d replicas healthy, W=%d R=%d needs %d", healthy, n, w, r, need)}
+	}
+	fmt.Printf("doctor: quorum OK (%d/%d replicas healthy, W=%d R=%d)\n", healthy, n, w, r)
+
+	b, err := store.Open(store.Config{
+		Kind: store.KindReplicated, Addrs: addrs, Namespace: ns,
+		WriteQuorum: writeQuorum, ReadQuorum: readQuorum,
+	})
+	if err != nil {
+		return &exitError{doctorQuorum, fmt.Errorf("doctor: cluster client: %w", err)}
+	}
+	defer b.Close()
+	if err := canaryRoundTrip(b); err != nil {
+		code := doctorCanary
+		if errors.Is(err, store.ErrUnavailable) {
+			code = doctorQuorum
+		}
+		return &exitError{code, fmt.Errorf("doctor: %w", err)}
+	}
+	fmt.Printf("doctor: quorum canary OK (namespace=%s key=%s)\n", ns, canaryKey)
+
+	rep := b.(*store.Replicated)
+	scanned, repaired, err := rep.ScrubOnce()
+	if err != nil {
+		code := doctorIntegrity
+		if errors.Is(err, store.ErrUnavailable) {
+			code = doctorQuorum
+		}
+		return &exitError{code, fmt.Errorf("doctor: divergence scan: %w", err)}
+	}
+	if repaired > 0 {
+		return &exitError{doctorQuorum,
+			fmt.Errorf("doctor: divergence: %d of %d keys disagreed across replicas (read-repair re-converged them; investigate what diverged the nodes)", repaired, scanned)}
+	}
+	fmt.Printf("doctor: divergence scan OK (%d keys, replicas agree)\n", scanned)
 	fmt.Println("doctor: all checks passed")
 	return nil
 }

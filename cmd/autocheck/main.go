@@ -3,14 +3,15 @@
 //
 //	autocheck analyze  -file prog.mc -start N -end M [-func main] [-workers K] [-ddg]
 //	autocheck explain  -file prog.mc -start N -end M [-func main]
-//	autocheck doctor   [-addr HOST:PORT | -dir DIR [-store KIND]]
+//	autocheck doctor   [-addr HOST:PORT | -addrs A,B,C | -dir DIR [-store KIND]]
 //	autocheck trace    -file prog.mc [-o trace.txt]
 //	autocheck table2 | table3 [-workers K] | table4
-//	autocheck validate [-store file|memory|sharded|remote] [-addr HOST:PORT]
+//	autocheck validate [-store file|memory|sharded|remote|replicated]
+//	                   [-addr HOST:PORT] [-addrs A,B,C] [-write-quorum W] [-read-quorum R]
 //	                   [-cache-mb N] [-benchmark NAME] [-level L1..L4]
 //	                   [-async] [-incremental] [-keyframe N] [-shard-workers K]
 //	autocheck chaos    [-seed N] [-quick] [-benchmark B,..] [-stack S,..] [-schedule X,..]
-//	autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
+//	autocheck serve    -addr HOST:PORT [-cluster N] [-store file|memory|sharded] [-dir DIR]
 //	autocheck list
 //
 // `analyze` compiles a mini-C program, executes it under the tracing
@@ -21,7 +22,8 @@
 // and write-path decorator of the internal/store checkpoint engine —
 // including the networked checkpoint service started by `serve`, reached
 // with `-store remote -addr` and optionally fronted by the read-through
-// cache tier (`-cache-mb`).
+// cache tier (`-cache-mb`), or a whole cluster of them (`serve -cluster
+// 3`) behind the replicated quorum tier (`-store replicated -addrs`).
 package main
 
 import (
@@ -30,8 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -134,14 +140,21 @@ func usage() {
                                 listing (identical to analyze) plus, for
                                 every MLI variable, the accumulated
                                 signals and the rule that decided
-  autocheck doctor   [-addr HOST:PORT | -dir DIR [-store KIND]]
+  autocheck doctor   [-addr HOST:PORT | -addrs A,B,C | -dir DIR [-store KIND]]
                                 probe a checkpoint deployment's health;
                                 typed exit codes per failure class:
                                 0 healthy, 10 connectivity, 11 canary
                                 round trip, 12 chain/CRC integrity,
-                                13 metrics endpoint
+                                13 metrics endpoint, 14 replica quorum
+                                unavailable or divergent
       -addr          live mode: service address (checks /v1/stats, a
                      canary write/read/delete, and /v1/metrics)
+      -addrs         cluster mode: comma-separated replica addresses;
+                     probes every node's health, then runs a quorum
+                     canary and a cross-replica divergence scan through
+                     the replicated tier
+      -write-quorum, -read-quorum
+                     cluster mode quorums (0 = majority)
       -ns            live mode: canary namespace (default doctor)
       -dir, -store   local mode: open the stack and walk every stored
                      key's dependency chain, plus the canary round trip
@@ -152,9 +165,15 @@ func usage() {
   autocheck table4              regenerate Table IV  (checkpoint storage)
   autocheck validate [storage flags]
                                 run the fail-stop/restart validation (§VI-B)
-      -store         checkpoint storage backend: file, memory, sharded, or
-                     remote (default file)
+      -store         checkpoint storage backend: file, memory, sharded,
+                     remote, or replicated (default file)
       -addr          remote backend: checkpoint service address
+      -addrs         replicated backend: comma-separated replica service
+                     addresses (one per node)
+      -write-quorum  replicated: acks required per write (0 = majority)
+      -read-quorum   replicated: replicas consulted per read (0 = majority)
+      -hedge-after   replicated: hedge reads after this delay
+                     (0 = adaptive p95, negative = off)
       -cache-mb N    read-through LRU cache over the base backend (MB)
       -benchmark     validate only this port (default: all 14)
       -level         checkpoint reliability level 1-4 or L1-L4 (default L1:
@@ -176,10 +195,13 @@ func usage() {
       -seed          fault randomness root (default 1)
       -quick         CI smoke subset
       -list          list stacks and schedules
-  autocheck serve    -addr HOST:PORT [-store file|memory|sharded] [-dir DIR]
+  autocheck serve    -addr HOST:PORT [-cluster N] [-store file|memory|sharded] [-dir DIR]
                                 run the checkpoint storage service that
                                 "-store remote" clients checkpoint into
       -addr          listen address (default 127.0.0.1:9473)
+      -cluster       run N independent nodes in one process (ports count
+                     up from -addr; a :0 base lets the kernel pick all of
+                     them); prints the -addrs list replicated clients use
       -store         per-namespace backend kind (default file)
       -dir           storage root; one subdirectory per client namespace
                      (default: a fresh temp dir)
@@ -453,8 +475,12 @@ func cmdTable4() error {
 
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
-	storeKind := fs.String("store", "file", "checkpoint storage backend (file, memory, sharded, remote)")
+	storeKind := fs.String("store", "file", "checkpoint storage backend (file, memory, sharded, remote, replicated)")
 	addr := fs.String("addr", "", "remote backend: checkpoint service address")
+	addrsFlag := fs.String("addrs", "", "replicated backend: comma-separated replica service addresses")
+	writeQuorum := fs.Int("write-quorum", 0, "replicated: acks required per write (0 = majority)")
+	readQuorum := fs.Int("read-quorum", 0, "replicated: replicas consulted per read (0 = majority)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "replicated: hedge reads after this delay (0 = adaptive p95, negative = off)")
 	cacheMB := fs.Int("cache-mb", 0, "read-through LRU cache over the base backend (MB, 0 = off)")
 	benchName := fs.String("benchmark", "", "validate only this port (default: all 14)")
 	level := fs.String("level", "L1", "checkpoint reliability level (1-4 or L1-L4)")
@@ -475,6 +501,13 @@ func cmdValidate(args []string) error {
 	if kind != store.KindRemote && *addr != "" {
 		return fmt.Errorf("-addr only applies to -store remote")
 	}
+	addrs := splitAddrs(*addrsFlag)
+	if kind == store.KindReplicated && len(addrs) == 0 {
+		return fmt.Errorf("validate -store replicated needs -addrs (start a cluster with `autocheck serve -cluster 3`)")
+	}
+	if kind != store.KindReplicated && len(addrs) > 0 {
+		return fmt.Errorf("-addrs only applies to -store replicated")
+	}
 	lvl, err := checkpoint.ParseLevel(*level)
 	if err != nil {
 		return err
@@ -484,6 +517,10 @@ func cmdValidate(args []string) error {
 		Store: store.Config{
 			Kind:        kind,
 			Addr:        *addr,
+			Addrs:       addrs,
+			WriteQuorum: *writeQuorum,
+			ReadQuorum:  *readQuorum,
+			HedgeAfter:  *hedgeAfter,
 			CacheMB:     *cacheMB,
 			Workers:     *shardWorkers,
 			Async:       *async,
@@ -501,6 +538,17 @@ func cmdValidate(args []string) error {
 	if kind == store.KindRemote {
 		fmt.Printf(" addr=%s", *addr)
 	}
+	if kind == store.KindReplicated {
+		w, r := *writeQuorum, *readQuorum
+		if w <= 0 {
+			w = len(addrs)/2 + 1
+		}
+		if r <= 0 {
+			r = len(addrs)/2 + 1
+		}
+		fmt.Printf(" replicas=%d write-quorum=%d read-quorum=%d addrs=%s",
+			len(addrs), w, r, strings.Join(addrs, ","))
+	}
 	if *cacheMB > 0 {
 		fmt.Printf(" cache=%dMB", *cacheMB)
 	}
@@ -517,9 +565,22 @@ func cmdValidate(args []string) error {
 	return nil
 }
 
+// splitAddrs parses a comma-separated address list, dropping empty
+// elements and surrounding whitespace.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9473", "listen address")
+	cluster := fs.Int("cluster", 1, "run this many independent service nodes in one process")
 	storeKind := fs.String("store", "file", "per-namespace backend kind (file, memory, sharded)")
 	dir := fs.String("dir", "", "storage root directory (default: a fresh temp dir)")
 	syncWrites := fs.Bool("sync", false, "fsync every write")
@@ -531,6 +592,12 @@ func cmdServe(args []string) error {
 	kind, err := store.ParseKind(*storeKind)
 	if err != nil {
 		return err
+	}
+	if *cluster < 1 {
+		return fmt.Errorf("serve: -cluster must be at least 1")
+	}
+	if *cluster > 1 {
+		return serveCluster(*cluster, *addr, kind, *dir, *syncWrites, *shardWorkers, *maxInFlight)
 	}
 	root := *dir
 	if root == "" && kind != store.KindMemory {
@@ -579,6 +646,85 @@ func cmdServe(args []string) error {
 			rep.Store.Puts, rep.Store.Gets, rep.Store.BytesWritten, rep.Store.BytesRead,
 			rep.Store.CacheHits, rep.Store.CacheFollowerHits, rep.Store.CacheMisses)
 		return nil
+	}
+}
+
+// serveCluster runs N independent checkpoint services in one process —
+// the replicated tier's development and smoke-test topology (real
+// deployments run one `autocheck serve` per node). Each node gets its
+// own storage root and listener; with a fixed base port the nodes count
+// up from it, and a `:0` base lets the kernel pick every port.
+func serveCluster(n int, addr string, kind store.Kind, dir string, syncWrites bool, shardWorkers, maxInFlight int) error {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("serve -cluster: bad -addr %q: %w", addr, err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("serve -cluster: bad -addr port %q: %w", portStr, err)
+	}
+	root := dir
+	if root == "" && kind != store.KindMemory {
+		if root, err = os.MkdirTemp("", "autocheck-cluster-*"); err != nil {
+			return err
+		}
+		fmt.Printf("storage root: %s\n", root)
+	}
+	var (
+		srvs   []*server.Server
+		bounds []string
+	)
+	serveErr := make(chan error, n)
+	for i := 0; i < n; i++ {
+		nodeDir := ""
+		if root != "" {
+			nodeDir = filepath.Join(root, fmt.Sprintf("node%d", i))
+		}
+		srv, err := server.New(server.Config{
+			Store:       store.Config{Kind: kind, Dir: nodeDir, Sync: syncWrites, Workers: shardWorkers},
+			MaxInFlight: maxInFlight,
+		})
+		if err != nil {
+			return err
+		}
+		nodeAddr := addr
+		if basePort != 0 {
+			nodeAddr = net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		}
+		ready := make(chan string, 1)
+		go func() { serveErr <- srv.ListenAndServe(nodeAddr, ready) }()
+		var bound string
+		select {
+		case bound = <-ready:
+		case err := <-serveErr:
+			return err
+		}
+		srvs = append(srvs, srv)
+		bounds = append(bounds, bound)
+		fmt.Printf("serve: start node=%d addr=%s store=%s dir=%q max-inflight=%d sync=%v\n",
+			i, bound, kind, nodeDir, maxInFlight, syncWrites)
+	}
+	fmt.Printf("clients: autocheck validate -store replicated -addrs %s\n", strings.Join(bounds, ","))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining and shutting down %d nodes...\n", s, n)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		var firstErr error
+		for i, srv := range srvs {
+			if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			rep := srv.Stats()
+			fmt.Printf("serve: stop node=%d addr=%s requests=%d shed=%d namespaces=%d puts=%d gets=%d bytes-written=%d bytes-read=%d\n",
+				i, bounds[i], rep.Requests, rep.Rejected, rep.Namespaces,
+				rep.Store.Puts, rep.Store.Gets, rep.Store.BytesWritten, rep.Store.BytesRead)
+		}
+		return firstErr
 	}
 }
 

@@ -147,12 +147,13 @@ type Failpoint struct {
 	Site   string
 	Action Action
 
-	// Trigger policy. At most one of Nth / EveryK / Prob is set; none
-	// set means "every hit". OneShot composes with any of them: the
+	// Trigger policy. At most one of Nth / EveryK / Prob / From is set;
+	// none set means "every hit". OneShot composes with any of them: the
 	// failpoint disarms after its first firing.
 	Nth     int     // fire on exactly the Nth hit of the site (1-based)
 	EveryK  int     // fire on every Kth hit
 	Prob    float64 // fire with this probability, from the seeded generator
+	From    int     // fire on every hit from the Nth onward (node dead from then on)
 	OneShot bool
 
 	Delay time.Duration // ActionDelay sleep (0 = DefaultDelay)
@@ -169,6 +170,8 @@ func (f Failpoint) String() string {
 		fmt.Fprintf(&b, "@every=%d", f.EveryK)
 	case f.Prob > 0:
 		fmt.Fprintf(&b, "@p=%g", f.Prob)
+	case f.From > 0:
+		fmt.Fprintf(&b, "@from=%d", f.From)
 	}
 	if f.OneShot {
 		b.WriteString("@oneshot")
@@ -181,9 +184,11 @@ func (f Failpoint) String() string {
 
 // Parse parses one failpoint spec:
 //
-//	<site>=<action>[@nth=N | @every=K | @p=0.25][@oneshot][@delay=5ms]
+//	<site>=<action>[@nth=N | @every=K | @p=0.25 | @from=N][@oneshot][@delay=5ms]
 //
 // e.g. "store.put=torn@nth=3" or "server.request=error@p=0.3".
+// @from=N fires on every hit from the Nth onward — a node that dies at
+// hit N and stays dead, where @nth models a single transient fault.
 func Parse(spec string) (Failpoint, error) {
 	spec = strings.TrimSpace(spec)
 	site, rest, ok := strings.Cut(spec, "=")
@@ -209,6 +214,9 @@ func Parse(spec string) (Failpoint, error) {
 		case "p":
 			fp.Prob, err = strconv.ParseFloat(val, 64)
 			triggers++
+		case "from":
+			fp.From, err = strconv.Atoi(val)
+			triggers++
 		case "oneshot":
 			fp.OneShot = true
 		case "delay":
@@ -221,9 +229,9 @@ func Parse(spec string) (Failpoint, error) {
 		}
 	}
 	if triggers > 1 {
-		return Failpoint{}, fmt.Errorf("faultinject: spec %q: at most one of nth/every/p", spec)
+		return Failpoint{}, fmt.Errorf("faultinject: spec %q: at most one of nth/every/p/from", spec)
 	}
-	if fp.Nth < 0 || fp.EveryK < 0 || fp.Prob < 0 || fp.Prob > 1 {
+	if fp.Nth < 0 || fp.EveryK < 0 || fp.Prob < 0 || fp.Prob > 1 || fp.From < 0 {
 		return Failpoint{}, fmt.Errorf("faultinject: spec %q: trigger out of range", spec)
 	}
 	return fp, nil
@@ -416,6 +424,8 @@ func (r *Registry) evaluate(site string) (*armed, int, bool) {
 			fire = hit%a.EveryK == 0
 		case a.Prob > 0:
 			fire = a.rng.Float64() < a.Prob
+		case a.From > 0:
+			fire = hit >= a.From
 		default:
 			fire = true
 		}

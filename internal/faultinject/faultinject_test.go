@@ -61,6 +61,20 @@ func TestEveryKTrigger(t *testing.T) {
 	}
 }
 
+func TestFromTrigger(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Failpoint{Site: "s", Action: ActionError, From: 3})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if r.Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{3, 4, 5, 6}) {
+		t.Fatalf("from=3 fired on %v", fired)
+	}
+}
+
 func TestOneShotDisarmsAfterFirstFire(t *testing.T) {
 	r := NewRegistry(1)
 	r.Arm(Failpoint{Site: "s", Action: ActionError, EveryK: 2, OneShot: true})
@@ -207,6 +221,7 @@ func TestParseAndStringRoundTrip(t *testing.T) {
 		"async.writer=crash@nth=1@oneshot",
 		"remote.do=drop",
 		"store.put=delay@every=4@delay=2ms",
+		"store.replicated.r1.put=error@from=5",
 	}
 	for _, spec := range specs {
 		fp, err := Parse(spec)
@@ -225,7 +240,7 @@ func TestParseAndStringRoundTrip(t *testing.T) {
 	if got := FormatSchedule(fps); got != sched {
 		t.Fatalf("schedule round trip %q -> %q", sched, got)
 	}
-	for _, bad := range []string{"noaction", "s=explode", "s=error@nth=1@every=2", "s=error@p=1.5", "s=error@wat=1"} {
+	for _, bad := range []string{"noaction", "s=explode", "s=error@nth=1@every=2", "s=error@p=1.5", "s=error@wat=1", "s=error@nth=1@from=2", "s=error@from=-1"} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("Parse(%q) accepted", bad)
 		}

@@ -76,11 +76,17 @@ func ChaosSchedules(quick bool) []ChaosSchedule {
 		{Name: "crash-committed", Write: "ckpt.committed=crash@nth=3"},
 	}
 	if quick {
-		return append(base, ChaosSchedule{
-			Name: "shed-storm", Needs: "remote",
-			Write:   "server.request=error@p=0.25",
-			Restart: "server.request=error@p=0.25",
-		})
+		return append(base,
+			ChaosSchedule{
+				Name: "shed-storm", Needs: "remote",
+				Write:   "server.request=error@p=0.25",
+				Restart: "server.request=error@p=0.25",
+			},
+			// One node of the cluster dies mid-write and stays dead: the
+			// surviving quorum keeps acking, the scrub pass re-replicates,
+			// and restart reads route around the corpse.
+			ChaosSchedule{Name: "replica-kill-mid-put",
+				Write: "store.replicated.r1.put=crash@nth=2", Needs: "replicated"})
 	}
 	return append(base,
 		// Process death inside the backend's own commit path.
@@ -103,6 +109,25 @@ func ChaosSchedules(quick bool) []ChaosSchedule {
 			Restart: "server.request=error@p=0.25"},
 		// A slow service: no failures, just latency on every few requests.
 		ChaosSchedule{Name: "slow-server", Write: "server.request=delay@every=3@delay=1ms", Needs: "remote"},
+		// One node of the cluster dies mid-write and stays dead (see the
+		// quick catalog).
+		ChaosSchedule{Name: "replica-kill-mid-put",
+			Write: "store.replicated.r1.put=crash@nth=2", Needs: "replicated"},
+		// A replica partitioned away for the whole fault phase: every
+		// write and read against it fails from the first hit (@from), the
+		// quorum absorbs it, and the between-phase scrub re-replicates
+		// what the node missed once the partition heals.
+		ChaosSchedule{Name: "replica-partition",
+			Write: "store.replicated.r2.put=error@from=1;store.replicated.r2.get=error@from=1",
+			Needs: "replicated"},
+		// A slow (not dead) replica during recovery: hedged reads bound
+		// the tail and the restart must still verify byte-identically.
+		ChaosSchedule{Name: "replica-slow-hedge",
+			Restart: "store.replicated.r0.get=delay@every=1@delay=2ms", Needs: "replicated"},
+		// The scrubber itself dies mid-sweep; the half-finished repair
+		// pass must leave nothing restart can trip over.
+		ChaosSchedule{Name: "replica-kill-scrub",
+			Restart: "store.replicated.scrub=crash@nth=2", Needs: "replicated"},
 	)
 }
 
@@ -112,29 +137,39 @@ func ChaosStacks() []string {
 		"memory", "file", "sharded", "file+l2",
 		"file+async", "file+incr", "file+async+incr",
 		"remote", "remote+cached",
+		"replicated", "replicated+cached",
 	}
 }
 
 func chaosQuickStacks() []string {
-	return []string{"file", "file+async+incr", "remote+cached"}
+	return []string{"file", "file+async+incr", "remote+cached", "replicated"}
 }
 
 // chaosStackConfig translates a stack name ("file+async+incr",
-// "remote+cached", "file+l2", ...) into a store configuration rooted at
-// dir, the checkpoint level, and whether the stack needs a live
-// checkpoint service.
-func chaosStackConfig(stack, dir string) (store.Config, checkpoint.Level, bool, error) {
+// "remote+cached", "replicated", ...) into a store configuration rooted
+// at dir, the checkpoint level, and how many live checkpoint services
+// the stack needs (0 for the local kinds, 1 for remote, a 3-node
+// cluster for replicated).
+func chaosStackConfig(stack, dir string) (store.Config, checkpoint.Level, int, error) {
 	scfg := store.Config{Dir: dir}
 	level := checkpoint.L1
-	remote := false
+	services := 0
 	for i, part := range strings.Split(stack, "+") {
 		if i == 0 {
 			kind, err := store.ParseKind(part)
 			if err != nil {
-				return scfg, level, false, fmt.Errorf("harness: stack %q: %w", stack, err)
+				return scfg, level, 0, fmt.Errorf("harness: stack %q: %w", stack, err)
 			}
 			scfg.Kind = kind
-			remote = kind == store.KindRemote
+			switch kind {
+			case store.KindRemote:
+				services = 1
+			case store.KindReplicated:
+				services = 3
+				// Majority quorums (2/2 of 3) and an aggressive hedge so
+				// the slow-replica schedules actually hedge within a run.
+				scfg.HedgeAfter = time.Millisecond
+			}
 			continue
 		}
 		switch part {
@@ -148,10 +183,10 @@ func chaosStackConfig(stack, dir string) (store.Config, checkpoint.Level, bool, 
 		case "l2":
 			level = checkpoint.L2
 		default:
-			return scfg, level, false, fmt.Errorf("harness: stack %q: unknown layer %q", stack, part)
+			return scfg, level, 0, fmt.Errorf("harness: stack %q: unknown layer %q", stack, part)
 		}
 	}
-	return scfg, level, remote, nil
+	return scfg, level, services, nil
 }
 
 func stackSatisfies(stack, needs string) bool {
@@ -415,18 +450,29 @@ func chaosOne(prep *chaosPrep, bname, stack string, sched ChaosSchedule, dir str
 	if err := reg.ArmSchedule(sched.Write); err != nil {
 		return fail("bad write schedule: %v", err)
 	}
-	scfg, level, needsRemote, err := chaosStackConfig(stack, dir)
+	scfg, level, services, err := chaosStackConfig(stack, dir)
 	if err != nil {
 		return fail("%v", err)
 	}
 	scfg.Faults = reg
-	var svc *chaosService
-	if needsRemote {
-		if svc, err = startChaosService(reg); err != nil {
+	// Remote stacks get one live checkpoint service; replicated stacks a
+	// cluster of them. All share the run's registry, so server-side sites
+	// (store.put on a node's backend) stay injectable — node-targeted
+	// faults use the client-side per-replica sites instead.
+	var addrs []string
+	for i := 0; i < services; i++ {
+		svc, err := startChaosService(reg)
+		if err != nil {
 			return fail("%v", err)
 		}
 		defer svc.stop()
-		scfg.Addr = svc.addr
+		addrs = append(addrs, svc.addr)
+	}
+	switch scfg.Kind {
+	case store.KindRemote:
+		scfg.Addr = addrs[0]
+	case store.KindReplicated:
+		scfg.Addrs = addrs
 	}
 
 	// The memory backend is volatile: nothing survives process death, so
@@ -499,6 +545,31 @@ func chaosOne(prep *chaosPrep, bname, stack string, sched ChaosSchedule, dir str
 	if err := reg.ArmSchedule(sched.Restart); err != nil {
 		return fail("bad restart schedule: %v", err)
 	}
+
+	// Replicated stacks run one deterministic scrub sweep between death
+	// and recovery. The background scrubber's cadence is wall-clock and
+	// would not replay, so the harness invokes the sweep explicitly at
+	// the one point it matters: after the fault phase diverged the
+	// replicas, before the restart that must not notice any of it. The
+	// restart schedule is already armed, so scrub-targeted faults
+	// (store.replicated.scrub) land here; an aborted scrub is
+	// survivable — the recovery phase below is what verifies state.
+	if scfg.Kind == store.KindReplicated {
+		scrubCfg := scfg
+		scrubCfg.CacheMB = 0
+		_, _ = runGuarded(func() error {
+			b, err := store.Open(scrubCfg)
+			if err != nil {
+				return err
+			}
+			defer b.Close()
+			if rep, ok := b.(*store.Replicated); ok {
+				_, _, err = rep.ScrubOnce()
+			}
+			return err
+		})
+	}
+
 	var restored, finalCells map[string][]trace.Value
 	var restartIter int64
 	var out string

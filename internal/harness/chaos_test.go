@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"autocheck/internal/store"
 )
 
 func TestChaosQuickSweepPasses(t *testing.T) {
@@ -123,11 +125,51 @@ func TestChaosStackConfigs(t *testing.T) {
 			t.Errorf("stack %q: %v", stack, err)
 		}
 	}
-	cfg, level, remote, err := chaosStackConfig("remote+cached", "/x")
-	if err != nil || !remote || cfg.CacheMB == 0 || level.String() != "L1" {
-		t.Errorf("remote+cached parsed to %+v level=%v remote=%v err=%v", cfg, level, remote, err)
+	cfg, level, services, err := chaosStackConfig("remote+cached", "/x")
+	if err != nil || services != 1 || cfg.CacheMB == 0 || level.String() != "L1" {
+		t.Errorf("remote+cached parsed to %+v level=%v services=%d err=%v", cfg, level, services, err)
 	}
 	if _, level, _, err := chaosStackConfig("file+l2", "/x"); err != nil || level.String() != "L2" {
 		t.Errorf("file+l2 level = %v (%v)", level, err)
+	}
+	cfg, _, services, err = chaosStackConfig("replicated", "/x")
+	if err != nil || services != 3 || cfg.Kind != store.KindReplicated || cfg.HedgeAfter <= 0 {
+		t.Errorf("replicated parsed to %+v services=%d err=%v", cfg, services, err)
+	}
+	if _, _, services, err := chaosStackConfig("file", "/x"); err != nil || services != 0 {
+		t.Errorf("file needs %d services (%v), want 0", services, err)
+	}
+}
+
+// TestChaosReplicatedCluster is the multi-node matrix of the sweep: every
+// replica-targeted schedule against the replicated stacks, each run a
+// 3-node cluster with one node killed, partitioned, slowed, or scrubbed
+// to death — restarts must verify byte-identically from the survivors.
+func TestChaosReplicatedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos matrix is not -short")
+	}
+	rep, err := RunChaosValidation(t.TempDir(), ChaosOptions{
+		Benchmarks: []string{"IS"},
+		Stacks:     []string{"replicated", "replicated+cached"},
+		Schedules: []string{
+			"replica-kill-mid-put", "replica-partition",
+			"replica-slow-hedge", "replica-kill-scrub",
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 8 {
+		t.Fatalf("matrix ran %d combinations, want 8", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if !r.OK {
+			t.Errorf("%s/%s/%s failed: %s\n  replay: %s", r.Bench, r.Stack, r.Schedule, r.Detail, r.Replay(rep.Seed))
+		}
+		if r.Events == 0 {
+			t.Errorf("%s/%s/%s: schedule never fired — dead coverage", r.Bench, r.Stack, r.Schedule)
+		}
 	}
 }

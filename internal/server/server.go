@@ -152,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		// so /v1/metrics covers the whole stack, routes through store ops.
 		tmpl.Obs = cfg.Obs
 	}
-	if tmpl.Kind == store.KindRemote {
+	if tmpl.Kind == store.KindRemote || tmpl.Kind == store.KindReplicated {
 		return nil, errors.New("server: refusing to back the service with another remote service")
 	}
 	if tmpl.Kind != store.KindMemory && tmpl.Dir == "" {
@@ -651,6 +651,9 @@ func (s *Server) Stats() StatsReport {
 		rep.Store.CacheHits += st.CacheHits
 		rep.Store.CacheFollowerHits += st.CacheFollowerHits
 		rep.Store.CacheMisses += st.CacheMisses
+		rep.Store.Repairs += st.Repairs
+		rep.Store.HedgesFired += st.HedgesFired
+		rep.Store.HedgesWon += st.HedgesWon
 	}
 	return rep
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -45,6 +46,13 @@ type Remote struct {
 	MaxAttempts int
 	Backoff     time.Duration
 	MaxElapsed  time.Duration
+
+	// FailFastDial makes a dial-level failure (connection refused, no
+	// route) final instead of retried: the endpoint is down, not busy,
+	// and the caller has other replicas to try. Off by default — a
+	// single-endpoint client relies on dial retries to ride out service
+	// startup. The resulting error wraps ErrUnavailable.
+	FailFastDial bool
 
 	base   string // http://host:port/v1/<ns>, no trailing slash
 	ns     string
@@ -144,6 +152,20 @@ func (e *errRemoteStatus) Error() string {
 }
 
 func transientStatus(status int) bool { return status >= 500 }
+
+// ErrUnavailable marks an endpoint-down failure: the TCP dial itself was
+// refused or unroutable, as opposed to a connected service misbehaving.
+// Only surfaced when FailFastDial is set; the replicated tier uses it to
+// move to the next replica without burning the whole retry budget.
+var ErrUnavailable = errors.New("store: endpoint unavailable")
+
+// isDialError reports whether err is a network-level failure in the dial
+// itself (connection refused, host unreachable) rather than on an
+// established connection.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
 
 // SetFaults implements FaultInjectable.
 func (r *Remote) SetFaults(reg *faultinject.Registry) { r.faults = reg }
@@ -289,6 +311,9 @@ func (r *Remote) attempt(method, path string, body []byte, now func() time.Time)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
+		if r.FailFastDial && isDialError(err) {
+			return nil, true, 0, false, fmt.Errorf("store: remote service %s: %w (%v)", r.base, ErrUnavailable, err)
+		}
 		return nil, false, 0, false, fmt.Errorf("store: remote service: %w", err) // network-level failure: transient
 	}
 	// Read the body in full either way so the connection is reusable.

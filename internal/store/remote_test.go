@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -500,5 +501,70 @@ func TestRemoteInjectedNetworkFaultIsTransient(t *testing.T) {
 	// the successful second attempt.
 	if got := f.requestCount(); got != 1 {
 		t.Errorf("service requests = %d, want 1", got)
+	}
+}
+
+// deadListenerAddr returns an address nothing listens on: a listener is
+// bound to grab a free port and closed again, so a dial is refused
+// immediately rather than timing out.
+func deadListenerAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRemoteFailFastDial is the dead-replica regression test: by
+// default a connection-refused Get burns the whole retry budget against
+// the same endpoint; with FailFastDial the first refused dial is final
+// and wraps ErrUnavailable, so a replicated tier moves on to the next
+// replica promptly.
+func TestRemoteFailFastDial(t *testing.T) {
+	addr := deadListenerAddr(t)
+
+	slow := fastRemote(t, addr, "dead")
+	defer slow.Close()
+	var waits int
+	slow.sleep = func(time.Duration) { waits++ }
+	_, err := slow.Get("ckpt-000001")
+	if err == nil {
+		t.Fatal("Get against a dead listener succeeded")
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatalf("default client classified a dial error as final: %v", err)
+	}
+	if want := DefaultRemoteAttempts - 1; waits != want {
+		t.Errorf("default client retried %d times, want %d", waits, want)
+	}
+
+	fast := fastRemote(t, addr, "dead")
+	defer fast.Close()
+	fast.FailFastDial = true
+	waits = 0
+	fast.sleep = func(time.Duration) { waits++ }
+	_, err = fast.Get("ckpt-000001")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("fail-fast Get = %v, want ErrUnavailable", err)
+	}
+	if waits != 0 {
+		t.Errorf("fail-fast client slept %d times, want 0", waits)
+	}
+}
+
+// TestRemoteFailFastDialStillRetriesServerErrors: fail-fast applies to
+// the dial only — a connected service answering 5xx is still transient
+// and retried (the CI serve smoke and load shedding depend on it).
+func TestRemoteFailFastDialStillRetriesServerErrors(t *testing.T) {
+	f := newFakeService(t)
+	r := fastRemote(t, f.srv.URL, "ff-5xx")
+	defer r.Close()
+	r.FailFastDial = true
+	f.setFailNext(2)
+	if err := r.Put("ckpt-000001", sampleSections(1)); err != nil {
+		t.Fatalf("put should ride out 503s even with FailFastDial: %v", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"autocheck/internal/faultinject"
 	"autocheck/internal/obs"
@@ -45,6 +46,9 @@ type Stats struct {
 	CacheHits           int64 // Gets served by a cached object without an inner read
 	CacheFollowerHits   int64 // Gets served by sharing another caller's in-flight inner read
 	CacheMisses         int64 // Gets that had to reach the inner backend
+	Repairs             int64 // replicas overwritten by read-repair or the scrubber
+	HedgesFired         int64 // replicated Gets that launched a hedge request
+	HedgesWon           int64 // hedge requests that produced the winning answer
 }
 
 // ErrNotFound is returned by Get and Delete for a missing key.
@@ -88,6 +92,7 @@ const (
 	KindMemory
 	KindSharded
 	KindRemote
+	KindReplicated
 )
 
 func (k Kind) String() string {
@@ -100,6 +105,8 @@ func (k Kind) String() string {
 		return "sharded"
 	case KindRemote:
 		return "remote"
+	case KindReplicated:
+		return "replicated"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -115,8 +122,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindSharded, nil
 	case "remote":
 		return KindRemote, nil
+	case "replicated":
+		return KindReplicated, nil
 	}
-	return 0, fmt.Errorf("store: unknown backend kind %q (want file, memory, sharded, or remote)", s)
+	return 0, fmt.Errorf("store: unknown backend kind %q (want file, memory, sharded, remote, or replicated)", s)
 }
 
 // Config selects and parameterizes a backend chain.
@@ -127,8 +136,17 @@ type Config struct {
 	Workers int    // sharded write pool size (default 4)
 
 	Addr      string // remote kind: checkpoint service address (host:port or URL)
-	Namespace string // remote kind: key namespace on the service (default: derived from Dir)
+	Namespace string // remote/replicated kinds: key namespace on the service (default: derived from Dir)
 	CacheMB   int    // wrap the base backend with a read-through LRU cache of this many MB
+
+	// Replicated kind: the cluster's service addresses plus quorum and
+	// tail-latency policy. See NewReplicated for the semantics and
+	// defaults of each knob.
+	Addrs       []string      // replica service addresses, in replica-index order
+	WriteQuorum int           // Put succeeds after this many replica acks (default majority)
+	ReadQuorum  int           // Get decides after this many definitive replica answers (default majority)
+	HedgeAfter  time.Duration // hedge a slow replica read after this long (0 = default, <0 = disabled)
+	ScrubEvery  time.Duration // background scrub cadence (0 = disabled; ScrubOnce is always available)
 
 	Async       bool // wrap with the async double-buffered decorator
 	Incremental bool // wrap with the delta/incremental decorator
@@ -185,7 +203,20 @@ const (
 	// injected failures counting as transient network errors against the
 	// retry budget.
 	SiteRemoteDo = "remote.do"
+	// SiteReplicatedScrub fires once per key the scrubber examines, on
+	// the scrub sweep goroutine; a crash aborts the sweep (the scrubber
+	// dies, the store survives).
+	SiteReplicatedScrub = "store.replicated.scrub"
 )
+
+// Per-replica failpoint sites of the replicated tier: each replica's
+// write queue and read path evaluate their own sites, so a chaos
+// schedule can kill, partition, or slow exactly one node of the cluster
+// deterministically. Hit order per site is deterministic because every
+// replica applies its own operations in submission order.
+func SiteReplicaPut(i int) string    { return fmt.Sprintf("store.replicated.r%d.put", i) }
+func SiteReplicaGet(i int) string    { return fmt.Sprintf("store.replicated.r%d.get", i) }
+func SiteReplicaDelete(i int) string { return fmt.Sprintf("store.replicated.r%d.delete", i) }
 
 // FaultInjectable is implemented by every backend and decorator in this
 // package: SetFaults arms (or, with nil, disarms) the layer's own
@@ -243,8 +274,9 @@ func newOpSet(r *obs.Registry, layer string) opSet {
 // The classes are the failure modes an operator acts on differently:
 // not_found (expected absence), corrupt (CRC framing rejected the
 // object), chain_broken (incremental delta chain unreconstructable),
-// injected (deterministic fault injection, so chaos runs don't read as
-// real faults), and io for everything else.
+// unavailable (a replica endpoint is down — dial refused or quorum
+// lost), injected (deterministic fault injection, so chaos runs don't
+// read as real faults), and io for everything else.
 func errClass(err error) string {
 	if err == nil {
 		return ""
@@ -254,6 +286,9 @@ func errClass(err error) string {
 	}
 	if errors.Is(err, ErrCorrupt) {
 		return "corrupt"
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return "unavailable"
 	}
 	if errors.Is(err, faultinject.ErrInjected) {
 		return "injected"
@@ -308,6 +343,35 @@ func openBase(cfg Config) (Backend, error) {
 			ns = NamespaceForDir(cfg.Dir)
 		}
 		return NewRemote(cfg.Addr, ns)
+	case KindReplicated:
+		if len(cfg.Addrs) == 0 {
+			return nil, errors.New("store: replicated backend needs replica addresses (Addrs)")
+		}
+		ns := cfg.Namespace
+		if ns == "" {
+			ns = NamespaceForDir(cfg.Dir)
+		}
+		replicas := make([]Backend, len(cfg.Addrs))
+		for i, addr := range cfg.Addrs {
+			rem, err := NewRemote(addr, ns)
+			if err != nil {
+				for _, r := range replicas[:i] {
+					r.Close()
+				}
+				return nil, fmt.Errorf("store: replica %d: %w", i, err)
+			}
+			// A dead replica must fail fast so the tier moves on to the
+			// next one; the single-endpoint remote keeps its patient
+			// dial retries (it has nowhere else to go).
+			rem.FailFastDial = true
+			replicas[i] = rem
+		}
+		return NewReplicated(replicas, ReplicatedOptions{
+			WriteQuorum: cfg.WriteQuorum,
+			ReadQuorum:  cfg.ReadQuorum,
+			HedgeAfter:  cfg.HedgeAfter,
+			ScrubEvery:  cfg.ScrubEvery,
+		})
 	}
 	return nil, fmt.Errorf("store: unknown backend kind %d", cfg.Kind)
 }

@@ -60,6 +60,18 @@ func openAll(t *testing.T) map[string]Backend {
 	svc := newFakeService(t)
 	remote := fastRemote(t, svc.srv.URL, "all")
 	remoteCached := fastRemote(t, svc.srv.URL, "all-cached")
+	replicated, err := NewReplicated([]Backend{NewMemory(), NewMemory(), NewMemory()}, ReplicatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicatedRemote, err := NewReplicated([]Backend{
+		fastRemote(t, svc.srv.URL, "all-rep-r0"),
+		fastRemote(t, svc.srv.URL, "all-rep-r1"),
+		fastRemote(t, svc.srv.URL, "all-rep-r2"),
+	}, ReplicatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Backend{
 		"memory":             NewMemory(),
 		"file":               file,
@@ -74,6 +86,8 @@ func openAll(t *testing.T) map[string]Backend {
 		"cached-file":        NewCached(cachedFile, 1<<20),
 		"remote":             remote,
 		"remote-cached":      NewCached(remoteCached, 1<<20),
+		"replicated":         replicated,
+		"replicated-remote":  replicatedRemote,
 	}
 }
 
