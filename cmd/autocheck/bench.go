@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -64,7 +65,10 @@ func seedRemoteRestart(addr, name string, cacheMB int, reg *obs.Registry) (*chec
 // ports, and appends the result to a JSON trajectory file, so the repo
 // accumulates perf history without hand-running `go test -bench`.
 
-// benchEntry is one measured configuration.
+// benchEntry is one measured configuration. Workers records the pool or
+// chunk parallelism of configurations that have one, and Gomaxprocs the
+// scheduler width the run actually had — a flat analyze-many curve means
+// nothing without knowing the machine was 1-wide.
 type benchEntry struct {
 	Name        string  `json:"name"`
 	NsPerOp     int64   `json:"ns_per_op"`
@@ -72,6 +76,8 @@ type benchEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	P99Ns       int64   `json:"p99_ns,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Gomaxprocs  int     `json:"gomaxprocs,omitempty"`
 }
 
 // benchObsSnapshot condenses the telemetry registry that observed the
@@ -103,12 +109,19 @@ func runOne(name string, totalBytes int, fn func(b *testing.B)) benchEntry {
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
 	}
 	if r.NsPerOp() > 0 {
 		e.MBPerSec = float64(totalBytes) / (float64(r.NsPerOp()) / 1e9) / 1e6
 	}
 	fmt.Printf("  %-22s %10.2f ms/op  %8.1f MB/s  %8d allocs/op\n",
 		name, float64(e.NsPerOp)/1e6, e.MBPerSec, e.AllocsPerOp)
+	return e
+}
+
+// withWorkers tags an entry with its parallelism knob.
+func withWorkers(e benchEntry, w int) benchEntry {
+	e.Workers = w
 	return e
 }
 
@@ -192,6 +205,8 @@ func cmdBench(args []string) error {
 	benchName := fs.String("benchmark", "HACC", "benchmark port to trace")
 	scale := fs.Int("scale", 0, "input scale (0 = default)")
 	workers := fs.Int("workers", 8, "parallel text parse workers")
+	assertScaling := fs.Bool("assert-scaling", false,
+		"fail unless analyze-many-8 beats analyze-many-1 by >= 30% (no-op below 4 CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,14 +250,14 @@ func cmdBench(args []string) error {
 				}
 			}
 		}),
-		runOne(fmt.Sprintf("text-parse-parallel%d", *workers), len(p.Data), func(b *testing.B) {
+		withWorkers(runOne(fmt.Sprintf("text-parse-parallel%d", *workers), len(p.Data), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := trace.ParseBytesParallel(p.Data, *workers); err != nil {
 					b.Fatal(err)
 				}
 			}
-		}),
+		}), *workers),
 		runOne("binary-parse", len(p.BinData()), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -305,17 +320,32 @@ func cmdBench(args []string) error {
 		inputs = append(inputs, pp.Input())
 		totalText += len(pp.Data)
 	}
+	manyNs := map[int]int64{}
 	for _, w := range []int{1, 4, 8} {
 		w := w
-		rep.Entries = append(rep.Entries,
-			runOne(fmt.Sprintf("analyze-many-%d", w), totalText, func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := core.AnalyzeMany(inputs, w); err != nil {
-						b.Fatal(err)
-					}
+		e := withWorkers(runOne(fmt.Sprintf("analyze-many-%d", w), totalText, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeMany(inputs, w); err != nil {
+					b.Fatal(err)
 				}
-			}))
+			}
+		}), w)
+		manyNs[w] = e.NsPerOp
+		rep.Entries = append(rep.Entries, e)
+	}
+	if *assertScaling {
+		// Scaling across traces needs scheduler width; on narrow runners
+		// the pool degenerates to sequential and the assertion is vacuous.
+		if np := runtime.GOMAXPROCS(0); np < 4 {
+			fmt.Printf("assert-scaling: skipped (GOMAXPROCS=%d < 4)\n", np)
+		} else if got, want := manyNs[8], manyNs[1]*7/10; got >= want {
+			return fmt.Errorf("assert-scaling: analyze-many-8 = %.2fms/op, want < 0.7x analyze-many-1 (%.2fms/op)",
+				float64(got)/1e6, float64(manyNs[1])/1e6)
+		} else {
+			fmt.Printf("assert-scaling: ok (many-8 %.2fms vs many-1 %.2fms)\n",
+				float64(got)/1e6, float64(manyNs[1])/1e6)
+		}
 	}
 
 	// Networked checkpoint service: N concurrent IS clients checkpointing

@@ -179,12 +179,16 @@ func (r *Result) Find(name string) *CriticalVar {
 // steps. With opts.Streaming the file is scanned from disk once per
 // bounded pass (three in total) and never loaded whole.
 func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
+	return analyzeFileIn(&scratch{}, path, spec, opts)
+}
+
+func analyzeFileIn(sc *scratch, path string, spec LoopSpec, opts Options) (*Result, error) {
 	if opts.Streaming {
 		st, err := os.Stat(path)
 		if err != nil {
 			return nil, fmt.Errorf("core: reading trace: %w", err)
 		}
-		res, err := AnalyzeStream(fileReaderOpener(path), spec, opts)
+		res, err := analyzeStreamIn(sc, fileReaderOpener(path), spec, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +199,7 @@ func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reading trace: %w", err)
 	}
-	return AnalyzeBytes(data, spec, opts)
+	return analyzeBytesIn(sc, data, spec, opts)
 }
 
 // AnalyzeBytes parses an in-memory trace — text or binary, detected by
@@ -203,8 +207,12 @@ func AnalyzeFile(path string, spec LoopSpec, opts Options) (*Result, error) {
 // opts.Workers > 1; with opts.Streaming no []Record is materialized at
 // all.
 func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
+	return analyzeBytesIn(&scratch{}, data, spec, opts)
+}
+
+func analyzeBytesIn(sc *scratch, data []byte, spec LoopSpec, opts Options) (*Result, error) {
 	if opts.Streaming {
-		res, err := AnalyzeStream(bytesReaderOpener(data), spec, opts)
+		res, err := analyzeStreamIn(sc, bytesReaderOpener(data), spec, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +234,7 @@ func AnalyzeBytes(data []byte, spec LoopSpec, opts Options) (*Result, error) {
 		return nil, err
 	}
 	parse := time.Since(t0)
-	res, err := Analyze(recs, spec, opts)
+	res, err := analyzeScheduleIn(sc, sliceSource(recs), spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -285,22 +293,53 @@ type analyzer struct {
 	regNode  map[regKey]*ddg.Node
 	varNodes map[VarID]*ddg.Node
 	// trackAll records summaries for every variable rather than only MLI
-	// variables. The online Collector needs this: MLI membership is only
-	// final when the stream ends, so filtering happens at Finish.
+	// variables. The fused single-sweep configurations (the online engine
+	// and the offline fused sweep) need this: MLI membership is only final
+	// when the stream ends, so filtering happens at Finish.
 	trackAll bool
+	// frozen mirrors vt.frozen for the fused step: set at the first
+	// region-C record to match the offline footprint semantics.
+	frozen bool
+	// ivSrcs is the reusable scratch map for the per-store induction
+	// check (resolveRegVars output); cleared before each use.
+	ivSrcs map[VarID]*VarInfo
 }
 
 func newAnalyzer(spec LoopSpec, opts Options) *analyzer {
-	return &analyzer{
-		spec: spec,
-		opts: opts,
-		vt:   newVarTable(),
-		mliA: make(map[VarID]*VarInfo),
-		mli:  make(map[VarID]*VarInfo),
-		rv:   make(map[regKey]*VarInfo),
-		rr:   make(map[regKey][]regKey),
-		sums: make(map[VarID]*varSummary),
+	a := &analyzer{}
+	a.reset(spec, opts)
+	return a
+}
+
+// reset reconfigures the analyzer for a fresh trace, keeping its
+// allocated map and table storage. This is what makes one scratch bundle
+// serve many analyses (AnalyzeMany's per-worker reuse): a reset analyzer
+// behaves exactly like a new one, and the VarInfo/summary objects a
+// previous Result retained are never mutated afterwards.
+func (a *analyzer) reset(spec LoopSpec, opts Options) {
+	a.spec = spec
+	a.opts = opts
+	if a.vt == nil {
+		a.vt = newVarTable()
+		a.mliA = make(map[VarID]*VarInfo)
+		a.mli = make(map[VarID]*VarInfo)
+		a.rv = make(map[regKey]*VarInfo)
+		a.rr = make(map[regKey][]regKey)
+		a.sums = make(map[VarID]*varSummary)
+	} else {
+		a.vt.reset()
+		clear(a.mliA)
+		clear(a.mli)
+		clear(a.rv)
+		clear(a.rr)
+		clear(a.sums)
 	}
+	a.graph = nil
+	a.regNode = nil
+	a.varNodes = nil
+	a.trackAll = false
+	a.frozen = false
+	clear(a.ivSrcs)
 }
 
 // trackStorage processes the storage-defining records that both passes

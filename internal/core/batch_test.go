@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"autocheck/internal/trace"
+)
+
+// stepLogPass records every record it is fed — identity, order, region,
+// and operand shape — so schedules can be compared step for step.
+type stepLogPass struct {
+	log []string
+}
+
+func (p *stepLogPass) Name() string { return "steplog" }
+func (p *stepLogPass) Begin()       { p.log = p.log[:0] }
+func (p *stepLogPass) Step(r *trace.Record, i int, reg Region) {
+	res := -1
+	if r.Result != nil {
+		res = r.Result.Index
+	}
+	p.log = append(p.log, fmt.Sprintf("%d %s %s:%d op%d ops%d res%d",
+		i, reg, r.Func, r.Line, r.Opcode, len(r.Ops), res))
+}
+func (p *stepLogPass) Finish(res *Result) {}
+
+// batchLogPass is stepLogPass plus StepBatch, logging through the batch
+// entry point instead.
+type batchLogPass struct{ stepLogPass }
+
+func (p *batchLogPass) StepBatch(recs []trace.Record, base int, regions []Region) {
+	for k := range recs {
+		p.Step(&recs[k], base+k, regions[k])
+	}
+}
+
+// TestStepBatchEquivalence pins the BatchPass contract at the schedule
+// level: runSweepBatched must feed a batch-capable pass exactly the
+// records, indices, and region classifications that a plain pass sees
+// record by record — over both the materialized source and a streaming
+// source whose trace spans several decode batches.
+func TestStepBatchEquivalence(t *testing.T) {
+	base, _ := traceOf(t, fig4Source)
+	// Big enough for several DefaultBatchRecords batches.
+	recs := make([]trace.Record, 0, 3*trace.DefaultBatchRecords)
+	for len(recs) < 3*trace.DefaultBatchRecords {
+		recs = append(recs, base...)
+	}
+	data := trace.EncodeAll(recs)
+
+	sources := map[string]func() source{
+		"slice": func() source { return sliceSource(recs) },
+		"stream": func() source {
+			return &streamSource{open: bytesReaderOpener(data), batch: &trace.RecordBatch{}}
+		},
+	}
+	for name, mk := range sources {
+		part := newSpanPartitioner(fig4Spec)
+		if err := mk().sweep(func(i int, r *trace.Record) error {
+			return part.observe(i, r)
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		plain := &stepLogPass{}
+		if _, err := runSweepBatched(mk(), part, nil, nil, plain); err != nil {
+			t.Fatal(err)
+		}
+		batched := &batchLogPass{}
+		if _, err := runSweepBatched(mk(), part, nil, nil, batched); err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.log) != len(recs) {
+			t.Fatalf("%s: plain pass saw %d records, want %d", name, len(plain.log), len(recs))
+		}
+		if len(plain.log) != len(batched.log) {
+			t.Fatalf("%s: StepBatch saw %d records, Step saw %d", name, len(batched.log), len(plain.log))
+		}
+		for i := range plain.log {
+			if plain.log[i] != batched.log[i] {
+				t.Fatalf("%s: step %d diverges:\nStep      %s\nStepBatch %s", name, i, plain.log[i], batched.log[i])
+			}
+		}
+	}
+}
+
+// TestAnalyzeStreamAllocs pins the streaming arena work: analyzing an
+// in-memory trace without materializing it must cost O(variables)
+// allocations, not O(records). Before batch decoding, this trace cost
+// one-plus allocations per record per sweep.
+func TestAnalyzeStreamAllocs(t *testing.T) {
+	base, _ := traceOf(t, fig4Source)
+	recs := make([]trace.Record, 0, 4096)
+	for len(recs) < 4096 {
+		recs = append(recs, base...)
+	}
+	opts := DefaultOptions()
+	opts.Streaming = true
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{
+		{"text", trace.EncodeAll(recs)},
+		{"binary", trace.EncodeBinary(recs)},
+	} {
+		t.Run(enc.name, func(t *testing.T) {
+			if _, err := AnalyzeBytes(enc.data, fig4Spec, opts); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := AnalyzeBytes(enc.data, fig4Spec, opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s: %.0f allocs per streaming analysis of %d records", enc.name, allocs, len(recs))
+			// O(variables) headroom; len(recs) would mean a per-record cost
+			// crept back in.
+			if allocs > float64(len(recs))/4 {
+				t.Errorf("streaming analysis = %.0f allocs for %d records — per-record costs are back",
+					allocs, len(recs))
+			}
+		})
+	}
+}
+
+// TestScratchReuseAllocs pins the per-worker scratch contract that
+// AnalyzeMany relies on: re-running an analysis through one scratch
+// bundle must reuse the analyzer maps and batch arena, costing far less
+// than the first (cold) run.
+func TestScratchReuseAllocs(t *testing.T) {
+	base, _ := traceOf(t, fig4Source)
+	recs := make([]trace.Record, 0, 4096)
+	for len(recs) < 4096 {
+		recs = append(recs, base...)
+	}
+	data := trace.EncodeAll(recs)
+	opts := DefaultOptions()
+	opts.Streaming = true
+	in := Input{Data: data, Spec: fig4Spec, Opts: opts}
+
+	cold := testing.AllocsPerRun(5, func() {
+		if _, err := in.analyzeIn(&scratch{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sc := &scratch{}
+	if _, err := in.analyzeIn(sc); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(5, func() {
+		if _, err := in.analyzeIn(sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("cold %.0f allocs, warm %.0f allocs", cold, warm)
+	// The arena work already makes cold runs O(variables), so reuse saves
+	// only the analyzer/batch setup — pin that it never costs extra, and
+	// an absolute ceiling (measured ~290 on this fixture) that a revived
+	// per-record or per-sweep cost would blow through.
+	if warm > cold {
+		t.Errorf("scratch reuse costs extra: cold %.0f allocs, warm %.0f allocs", cold, warm)
+	}
+	if warm > 1000 {
+		t.Errorf("warm streaming analysis = %.0f allocs, want O(variables) (<= 1000)", warm)
+	}
+}
+
+// TestAnalyzeManyScratchAllocs pins that AnalyzeMany's per-worker
+// scratch actually amortizes: analyzing N identical traces on one
+// worker must cost far less than N cold single-trace analyses.
+func TestAnalyzeManyScratchAllocs(t *testing.T) {
+	base, _ := traceOf(t, fig4Source)
+	recs := make([]trace.Record, 0, 4096)
+	for len(recs) < 4096 {
+		recs = append(recs, base...)
+	}
+	data := trace.EncodeAll(recs)
+	opts := DefaultOptions()
+	opts.Streaming = true
+	const n = 8
+	inputs := make([]Input, n)
+	for i := range inputs {
+		inputs[i] = Input{Name: fmt.Sprintf("in%d", i), Data: data, Spec: fig4Spec, Opts: opts}
+	}
+
+	perCold := testing.AllocsPerRun(5, func() {
+		if _, err := inputs[0].analyze(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perMany := testing.AllocsPerRun(3, func() {
+		if _, err := AnalyzeMany(inputs, 1); err != nil {
+			t.Fatal(err)
+		}
+	}) / n
+	t.Logf("cold single analysis %.0f allocs; AnalyzeMany %.0f allocs per trace", perCold, perMany)
+	// Per-trace cost inside AnalyzeMany must not exceed a cold standalone
+	// analysis (the scratch can only help) and must stay O(variables).
+	if perMany > perCold {
+		t.Errorf("AnalyzeMany costs more per trace (%.0f allocs) than a cold analysis (%.0f)", perMany, perCold)
+	}
+	if perMany > 1000 {
+		t.Errorf("AnalyzeMany = %.0f allocs per trace, want O(variables) (<= 1000)", perMany)
+	}
+}
+
+// TestEngineSessionAllocs pins the online engine's whole-session cost on
+// a trace with heavy callee excursions: parking is arena-backed, so the
+// session must stay O(variables), not O(records).
+func TestEngineSessionAllocs(t *testing.T) {
+	base, _ := traceOf(t, fig4Source)
+	recs := make([]trace.Record, 0, 4096)
+	for len(recs) < 4096 {
+		recs = append(recs, base...)
+	}
+	run := func() {
+		e, err := NewEngine(fig4Spec, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			e.Observe(&recs[i])
+		}
+		if _, err := e.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(5, run)
+	t.Logf("%.0f allocs per online session of %d records", allocs, len(recs))
+	if allocs > float64(len(recs))/4 {
+		t.Errorf("online session = %.0f allocs for %d records — per-record costs are back",
+			allocs, len(recs))
+	}
+}

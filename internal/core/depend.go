@@ -68,9 +68,12 @@ func (a *analyzer) updateMaps(r *trace.Record) {
 			return
 		}
 		// Arithmetic, comparisons, casts, selects: link input registers to
-		// the output register (reg-reg map).
+		// the output register (reg-reg map). The key's previous source
+		// slice is truncated and refilled in place — nothing else retains
+		// it — so a register rewritten every iteration stops costing one
+		// slice allocation per record.
 		key := regKey{fn, r.Result.Name}
-		var srcs []regKey
+		srcs := a.rr[key][:0]
 		for i := range r.Ops {
 			op := &r.Ops[i]
 			if op.Index > 0 && op.IsReg {
@@ -103,10 +106,10 @@ func (a *analyzer) updateCallMaps(r *trace.Record) {
 		}
 	}
 	if !hasParams {
-		// Form 1: treat as arithmetic.
+		// Form 1: treat as arithmetic (source slice reused like updateMaps).
 		if r.Result != nil {
 			key := regKey{fn, r.Result.Name}
-			var srcs []regKey
+			srcs := a.rr[key][:0]
 			for i := range r.Ops {
 				op := &r.Ops[i]
 				if op.Index > 0 && op.IsReg {
@@ -218,12 +221,18 @@ func (a *analyzer) processLoopRecord(r *trace.Record) {
 			s.written[addr] = true
 		}
 		// Induction signal: a depth-0 store to a loop-function local whose
-		// sources include the variable itself.
+		// sources include the variable itself. The resolution set is a
+		// reusable scratch map — this fires for every such store, and a
+		// fresh map per record was a top allocation site.
 		if r.Func == a.spec.Function && v.Fn == a.spec.Function {
 			if val := r.Operand(1); val != nil && val.IsReg {
-				srcs := make(map[VarID]*VarInfo)
-				a.resolveRegVars(regKey{r.Func, val.Name}, 0, srcs)
-				if _, self := srcs[v.ID()]; self {
+				if a.ivSrcs == nil {
+					a.ivSrcs = make(map[VarID]*VarInfo, 8)
+				} else {
+					clear(a.ivSrcs)
+				}
+				a.resolveRegVars(regKey{r.Func, val.Name}, 0, a.ivSrcs)
+				if _, self := a.ivSrcs[v.ID()]; self {
 					a.summary(v).selfUpdate++
 				}
 			}

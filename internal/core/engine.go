@@ -23,14 +23,18 @@ import (
 // The adapters differ only in how records reach the passes:
 //
 //   - Analyze / AnalyzeStream run the offline *schedule*
-//     (analyzeSchedule): three bounded sweeps over a replayable source —
-//     partition, storage+collect, storage+depend(+ddg) — so streaming
-//     keeps O(variables) memory without a parallel implementation.
+//     (analyzeSchedule): bounded sweeps over a replayable source —
+//     a header-only partition sweep, then one fused
+//     storage+collect+depend sweep (analysisPass), batched — so
+//     streaming keeps O(variables) memory without a parallel
+//     implementation. With BuildDDG the split three-sweep schedule
+//     (partition, storage+collect, storage+depend+ddg) runs instead,
+//     because DDG vertex kinds need the final MLI set.
 //   - Engine (and its Collector alias) is the single-sweep online
 //     configuration: the scanPartitioner discovers the loop extent
-//     incrementally and all passes run fused on a live record feed.
+//     incrementally and the same fused pass runs on a live record feed.
 //   - AnalyzeMany (many.go) runs N independent engines concurrently over
-//     distinct traces.
+//     distinct traces, one reusable scratch bundle per worker.
 
 // Region classifies one dynamic record relative to the main computation
 // loop (the paper's trace partitioning, §IV-A).
@@ -144,6 +148,7 @@ type scanPartitioner struct {
 	spec    LoopSpec
 	inLoop  bool           // region B entered
 	pending []trace.Record // records awaiting excursion/exit resolution
+	pendOps []trace.Operand // arena backing the parked records' operands
 	counts  [3]int
 }
 
@@ -160,13 +165,31 @@ func (p *scanPartitioner) observe(r *trace.Record, emit func(*trace.Record, Regi
 		p.flush(RegionLoop, emit)
 		p.emit(r, RegionLoop, emit)
 	case p.inLoop:
-		// Deep-copy: the caller may reuse its record and operand buffers
-		// between Observe calls (nothing in the Observer contract forbids
-		// it), and parked records outlive the call.
-		p.pending = append(p.pending, r.Clone())
+		p.park(r)
 	default:
 		p.emit(r, RegionBefore, emit)
 	}
+}
+
+// park deep-copies r into the partitioner's buffers: the caller may reuse
+// its record and operand storage between Observe calls (nothing in the
+// Observer contract forbids it), and parked records outlive the call. The
+// copy lands in a reusable arena — recycled at every flush — so steady
+// excursion traffic parks without allocating. Arena growth copies the
+// backing array but never mutates written elements, so earlier parked
+// records' aliases stay value-correct.
+func (p *scanPartitioner) park(r *trace.Record) {
+	c := *r
+	if len(r.Ops) > 0 {
+		opStart := len(p.pendOps)
+		p.pendOps = append(p.pendOps, r.Ops...)
+		c.Ops = p.pendOps[opStart:len(p.pendOps):len(p.pendOps)]
+	}
+	if r.Result != nil {
+		p.pendOps = append(p.pendOps, *r.Result)
+		c.Result = &p.pendOps[len(p.pendOps)-1]
+	}
+	p.pending = append(p.pending, c)
 }
 
 // finish resolves the trailing pending run: no later record re-entered
@@ -179,7 +202,10 @@ func (p *scanPartitioner) flush(reg Region, emit func(*trace.Record, Region)) {
 	for i := range p.pending {
 		p.emit(&p.pending[i], reg, emit)
 	}
+	// Passes never retain record pointers past Step, so the parked
+	// storage is free for reuse the moment the flush ends.
 	p.pending = p.pending[:0]
+	p.pendOps = p.pendOps[:0]
 }
 
 func (p *scanPartitioner) emit(r *trace.Record, reg Region, emit func(*trace.Record, Region)) {
@@ -216,6 +242,23 @@ type Pass interface {
 	Finish(res *Result)
 }
 
+// BatchPass is the optional batch extension of Pass: a pass that also
+// implements StepBatch consumes whole decoded record batches, paying one
+// virtual call per batch instead of one per record. Semantics must equal
+// calling Step(recs[k], base+k, regions[k]) for every k in order — the
+// equivalence is pinned by tests. A sweep batch-dispatches at most ONE
+// pass: two passes sharing analyzer state would see each other's updates
+// whole-batches-early instead of record-by-record (the storage table a
+// later pass resolves through would already reflect the batch's future).
+// Sweeps that fuse several stages express them as one pass — see
+// analysisPass — rather than batch-stepping a pass list.
+type BatchPass interface {
+	Pass
+	// StepBatch consumes one batch of records; base is the stream index
+	// of recs[0] and regions[k] classifies recs[k].
+	StepBatch(recs []trace.Record, base int, regions []Region)
+}
+
 // storagePass maintains the address→variable table that both analysis
 // passes resolve through. It owns the table reset: each sweep replays
 // storage from the start so resolution stays time-correct (the same
@@ -224,7 +267,7 @@ type Pass interface {
 type storagePass struct{ a *analyzer }
 
 func (p *storagePass) Name() string                            { return "storage" }
-func (p *storagePass) Begin()                                  { p.a.vt = newVarTable() }
+func (p *storagePass) Begin()                                  { p.a.vt.reset() }
 func (p *storagePass) Step(r *trace.Record, i int, reg Region) { p.a.trackStorage(r) }
 func (p *storagePass) Finish(res *Result)                      {}
 
@@ -298,12 +341,72 @@ func (p *identifyPass) Finish(res *Result) {
 	}
 }
 
+// analysisPass fuses storage+collect+depend into a single pass — the
+// configuration the online engine has always run, now shared with the
+// offline schedule's fused sweep. Fusion requires analyzer.trackAll:
+// MLI membership is incomplete while the sweep runs, so summaries are
+// kept for every variable and intersected with the MLI set at Finish,
+// and the variable table freezes at the first region-C record so
+// reported global footprints match the collect sweep (which never
+// observes region C). The equivalence of this fusion to the split
+// sweeps is exactly the pinned engine↔offline equivalence.
+type analysisPass struct{ a *analyzer }
+
+func (p *analysisPass) Name() string { return "analysis" }
+func (p *analysisPass) Begin() {
+	p.a.vt.reset()
+	p.a.frozen = false
+}
+func (p *analysisPass) Step(r *trace.Record, i int, reg Region) { p.a.fusedStep(r, reg) }
+func (p *analysisPass) StepBatch(recs []trace.Record, base int, regions []Region) {
+	for k := range recs {
+		p.a.fusedStep(&recs[k], regions[k])
+	}
+}
+func (p *analysisPass) Finish(res *Result) { res.MLI = p.a.mliList() }
+
+// fusedStep is the per-record body of the fused pass: storage, collect,
+// and depend in trace order, with the footprint freeze at the loop's end.
+func (a *analyzer) fusedStep(r *trace.Record, reg Region) {
+	if reg == RegionAfter && !a.frozen {
+		// Match the offline split schedule's footprint semantics: its
+		// collect sweep stops observing at the loop's end, so region-C
+		// accesses never grow a reported global footprint. Freezing
+		// changes no address resolution (global resolution is by base,
+		// not extent) — only the recorded sizes.
+		a.frozen = true
+		a.vt.freeze()
+	}
+	a.trackStorage(r)
+	switch reg {
+	case RegionBefore:
+		a.collectRegionA(r)
+	case RegionLoop:
+		a.collectRegionBMatch(r)
+	}
+	a.updateMaps(r)
+	switch reg {
+	case RegionLoop:
+		a.processLoopRecord(r)
+	case RegionAfter:
+		a.processAfterLoop(r)
+	}
+}
+
 // ---- Offline schedule ----
 
 // source yields the records of one trace, replayable once per schedule
 // sweep.
 type source interface {
+	// sweep replays the stream one record at a time.
 	sweep(fn func(i int, r *trace.Record) error) error
+	// sweepBatch replays the stream in record slices; base is the stream
+	// index of recs[0]. A non-nil filter tells the source which opcodes
+	// need their operands — sources that decode per sweep skip the
+	// operand decode for rejected opcodes (headers stay intact); already
+	// materialized sources ignore it, which is always a superset. The
+	// records are only valid for the duration of each fn call.
+	sweepBatch(filter func(opcode int) bool, fn func(base int, recs []trace.Record) error) error
 }
 
 // sliceSource adapts a materialized []trace.Record without copying.
@@ -318,16 +421,41 @@ func (s sliceSource) sweep(fn func(i int, r *trace.Record) error) error {
 	return nil
 }
 
+func (s sliceSource) sweepBatch(filter func(opcode int) bool, fn func(base int, recs []trace.Record) error) error {
+	// Already materialized: the whole slice is one batch, no decode to
+	// filter.
+	if len(s) == 0 {
+		return nil
+	}
+	return fn(0, s)
+}
+
 // streamSource adapts an AnalyzeStream-style opener: each sweep re-opens
 // the stream and decodes it once, so no record slice ever materializes.
-type streamSource func() (trace.Reader, error)
+// Batched sweeps decode into the shared reusable batch — a single record
+// slice plus operand arena recycled across batches, sweeps, and (through
+// the scratch bundle) across traces.
+type streamSource struct {
+	open  func() (trace.Reader, error)
+	batch *trace.RecordBatch
+}
 
-func (open streamSource) sweep(fn func(i int, r *trace.Record) error) error {
-	rd, err := open()
+func (s *streamSource) sweep(fn func(i int, r *trace.Record) error) error {
+	rd, err := s.open()
 	if err != nil {
 		return err
 	}
 	return trace.ForEach(rd, fn)
+}
+
+func (s *streamSource) sweepBatch(filter func(opcode int) bool, fn func(base int, recs []trace.Record) error) error {
+	rd, err := s.open()
+	if err != nil {
+		return err
+	}
+	s.batch.Filter = filter
+	defer func() { s.batch.Filter = nil }()
+	return trace.ForEachBatch(rd, s.batch, fn)
 }
 
 // runSweep drives one schedule sweep: Begin every pass, then classify and
@@ -345,21 +473,95 @@ func runSweep(src source, part *spanPartitioner, passes ...Pass) error {
 	})
 }
 
-// analyzeSchedule is the engine's bounded-memory offline schedule: sweep
-// 1 locates the loop's dynamic extent (building the span partitioner),
-// sweep 2 runs storage+collect, sweep 3 runs storage+depend (+ddg), and
-// identification closes the result. Analyze (materialized) and
+// runSweepBatched drives one schedule sweep through a single pass in
+// record batches: regions are classified into a reusable scratch slice,
+// then the batch goes to StepBatch when the pass implements BatchPass and
+// record-by-record Step otherwise — byte-identical either way (pinned by
+// tests). Exactly one pass by construction: see the BatchPass contract
+// for why a pass list cannot be batch-dispatched. filter narrows the
+// operand decode (nil: full records); it must admit every opcode the
+// pass reads operands of. The (possibly grown) region scratch is
+// returned for reuse.
+func runSweepBatched(src source, part *spanPartitioner, filter func(opcode int) bool, regions []Region, p Pass) ([]Region, error) {
+	p.Begin()
+	bp, batched := p.(BatchPass)
+	err := src.sweepBatch(filter, func(base int, recs []trace.Record) error {
+		if cap(regions) < len(recs) {
+			regions = make([]Region, len(recs))
+		}
+		regions = regions[:len(recs)]
+		for k := range recs {
+			regions[k] = part.classify(&recs[k], base+k)
+		}
+		if batched {
+			bp.StepBatch(recs, base, regions)
+			return nil
+		}
+		for k := range recs {
+			p.Step(&recs[k], base+k, regions[k])
+		}
+		return nil
+	})
+	return regions, err
+}
+
+// filterNone rejects every opcode: the partition sweep consults only
+// header fields (Func, Line), so its decode can skip every operand.
+func filterNone(int) bool { return false }
+
+// scratch bundles the reusable state of one analysis: the analyzer (maps
+// and variable table), the record batch (decode arena), and the region
+// scratch of batched sweeps. One scratch serves any number of analyses
+// sequentially (reset between traces); AnalyzeMany keeps one per worker
+// so concurrent engines stop hammering the shared allocator.
+type scratch struct {
+	a       *analyzer
+	batch   trace.RecordBatch
+	regions []Region
+}
+
+// analyzer returns the bundle's analyzer configured for a fresh trace.
+func (sc *scratch) analyzer(spec LoopSpec, opts Options) *analyzer {
+	if sc.a == nil {
+		sc.a = newAnalyzer(spec, opts)
+	} else {
+		sc.a.reset(spec, opts)
+	}
+	return sc.a
+}
+
+// analyzeSchedule is the engine's bounded-memory offline schedule over a
+// fresh scratch bundle; analyzeScheduleIn is the same schedule over a
+// caller-owned (reusable) one.
+func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
+	return analyzeScheduleIn(&scratch{}, src, spec, opts)
+}
+
+// analyzeScheduleIn runs the offline schedule: sweep 1 locates the loop's
+// dynamic extent (building the span partitioner, decoding headers only),
+// then one fused storage+collect+depend sweep completes the analysis —
+// the same fusion the online engine runs, so two full decodes instead of
+// three, both batched. With BuildDDG the split three-sweep schedule runs
+// instead: DDG vertex kinds depend on MLI membership, which the fused
+// sweep only finalizes at the end. Analyze (materialized) and
 // AnalyzeStream (never-materialized) are thin adapters that only choose
 // the source; memory stays O(variables) whenever the source does.
-func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
+func analyzeScheduleIn(sc *scratch, src source, spec LoopSpec, opts Options) (*Result, error) {
 	total0 := time.Now()
-	a := newAnalyzer(spec, opts)
+	a := sc.analyzer(spec, opts)
 	res := &Result{Spec: spec}
 
-	// Sweep 1: partition (locate the loop's dynamic extent).
+	// Sweep 1: partition (locate the loop's dynamic extent). Only header
+	// fields matter, so the decode skips every operand.
 	t0 := time.Now()
 	part := newSpanPartitioner(spec)
-	if err := src.sweep(part.observe); err != nil {
+	err := src.sweepBatch(filterNone, func(base int, recs []trace.Record) error {
+		for k := range recs {
+			part.observe(base+k, &recs[k]) // never fails
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	if !part.sawLoop() {
@@ -368,30 +570,41 @@ func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
 	res.Stats = part.stats()
 	opts.Obs.Histogram("core.sweep.partition.ns").ObserveSince(t0)
 
-	// Sweep 2: MLI collection (module 1).
-	t1 := time.Now()
-	collect := &collectPass{a}
-	if err := runSweep(src, part, &storagePass{a}, collect); err != nil {
-		return nil, err
-	}
-	collect.Finish(res)
-	res.Timing.Pre = time.Since(t0)
-	opts.Obs.Histogram("core.sweep.collect.ns").ObserveSince(t1)
+	if !opts.BuildDDG {
+		// Fused sweep: storage, collect, and depend in one pass.
+		res.Timing.Pre = time.Since(t0)
+		t1 := time.Now()
+		a.trackAll = true
+		ap := &analysisPass{a}
+		if sc.regions, err = runSweepBatched(src, part, nil, sc.regions, ap); err != nil {
+			return nil, err
+		}
+		ap.Finish(res)
+		res.Timing.Dep = time.Since(t1)
+		opts.Obs.Histogram("core.sweep.analyze.ns").ObserveSince(t1)
+	} else {
+		// Sweep 2: MLI collection (module 1).
+		t1 := time.Now()
+		collect := &collectPass{a}
+		if err := runSweep(src, part, &storagePass{a}, collect); err != nil {
+			return nil, err
+		}
+		collect.Finish(res)
+		res.Timing.Pre = time.Since(t0)
+		opts.Obs.Histogram("core.sweep.collect.ns").ObserveSince(t1)
 
-	// Sweep 3: dependency analysis (module 2), optionally with the DDG.
-	t0 = time.Now()
-	passes := []Pass{&storagePass{a}, &dependPass{a}}
-	if opts.BuildDDG {
-		passes = append(passes, &ddgPass{a})
+		// Sweep 3: dependency analysis (module 2) with the DDG.
+		t1 = time.Now()
+		passes := []Pass{&storagePass{a}, &dependPass{a}, &ddgPass{a}}
+		if err := runSweep(src, part, passes...); err != nil {
+			return nil, err
+		}
+		for _, p := range passes {
+			p.Finish(res)
+		}
+		res.Timing.Dep = time.Since(t1)
+		opts.Obs.Histogram("core.sweep.depend.ns").ObserveSince(t1)
 	}
-	if err := runSweep(src, part, passes...); err != nil {
-		return nil, err
-	}
-	for _, p := range passes {
-		p.Finish(res)
-	}
-	res.Timing.Dep = time.Since(t0)
-	opts.Obs.Histogram("core.sweep.depend.ns").ObserveSince(t0)
 
 	// Identification (module 3).
 	t0 = time.Now()
@@ -421,14 +634,13 @@ func analyzeSchedule(src source, spec LoopSpec, opts Options) (*Result, error) {
 // exist online). BuildDDG requires offline analysis: DDG vertex kinds
 // depend on MLI membership, which is only final when the stream ends.
 type Engine struct {
-	spec   LoopSpec
-	a      *analyzer
-	part   *scanPartitioner
-	passes []Pass
-	emit   func(*trace.Record, Region) // e.step, bound once: a per-Observe method value would allocate
-	n      int
-	frozen bool
-	start  time.Time
+	spec  LoopSpec
+	a     *analyzer
+	part  *scanPartitioner
+	pass  *analysisPass               // the fused storage+collect+depend pass
+	emit  func(*trace.Record, Region) // e.step, bound once: a per-Observe method value would allocate
+	n     int
+	start time.Time
 }
 
 // NewEngine prepares a single-sweep analysis session.
@@ -439,41 +651,29 @@ func NewEngine(spec LoopSpec, opts Options) (*Engine, error) {
 	a := newAnalyzer(spec, opts)
 	a.trackAll = true
 	e := &Engine{
-		spec:   spec,
-		a:      a,
-		part:   &scanPartitioner{spec: spec},
-		passes: []Pass{&storagePass{a}, &collectPass{a}, &dependPass{a}},
-		start:  time.Now(),
+		spec:  spec,
+		a:     a,
+		part:  &scanPartitioner{spec: spec},
+		pass:  &analysisPass{a},
+		start: time.Now(),
 	}
 	e.emit = e.step
-	for _, p := range e.passes {
-		p.Begin()
-	}
+	e.pass.Begin()
 	return e, nil
 }
 
 // Observe consumes one dynamic instruction record. The record may reach
-// the passes slightly later (copied into the partitioner's lookahead
+// the pass slightly later (copied into the partitioner's lookahead
 // buffer) when its region is not yet decidable; pass order always equals
 // trace order.
 func (e *Engine) Observe(r *trace.Record) {
 	e.part.observe(r, e.emit)
 }
 
-// step feeds one region-resolved record through the fused passes.
+// step feeds one region-resolved record through the fused pass (which
+// owns the footprint freeze at the loop's end).
 func (e *Engine) step(r *trace.Record, reg Region) {
-	if reg == RegionAfter && !e.frozen {
-		// Match the offline schedule's footprint semantics: its collect
-		// sweep stops observing at the loop's end, so region-C accesses
-		// never grow a reported global footprint. Freezing changes no
-		// address resolution (global resolution is by base, not extent) —
-		// only the recorded sizes.
-		e.frozen = true
-		e.a.vt.freeze()
-	}
-	for _, p := range e.passes {
-		p.Step(r, e.n, reg)
-	}
+	e.pass.Step(r, e.n, reg)
 	e.n++
 }
 
@@ -489,9 +689,7 @@ func (e *Engine) Finish() (*Result, error) {
 	}
 	res := &Result{Spec: e.spec}
 	res.Stats = e.part.stats()
-	for _, p := range e.passes {
-		p.Finish(res)
-	}
+	e.pass.Finish(res)
 	t0 := time.Now()
 	(&identifyPass{e.a}).Finish(res)
 	res.Timing.Identify = time.Since(t0)

@@ -25,15 +25,22 @@ type Input struct {
 
 // analyze runs the engine over whichever source the input names.
 func (in *Input) analyze() (*Result, error) {
+	return in.analyzeIn(&scratch{})
+}
+
+// analyzeIn is analyze over a caller-owned scratch bundle. AnalyzeMany
+// hands each worker its own bundle so consecutive traces on the same
+// worker reuse one analyzer, batch arena, and region slice.
+func (in *Input) analyzeIn(sc *scratch) (*Result, error) {
 	switch {
 	case in.Records != nil:
-		return Analyze(in.Records, in.Spec, in.Opts)
+		return analyzeScheduleIn(sc, sliceSource(in.Records), in.Spec, in.Opts)
 	case in.Open != nil:
-		return AnalyzeStream(in.Open, in.Spec, in.Opts)
+		return analyzeStreamIn(sc, in.Open, in.Spec, in.Opts)
 	case in.Data != nil:
-		return AnalyzeBytes(in.Data, in.Spec, in.Opts)
+		return analyzeBytesIn(sc, in.Data, in.Spec, in.Opts)
 	case in.Path != "":
-		return AnalyzeFile(in.Path, in.Spec, in.Opts)
+		return analyzeFileIn(sc, in.Path, in.Spec, in.Opts)
 	}
 	return nil, fmt.Errorf("core: no trace source set")
 }
@@ -59,8 +66,12 @@ func AnalyzeMany(inputs []Input, workers int) ([]*Result, error) {
 	}
 	results := make([]*Result, len(inputs))
 	errs := make([]error, len(inputs))
-	pool.ForEach(len(inputs), workers, func(i int) {
-		res, err := inputs[i].analyze()
+	scratches := make([]*scratch, pool.Resolve(len(inputs), workers))
+	pool.ForEachWorker(len(inputs), workers, func(w, i int) {
+		if scratches[w] == nil {
+			scratches[w] = &scratch{}
+		}
+		res, err := inputs[i].analyzeIn(scratches[w])
 		if err != nil {
 			errs[i] = fmt.Errorf("core: %s: %w", inputs[i].label(i), err)
 			return

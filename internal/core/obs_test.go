@@ -9,21 +9,42 @@ import (
 )
 
 // TestAnalysisObsSweepTimings checks the offline schedule records one
-// observation per sweep plus the record counter.
+// observation per sweep plus the record counter. The default schedule is
+// the fused two-sweep form (partition + analysis); requesting a DDG
+// falls back to the split sweeps and their per-module histograms.
 func TestAnalysisObsSweepTimings(t *testing.T) {
 	reg := obs.New()
 	res := analyzeFig4(t, Options{IncludeGlobals: true, Obs: reg})
 	s := reg.Snapshot()
 	for _, h := range []string{
-		"core.sweep.partition.ns", "core.sweep.collect.ns",
-		"core.sweep.depend.ns", "core.identify.ns",
+		"core.sweep.partition.ns", "core.sweep.analyze.ns", "core.identify.ns",
 	} {
 		if got := s.Histograms[h].Count; got != 1 {
 			t.Errorf("%s count = %d, want 1", h, got)
 		}
 	}
+	for _, h := range []string{"core.sweep.collect.ns", "core.sweep.depend.ns"} {
+		if got := s.Histograms[h].Count; got != 0 {
+			t.Errorf("%s count = %d on the fused path, want 0", h, got)
+		}
+	}
 	if got := s.Counters["core.analyze.records"]; got != int64(res.Stats.Records) {
 		t.Errorf("core.analyze.records = %d, want %d", got, res.Stats.Records)
+	}
+
+	reg = obs.New()
+	res = analyzeFig4(t, Options{IncludeGlobals: true, BuildDDG: true, Obs: reg})
+	s = reg.Snapshot()
+	for _, h := range []string{
+		"core.sweep.partition.ns", "core.sweep.collect.ns",
+		"core.sweep.depend.ns", "core.identify.ns",
+	} {
+		if got := s.Histograms[h].Count; got != 1 {
+			t.Errorf("BuildDDG: %s count = %d, want 1", h, got)
+		}
+	}
+	if got := s.Counters["core.analyze.records"]; got != int64(res.Stats.Records) {
+		t.Errorf("BuildDDG: core.analyze.records = %d, want %d", got, res.Stats.Records)
 	}
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"io"
 	"os"
 
@@ -9,26 +8,35 @@ import (
 )
 
 // AnalyzeStream runs the engine's offline schedule over a replayable
-// record stream: three bounded sweeps (partition, MLI collection,
-// dependency replay), never materializing a []trace.Record. It produces
+// record stream: bounded sweeps (header-only partition, then the fused
+// analysis sweep), never materializing a []trace.Record. It produces
 // results identical to Analyze on the same records (the equivalence is
 // pinned by tests) because both are the same schedule over the same
 // passes — only the source differs; memory stays O(variables) at the
-// cost of decoding the trace once per sweep.
+// cost of decoding the trace once per sweep. Decoding goes through the
+// batch reader protocol (trace.BatchReader) when the reader supports it,
+// reusing one record slice and operand arena for the whole analysis.
 //
 // open is called once per sweep and must return a fresh reader positioned
 // at the start of the same stream (for example a new Scanner or
 // BinaryScanner over the trace). Readers that implement io.Closer are
 // closed when their sweep ends.
 func AnalyzeStream(open func() (trace.Reader, error), spec LoopSpec, opts Options) (*Result, error) {
-	return analyzeSchedule(streamSource(open), spec, opts)
+	return analyzeStreamIn(&scratch{}, open, spec, opts)
+}
+
+// analyzeStreamIn is AnalyzeStream over a caller-owned scratch bundle:
+// the stream decodes into the bundle's batch storage.
+func analyzeStreamIn(sc *scratch, open func() (trace.Reader, error), spec LoopSpec, opts Options) (*Result, error) {
+	return analyzeScheduleIn(sc, &streamSource{open: open, batch: &sc.batch}, spec, opts)
 }
 
 // bytesReaderOpener adapts an in-memory trace (either format) into the
-// replayable stream AnalyzeStream needs.
+// replayable stream AnalyzeStream needs, on the direct slice-walking
+// batch decoders (no bufio layer, no per-line copying).
 func bytesReaderOpener(data []byte) func() (trace.Reader, error) {
 	return func() (trace.Reader, error) {
-		rd, _, err := trace.NewAutoReader(bytes.NewReader(data))
+		rd, _, err := trace.NewBytesReader(data)
 		return rd, err
 	}
 }
@@ -41,6 +49,16 @@ type closingReader struct {
 }
 
 func (r closingReader) Close() error { return r.c.Close() }
+
+// NextBatch forwards the batch protocol to the wrapped reader, so the
+// interface-embedding wrapper does not hide it from ForEachBatch; a
+// non-batching reader degrades to the record-at-a-time gather.
+func (r closingReader) NextBatch(b *trace.RecordBatch, max int) (int, error) {
+	if br, ok := r.Reader.(trace.BatchReader); ok {
+		return br.NextBatch(b, max)
+	}
+	return trace.GatherBatch(r.Reader, b, max)
+}
 
 // fileReaderOpener re-opens a trace file (either format) for each
 // streaming sweep.

@@ -76,6 +76,16 @@ func newVarTable() *varTable {
 	return &varTable{gByName: make(map[string]*VarInfo)}
 }
 
+// reset empties the table for a fresh sweep while keeping its allocated
+// storage. The VarInfo objects the old spans pointed at are never
+// mutated, so results that retained them across a reset stay valid.
+func (t *varTable) reset() {
+	t.locals = t.locals[:0]
+	t.globals = t.globals[:0]
+	clear(t.gByName)
+	t.frozen = false
+}
+
 // addAlloca registers a local variable's storage, evicting any previous
 // spans that overlap the new one (stack reuse).
 func (t *varTable) addAlloca(name, fn string, base uint64, size int64, dyn int64) *VarInfo {

@@ -9,14 +9,13 @@ import (
 	"sync"
 )
 
-// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
-// (workers <= 0 means GOMAXPROCS) and returns once every call has
-// finished. Indices are handed out in order but may complete in any
-// order; fn typically writes into its own slot of pre-sized result
-// slices and needs no further synchronization for that.
-func ForEach(n, workers int, fn func(i int)) {
+// Resolve returns the worker count ForEach and ForEachWorker will
+// actually use for n items: workers, defaulted to GOMAXPROCS when <= 0
+// and capped at n. Callers sizing per-worker state allocate exactly
+// Resolve(n, workers) slots.
+func Resolve(n, workers int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,16 +23,37 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns once every call has
+// finished. Indices are handed out in order but may complete in any
+// order; fn typically writes into its own slot of pre-sized result
+// slices and needs no further synchronization for that.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn additionally receives
+// the stable index (in [0, Resolve(n, workers))) of the goroutine running
+// it. Calls with the same worker index never overlap, which is what lets
+// fn reuse per-worker scratch state without synchronization.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = Resolve(n, workers)
+	if workers == 0 {
+		return
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

@@ -1,0 +1,213 @@
+package trace
+
+import "io"
+
+// Batch decoding: the streaming analysis hot path. Reading a trace
+// record-at-a-time through Reader.Next costs one or more heap
+// allocations per record (a fresh Record, a fresh Ops slice, a fresh
+// Result) — three sweeps over a 35k-record trace paid ~366k allocations
+// before this file existed. A RecordBatch amortizes that to zero steady
+// state: the decoder writes records into a reusable slice and their
+// operands into a shared arena, both recycled on every NextBatch call.
+//
+// Contract: the records of a batch (including their Ops and Result
+// storage) are valid only until the next NextBatch call on the same
+// batch. Consumers that need a record beyond that must Clone it — the
+// same rule the online engine's Observer already lives by.
+
+// RecordBatch is reusable storage for batch decoding.
+type RecordBatch struct {
+	// Filter, when non-nil, selects which opcodes need their operands:
+	// records whose opcode it rejects are decoded header-only (nil Ops,
+	// nil Result). Sweeps that consult only header fields — the engine's
+	// partition sweep — skip the dominant share of the decode work.
+	Filter func(opcode int) bool
+
+	// Recs holds the records of the current batch. Managed by NextBatch;
+	// callers treat it as read-only.
+	Recs []Record
+
+	ops []Operand // arena backing Recs' Ops and Result storage
+}
+
+// reset recycles the batch storage for the next decode.
+func (b *RecordBatch) reset() {
+	b.Recs = b.Recs[:0]
+	b.ops = b.ops[:0]
+}
+
+// wantOps reports whether a record with the given opcode needs its
+// operands decoded.
+func (b *RecordBatch) wantOps(opcode int) bool {
+	return b.Filter == nil || b.Filter(opcode)
+}
+
+// BatchReader is a Reader that can additionally decode records in
+// batches into caller-owned reusable storage. Both streaming scanners
+// and the in-memory readers returned by NewBytesReader implement it.
+type BatchReader interface {
+	Reader
+	// NextBatch decodes up to max records into b, recycling its storage,
+	// and returns how many were decoded. Zero with a nil error means end
+	// of stream.
+	NextBatch(b *RecordBatch, max int) (int, error)
+}
+
+// DefaultBatchRecords is the batch size ForEachBatch uses: large enough
+// to amortize per-batch overhead, small enough that a batch's operand
+// arena stays cache-resident.
+const DefaultBatchRecords = 512
+
+// GatherBatch adapts a plain Reader to the batch shape: records are
+// collected one Next at a time. It cannot recycle the reader's per-record
+// allocations (and ignores b.Filter — full records are a superset), but
+// lets every consumer be written against one loop. Wrappers that embed a
+// Reader use it as the NextBatch fallback for non-batching streams.
+func GatherBatch(rd Reader, b *RecordBatch, max int) (int, error) {
+	b.reset()
+	for len(b.Recs) < max {
+		r, err := rd.Next()
+		if err != nil {
+			return 0, err
+		}
+		if r == nil {
+			break
+		}
+		b.Recs = append(b.Recs, *r)
+	}
+	return len(b.Recs), nil
+}
+
+// ForEachBatch drives rd to the end of its stream in batches, calling fn
+// with each batch of records and the stream index of its first record.
+// Readers implementing BatchReader decode straight into b's recycled
+// storage (honoring b.Filter); other readers are adapted record by
+// record. Like ForEach, a reader that implements io.Closer is closed
+// before returning, and the records passed to fn are only valid for the
+// duration of the call.
+func ForEachBatch(rd Reader, b *RecordBatch, fn func(base int, recs []Record) error) (err error) {
+	if c, ok := rd.(io.Closer); ok {
+		defer func() {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	br, native := rd.(BatchReader)
+	base := 0
+	for {
+		var n int
+		var nerr error
+		if native {
+			n, nerr = br.NextBatch(b, DefaultBatchRecords)
+		} else {
+			n, nerr = GatherBatch(rd, b, DefaultBatchRecords)
+		}
+		if nerr != nil {
+			return nerr
+		}
+		if n == 0 {
+			return nil
+		}
+		if ferr := fn(base, b.Recs[:n]); ferr != nil {
+			return ferr
+		}
+		base += n
+	}
+}
+
+// ---- In-memory batch readers ----
+
+// NewBytesReader returns a replayable-position reader over a complete
+// in-memory trace, text or binary by magic. The returned reader
+// implements BatchReader, decoding with the same arena discipline as
+// ParseBytes/ParseBinary but into recycled batch storage — the fast
+// source for streaming analysis over bytes already in memory.
+func NewBytesReader(data []byte) (Reader, Format, error) {
+	if DetectFormat(data) == FormatBinary {
+		d := &binDecoder{data: data, strs: append(make([]string, 0, 64), "")}
+		if err := d.header(); err != nil {
+			return nil, FormatBinary, err
+		}
+		return &binBytesReader{d: d}, FormatBinary, nil
+	}
+	return &textBytesReader{d: newDecoder(), data: data}, FormatText, nil
+}
+
+// textBytesReader decodes an in-memory textual trace batch by batch on
+// the decoder's manual field-scanning path, sharing one interner across
+// the whole stream.
+type textBytesReader struct {
+	d    *decoder
+	data []byte
+	pos  int
+}
+
+// NextBatch decodes up to max records into b, recycling its storage.
+func (r *textBytesReader) NextBatch(b *RecordBatch, max int) (int, error) {
+	b.reset()
+	r.d.ops = b.ops
+	pos, recs, err := r.d.decodeN(r.data, r.pos, b.Recs, max, b.Filter)
+	b.ops = r.d.ops
+	r.d.ops = nil
+	if err != nil {
+		return 0, err
+	}
+	r.pos = pos
+	b.Recs = recs
+	return len(recs), nil
+}
+
+// Next returns the next record in freshly allocated storage (the Reader
+// contract lets callers retain it); batch decoding is the fast path.
+func (r *textBytesReader) Next() (*Record, error) {
+	d := decoder{in: r.d.in}
+	pos, recs, err := d.decodeN(r.data, r.pos, nil, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	r.pos = pos
+	return &recs[0], nil
+}
+
+// binBytesReader decodes an in-memory binary trace batch by batch,
+// keeping the (stateful, strictly sequential) string table across
+// batches.
+type binBytesReader struct {
+	d *binDecoder
+}
+
+// NextBatch decodes up to max records into b, recycling its storage.
+func (r *binBytesReader) NextBatch(b *RecordBatch, max int) (int, error) {
+	d := r.d
+	b.reset()
+	d.ops = b.ops
+	defer func() { b.ops = d.ops; d.ops = nil }()
+	for len(b.Recs) < max && d.pos < len(d.data) {
+		var rec Record
+		if err := d.record(&rec, b.Filter); err != nil {
+			return 0, err
+		}
+		b.Recs = append(b.Recs, rec)
+	}
+	return len(b.Recs), nil
+}
+
+// Next returns the next record in freshly allocated storage.
+func (r *binBytesReader) Next() (*Record, error) {
+	d := r.d
+	if d.pos >= len(d.data) {
+		return nil, nil
+	}
+	saved := d.ops
+	d.ops = nil
+	defer func() { d.ops = saved }()
+	var rec Record
+	if err := d.record(&rec, nil); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// batchReaders enumerates every BatchReader implementation over the same
+// encoded trace: the two in-memory readers and the two streaming
+// scanners.
+func batchReaders(t *testing.T, text, bin []byte) map[string]func() BatchReader {
+	t.Helper()
+	return map[string]func() BatchReader{
+		"textBytes": func() BatchReader {
+			rd, f, err := NewBytesReader(text)
+			if err != nil || f != FormatText {
+				t.Fatalf("NewBytesReader(text) = %v, %v", f, err)
+			}
+			return rd.(BatchReader)
+		},
+		"binBytes": func() BatchReader {
+			rd, f, err := NewBytesReader(bin)
+			if err != nil || f != FormatBinary {
+				t.Fatalf("NewBytesReader(bin) = %v, %v", f, err)
+			}
+			return rd.(BatchReader)
+		},
+		"textScanner": func() BatchReader { return NewScanner(bytes.NewReader(text)) },
+		"binScanner":  func() BatchReader { return NewBinaryScanner(bytes.NewReader(bin)) },
+	}
+}
+
+// drainBatches reads rd to the end through NextBatch, cloning each
+// batch's records (batch storage is recycled between calls).
+func drainBatches(t *testing.T, rd BatchReader, b *RecordBatch, max int) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		n, err := rd.NextBatch(b, max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			return out
+		}
+		for i := range b.Recs[:n] {
+			out = append(out, b.Recs[i].Clone())
+		}
+	}
+}
+
+// TestNextBatchParity pins that every batch reader yields the same
+// records as the serial parser, across batch sizes that do and do not
+// divide the trace evenly — and that one RecordBatch can be reused
+// across readers and formats without cross-contamination.
+func TestNextBatchParity(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(11)), 700)
+	text, bin := EncodeAll(recs), EncodeBinary(recs)
+	want, err := ParseBytes(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b RecordBatch // shared across every subtest on purpose
+	for name, open := range batchReaders(t, text, bin) {
+		for _, max := range []int{1, 7, 256, 100000} {
+			got := drainBatches(t, open(), &b, max)
+			if !equalModuloNaN(want, got) {
+				t.Errorf("%s max=%d: batch records differ from serial parse", name, max)
+			}
+		}
+	}
+}
+
+// TestNextBatchVsNext pins that interleaving Next and NextBatch on the
+// same reader walks the same stream: batch decoding is a protocol
+// extension, not a separate cursor.
+func TestNextBatchVsNext(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(12)), 120)
+	text, bin := EncodeAll(recs), EncodeBinary(recs)
+	want, err := ParseBytes(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, open := range batchReaders(t, text, bin) {
+		rd := open()
+		var got []Record
+		var b RecordBatch
+		for i := 0; len(got) < len(want); i++ {
+			if i%2 == 0 {
+				r, err := rd.Next()
+				if err != nil {
+					t.Fatalf("%s: Next: %v", name, err)
+				}
+				if r == nil {
+					break
+				}
+				got = append(got, r.Clone())
+			} else {
+				n, err := rd.NextBatch(&b, 5)
+				if err != nil {
+					t.Fatalf("%s: NextBatch: %v", name, err)
+				}
+				if n == 0 {
+					break
+				}
+				for k := range b.Recs[:n] {
+					got = append(got, b.Recs[k].Clone())
+				}
+			}
+		}
+		if !equalModuloNaN(want, got) {
+			t.Errorf("%s: interleaved Next/NextBatch differs from serial parse", name)
+		}
+	}
+}
+
+// TestBatchFilter pins the header-only decode: records whose opcode the
+// filter rejects keep exact header fields but carry no operands, while
+// admitted records are complete — and stateful decoding (the binary
+// string table) survives the skipped records.
+func TestBatchFilter(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(13)), 400)
+	text, bin := EncodeAll(recs), EncodeBinary(recs)
+	want, err := ParseBytes(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := func(op int) bool { return op == OpLoad || op == OpStore }
+	for name, open := range batchReaders(t, text, bin) {
+		rd := open()
+		b := RecordBatch{Filter: keep}
+		var got []Record
+		for {
+			n, err := rd.NextBatch(&b, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			for i := range b.Recs[:n] {
+				got = append(got, b.Recs[i].Clone())
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: filtered decode dropped records: %d vs %d", name, len(got), len(want))
+		}
+		for i := range got {
+			w := want[i]
+			if got[i].Opcode != w.Opcode || got[i].Func != w.Func ||
+				got[i].Line != w.Line || got[i].DynID != w.DynID {
+				t.Fatalf("%s: record %d header differs: %+v vs %+v", name, i, got[i], w)
+			}
+			if keep(w.Opcode) {
+				w2 := got[i]
+				if !equalModuloNaN([]Record{w}, []Record{w2}) {
+					t.Fatalf("%s: admitted record %d not fully decoded", name, i)
+				}
+			} else if got[i].Ops != nil || got[i].Result != nil {
+				t.Fatalf("%s: rejected record %d still carries operands", name, i)
+			}
+		}
+	}
+}
+
+// plainReader hides the NextBatch method of a reader, modeling a
+// third-party Reader implementation.
+type plainReader struct{ rd Reader }
+
+func (p plainReader) Next() (*Record, error) { return p.rd.Next() }
+
+// TestForEachBatchFallback pins that ForEachBatch adapts plain Readers
+// through GatherBatch and visits every record with correct bases.
+func TestForEachBatchFallback(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(14)), DefaultBatchRecords+37)
+	data := EncodeAll(recs)
+	want, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rd := range map[string]Reader{
+		"native":   NewScanner(bytes.NewReader(data)),
+		"fallback": plainReader{NewScanner(bytes.NewReader(data))},
+	} {
+		var got []Record
+		next := 0
+		var b RecordBatch
+		err := ForEachBatch(rd, &b, func(base int, batch []Record) error {
+			if base != next {
+				t.Fatalf("%s: base = %d, want %d", name, base, next)
+			}
+			next = base + len(batch)
+			for i := range batch {
+				got = append(got, batch[i].Clone())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalModuloNaN(want, got) {
+			t.Errorf("%s: ForEachBatch records differ from serial parse", name)
+		}
+	}
+}
+
+// closeCounter counts Close calls through a batch-capable reader.
+type closeCounter struct {
+	BatchReader
+	n *int
+}
+
+func (c closeCounter) Close() error { *c.n++; return nil }
+
+// TestForEachBatchCloses pins the Closer contract and error propagation:
+// the reader is closed exactly once, including when fn aborts the sweep.
+func TestForEachBatchCloses(t *testing.T) {
+	data := EncodeAll(sampleRecords())
+	var b RecordBatch
+
+	closes := 0
+	rd := closeCounter{NewScanner(bytes.NewReader(data)), &closes}
+	if err := ForEachBatch(rd, &b, func(int, []Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if closes != 1 {
+		t.Errorf("clean sweep: %d Close calls, want 1", closes)
+	}
+
+	closes = 0
+	rd = closeCounter{NewScanner(bytes.NewReader(data)), &closes}
+	boom := errors.New("boom")
+	if err := ForEachBatch(rd, &b, func(int, []Record) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("aborted sweep error = %v, want boom", err)
+	}
+	if closes != 1 {
+		t.Errorf("aborted sweep: %d Close calls, want 1", closes)
+	}
+}
+
+// TestBatchOpsAppendSafe mirrors TestParsedOpsAppendSafe for the arena
+// behind a batch: appending to one record's Ops must not clobber its
+// neighbor.
+func TestBatchOpsAppendSafe(t *testing.T) {
+	data := EncodeAll(sampleRecords())
+	rd, _, err := NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b RecordBatch
+	if _, err := rd.(BatchReader).NextBatch(&b, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Recs) < 2 || len(b.Recs[1].Ops) == 0 {
+		t.Fatal("fixture needs two records with operands")
+	}
+	want := b.Recs[1].Ops[0]
+	b.Recs[0].Ops = append(b.Recs[0].Ops, Operand{Index: 99, Name: "evil"})
+	if !reflect.DeepEqual(b.Recs[1].Ops[0], want) {
+		t.Error("append to one batch record's Ops clobbered the next record")
+	}
+}
+
+// TestBatchDecodeAllocs pins that steady-state batch decoding of an
+// in-memory text trace is allocation-free once the batch storage has
+// grown to size — the property the streaming analysis path is built on.
+func TestBatchDecodeAllocs(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(15)), 2000)
+	data := EncodeAll(recs)
+	rd, _, err := NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := rd.(*textBytesReader)
+	var b RecordBatch
+	// Warm up: one full pass sizes Recs and the operand arena.
+	for {
+		n, err := br.NextBatch(&b, DefaultBatchRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		br.pos = 0
+		for {
+			n, err := br.NextBatch(&b, DefaultBatchRecords)
+			if err != nil || n == 0 {
+				return
+			}
+		}
+	})
+	// The interner may still intern a handful of previously unseen
+	// value strings; allow a small slack, not per-record growth.
+	if allocs > 10 {
+		t.Errorf("steady-state batch decode = %.1f allocs per full pass, want <= 10", allocs)
+	}
+}

@@ -510,6 +510,87 @@ func (sc *BinaryScanner) Next() (*Record, error) {
 	return &rec, nil
 }
 
+// NextBatch decodes up to max records into b, recycling its storage.
+// Records whose opcode b.Filter rejects are decoded header-only (their
+// operands are still walked to keep the stateful string table in sync,
+// but not stored).
+func (sc *BinaryScanner) NextBatch(b *RecordBatch, max int) (int, error) {
+	b.reset()
+	if !sc.started {
+		sc.started = true
+		if err := sc.readHeader(); err != nil {
+			sc.done = true
+			return 0, err
+		}
+	}
+	for len(b.Recs) < max && !sc.done {
+		flags, err := sc.readByte()
+		if err == io.EOF {
+			sc.done = true
+			break
+		}
+		if err != nil {
+			return 0, sc.corrupt("record flags", err)
+		}
+		if flags > 1 {
+			return 0, sc.corrupt("record flags", fmt.Errorf("unknown flags %#x", flags))
+		}
+		var rec Record
+		line, err := sc.readVarint("line")
+		if err != nil {
+			return 0, err
+		}
+		rec.Line = int(line)
+		if rec.Func, err = sc.readString("function name"); err != nil {
+			return 0, err
+		}
+		if rec.Block, err = sc.readString("block label"); err != nil {
+			return 0, err
+		}
+		op, err := sc.readUvarint("opcode")
+		if err != nil {
+			return 0, err
+		}
+		rec.Opcode = int(op)
+		if rec.DynID, err = sc.readVarint("dynamic id"); err != nil {
+			return 0, err
+		}
+		nops, err := sc.readUvarint("operand count")
+		if err != nil {
+			return 0, err
+		}
+		if nops > maxBinaryOperands {
+			return 0, sc.corrupt("operand count", fmt.Errorf("%d operands", nops))
+		}
+		store := b.wantOps(rec.Opcode)
+		opStart := len(b.ops)
+		for i := uint64(0); i < nops; i++ {
+			var o Operand
+			if err := sc.readOperand(&o); err != nil {
+				return 0, err
+			}
+			if store {
+				b.ops = append(b.ops, o)
+			}
+		}
+		if store && nops > 0 {
+			rec.Ops = b.ops[opStart:len(b.ops):len(b.ops)]
+		}
+		if flags&1 != 0 {
+			var o Operand
+			if err := sc.readOperand(&o); err != nil {
+				return 0, err
+			}
+			if store {
+				b.ops = append(b.ops, o)
+				rec.Result = &b.ops[len(b.ops)-1]
+			}
+		}
+		b.Recs = append(b.Recs, rec)
+	}
+	return len(b.Recs), nil
+}
+
 // binDecoder is the in-memory binary decode fast path: direct slice
 // indexing instead of buffered reads, and operand storage batched in an
 // arena like the text decoder's.
@@ -649,6 +730,71 @@ func (d *binDecoder) header() error {
 	return nil
 }
 
+// record decodes one record at d.pos into rec, batching its operands in
+// d.ops (callers must not hold d.ops aliases across arena growth — the
+// record's own Ops/Result sub-slices are safe, matching the text
+// decoder). A non-nil filter decodes rejected opcodes header-only: their
+// operands are still walked — the stateful string table demands it — but
+// not stored. The caller guarantees d.pos < len(d.data).
+func (d *binDecoder) record(rec *Record, filter func(opcode int) bool) error {
+	flags := d.data[d.pos]
+	d.pos++
+	if flags > 1 {
+		return d.corrupt("record flags")
+	}
+	line, err := d.varint("line")
+	if err != nil {
+		return err
+	}
+	rec.Line = int(line)
+	if rec.Func, err = d.str("function name"); err != nil {
+		return err
+	}
+	if rec.Block, err = d.str("block label"); err != nil {
+		return err
+	}
+	op, err := d.uvarint("opcode")
+	if err != nil {
+		return err
+	}
+	rec.Opcode = int(op)
+	if rec.DynID, err = d.varint("dynamic id"); err != nil {
+		return err
+	}
+	nops, err := d.uvarint("operand count")
+	if err != nil {
+		return err
+	}
+	if nops > maxBinaryOperands {
+		return d.corrupt("operand count")
+	}
+	store := filter == nil || filter(rec.Opcode)
+	opStart := len(d.ops)
+	for i := uint64(0); i < nops; i++ {
+		var o Operand
+		if err := d.operand(&o); err != nil {
+			return err
+		}
+		if store {
+			d.ops = append(d.ops, o)
+		}
+	}
+	if store && nops > 0 {
+		rec.Ops = d.ops[opStart:len(d.ops):len(d.ops)]
+	}
+	if flags&1 != 0 {
+		var o Operand
+		if err := d.operand(&o); err != nil {
+			return err
+		}
+		if store {
+			d.ops = append(d.ops, o)
+			rec.Result = &d.ops[len(d.ops)-1]
+		}
+	}
+	return nil
+}
+
 // ParseBinary parses a complete in-memory binary trace.
 func ParseBinary(data []byte) ([]Record, error) {
 	if len(data) == 0 {
@@ -681,56 +827,9 @@ func ParseBinary(data []byte) ([]Record, error) {
 				d.ops = no
 			}
 		}
-		flags := data[d.pos]
-		d.pos++
-		if flags > 1 {
-			return nil, d.corrupt("record flags")
-		}
 		var rec Record
-		line, err := d.varint("line")
-		if err != nil {
+		if err := d.record(&rec, nil); err != nil {
 			return nil, err
-		}
-		rec.Line = int(line)
-		if rec.Func, err = d.str("function name"); err != nil {
-			return nil, err
-		}
-		if rec.Block, err = d.str("block label"); err != nil {
-			return nil, err
-		}
-		op, err := d.uvarint("opcode")
-		if err != nil {
-			return nil, err
-		}
-		rec.Opcode = int(op)
-		if rec.DynID, err = d.varint("dynamic id"); err != nil {
-			return nil, err
-		}
-		nops, err := d.uvarint("operand count")
-		if err != nil {
-			return nil, err
-		}
-		if nops > maxBinaryOperands {
-			return nil, d.corrupt("operand count")
-		}
-		opStart := len(d.ops)
-		for i := uint64(0); i < nops; i++ {
-			var o Operand
-			if err := d.operand(&o); err != nil {
-				return nil, err
-			}
-			d.ops = append(d.ops, o)
-		}
-		if nops > 0 {
-			rec.Ops = d.ops[opStart:len(d.ops):len(d.ops)]
-		}
-		if flags&1 != 0 {
-			var o Operand
-			if err := d.operand(&o); err != nil {
-				return nil, err
-			}
-			d.ops = append(d.ops, o)
-			rec.Result = &d.ops[len(d.ops)-1]
 		}
 		recs = append(recs, rec)
 	}

@@ -21,6 +21,11 @@ func FuzzParseTrace(f *testing.F) {
 	f.Add([]byte("0,-1,main,entry,26,0\n"))
 	f.Add([]byte("garbage\n"))
 	f.Add(append(append([]byte{}, binaryMagic...), binaryVersion, 0))
+	// Fuzz inputs sit far below the parallel-parse size threshold; drop it
+	// so the chunked assembly path stays under fuzz coverage.
+	saved := parallelParseMinBytes
+	parallelParseMinBytes = 0
+	f.Cleanup(func() { parallelParseMinBytes = saved })
 	f.Fuzz(func(t *testing.T, data []byte) {
 		serial, serr := ParseBytes(data)
 		par, perr := ParseBytesParallel(data, 4)

@@ -169,6 +169,97 @@ func (sc *Scanner) Next() (*Record, error) {
 	return &rec, nil
 }
 
+// NextBatch decodes up to max records into b, recycling its storage.
+// Records whose opcode b.Filter rejects are decoded header-only: their
+// operand lines are scanned past without parsing.
+func (sc *Scanner) NextBatch(b *RecordBatch, max int) (int, error) {
+	b.reset()
+	for len(b.Recs) < max {
+		var rec Record
+		switch {
+		case sc.havePending:
+			rec = sc.pending
+			sc.havePending = false
+		case sc.done:
+			return len(b.Recs), nil
+		default:
+			var header []byte
+			for {
+				line, ok := sc.scan()
+				if !ok {
+					sc.done = true
+					if err := sc.err(); err != nil {
+						return 0, err
+					}
+					return len(b.Recs), nil
+				}
+				if len(line) != 0 {
+					header = line
+					break
+				}
+			}
+			if !isHeaderLine(header) {
+				return 0, fmt.Errorf("trace: expected block header, got %q", header)
+			}
+			var err error
+			if rec, err = sc.d.parseHeader(header); err != nil {
+				return 0, err
+			}
+		}
+		store := b.wantOps(rec.Opcode)
+		opStart := len(b.ops)
+		var res Operand
+		hasRes := false
+		for {
+			line, ok := sc.scan()
+			if !ok {
+				sc.done = true
+				if err := sc.err(); err != nil {
+					return 0, err
+				}
+				break
+			}
+			if len(line) == 0 {
+				continue
+			}
+			if isHeaderLine(line) {
+				next, err := sc.d.parseHeader(line)
+				if err != nil {
+					return 0, err
+				}
+				sc.pending = next
+				sc.havePending = true
+				break
+			}
+			if !store {
+				continue
+			}
+			op, err := sc.d.parseOperand(line)
+			if err != nil {
+				return 0, err
+			}
+			if line[0] == 'r' && line[1] == ',' {
+				// Any "r," line is the result, the last wins — matching Next.
+				res = op
+				hasRes = true
+			} else {
+				b.ops = append(b.ops, op)
+			}
+		}
+		if end := len(b.ops); end > opStart {
+			// Capacity-clamped so a caller's append cannot clobber the result
+			// slot that follows.
+			rec.Ops = b.ops[opStart:end:end]
+		}
+		if hasRes {
+			b.ops = append(b.ops, res)
+			rec.Result = &b.ops[len(b.ops)-1]
+		}
+		b.Recs = append(b.Recs, rec)
+	}
+	return len(b.Recs), nil
+}
+
 // ReadAll parses an entire trace stream serially.
 func ReadAll(r io.Reader) ([]Record, error) {
 	sc := NewScanner(r)
@@ -241,16 +332,29 @@ func splitChunks(data []byte, n int) [][]byte {
 	return chunks
 }
 
+// parallelParseMinBytes is the input size below which ParseBytesParallel
+// falls back to the serial decoder: goroutine startup, per-chunk decoder
+// state (interner, arena), and the per-chunk pre-count cost more than
+// they save on small traces, where serial parse already runs in
+// single-digit milliseconds. A variable rather than a constant so tests
+// can force the chunked path on small inputs.
+var parallelParseMinBytes = 4 << 20
+
 // ParseBytesParallel parses a complete in-memory trace using the given
 // number of worker goroutines (0 means GOMAXPROCS). Chunk boundaries are
 // aligned to instruction blocks; the result preserves trace order. Each
 // chunk's record count is pre-counted so workers decode directly into
 // their slice of one pre-sized result — there is no final gather copy.
 // Binary traces (which are not line-splittable) fall back to the serial
-// binary decoder, which is faster than parallel text parsing anyway.
+// binary decoder, which is faster than parallel text parsing anyway;
+// traces below parallelParseMinBytes fall back to the serial text
+// decoder, which beats the fan-out overhead at that size.
 func ParseBytesParallel(data []byte, workers int) ([]Record, error) {
 	if DetectFormat(data) == FormatBinary {
 		return ParseBinary(data)
+	}
+	if len(data) < parallelParseMinBytes {
+		return ParseBytes(data)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -268,10 +268,22 @@ func isHeaderLine(line []byte) bool {
 // enough capacity (see CountRecords) the decode performs no slice growth,
 // which is what lets ParseBytesParallel assemble chunk results in place.
 func (d *decoder) decodeText(data []byte, dst []Record) ([]Record, error) {
-	pos := 0
+	_, recs, err := d.decodeN(data, 0, dst, -1, nil)
+	return recs, err
+}
+
+// decodeN appends up to max records (max < 0: all) from data starting at
+// pos to dst, returning the position of the first unconsumed byte. A
+// non-nil filter decodes rejected opcodes header-only: their operand
+// lines are scanned past without parsing, which is what makes a
+// header-only sweep over a trace cheap. This is the single textual decode
+// loop — ParseBytes and the batch readers differ only in the arguments.
+func (d *decoder) decodeN(data []byte, pos int, dst []Record, max int, filter func(opcode int) bool) (int, []Record, error) {
+	start := len(dst)
 	var line []byte
 	cur := -1 // index in dst of the open record, -1 if none
-	opStart := 0
+	skip := false
+	opStart := len(d.ops)
 	d.resIdx = d.resIdx[:0]
 	// flush attaches the open record's arena extent: its input operands as
 	// a capacity-clamped sub-slice (so a caller's append cannot clobber the
@@ -323,26 +335,35 @@ func (d *decoder) decodeText(data []byte, dst []Record) ([]Record, error) {
 		d.resIdx = d.resIdx[:0]
 	}
 	for pos < len(data) {
+		lineStart := pos
 		line, pos = nextLine(data, pos)
 		if len(line) == 0 {
 			continue
 		}
 		switch {
 		case isHeaderLine(line):
+			if max >= 0 && len(dst)-start == max {
+				flush()
+				return lineStart, dst, nil
+			}
 			flush()
 			rec, err := d.parseHeader(line)
 			if err != nil {
-				return nil, err
+				return pos, nil, err
 			}
 			dst = append(dst, rec)
 			cur = len(dst) - 1
+			skip = filter != nil && !filter(rec.Opcode)
 		default:
 			if cur < 0 {
-				return nil, fmt.Errorf("trace: expected block header, got %q", line)
+				return pos, nil, fmt.Errorf("trace: expected block header, got %q", line)
+			}
+			if skip {
+				continue
 			}
 			op, err := d.parseOperand(line)
 			if err != nil {
-				return nil, err
+				return pos, nil, err
 			}
 			d.ops = append(d.ops, op)
 			if line[0] == 'r' && line[1] == ',' {
@@ -351,7 +372,7 @@ func (d *decoder) decodeText(data []byte, dst []Record) ([]Record, error) {
 		}
 	}
 	flush()
-	return dst, nil
+	return pos, dst, nil
 }
 
 // CountRecords returns the number of instruction blocks in a textual

@@ -263,6 +263,7 @@ func TestQuickRoundtrip(t *testing.T) {
 
 // Property: parallel parse equals serial parse for any worker count.
 func TestQuickParallelEqualsSerial(t *testing.T) {
+	forceChunkedParse(t)
 	f := func(seed int64, size uint16, workers uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		recs := randomRecords(rng, int(size)%2000)
@@ -452,9 +453,19 @@ func TestCountRecords(t *testing.T) {
 	}
 }
 
+// forceChunkedParse drops the parallel-parse size fallback for one test,
+// so small fixture traces still exercise the chunked assembly path.
+func forceChunkedParse(t *testing.T) {
+	t.Helper()
+	saved := parallelParseMinBytes
+	parallelParseMinBytes = 0
+	t.Cleanup(func() { parallelParseMinBytes = saved })
+}
+
 // Records parsed in parallel chunks land in one pre-sized slice; verify
 // against the serial parse on a trace large enough for many chunks.
 func TestParallelAssembly(t *testing.T) {
+	forceChunkedParse(t)
 	recs := randomRecords(rand.New(rand.NewSource(8)), 5000)
 	data := EncodeAll(recs)
 	serial, err := ParseBytes(data)
@@ -469,6 +480,28 @@ func TestParallelAssembly(t *testing.T) {
 		if !reflect.DeepEqual(serial, par) {
 			t.Fatalf("workers=%d: parallel parse differs", workers)
 		}
+	}
+}
+
+// Below the size threshold ParseBytesParallel must hand off to the serial
+// parser — chunk scheduling costs more than it saves on small traces —
+// and still return identical records.
+func TestParallelParseSmallFallback(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(9)), 200)
+	data := EncodeAll(recs)
+	if len(data) >= parallelParseMinBytes {
+		t.Fatalf("fixture unexpectedly large: %d bytes", len(data))
+	}
+	serial, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParseBytesParallel(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("fallback parse differs from serial")
 	}
 }
 
@@ -502,6 +535,7 @@ func TestParseCRLF(t *testing.T) {
 // operand lines after a result line, and repeated result lines (the last
 // wins), as LLVM-Tracer-style producers are free to order block lines.
 func TestResultMidBlockParity(t *testing.T) {
+	forceChunkedParse(t)
 	cases := []string{
 		"0,1,main,e,27,1\nr,0,64,1,1,2\n1,1,64,0x10,0,g\n",               // operand after result
 		"0,1,main,e,27,1\nr,0,64,1,1,2\nr,0,64,5,1,3\n",                  // repeated result
