@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"autocheck"
+	"autocheck/internal/analysis"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/faultinject"
@@ -309,6 +311,62 @@ func cmdBench(args []string) error {
 			}
 		}),
 	)
+
+	// Networked analysis: the same trace through the ingest service —
+	// one-shot, one chunked session, and concurrent chunked sessions —
+	// against analyze-materialized as the local baseline.
+	fmt.Println("starting in-process ingest service for the analyze-remote series...")
+	isvc := server.NewWithFactory(
+		server.Config{Ingest: &analysis.Config{MaxSessions: 32, MaxInFlight: 64}},
+		func(ns string) (store.Backend, error) { return store.NewMemory(), nil })
+	its := httptest.NewServer(isvc.Handler())
+	defer its.Close()
+	defer isvc.Shutdown(context.Background())
+	icli, err := analysis.NewClient(its.URL)
+	if err != nil {
+		return err
+	}
+	bin := p.BinData()
+	rep.Entries = append(rep.Entries,
+		runOne("analyze-remote-oneshot", len(bin), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := icli.Analyze(bin, p.Spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runOne("analyze-remote-chunked", len(bin), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := icli.AnalyzeChunked(bin, p.Spec, analysis.DefaultChunkBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+	for _, n := range []int{1, 4, 8} {
+		n := n
+		rep.Entries = append(rep.Entries, withWorkers(
+			runOne(fmt.Sprintf("analyze-remote-sessions-%d", n), n*len(bin), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					errs := make([]error, n)
+					for j := 0; j < n; j++ {
+						j := j
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							_, errs[j] = icli.AnalyzeChunked(bin, p.Spec, analysis.DefaultChunkBytes)
+						}()
+					}
+					wg.Wait()
+					for _, e := range errs {
+						if e != nil {
+							b.Fatal(e)
+						}
+					}
+				}
+			}), n))
+	}
 	fmt.Println("preparing all 14 ports for the cross-trace sweep...")
 	var inputs []core.Input
 	totalText := 0

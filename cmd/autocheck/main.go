@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"autocheck"
+	"autocheck/internal/analysis"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/harness"
 	"autocheck/internal/progs"
@@ -126,6 +127,13 @@ func usage() {
       -online  feed the analysis engine straight from the tracer while the
                program runs: no trace bytes at all (requires -file)
       -ddg     also print the contracted DDG
+      -addr    ship the trace to a "serve -ingest" service instead of
+               analyzing locally (one-shot POST by default)
+      -chunk-bytes with -addr: stream through a resumable session in
+               chunks of this size; the client resumes across service
+               restarts (0 = one-shot)
+      -chunk-delay with -addr: pause between chunk uploads
+      -ns      with -addr: tenant namespace for admission control
   autocheck trace    -file prog.mc [-o trace.out] [-trace-format text|binary]
       -o            output trace file (default stdout)
       -trace-format output encoding; binary is emitted directly by the
@@ -209,6 +217,13 @@ func usage() {
       -shard-workers sharded backend write pool size (default 4)
       -max-inflight  bound on concurrently served requests; excess gets
                      503 + Retry-After, which clients absorb by retrying
+      -ingest        also mount the trace-ingest service: one-shot
+                     POST /v1/analyze/{ns} plus resumable chunked
+                     sessions under /v1/sessions (single node only)
+      -ingest-sessions per-namespace live session quota (default 8)
+      -ingest-inflight per-namespace in-flight ingest cap (default 16)
+      -ingest-ttl    idle session eviction TTL (default 2m); evicted
+                     sessions recover from the store on the next request
   autocheck bench [-o BENCH_trace.json] [-benchmark HACC] [-scale N]
                                 measure the trace hot path (text serial /
                                 parallel / binary parse + sizes) and the
@@ -238,6 +253,10 @@ func cmdAnalyze(args []string) error {
 	stream := fs.Bool("stream", false, "streaming analysis (bounded memory, multiple passes)")
 	online := fs.Bool("online", false, "analyze inside the tracer while the program runs (no trace bytes)")
 	ddg := fs.Bool("ddg", false, "also print the contracted DDG")
+	addr := fs.String("addr", "", "ship the trace to the ingest service at HOST:PORT instead of analyzing locally")
+	chunkBytes := fs.Int("chunk-bytes", 0, "with -addr: stream the trace through a resumable session in chunks of this size (0 = one-shot)")
+	chunkDelay := fs.Duration("chunk-delay", 0, "with -addr: pause between chunk uploads (restart smoke tests)")
+	namespace := fs.String("ns", "default", "with -addr: tenant namespace for admission control")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -245,6 +264,12 @@ func cmdAnalyze(args []string) error {
 		return fmt.Errorf("analyze needs -file or -trace, plus -start and -end")
 	}
 	spec := autocheck.LoopSpec{Function: *fn, StartLine: *start, EndLine: *end}
+	if *addr != "" {
+		if *online || *ddg || *stream || *workers != 0 {
+			return fmt.Errorf("analyze -addr ships the trace to a service; -online, -ddg, -stream and -workers are local modes")
+		}
+		return analyzeRemote(*addr, *namespace, *file, *traceFile, spec, *chunkBytes, *chunkDelay)
+	}
 	opts := autocheck.DefaultOptions()
 	opts.Workers = *workers
 	opts.Streaming = *stream
@@ -311,6 +336,48 @@ func cmdAnalyze(args []string) error {
 		fmt.Println("\ncontracted DDG (DOT):")
 		fmt.Print(res.Contracted.DOT("contracted"))
 	}
+	fmt.Printf("timing: pre=%v dep=%v identify=%v total=%v\n",
+		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
+	return nil
+}
+
+// analyzeRemote ships a trace to the ingest service and prints the
+// result through the same renderer as a local run, so the outputs are
+// byte-identical (modulo the timing line, which reports the service's
+// clock). With chunkBytes > 0 the trace streams through a resumable
+// session — the client rides out service restarts mid-stream.
+func analyzeRemote(addr, namespace, file, traceFile string, spec autocheck.LoopSpec, chunkBytes int, chunkDelay time.Duration) error {
+	var data []byte
+	var err error
+	if traceFile != "" {
+		if data, err = os.ReadFile(traceFile); err != nil {
+			return err
+		}
+	} else {
+		mod, merr := compileFile(file)
+		if merr != nil {
+			return merr
+		}
+		if data, _, err = autocheck.TraceProgramBinary(mod); err != nil {
+			return err
+		}
+	}
+	cli, err := analysis.NewClient(addr)
+	if err != nil {
+		return err
+	}
+	cli.Namespace = namespace
+	cli.ChunkDelay = chunkDelay
+	var res *autocheck.Result
+	if chunkBytes > 0 {
+		res, err = cli.AnalyzeChunked(data, spec, chunkBytes)
+	} else {
+		res, err = cli.Analyze(data, spec)
+	}
+	if err != nil {
+		return err
+	}
+	printAnalysis(res)
 	fmt.Printf("timing: pre=%v dep=%v identify=%v total=%v\n",
 		res.Timing.Pre, res.Timing.Dep, res.Timing.Identify, res.Timing.Total)
 	return nil
@@ -586,6 +653,10 @@ func cmdServe(args []string) error {
 	syncWrites := fs.Bool("sync", false, "fsync every write")
 	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "sharded backend write pool size")
 	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "bound on concurrently served requests")
+	ingest := fs.Bool("ingest", false, "also mount the trace-ingest service (one-shot analyze + chunked sessions)")
+	ingestSessions := fs.Int("ingest-sessions", analysis.DefaultMaxSessions, "per-namespace live session quota (with -ingest)")
+	ingestInFlight := fs.Int("ingest-inflight", analysis.DefaultMaxInFlight, "per-namespace in-flight ingest request cap (with -ingest)")
+	ingestTTL := fs.Duration("ingest-ttl", analysis.DefaultIdleTTL, "idle session eviction TTL (with -ingest)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -597,6 +668,9 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: -cluster must be at least 1")
 	}
 	if *cluster > 1 {
+		if *ingest {
+			return fmt.Errorf("serve: -ingest runs on a single node (sessions are per-node state); drop -cluster")
+		}
 		return serveCluster(*cluster, *addr, kind, *dir, *syncWrites, *shardWorkers, *maxInFlight)
 	}
 	root := *dir
@@ -606,10 +680,18 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("storage root: %s\n", root)
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Store:       store.Config{Kind: kind, Dir: root, Sync: *syncWrites, Workers: *shardWorkers},
 		MaxInFlight: *maxInFlight,
-	})
+	}
+	if *ingest {
+		scfg.Ingest = &analysis.Config{
+			MaxSessions: *ingestSessions,
+			MaxInFlight: *ingestInFlight,
+			IdleTTL:     *ingestTTL,
+		}
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -625,9 +707,12 @@ func cmdServe(args []string) error {
 	// One structured line each for startup and shutdown: greppable
 	// key=value pairs that log collectors and the doctor smoke job can
 	// consume without parsing prose.
-	fmt.Printf("serve: start addr=%s store=%s dir=%q max-inflight=%d sync=%v\n",
-		bound, kind, root, *maxInFlight, *syncWrites)
+	fmt.Printf("serve: start addr=%s store=%s dir=%q max-inflight=%d sync=%v ingest=%v\n",
+		bound, kind, root, *maxInFlight, *syncWrites, *ingest)
 	fmt.Printf("clients: autocheck validate -store remote -addr %s\n", bound)
+	if *ingest {
+		fmt.Printf("ingest:  autocheck analyze -addr %s -trace T -start N -end M [-chunk-bytes K]\n", bound)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {

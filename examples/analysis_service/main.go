@@ -1,0 +1,168 @@
+// Analysis-as-a-service demo: the networked twin of
+// examples/online_analysis. Instead of running the identification engine
+// in-process, a traced application streams its trace to the ingest
+// service and gets back the critical-variable set — the full AutoCheck
+// loop as a service, with sessions durable enough to survive the service
+// dying mid-stream.
+//
+// The demo starts an ingest-enabled checkpoint service over a
+// file-backed store, analyzes the IS port three ways — locally, one-shot
+// over the wire, and as a chunked session — then kills the service
+// halfway through a fourth stream, starts a replacement on a new port
+// over the same store directory, and resumes the same session to the
+// same byte-identical answer.
+//
+//	go run ./examples/analysis_service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"time"
+
+	"autocheck"
+	"autocheck/internal/analysis"
+	"autocheck/internal/progs"
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+)
+
+func startService(dir string) (*server.Server, string) {
+	svc, err := server.New(server.Config{
+		Store:  store.Config{Kind: store.KindFile, Dir: dir},
+		Ingest: &analysis.Config{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		if err := svc.ListenAndServe("127.0.0.1:0", ready); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	return svc, <-ready
+}
+
+func main() {
+	root, err := os.MkdirTemp("", "autocheck-analysis-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	// 1. Trace IS locally — the part that stays with the application —
+	// and analyze in-process for the reference answer.
+	bench := progs.Get("IS")
+	spec, err := bench.Spec(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := autocheck.CompileProgram(bench.Source(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, _, err := autocheck.TraceProgram(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := autocheck.EncodeTraceBinary(recs)
+	local, err := autocheck.AnalyzeBytes(trace, spec, autocheck.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IS trace: %d records, %d bytes binary; local critical=%v\n\n",
+		local.Stats.Records, len(trace), local.CriticalNames())
+
+	// 2. The service, and a retrying client pointed at it.
+	svc, addr := startService(root)
+	fmt.Printf("ingest service on %s, sessions stored under %s\n", addr, root)
+	cli, err := analysis.NewClient(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. One-shot: the whole trace in one request.
+	t0 := time.Now()
+	res, err := cli.Analyze(trace, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot:        %6.2fms  critical=%v\n",
+		float64(time.Since(t0).Microseconds())/1000, res.CriticalNames())
+
+	// 4. Chunked session: the trace as a stream of 4 KiB chunks, the
+	// shape a live tracer would use.
+	t0 = time.Now()
+	res, err = cli.AnalyzeChunked(trace, spec, 4<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chunked session: %6.2fms  critical=%v\n\n",
+		float64(time.Since(t0).Microseconds())/1000, res.CriticalNames())
+
+	// 5. Kill mid-stream. Send half the chunks, shut the service down,
+	// bring up a replacement over the same store directory, and resume
+	// the same session id: every acknowledged chunk was persisted before
+	// its ack, so the replacement replays the prefix into a fresh engine
+	// and the stream continues where it left off.
+	sess, err := cli.NewSession(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const chunkBytes = 4 << 10
+	total := (len(trace) + chunkBytes - 1) / chunkBytes
+	half := total / 2
+	for seq := 0; seq < half; seq++ {
+		lo := seq * chunkBytes
+		hi := min(lo+chunkBytes, len(trace))
+		if err := sess.SendChunk(seq, trace[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("streamed %d/%d chunks of session %s — killing the service\n", half, total, sess.ID)
+	if err := svc.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	svc2, addr2 := startService(root)
+	defer svc2.Shutdown(context.Background())
+	fmt.Printf("replacement service on %s (same store)\n", addr2)
+	if err := cli.SetAddr(addr2); err != nil {
+		log.Fatal(err)
+	}
+	st, err := sess.Status() // triggers recovery; reports the resume point
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session recovered: state=%s next_seq=%d (%d bytes acknowledged)\n",
+		st.State, st.NextSeq, st.Bytes)
+	for seq := st.NextSeq; seq < total; seq++ {
+		lo := seq * chunkBytes
+		hi := min(lo+chunkBytes, len(trace))
+		if err := sess.SendChunk(seq, trace[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resumed, err := sess.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	match := reflect.DeepEqual(resumed.CriticalNames(), local.CriticalNames()) &&
+		resumed.Stats == local.Stats
+	fmt.Printf("resumed result:  critical=%v, identical to local analysis: %v\n\n",
+		resumed.CriticalNames(), match)
+	if !match {
+		log.Fatal("resumed result diverged from local analysis")
+	}
+
+	// 6. The service's own accounting.
+	snap := svc2.Obs().Snapshot()
+	fmt.Printf("replacement service counters: resumes=%d finished=%d chunks=%d\n",
+		snap.Counters["analysis.resumes"],
+		snap.Counters["analysis.sessions_finished"],
+		snap.Histograms["analysis.chunk.ns"].Count)
+}

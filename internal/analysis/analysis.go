@@ -1,0 +1,956 @@
+// Package analysis is the trace-ingest service: the paper's
+// identification pipeline (internal/core) offered over the network, so
+// a traced application streams its instruction trace to a service and
+// gets back the set of critical variables to checkpoint — the full
+// AutoCheck loop as a service, with the checkpoint store behind it.
+//
+// Two ingestion shapes share one engine path:
+//
+//   - One-shot: POST the whole trace (text or ACTB binary, sniffed by
+//     magic) and receive the result in the response.
+//   - Chunked sessions: create a session carrying the LoopSpec, PUT
+//     strictly ordered chunks — arbitrary byte splits of the trace, the
+//     ACTB encoding is stateful and only splits at byte granularity —
+//     and POST finish to collect the result. Each session feeds a
+//     per-session core.Engine through an io.Pipe and the batch decode
+//     path, so memory stays O(variables) regardless of trace size.
+//
+// Sessions are durable: every chunk is persisted through the embedding
+// server's store stack *before* it is acknowledged (ack-after-persist),
+// so a server restart or an idle eviction never loses acknowledged
+// bytes — an unknown session id is recovered lazily from its store
+// namespace by replaying the acknowledged chunk prefix into a fresh
+// engine, and the client resumes at the next sequence number. Because
+// the engine is deterministic, a resumed session's result is
+// byte-identical to an uninterrupted run.
+//
+// Admission control is per-tenant: a namespace holds at most
+// MaxSessions live sessions and MaxInFlight concurrent requests; excess
+// traffic is shed with 429 + Retry-After, which the retrying Client
+// absorbs. Idle sessions are evicted after IdleTTL (state stays in the
+// store; eviction only frees memory and the engine goroutine).
+package analysis
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
+	"autocheck/internal/store"
+	"autocheck/internal/trace"
+)
+
+// Failpoints on the session ingest path.
+const (
+	// SiteSessionChunk fires once per accepted chunk, before anything is
+	// persisted: error sheds the chunk with 503 (the client retries),
+	// drop kills the connection without a response, crash panics the
+	// handler goroutine.
+	SiteSessionChunk = "analysis.session.chunk"
+	// SiteSessionCkpt fires on the chunk-persist step: an error makes
+	// the durable write fail, so the chunk is neither persisted nor
+	// acknowledged — the ack-after-persist invariant under test.
+	SiteSessionCkpt = "analysis.session.ckpt"
+)
+
+// Typed error codes carried in the JSON error envelope.
+const (
+	CodeInvalidArgument = "invalid_argument"
+	CodeDecode          = "decode"
+	CodeNoLoop          = "no_loop"
+	CodeOutOfOrder      = "out_of_order"
+	CodeDuplicateChunk  = "duplicate_chunk"
+	CodeUnknownSession  = "unknown_session"
+	CodeSessionFailed   = "session_failed"
+	CodeSessionFinished = "session_finished"
+	CodeQuota           = "quota"
+	CodeTooLarge        = "too_large"
+	CodeUnavailable     = "unavailable"
+)
+
+// Error is the service's typed error: an HTTP status, a stable machine
+// code, and — for sequencing errors — the next sequence number the
+// session expects, which is all a client needs to resynchronize.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Expect  int    `json:"expect,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("analysis: %s: %s", e.Code, e.Message)
+}
+
+// Config defaults.
+const (
+	DefaultMaxSessions   = 8
+	DefaultMaxInFlight   = 16
+	DefaultIdleTTL       = 2 * time.Minute
+	DefaultSweepEvery    = 15 * time.Second
+	DefaultMaxChunkBytes = int64(64) << 20
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// MaxSessions bounds live sessions per namespace; excess creates are
+	// shed with 429 + Retry-After. Sessions recovered from the store
+	// after a restart bypass the bound — they were admitted once.
+	MaxSessions int
+
+	// MaxInFlight bounds concurrently served ingest requests (chunks,
+	// one-shots, finishes) per namespace, layered under the embedding
+	// server's global MaxInFlight semaphore.
+	MaxInFlight int
+
+	// IdleTTL evicts sessions with no request activity for this long;
+	// their durable state stays in the store, so a late client resumes
+	// via recovery. SweepEvery is the janitor period; negative disables
+	// the janitor (tests drive EvictIdle directly).
+	IdleTTL    time.Duration
+	SweepEvery time.Duration
+
+	// MaxChunkBytes bounds one chunk (or one-shot body) upload.
+	MaxChunkBytes int64
+
+	// Open returns the store backend for a session namespace — the
+	// embedding server passes its own per-namespace factory so session
+	// checkpoints flow through the exact store stack the service is
+	// configured with. nil falls back to fresh in-memory backends
+	// (standalone use; no restart recovery).
+	Open func(ns string) (store.Backend, error)
+
+	// Faults arms the session failpoints; nil leaves ingest fault-free.
+	Faults *faultinject.Registry
+
+	// Obs receives the service's metrics (analysis.sessions gauge, chunk
+	// latency/byte instruments, eviction/resume counters). nil creates a
+	// private registry.
+	Obs *obs.Registry
+
+	// NewID and Now are test seams; nil means crypto/rand ids and the
+	// real clock.
+	NewID func() string
+	Now   func() time.Time
+}
+
+// feedOutcome is the engine goroutine's single, final report.
+type feedOutcome struct {
+	res *core.Result
+	err error
+}
+
+type sessState int
+
+const (
+	sessActive sessState = iota
+	sessFinished
+	sessFailed
+)
+
+func (st sessState) String() string {
+	switch st {
+	case sessActive:
+		return "active"
+	case sessFinished:
+		return "finished"
+	}
+	return "failed"
+}
+
+// session is one chunked ingest session. The pipe writer feeds the
+// engine goroutine; pw.Write blocking until the engine consumed the
+// bytes is the service's natural backpressure.
+type session struct {
+	id             string
+	ns             string // tenant namespace (admission accounting)
+	spec           core.LoopSpec
+	includeGlobals bool
+	back           store.Backend // "sess-<id>" namespace of the store stack
+
+	mu      sync.Mutex
+	state   sessState
+	next    int   // next expected chunk sequence number
+	bytes   int64 // acknowledged trace bytes
+	last    time.Time
+	pw      *io.PipeWriter
+	out     chan feedOutcome // buffered(1); the engine goroutine's result
+	res     *core.Result     // set once finished
+	failErr error            // set once failed
+}
+
+// Sentinel errors delivered through the session pipe when the service —
+// not the trace — ends an engine.
+var (
+	errEvicted  = errors.New("analysis: session evicted while idle")
+	errShutdown = errors.New("analysis: service shutting down")
+	errDeleted  = errors.New("analysis: session deleted")
+)
+
+// nsAdmission is one namespace's admission counters.
+type nsAdmission struct {
+	live     int // sessions counted against MaxSessions
+	inflight int // requests counted against MaxInFlight
+}
+
+// Service is the trace-ingest service. Create one with NewService and
+// mount its handlers (http.go) into a server mux, or call the exported
+// methods directly for in-process use.
+type Service struct {
+	cfg Config
+	obs *obs.Registry
+
+	sessionsG *obs.Gauge   // analysis.sessions: sessions resident in memory
+	chunkOp   *obs.Op      // analysis.chunk: per-chunk latency/bytes/errors
+	oneshotOp *obs.Op      // analysis.oneshot: whole-trace requests
+	evictedC  *obs.Counter // analysis.evictions: idle sessions dropped from memory
+	resumedC  *obs.Counter // analysis.resumes: sessions recovered from the store
+	shedC     *obs.Counter // analysis.shed: requests rejected by admission control
+	createdC  *obs.Counter // analysis.sessions_created
+	finishedC *obs.Counter // analysis.sessions_finished
+	failedC   *obs.Counter // analysis.sessions_failed
+
+	mu         sync.Mutex
+	sessions   map[string]*session
+	recovering map[string]chan struct{} // ids mid-recovery; waiters block
+	closed     bool
+
+	admMu sync.Mutex // leaf lock: admission counters only
+	perNS map[string]*nsAdmission
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewService creates a service. Defaults are applied for every zero
+// field; see Config.
+func NewService(cfg Config) *Service {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.IdleTTL <= 0 {
+		cfg.IdleTTL = DefaultIdleTTL
+	}
+	if cfg.SweepEvery == 0 {
+		cfg.SweepEvery = DefaultSweepEvery
+	}
+	if cfg.MaxChunkBytes <= 0 {
+		cfg.MaxChunkBytes = DefaultMaxChunkBytes
+	}
+	if cfg.Open == nil {
+		cfg.Open = func(string) (store.Backend, error) {
+			return store.Open(store.Config{Kind: store.KindMemory})
+		}
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	if cfg.NewID == nil {
+		cfg.NewID = randomID
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Service{
+		cfg:        cfg,
+		obs:        cfg.Obs,
+		sessions:   make(map[string]*session),
+		recovering: make(map[string]chan struct{}),
+		perNS:      make(map[string]*nsAdmission),
+	}
+	s.sessionsG = s.obs.Gauge("analysis.sessions")
+	s.chunkOp = s.obs.Op("analysis.chunk")
+	s.oneshotOp = s.obs.Op("analysis.oneshot")
+	s.evictedC = s.obs.Counter("analysis.evictions")
+	s.resumedC = s.obs.Counter("analysis.resumes")
+	s.shedC = s.obs.Counter("analysis.shed")
+	s.createdC = s.obs.Counter("analysis.sessions_created")
+	s.finishedC = s.obs.Counter("analysis.sessions_finished")
+	s.failedC = s.obs.Counter("analysis.sessions_failed")
+	if cfg.SweepEvery > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Obs returns the service's telemetry registry.
+func (s *Service) Obs() *obs.Registry { return s.obs }
+
+func (s *Service) now() time.Time { return s.cfg.Now() }
+
+// sessNS is the store namespace holding one session's durable state:
+// a "meta" object, "chunk-%08d" objects, and a "result" object.
+func sessNS(id string) string { return "sess-" + id }
+
+func chunkKey(seq int) string { return fmt.Sprintf("chunk-%08d", seq) }
+
+const maxChunkSeq = 99999999 // chunkKey's zero-padding keeps List order numeric
+
+// sessMeta is the durable session descriptor, persisted before the
+// create is acknowledged.
+type sessMeta struct {
+	Namespace      string `json:"namespace"`
+	Function       string `json:"function"`
+	StartLine      int    `json:"start_line"`
+	EndLine        int    `json:"end_line"`
+	IncludeGlobals bool   `json:"include_globals"`
+}
+
+// sectionData extracts the single "data" section of a session object.
+func sectionData(secs []store.Section) ([]byte, error) {
+	for i := range secs {
+		if secs[i].Name == "data" {
+			return secs[i].Data, nil
+		}
+	}
+	return nil, errors.New("analysis: session object has no data section")
+}
+
+func dataSections(data []byte) []store.Section {
+	return []store.Section{{Name: "data", Data: data}}
+}
+
+// ---- Admission control (admMu is a leaf lock) ----
+
+func (s *Service) adm(ns string) *nsAdmission {
+	a, ok := s.perNS[ns]
+	if !ok {
+		a = &nsAdmission{}
+		s.perNS[ns] = a
+	}
+	return a
+}
+
+// admitSession counts a new session against the namespace quota.
+// recovered sessions were admitted by their original create and only
+// re-enter memory, so they bypass the bound.
+func (s *Service) admitSession(ns string, recovered bool) *Error {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	a := s.adm(ns)
+	if !recovered && a.live >= s.cfg.MaxSessions {
+		s.shedC.Inc()
+		return &Error{Status: 429, Code: CodeQuota,
+			Message: fmt.Sprintf("namespace %q at its session quota (%d live)", ns, a.live)}
+	}
+	a.live++
+	return nil
+}
+
+func (s *Service) releaseLive(ns string) {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	if a := s.perNS[ns]; a != nil && a.live > 0 {
+		a.live--
+	}
+}
+
+// enter counts one in-flight ingest request against the namespace cap.
+func (s *Service) enter(ns string) *Error {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	a := s.adm(ns)
+	if a.inflight >= s.cfg.MaxInFlight {
+		s.shedC.Inc()
+		return &Error{Status: 429, Code: CodeQuota,
+			Message: fmt.Sprintf("namespace %q at its in-flight cap (%d)", ns, a.inflight)}
+	}
+	a.inflight++
+	return nil
+}
+
+func (s *Service) leave(ns string) {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	if a := s.perNS[ns]; a != nil && a.inflight > 0 {
+		a.inflight--
+	}
+}
+
+// ---- Engine feeding ----
+
+// runEngine drives one core.Engine over a streaming trace reader via
+// the batch decode path; the reader's format (text or ACTB) is sniffed
+// from its first bytes.
+func runEngine(r io.Reader, spec core.LoopSpec, includeGlobals bool, reg *obs.Registry) (*core.Result, error) {
+	opts := core.DefaultOptions()
+	opts.IncludeGlobals = includeGlobals
+	opts.Obs = reg
+	eng, err := core.NewEngine(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	rd, _, err := trace.NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var batch trace.RecordBatch
+	if err := trace.ForEachBatch(rd, &batch, func(_ int, recs []trace.Record) error {
+		for k := range recs {
+			eng.Observe(&recs[k])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return eng.Finish()
+}
+
+// feed is the per-session engine goroutine. It consumes the pipe until
+// EOF (finish) or a decode error; on error the pipe is closed with that
+// error so a blocked or later chunk write observes it. The outcome
+// channel is buffered, so the goroutine always exits — even when the
+// session was evicted and nobody collects the result.
+func (s *Service) feed(pr *io.PipeReader, spec core.LoopSpec, includeGlobals bool, out chan<- feedOutcome) {
+	res, err := runEngine(pr, spec, includeGlobals, s.obs)
+	if err != nil {
+		pr.CloseWithError(err)
+	} else {
+		pr.Close()
+	}
+	out <- feedOutcome{res: res, err: err}
+}
+
+// newLiveSession builds an active session with a running engine.
+func (s *Service) newLiveSession(id string, meta sessMeta, back store.Backend) *session {
+	pr, pw := io.Pipe()
+	sess := &session{
+		id: id, ns: meta.Namespace,
+		spec:           core.LoopSpec{Function: meta.Function, StartLine: meta.StartLine, EndLine: meta.EndLine},
+		includeGlobals: meta.IncludeGlobals,
+		back:           back,
+		last:           s.now(),
+		pw:             pw,
+		out:            make(chan feedOutcome, 1),
+	}
+	go s.feed(pr, sess.spec, sess.includeGlobals, sess.out)
+	return sess
+}
+
+// analysisError maps an engine or decoder error to its typed 4xx: a
+// LoopSpec that matched nothing is 422, everything else the trace body
+// caused — including the decoders' byte-offset errors — is a 400.
+func analysisError(err error) *Error {
+	var nle *core.NoLoopError
+	if errors.As(err, &nle) {
+		return &Error{Status: 422, Code: CodeNoLoop, Message: err.Error()}
+	}
+	return &Error{Status: 400, Code: CodeDecode, Message: err.Error()}
+}
+
+// errClassOf buckets an error for the per-op error-class counters.
+func errClassOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	if errors.Is(err, faultinject.ErrInjected) {
+		return "injected"
+	}
+	return "error"
+}
+
+// ---- Session lifecycle ----
+
+// Create opens a new chunked session for the tenant namespace ns. The
+// session's meta object is persisted before the create is acknowledged,
+// so a created session is always recoverable.
+func (s *Service) Create(ns string, spec core.LoopSpec, includeGlobals bool) (SessionStatus, error) {
+	if !store.ValidName(ns) {
+		return SessionStatus{}, &Error{Status: 400, Code: CodeInvalidArgument,
+			Message: fmt.Sprintf("invalid namespace %q", ns)}
+	}
+	if spec.Function == "" || spec.StartLine <= 0 || spec.EndLine < spec.StartLine {
+		return SessionStatus{}, &Error{Status: 400, Code: CodeInvalidArgument,
+			Message: fmt.Sprintf("invalid loop spec %+v", spec)}
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return SessionStatus{}, &Error{Status: 503, Code: CodeUnavailable, Message: "service shutting down"}
+	}
+	if aerr := s.admitSession(ns, false); aerr != nil {
+		return SessionStatus{}, aerr
+	}
+	id := s.cfg.NewID()
+	meta := sessMeta{Namespace: ns, Function: spec.Function,
+		StartLine: spec.StartLine, EndLine: spec.EndLine, IncludeGlobals: includeGlobals}
+	back, err := s.cfg.Open(sessNS(id))
+	if err == nil {
+		mdata, _ := json.Marshal(meta)
+		err = back.Put("meta", dataSections(mdata))
+	}
+	if err != nil {
+		s.releaseLive(ns)
+		return SessionStatus{}, &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("persisting session meta: %v", err)}
+	}
+	sess := s.newLiveSession(id, meta, back)
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.sessionsG.Inc()
+	s.createdC.Inc()
+	return sess.status(), nil
+}
+
+// session resolves id, recovering it from the store when it is not
+// resident (a restarted server, or an evicted idle session). Concurrent
+// requests for one recovering id share a single recovery.
+func (s *Service) session(id string) (*session, error) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, &Error{Status: 503, Code: CodeUnavailable, Message: "service shutting down"}
+		}
+		if sess, ok := s.sessions[id]; ok {
+			s.mu.Unlock()
+			return sess, nil
+		}
+		if ch, ok := s.recovering[id]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.recovering[id] = ch
+		s.mu.Unlock()
+
+		sess, err := s.recover(id)
+		// Pre-publication, only this goroutine (and the engine feed, which
+		// never touches these fields) can see sess — no lock needed.
+		if sess != nil && sess.state == sessActive {
+			s.admitSession(sess.ns, true) // recovered: bypasses the quota
+		}
+		s.mu.Lock()
+		delete(s.recovering, id)
+		if sess != nil && s.closed {
+			// The service shut down mid-recovery: tear the engine back down
+			// instead of publishing a session nobody will ever drain.
+			if sess.state == sessActive {
+				sess.pw.CloseWithError(errShutdown)
+				s.releaseLive(sess.ns)
+			}
+			sess = nil
+			if err == nil {
+				err = &Error{Status: 503, Code: CodeUnavailable, Message: "service shutting down"}
+			}
+		}
+		if sess != nil {
+			s.sessions[id] = sess
+		}
+		s.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		s.sessionsG.Inc()
+		s.resumedC.Inc()
+		return sess, nil
+	}
+}
+
+// recover rebuilds a session from its store namespace: a finished
+// session from its persisted result, an interrupted one by replaying
+// the acknowledged chunk prefix into a fresh engine. Replay is
+// deterministic, so the rebuilt engine state — and any eventual result
+// — is byte-identical to the uninterrupted run.
+func (s *Service) recover(id string) (*session, error) {
+	if !store.ValidName(sessNS(id)) {
+		return nil, &Error{Status: 404, Code: CodeUnknownSession,
+			Message: fmt.Sprintf("no session %q", id)}
+	}
+	back, err := s.cfg.Open(sessNS(id))
+	if err != nil {
+		return nil, &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("opening session store: %v", err)}
+	}
+	msecs, err := back.Get("meta")
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, &Error{Status: 404, Code: CodeUnknownSession,
+			Message: fmt.Sprintf("no session %q", id)}
+	}
+	if err != nil {
+		return nil, &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("reading session meta: %v", err)}
+	}
+	mdata, err := sectionData(msecs)
+	var meta sessMeta
+	if err == nil {
+		err = json.Unmarshal(mdata, &meta)
+	}
+	if err != nil {
+		return nil, &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("decoding session meta: %v", err)}
+	}
+
+	// A persisted result short-circuits replay entirely.
+	if rsecs, rerr := back.Get("result"); rerr == nil {
+		if rdata, derr := sectionData(rsecs); derr == nil {
+			if res, derr := decodeResult(rdata); derr == nil {
+				sess := &session{
+					id: id, ns: meta.Namespace,
+					spec:           core.LoopSpec{Function: meta.Function, StartLine: meta.StartLine, EndLine: meta.EndLine},
+					includeGlobals: meta.IncludeGlobals,
+					back:           back,
+					last:           s.now(),
+					state:          sessFinished,
+					res:            res,
+				}
+				sess.next, sess.bytes = s.chunkExtent(back)
+				return sess, nil
+			}
+		}
+		// A corrupt result object falls through to deterministic replay.
+	}
+
+	sess := s.newLiveSession(id, meta, back)
+	for seq := 0; ; seq++ {
+		csecs, cerr := back.Get(chunkKey(seq))
+		if errors.Is(cerr, store.ErrNotFound) {
+			break
+		}
+		if cerr != nil {
+			sess.pw.CloseWithError(errShutdown)
+			return nil, &Error{Status: 503, Code: CodeUnavailable,
+				Message: fmt.Sprintf("replaying session chunk %d: %v", seq, cerr)}
+		}
+		data, derr := sectionData(csecs)
+		if derr != nil {
+			sess.pw.CloseWithError(errShutdown)
+			return nil, &Error{Status: 503, Code: CodeUnavailable,
+				Message: fmt.Sprintf("replaying session chunk %d: %v", seq, derr)}
+		}
+		sess.next = seq + 1
+		sess.bytes += int64(len(data))
+		if _, werr := sess.pw.Write(data); werr != nil {
+			// The persisted prefix re-fails exactly where the original
+			// ingest failed: the session recovers into its failed state.
+			sess.state = sessFailed
+			sess.failErr = werr
+			break
+		}
+	}
+	return sess, nil
+}
+
+// chunkExtent reports the acknowledged chunk count and byte total of a
+// session namespace (status fields of a recovered finished session).
+func (s *Service) chunkExtent(back store.Backend) (next int, bytes int64) {
+	for seq := 0; ; seq++ {
+		secs, err := back.Get(chunkKey(seq))
+		if err != nil {
+			return seq, bytes
+		}
+		if data, derr := sectionData(secs); derr == nil {
+			bytes += int64(len(data))
+		}
+	}
+}
+
+// Chunk ingests one ordered chunk: persist (ack-after-persist), feed
+// the engine, advance the sequence. Sequencing violations return typed
+// errors carrying the expected sequence number.
+func (s *Service) Chunk(id string, seq int, data []byte) (err error) {
+	start := s.chunkOp.Start()
+	defer func() { s.chunkOp.Done(start, int64(len(data)), errClassOf(err)) }()
+	if seq < 0 || seq > maxChunkSeq {
+		return &Error{Status: 400, Code: CodeInvalidArgument,
+			Message: fmt.Sprintf("chunk sequence %d out of range", seq)}
+	}
+	sess, err := s.session(id)
+	if err != nil {
+		return err
+	}
+	if aerr := s.enter(sess.ns); aerr != nil {
+		return aerr
+	}
+	defer s.leave(sess.ns)
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.last = s.now()
+	switch sess.state {
+	case sessFinished:
+		return &Error{Status: 409, Code: CodeSessionFinished,
+			Message: "session already finished"}
+	case sessFailed:
+		return &Error{Status: 400, Code: CodeSessionFailed,
+			Message: fmt.Sprintf("session failed: %v", sess.failErr)}
+	}
+	if seq != sess.next {
+		if seq < sess.next {
+			return &Error{Status: 409, Code: CodeDuplicateChunk, Expect: sess.next,
+				Message: fmt.Sprintf("chunk %d already acknowledged; next is %d", seq, sess.next)}
+		}
+		return &Error{Status: 409, Code: CodeOutOfOrder, Expect: sess.next,
+			Message: fmt.Sprintf("chunk %d out of order; next is %d", seq, sess.next)}
+	}
+	if ferr := s.cfg.Faults.Hit(SiteSessionChunk); ferr != nil {
+		return ferr // http layer maps drop/error; crash already panicked
+	}
+	if ferr := s.cfg.Faults.Hit(SiteSessionCkpt); ferr != nil {
+		return ferr
+	}
+	if perr := sess.back.Put(chunkKey(seq), dataSections(data)); perr != nil {
+		// Not persisted, therefore not acknowledged: the client retries
+		// the same sequence number against unchanged session state.
+		return &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("persisting chunk %d: %v", seq, perr)}
+	}
+	sess.next = seq + 1
+	sess.bytes += int64(len(data))
+	if _, werr := sess.pw.Write(data); werr != nil {
+		if errors.Is(werr, errEvicted) || errors.Is(werr, errShutdown) {
+			// The engine was torn down between resolving the session and
+			// writing — the durable state is intact, so the retrying
+			// client recovers the session and resumes.
+			return &Error{Status: 503, Code: CodeUnavailable,
+				Message: fmt.Sprintf("session engine stopped: %v", werr)}
+		}
+		// A decode error is terminal: the chunk's bytes are part of the
+		// durable prefix, so recovery re-fails deterministically.
+		sess.state = sessFailed
+		sess.failErr = werr
+		s.failedC.Inc()
+		s.releaseLive(sess.ns)
+		return analysisError(werr)
+	}
+	return nil
+}
+
+// Finish closes the session's trace stream and returns the analysis
+// result, persisting it for idempotent re-finish and post-restart
+// status queries. Decode errors still buffered in the engine surface
+// here as the same typed 4xx a chunk would have produced.
+func (s *Service) Finish(id string) (*core.Result, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	if aerr := s.enter(sess.ns); aerr != nil {
+		return nil, aerr
+	}
+	defer s.leave(sess.ns)
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.last = s.now()
+	switch sess.state {
+	case sessFinished:
+		return sess.res, nil // idempotent
+	case sessFailed:
+		return nil, &Error{Status: 400, Code: CodeSessionFailed,
+			Message: fmt.Sprintf("session failed: %v", sess.failErr)}
+	}
+	sess.pw.Close()
+	o := <-sess.out
+	if o.err != nil {
+		sess.state = sessFailed
+		sess.failErr = o.err
+		s.failedC.Inc()
+		s.releaseLive(sess.ns)
+		return nil, analysisError(o.err)
+	}
+	// The engine never saw the trace as one buffer; restore the byte
+	// accounting a local AnalyzeBytes would report.
+	o.res.Stats.TraceBytes = sess.bytes
+	sess.res = o.res
+	sess.state = sessFinished
+	s.finishedC.Inc()
+	s.releaseLive(sess.ns)
+	// Best-effort persist: if this write is lost, recovery replays the
+	// chunk prefix and recomputes the identical result.
+	_ = sess.back.Put("result", dataSections(encodeResult(o.res)))
+	return sess.res, nil
+}
+
+// SessionStatus is the GET /v1/sessions/{id} payload.
+type SessionStatus struct {
+	ID             string `json:"id"`
+	Namespace      string `json:"namespace"`
+	State          string `json:"state"`
+	NextSeq        int    `json:"next_seq"`
+	Bytes          int64  `json:"bytes"`
+	Function       string `json:"function"`
+	StartLine      int    `json:"start_line"`
+	EndLine        int    `json:"end_line"`
+	IncludeGlobals bool   `json:"include_globals"`
+}
+
+func (sess *session) status() SessionStatus {
+	return SessionStatus{
+		ID: sess.id, Namespace: sess.ns, State: sess.state.String(),
+		NextSeq: sess.next, Bytes: sess.bytes,
+		Function: sess.spec.Function, StartLine: sess.spec.StartLine, EndLine: sess.spec.EndLine,
+		IncludeGlobals: sess.includeGlobals,
+	}
+}
+
+// Status reports a session's state — a reconnecting client's resume
+// point (NextSeq) comes from here when it missed the typed sequencing
+// error that carries it.
+func (s *Service) Status(id string) (SessionStatus, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return SessionStatus{}, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.last = s.now()
+	return sess.status(), nil
+}
+
+// Delete purges a session: its engine is stopped, its durable objects
+// are removed, and the id becomes unknown.
+func (s *Service) Delete(id string) error {
+	sess, err := s.session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	sess.mu.Lock()
+	if sess.state == sessActive {
+		sess.state = sessFailed
+		sess.failErr = errDeleted
+		sess.pw.CloseWithError(errDeleted)
+		s.releaseLive(sess.ns)
+	}
+	sess.mu.Unlock()
+	s.sessionsG.Dec()
+	keys, lerr := sess.back.List()
+	if lerr != nil {
+		return &Error{Status: 503, Code: CodeUnavailable,
+			Message: fmt.Sprintf("listing session objects: %v", lerr)}
+	}
+	for _, k := range keys {
+		if derr := sess.back.Delete(k); derr != nil && !errors.Is(derr, store.ErrNotFound) {
+			return &Error{Status: 503, Code: CodeUnavailable,
+				Message: fmt.Sprintf("deleting session object %q: %v", k, derr)}
+		}
+	}
+	return nil
+}
+
+// OneShot analyzes a complete trace body in one request. Every failure
+// the body can cause — decode errors at any byte offset, a loop spec
+// that matches nothing — maps to a typed 4xx, never a 5xx.
+func (s *Service) OneShot(ns string, spec core.LoopSpec, data []byte, includeGlobals bool) (res *core.Result, err error) {
+	start := s.oneshotOp.Start()
+	defer func() { s.oneshotOp.Done(start, int64(len(data)), errClassOf(err)) }()
+	if !store.ValidName(ns) {
+		return nil, &Error{Status: 400, Code: CodeInvalidArgument,
+			Message: fmt.Sprintf("invalid namespace %q", ns)}
+	}
+	if spec.Function == "" || spec.StartLine <= 0 || spec.EndLine < spec.StartLine {
+		return nil, &Error{Status: 400, Code: CodeInvalidArgument,
+			Message: fmt.Sprintf("invalid loop spec %+v", spec)}
+	}
+	if aerr := s.enter(ns); aerr != nil {
+		return nil, aerr
+	}
+	defer s.leave(ns)
+	opts := core.DefaultOptions()
+	opts.IncludeGlobals = includeGlobals
+	opts.Obs = s.obs
+	res, aerr := core.AnalyzeBytes(data, spec, opts)
+	if aerr != nil {
+		return nil, analysisError(aerr)
+	}
+	return res, nil
+}
+
+// EvictIdle drops sessions idle for at least IdleTTL from memory (their
+// durable state remains recoverable) and returns how many were evicted.
+// The janitor calls this every SweepEvery; tests call it directly.
+func (s *Service) EvictIdle(now time.Time) int {
+	var evicted int
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		if now.Sub(sess.last) >= s.cfg.IdleTTL {
+			delete(s.sessions, id)
+			if sess.state == sessActive {
+				sess.pw.CloseWithError(errEvicted)
+				s.releaseLive(sess.ns)
+			}
+			evicted++
+			s.evictedC.Inc()
+			s.sessionsG.Dec()
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return evicted
+}
+
+func (s *Service) janitor() {
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	defer close(s.janitorDone)
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.EvictIdle(s.now())
+		}
+	}
+}
+
+// Close stops the janitor and tears down every resident session's
+// engine. Durable session state is untouched — a service restarted over
+// the same store recovers and resumes them.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := s.sessions
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.state == sessActive {
+			sess.pw.CloseWithError(errShutdown)
+			s.releaseLive(sess.ns)
+		}
+		sess.mu.Unlock()
+		s.sessionsG.Dec()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Seeded chaos: the resume protocol under injected faults and hard
+// service kills. Every test prints its seed and schedule, so a failure
+// replays exactly; the invariant throughout is the acceptance bar — a
+// chunked session that survives faults mid-stream produces a result
+// byte-identical to an uninterrupted local analysis.
+package analysis_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"autocheck/internal/analysis"
+	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
+	"autocheck/internal/server"
+)
+
+// TestChaosSchedulesByteIdentical streams a chunked session through the
+// retrying client while a seeded fault schedule fires on the ingest
+// path: shed chunks, failed checkpoint writes, dropped connections, and
+// a crashed handler goroutine. The client absorbs every one of them and
+// the result matches the local analysis byte for byte.
+func TestChaosSchedulesByteIdentical(t *testing.T) {
+	p, want := prep(t)
+	schedules := []string{
+		"analysis.session.chunk=error@every=3",
+		"analysis.session.ckpt=error@nth=2",
+		"analysis.session.chunk=drop@nth=4",
+		"analysis.session.chunk=crash@nth=3",
+		"server.request=drop@every=11",
+		"analysis.session.chunk=error@p=0.2;analysis.session.ckpt=error@p=0.1",
+	}
+	for si, sched := range schedules {
+		seed := int64(si + 1)
+		t.Run(fmt.Sprintf("schedule-%d", si), func(t *testing.T) {
+			faults := faultinject.NewRegistry(seed)
+			if err := faults.ArmSchedule(sched); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d, schedule %q", seed, sched)
+			svc, ts := newIngestServer(t, analysis.Config{}, server.Config{Faults: faults}, nil)
+			defer ts.Close()
+			defer svc.Shutdown(context.Background())
+
+			cli := fastClient(t, ts.URL)
+			cli.MaxAttempts = 10
+			cli.Backoff = 2 * time.Millisecond
+			res, err := cli.AnalyzeChunked(p.BinData(), p.Spec, len(p.BinData())/9+1)
+			if err != nil {
+				t.Fatalf("chunked analyze under %q: %v", sched, err)
+			}
+			if got := report(res); got != want {
+				t.Errorf("report differs under %q:\nwant %s\ngot  %s", sched, want, got)
+			}
+			if faults.Fired() == 0 {
+				t.Errorf("schedule %q never fired; the run proved nothing", sched)
+			}
+		})
+	}
+}
+
+// TestChaosKillMidStreamResumeByteIdentical is the acceptance test: a
+// client streams chunks, the service is killed mid-stream with no
+// goodbye (connections severed, no graceful shutdown), a fresh instance
+// starts over the same store, and the client resumes — from a sequence
+// number it is deliberately unsure about — to a byte-identical result.
+func TestChaosKillMidStreamResumeByteIdentical(t *testing.T) {
+	p, want := prep(t)
+	bin := p.BinData()
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			chunkBytes := 512 + rng.Intn(4096)
+			nChunks := (len(bin) + chunkBytes - 1) / chunkBytes
+			killAfter := 1 + rng.Intn(nChunks)
+			t.Logf("seed %d: chunkBytes=%d, %d chunks, kill after %d acked",
+				seed, chunkBytes, nChunks, killAfter)
+
+			ss := newSharedStore()
+			svcA, tsA := newIngestServer(t, analysis.Config{}, server.Config{}, ss)
+			defer svcA.Shutdown(context.Background())
+			cli := fastClient(t, tsA.URL)
+			cli.Backoff = 2 * time.Millisecond
+			sess, err := cli.NewSession(p.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seq := 0; seq < killAfter && seq*chunkBytes < len(bin); seq++ {
+				lo := seq * chunkBytes
+				if err := sess.SendChunk(seq, bin[lo:min(lo+chunkBytes, len(bin))]); err != nil {
+					t.Fatalf("chunk %d: %v", seq, err)
+				}
+			}
+
+			// kill -9: sever live connections and stop serving; no flush,
+			// no session teardown. Only what was acked-after-persist exists.
+			tsA.CloseClientConnections()
+			tsA.Close()
+
+			svcB, tsB := newIngestServer(t, analysis.Config{}, server.Config{}, ss)
+			defer tsB.Close()
+			defer svcB.Shutdown(context.Background())
+			if err := cli.SetAddr(tsB.URL); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume one chunk *before* the acked point: a client that lost
+			// the final ack in the kill re-sends, gets the typed duplicate
+			// error, and jumps to the session's real resume point.
+			res := resumeFrom(t, cli, sess, bin, chunkBytes, max(killAfter-1, 0))
+			if got := report(res); got != want {
+				t.Errorf("resumed report differs:\nwant %s\ngot  %s", want, got)
+			}
+			if res.Stats.TraceBytes != int64(len(bin)) {
+				t.Errorf("TraceBytes = %d, want %d", res.Stats.TraceBytes, len(bin))
+			}
+			if n := svcB.Obs().Snapshot().Counters["analysis.resumes"]; n == 0 {
+				t.Error("replacement service reports zero session resumes")
+			}
+		})
+	}
+}
+
+// resumeFrom drives the client's resumable chunk loop from the given
+// sequence number and finishes the session.
+func resumeFrom(t *testing.T, cli *analysis.Client, sess *analysis.Session, data []byte, chunkBytes, from int) *core.Result {
+	t.Helper()
+	if err := analysis.StreamChunks(cli, sess, data, chunkBytes, from); err != nil {
+		t.Fatalf("resuming stream: %v", err)
+	}
+	res, err := sess.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	return res
+}

@@ -1,0 +1,396 @@
+// Client is the remote side of the trace-ingest service, mirroring the
+// store.Remote idioms: one keep-alive connection pool, bounded
+// exponential backoff with a wall-clock budget, Retry-After hints
+// honored, request bodies rebuilt per attempt. On top of the transport
+// retry loop, AnalyzeChunked adds session-level resumption: when the
+// service restarts or the connection dies mid-stream, the client
+// resynchronizes on the session's next expected sequence number (from
+// the typed sequencing errors or a status probe) and continues — the
+// service replays the acknowledged prefix from its store, so the final
+// result is byte-identical to an uninterrupted run.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"autocheck/internal/core"
+)
+
+// Client retry defaults, matching store.Remote's.
+const (
+	DefaultClientAttempts   = 4
+	DefaultClientBackoff    = 25 * time.Millisecond
+	DefaultClientMaxElapsed = 15 * time.Second
+
+	// DefaultChunkBytes is AnalyzeChunked's chunk size when the caller
+	// passes 0.
+	DefaultChunkBytes = 256 << 10
+)
+
+// Client talks to a trace-ingest service.
+type Client struct {
+	// MaxAttempts, Backoff and MaxElapsed tune the per-request retry
+	// loop; MaxElapsed also bounds AnalyzeChunked's session-level
+	// resume loop across restarts.
+	MaxAttempts int
+	Backoff     time.Duration
+	MaxElapsed  time.Duration
+
+	// Namespace is the tenant namespace requests are accounted to
+	// ("default" when empty).
+	Namespace string
+
+	// ChunkDelay, when positive, pauses between AnalyzeChunked's chunk
+	// uploads — a pacing knob for demos and restart smoke tests that
+	// need a window to kill the service mid-stream.
+	ChunkDelay time.Duration
+
+	base string
+	hc   *http.Client
+
+	// Test seams; nil means the real clock.
+	sleep func(time.Duration)
+	now   func() time.Time
+}
+
+// NewClient returns a client for the service at addr (host:port or
+// URL). It does not contact the service; a service still starting is
+// absorbed by the first request's retry loop.
+func NewClient(addr string) (*Client, error) {
+	c := &Client{
+		MaxAttempts: DefaultClientAttempts,
+		Backoff:     DefaultClientBackoff,
+		MaxElapsed:  DefaultClientMaxElapsed,
+		Namespace:   "default",
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			Timeout: 2 * time.Minute,
+		},
+	}
+	if err := c.SetAddr(addr); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetAddr repoints the client (reconnect tests move a client between a
+// killed service and its replacement; production clients follow a
+// failover the same way). Sessions are service-side state recovered
+// from the store, so an existing Session keeps working after the move.
+func (c *Client) SetAddr(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return fmt.Errorf("analysis: client address: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("analysis: client address %q: unsupported scheme %q", addr, u.Scheme)
+	}
+	c.base = strings.TrimSuffix(u.String(), "/")
+	return nil
+}
+
+func (c *Client) clock() (func(time.Duration), func() time.Time) {
+	sleep, now := c.sleep, c.now
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return sleep, now
+}
+
+// transientStatus reports whether the retry loop may try again: 5xx
+// (including load-shed 503s) and the admission layer's 429s.
+func transientStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// parseRetryAfter interprets a Retry-After value (delay-seconds or an
+// HTTP-date) as a wait duration; ok distinguishes an explicit "retry
+// now" from an absent or unparseable header.
+func parseRetryAfter(v string, now time.Time) (_ time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// envelopeError decodes a typed error envelope, falling back to a
+// generic Error for non-JSON failure bodies (the embedding server's own
+// middleware answers some requests itself).
+func envelopeError(status int, body []byte) *Error {
+	var ae Error
+	if json.Unmarshal(body, &ae) == nil && ae.Code != "" {
+		ae.Status = status
+		return &ae
+	}
+	code := CodeInvalidArgument
+	switch {
+	case status == http.StatusNotFound:
+		code = CodeUnknownSession
+	case status >= 500 || status == http.StatusTooManyRequests:
+		code = CodeUnavailable
+	}
+	return &Error{Status: status, Code: code, Message: strings.TrimSpace(string(body))}
+}
+
+// do performs one exchange with bounded retry/backoff and returns the
+// response body. Permanent failures come back as *Error.
+func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	maxElapsed := c.MaxElapsed
+	if maxElapsed <= 0 {
+		maxElapsed = DefaultClientMaxElapsed
+	}
+	sleep, now := c.clock()
+	start := now()
+	backoff := c.Backoff
+	var lastErr error
+	var hint time.Duration
+	var hinted bool
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			wait := backoff
+			backoff *= 2
+			if hinted {
+				wait, hint, hinted = hint, 0, false
+			}
+			if elapsed := now().Sub(start); elapsed+wait > maxElapsed {
+				return nil, fmt.Errorf("analysis: retry budget %v exhausted after %v (%d attempts): %w",
+					maxElapsed, elapsed, attempt, lastErr)
+			}
+			if wait > 0 {
+				sleep(wait)
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, reader)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.ContentLength = int64(len(body))
+			req.Header.Set("Content-Type", "application/octet-stream")
+			req.GetBody = func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(body)), nil
+			}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("analysis: service: %w", err) // network-level: transient
+			continue
+		}
+		// Drain in full either way so the connection is reusable.
+		data, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 300:
+			ae := envelopeError(resp.StatusCode, data)
+			if !transientStatus(resp.StatusCode) {
+				return nil, ae
+			}
+			hint, hinted = parseRetryAfter(resp.Header.Get("Retry-After"), now())
+			lastErr = ae
+		case readErr != nil:
+			lastErr = fmt.Errorf("analysis: reading response: %w", readErr) // truncated: transient
+		default:
+			return data, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// Analyze runs the one-shot endpoint: the whole trace in one request.
+func (c *Client) Analyze(data []byte, spec core.LoopSpec) (*core.Result, error) {
+	path := fmt.Sprintf("/v1/analyze/%s?func=%s&start=%d&end=%d",
+		url.PathEscape(c.ns()), url.QueryEscape(spec.Function), spec.StartLine, spec.EndLine)
+	body, err := c.do(http.MethodPost, path, data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(body)
+}
+
+func (c *Client) ns() string {
+	if c.Namespace == "" {
+		return "default"
+	}
+	return c.Namespace
+}
+
+// Session is a client-side handle on one chunked ingest session.
+type Session struct {
+	ID string
+	c  *Client
+}
+
+// NewSession creates a chunked session carrying spec.
+func (c *Client) NewSession(spec core.LoopSpec) (*Session, error) {
+	req, _ := json.Marshal(createRequest{
+		Namespace: c.ns(), Function: spec.Function,
+		StartLine: spec.StartLine, EndLine: spec.EndLine,
+	})
+	body, err := c.do(http.MethodPost, "/v1/sessions", req)
+	if err != nil {
+		return nil, err
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("analysis: decoding session: %w", err)
+	}
+	return &Session{ID: st.ID, c: c}, nil
+}
+
+// ResumeSession returns a handle on an existing session id (a client
+// process reattaching after its own restart).
+func (c *Client) ResumeSession(id string) *Session {
+	return &Session{ID: id, c: c}
+}
+
+// SendChunk uploads the chunk with the given sequence number.
+// Sequencing violations return an *Error whose Expect field is the
+// session's resume point.
+func (s *Session) SendChunk(seq int, data []byte) error {
+	_, err := s.c.do(http.MethodPut,
+		fmt.Sprintf("/v1/sessions/%s/chunks/%d", url.PathEscape(s.ID), seq), data)
+	return err
+}
+
+// Status fetches the session's state and resume point.
+func (s *Session) Status() (SessionStatus, error) {
+	body, err := s.c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(s.ID), nil)
+	if err != nil {
+		return SessionStatus{}, err
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return SessionStatus{}, fmt.Errorf("analysis: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// Finish closes the trace stream and returns the result.
+func (s *Session) Finish() (*core.Result, error) {
+	body, err := s.c.do(http.MethodPost,
+		"/v1/sessions/"+url.PathEscape(s.ID)+"/finish", nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(body)
+}
+
+// Delete purges the session service-side.
+func (s *Session) Delete() error {
+	_, err := s.c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.ID), nil)
+	return err
+}
+
+// AnalyzeChunked streams data through a chunked session in fixed-size
+// chunks and returns the result. It survives service restarts and
+// connection loss within the MaxElapsed budget: after a transport-level
+// failure it resynchronizes on the session's next expected sequence
+// number and resumes; duplicate acknowledgments (an ack lost in a
+// crash) are skipped the same way.
+func (c *Client) AnalyzeChunked(data []byte, spec core.LoopSpec, chunkBytes int) (*core.Result, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	sess, err := c.NewSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.streamChunks(sess, data, chunkBytes, 0); err != nil {
+		return nil, err
+	}
+	return sess.Finish()
+}
+
+// streamChunks uploads data's fixed-size chunks starting at sequence
+// number from, riding out transient failures with session-level resume.
+func (c *Client) streamChunks(sess *Session, data []byte, chunkBytes, from int) error {
+	sleep, now := c.clock()
+	maxElapsed := c.MaxElapsed
+	if maxElapsed <= 0 {
+		maxElapsed = DefaultClientMaxElapsed
+	}
+	deadline := now().Add(maxElapsed)
+	wait := c.Backoff
+	if wait <= 0 {
+		wait = DefaultClientBackoff
+	}
+	seq := from
+	for seq*chunkBytes < len(data) {
+		lo := seq * chunkBytes
+		hi := min(lo+chunkBytes, len(data))
+		err := sess.SendChunk(seq, data[lo:hi])
+		if err == nil {
+			seq++
+			if c.ChunkDelay > 0 {
+				sleep(c.ChunkDelay)
+			}
+			continue
+		}
+		var ae *Error
+		if errors.As(err, &ae) {
+			switch ae.Code {
+			case CodeDuplicateChunk, CodeOutOfOrder:
+				// The typed error carries the resume point directly.
+				seq = ae.Expect
+				continue
+			}
+			if !transientStatus(ae.Status) {
+				return err
+			}
+		}
+		// Transport retry budget exhausted (service restarting, network
+		// down): back off at the session level, then resync off a status
+		// probe — the probe itself triggers service-side recovery.
+		if now().After(deadline) {
+			return err
+		}
+		sleep(wait)
+		if wait *= 2; wait > time.Second {
+			wait = time.Second
+		}
+		if st, serr := sess.Status(); serr == nil {
+			seq = st.NextSeq
+		}
+	}
+	return nil
+}

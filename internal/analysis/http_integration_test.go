@@ -1,0 +1,321 @@
+// HTTP-level integration tests: the service mounted in internal/server,
+// exercised through real requests and the retrying Client. Pins the two
+// satellite guarantees — hostile one-shot uploads always answer a typed
+// 4xx (never a 5xx, hang, or panic), and admission control sheds
+// overload with 429 + Retry-After that the client rides out.
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autocheck/internal/analysis"
+	"autocheck/internal/core"
+	"autocheck/internal/faultinject"
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+)
+
+// newIngestServer mounts an ingest-enabled server over the shared store
+// (nil means private per-namespace memory backends) and returns it with
+// its httptest front end. Callers own shutdown.
+func newIngestServer(t *testing.T, icfg analysis.Config, scfg server.Config, ss *sharedStore) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if icfg.SweepEvery == 0 {
+		icfg.SweepEvery = -1
+	}
+	scfg.Ingest = &icfg
+	open := func(string) (store.Backend, error) { return store.NewMemory(), nil }
+	if ss != nil {
+		open = ss.open
+	}
+	svc := server.NewWithFactory(scfg, open)
+	ts := httptest.NewServer(svc.Handler())
+	ts.Config.ErrorLog = discardLog()
+	return svc, ts
+}
+
+// fastClient returns a retrying client whose backoff sleeps are
+// compressed 100x, so shed-and-retry tests run at test speed.
+func fastClient(t *testing.T, addr string) *analysis.Client {
+	t.Helper()
+	c, err := analysis.NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.SetClientClock(c, func(d time.Duration) { time.Sleep(d / 100) }, time.Now)
+	return c
+}
+
+// discardLog silences httptest servers whose chaos schedules make
+// handlers panic on purpose.
+func discardLog() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// oneShotURL builds the one-shot endpoint URL for a loop spec.
+func oneShotURL(base, ns string, spec core.LoopSpec) string {
+	return fmt.Sprintf("%s/v1/analyze/%s?func=%s&start=%d&end=%d",
+		base, url.PathEscape(ns), url.QueryEscape(spec.Function), spec.StartLine, spec.EndLine)
+}
+
+// TestOneShotCorpusAlwaysTyped4xx is the hostile-input guarantee: every
+// upload a fuzzer (or a broken tracer) can produce — truncations at any
+// byte offset, bit flips, wrong-format garbage, pathological text lines —
+// answers promptly with either a result or a typed 4xx envelope. A 5xx,
+// a hang, or a dropped connection here is a bug.
+func TestOneShotCorpusAlwaysTyped4xx(t *testing.T) {
+	p, _ := prep(t)
+	_, ts := newIngestServer(t, analysis.Config{}, server.Config{}, nil)
+	defer ts.Close()
+
+	bin := p.BinData()
+	corpus := map[string][]byte{
+		"valid-text":   p.Data,
+		"valid-binary": bin,
+		"empty":        {},
+		// The trace fuzzer's hand-written seeds.
+		"garbage-text":    []byte("garbage\n"),
+		"negative-fid":    []byte("0,-1,main,entry,26,0\n"),
+		"mixed-lines":     []byte("0,1,f,b,27,1\n1,1,64,0x10,1,p\nr,0,64,5,1,8\n"),
+		"binary-header":   bin[:min(6, len(bin))],
+		"all-ff":          bytes.Repeat([]byte{0xff}, 64),
+		"text-then-junk":  append(append([]byte{}, p.Data[:len(p.Data)/2]...), 0x00, 0xfe, 0x01),
+		"binary-doubled":  append(append([]byte{}, bin...), bin...),
+		"long-junk-line":  append(bytes.Repeat([]byte{'x'}, 1<<16), '\n'),
+		"null-bytes-text": append([]byte("0,1,f,b,27,1\n"), 0, 0, 0),
+	}
+	// Systematic truncations and bit flips of the valid binary trace.
+	for _, off := range []int{1, 2, 3, 5, 8, 16, len(bin) / 3, len(bin) / 2, len(bin) - 1} {
+		corpus[fmt.Sprintf("binary-truncated-%d", off)] = bin[:off]
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		flipped := append([]byte{}, bin...)
+		flipped[rng.Intn(len(flipped))] ^= 1 << rng.Intn(8)
+		corpus[fmt.Sprintf("binary-bitflip-%d", i)] = flipped
+	}
+	for i := 0; i < 4; i++ {
+		junk := make([]byte, 256+rng.Intn(1024))
+		rng.Read(junk)
+		corpus[fmt.Sprintf("random-%d", i)] = junk
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second} // a hang is a failure, not a stall
+	target := oneShotURL(ts.URL, "default", p.Spec)
+	for name, body := range corpus {
+		resp, err := hc.Post(target, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("%s: request failed: %v", name, err)
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Errorf("%s: got %d (5xx), body %q", name, resp.StatusCode, data)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			var env struct {
+				Code string `json:"code"`
+			}
+			if json.Unmarshal(data, &env) != nil || env.Code == "" {
+				t.Errorf("%s: %d without a typed envelope: %q", name, resp.StatusCode, data)
+			}
+		}
+	}
+
+	// Malformed requests around the body are typed 4xx too.
+	for name, target := range map[string]string{
+		"missing-start": ts.URL + "/v1/analyze/default?func=main&end=9",
+		"bad-namespace": ts.URL + "/v1/analyze/" + url.PathEscape("no/slash") + "?func=main&start=1&end=9",
+	} {
+		resp, err := hc.Post(target, "application/octet-stream", bytes.NewReader(p.Data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: got %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestClientOneShotAndChunkedOverHTTP: the retrying client against a
+// live server, both ingestion shapes, results identical to local.
+func TestClientOneShotAndChunkedOverHTTP(t *testing.T) {
+	p, want := prep(t)
+	_, ts := newIngestServer(t, analysis.Config{}, server.Config{}, nil)
+	defer ts.Close()
+	cli := fastClient(t, ts.URL)
+
+	res, err := cli.Analyze(p.BinData(), p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report(res); got != want {
+		t.Errorf("one-shot report differs:\nwant %s\ngot  %s", want, got)
+	}
+
+	res, err = cli.AnalyzeChunked(p.BinData(), p.Spec, len(p.BinData())/7+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report(res); got != want {
+		t.Errorf("chunked report differs:\nwant %s\ngot  %s", want, got)
+	}
+	if res.Stats.TraceBytes != int64(len(p.BinData())) {
+		t.Errorf("chunked TraceBytes = %d, want %d", res.Stats.TraceBytes, len(p.BinData()))
+	}
+
+	// The service's telemetry reaches the server's metrics endpoint.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, name := range []string{"analysis.oneshot.ns", "analysis.chunk.ns", "analysis.sessions_finished"} {
+		if !strings.Contains(string(mbody), name) {
+			t.Errorf("metrics endpoint missing %q", name)
+		}
+	}
+}
+
+// TestShedStormAllClientsLand: satellite 1's storm. A deliberately tiny
+// in-flight cap against a burst of concurrent clients: the service sheds
+// with 429 + Retry-After, the clients retry, and every one of them
+// finishes with the correct result — load shedding degrades latency,
+// never correctness.
+func TestShedStormAllClientsLand(t *testing.T) {
+	p, want := prep(t)
+	faults := faultinject.NewRegistry(1)
+	if err := faults.ArmSchedule("analysis.session.chunk=delay@nth=1@delay=300ms"); err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newIngestServer(t,
+		analysis.Config{MaxInFlight: 1, MaxSessions: 64, Faults: faults},
+		server.Config{}, nil)
+	defer ts.Close()
+
+	// A delayed chunk occupies the namespace's only in-flight slot, so
+	// the storm's first wave is shed deterministically.
+	holder := fastClient(t, ts.URL)
+	hs, err := holder.NewSession(p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holderDone := make(chan error, 1)
+	go func() { holderDone <- hs.SendChunk(0, p.BinData()) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for faults.Fired() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delay failpoint never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const clients = 12
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		cli := fastClient(t, ts.URL)
+		cli.MaxAttempts = 50
+		cli.Backoff = 2 * time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, err := cli.Analyze(p.BinData(), p.Spec)
+			if err == nil && report(res) != want {
+				err = fmt.Errorf("client %d: report differs", i)
+			}
+			errs[i] = err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	if err := <-holderDone; err != nil {
+		t.Errorf("slot-holding chunk: %v", err)
+	}
+	if shed := svc.Obs().Snapshot().Counters["analysis.shed"]; shed == 0 {
+		t.Error("storm produced zero sheds; the cap was never exercised")
+	}
+}
+
+// TestShedRetryAfterHeader pins the wire shape of a shed: 429, a
+// Retry-After hint, and the typed quota envelope — while a slow request
+// (held open by a delay failpoint) occupies the namespace's only
+// in-flight slot.
+func TestShedRetryAfterHeader(t *testing.T) {
+	p, _ := prep(t)
+	faults := faultinject.NewRegistry(1)
+	if err := faults.ArmSchedule("analysis.session.chunk=delay@nth=1@delay=400ms"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newIngestServer(t,
+		analysis.Config{MaxInFlight: 1, Faults: faults},
+		server.Config{}, nil)
+	defer ts.Close()
+	cli := fastClient(t, ts.URL)
+
+	s1, err := cli.NewSession(p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cli.NewSession(p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := chunks(p.BinData(), 2)
+	done := make(chan error, 1)
+	go func() { done <- s1.SendChunk(0, parts[0]) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for faults.Fired() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delay failpoint never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/v1/sessions/%s/chunks/0", ts.URL, s2.ID), bytes.NewReader(parts[0]))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("got %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After hint")
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &env) != nil || env.Code != analysis.CodeQuota {
+		t.Errorf("429 envelope %q, want code %q", body, analysis.CodeQuota)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("delayed chunk: %v", err)
+	}
+}

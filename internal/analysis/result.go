@@ -1,0 +1,155 @@
+// Wire encoding of an analysis result. The service computes a
+// *core.Result and ships it as JSON; the client reconstructs a
+// *core.Result the caller cannot tell apart from a local analysis —
+// every field the CLI printer and the harness byte-comparisons consult
+// (spec, MLI, critical list, trace stats) survives the round trip
+// exactly. Timing is carried in nanoseconds for completeness but is of
+// course the service's clock, not the client's.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"autocheck/internal/core"
+)
+
+type wireVar struct {
+	Name      string `json:"name"`
+	Fn        string `json:"fn,omitempty"`
+	Base      uint64 `json:"base"`
+	SizeBytes int64  `json:"size_bytes"`
+	Global    bool   `json:"global,omitempty"`
+	FirstDyn  int64  `json:"first_dyn"`
+	FirstLine int    `json:"first_line"`
+}
+
+type wireCritical struct {
+	Name      string `json:"name"`
+	Fn        string `json:"fn,omitempty"`
+	Base      uint64 `json:"base"`
+	SizeBytes int64  `json:"size_bytes"`
+	Type      string `json:"type"`
+}
+
+type wireSpec struct {
+	Function  string `json:"function"`
+	StartLine int    `json:"start_line"`
+	EndLine   int    `json:"end_line"`
+}
+
+type wireStats struct {
+	Records    int   `json:"records"`
+	TraceBytes int64 `json:"trace_bytes"`
+	RegionA    int   `json:"region_a"`
+	RegionB    int   `json:"region_b"`
+	RegionC    int   `json:"region_c"`
+}
+
+type wireTiming struct {
+	Pre      int64 `json:"pre"`
+	Dep      int64 `json:"dep"`
+	Identify int64 `json:"identify"`
+	Total    int64 `json:"total"`
+}
+
+type wireResult struct {
+	Spec     wireSpec       `json:"spec"`
+	Stats    wireStats      `json:"stats"`
+	MLI      []wireVar      `json:"mli"`
+	Critical []wireCritical `json:"critical"`
+	TimingNS wireTiming     `json:"timing_ns"`
+}
+
+// encodeResult serializes res for the wire (and for the session store's
+// "result" object).
+func encodeResult(res *core.Result) []byte {
+	wr := wireResult{
+		Spec: wireSpec{Function: res.Spec.Function, StartLine: res.Spec.StartLine, EndLine: res.Spec.EndLine},
+		Stats: wireStats{
+			Records:    res.Stats.Records,
+			TraceBytes: res.Stats.TraceBytes,
+			RegionA:    res.Stats.RegionA,
+			RegionB:    res.Stats.RegionB,
+			RegionC:    res.Stats.RegionC,
+		},
+		MLI:      make([]wireVar, 0, len(res.MLI)),
+		Critical: make([]wireCritical, 0, len(res.Critical)),
+		TimingNS: wireTiming{
+			Pre:      int64(res.Timing.Pre),
+			Dep:      int64(res.Timing.Dep),
+			Identify: int64(res.Timing.Identify),
+			Total:    int64(res.Timing.Total),
+		},
+	}
+	for _, v := range res.MLI {
+		wr.MLI = append(wr.MLI, wireVar{
+			Name: v.Name, Fn: v.Fn, Base: v.Base, SizeBytes: v.SizeBytes,
+			Global: v.Global, FirstDyn: v.FirstDyn, FirstLine: v.FirstLine,
+		})
+	}
+	for _, c := range res.Critical {
+		wr.Critical = append(wr.Critical, wireCritical{
+			Name: c.Name, Fn: c.Fn, Base: c.Base, SizeBytes: c.SizeBytes,
+			Type: c.Type.String(),
+		})
+	}
+	data, _ := json.Marshal(wr) // no unmarshalable fields by construction
+	return data
+}
+
+// parseDepType inverts core.DependencyType.String.
+func parseDepType(s string) (core.DependencyType, error) {
+	switch s {
+	case "WAR":
+		return core.WAR, nil
+	case "Outcome":
+		return core.Outcome, nil
+	case "RAPO":
+		return core.RAPO, nil
+	case "Index":
+		return core.Index, nil
+	}
+	return 0, fmt.Errorf("analysis: unknown dependency type %q", s)
+}
+
+// decodeResult reconstructs a *core.Result from its wire encoding.
+func decodeResult(data []byte) (*core.Result, error) {
+	var wr wireResult
+	if err := json.Unmarshal(data, &wr); err != nil {
+		return nil, fmt.Errorf("analysis: decoding result: %w", err)
+	}
+	res := &core.Result{
+		Spec: core.LoopSpec{Function: wr.Spec.Function, StartLine: wr.Spec.StartLine, EndLine: wr.Spec.EndLine},
+		Stats: core.Stats{
+			Records:    wr.Stats.Records,
+			TraceBytes: wr.Stats.TraceBytes,
+			RegionA:    wr.Stats.RegionA,
+			RegionB:    wr.Stats.RegionB,
+			RegionC:    wr.Stats.RegionC,
+		},
+		Timing: core.Timing{
+			Pre:      time.Duration(wr.TimingNS.Pre),
+			Dep:      time.Duration(wr.TimingNS.Dep),
+			Identify: time.Duration(wr.TimingNS.Identify),
+			Total:    time.Duration(wr.TimingNS.Total),
+		},
+	}
+	for _, v := range wr.MLI {
+		res.MLI = append(res.MLI, &core.VarInfo{
+			Name: v.Name, Fn: v.Fn, Base: v.Base, SizeBytes: v.SizeBytes,
+			Global: v.Global, FirstDyn: v.FirstDyn, FirstLine: v.FirstLine,
+		})
+	}
+	for _, c := range wr.Critical {
+		typ, err := parseDepType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		res.Critical = append(res.Critical, core.CriticalVar{
+			Name: c.Name, Fn: c.Fn, Base: c.Base, SizeBytes: c.SizeBytes, Type: typ,
+		})
+	}
+	return res, nil
+}

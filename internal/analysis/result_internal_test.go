@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"autocheck/internal/core"
+)
+
+// TestResultRoundTrip pins the wire encoding: every field the CLI
+// printer and the harness byte-comparisons consult survives
+// encode/decode exactly.
+func TestResultRoundTrip(t *testing.T) {
+	res := &core.Result{
+		Spec: core.LoopSpec{Function: "main", StartLine: 10, EndLine: 40},
+		MLI: []*core.VarInfo{
+			{Name: "i", Fn: "main", Base: 0x1000, SizeBytes: 8, FirstDyn: 3, FirstLine: 12},
+			{Name: "g", Base: 0x2000, SizeBytes: 16, Global: true, FirstDyn: 1, FirstLine: 5},
+		},
+		Critical: []core.CriticalVar{
+			{Name: "p", Fn: "main", Base: 0x3000, SizeBytes: 8, Type: core.WAR},
+			{Name: "r", Fn: "main", Base: 0x3008, SizeBytes: 4, Type: core.Outcome},
+			{Name: "q", Fn: "f", Base: 0x4000, SizeBytes: 8, Type: core.RAPO},
+			{Name: "it", Fn: "main", Base: 0x5000, SizeBytes: 8, Type: core.Index},
+		},
+		Stats:  core.Stats{Records: 99, TraceBytes: 1234, RegionA: 10, RegionB: 80, RegionC: 9},
+		Timing: core.Timing{Pre: time.Millisecond, Dep: 2 * time.Millisecond, Identify: time.Microsecond, Total: 3 * time.Millisecond},
+	}
+	got, err := decodeResult(encodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("round trip differs:\nwant %+v\ngot  %+v", res, got)
+	}
+}
+
+func TestDecodeResultRejectsBadType(t *testing.T) {
+	if _, err := decodeResult([]byte(`{"critical":[{"name":"x","type":"Bogus"}]}`)); err == nil {
+		t.Error("decodeResult accepted an unknown dependency type")
+	}
+	if _, err := decodeResult([]byte(`not json`)); err == nil {
+		t.Error("decodeResult accepted malformed JSON")
+	}
+}

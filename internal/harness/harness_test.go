@@ -1,15 +1,20 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"autocheck/internal/analysis"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/core"
 	"autocheck/internal/progs"
+	"autocheck/internal/server"
 	"autocheck/internal/store"
 )
 
@@ -216,8 +221,18 @@ func TestFormatHelpers(t *testing.T) {
 // TestFormatEquivalenceAllBenchmarks pins the tentpole invariant on every
 // Table II port: the critical-variable report is byte-identical for every
 // engine adapter — materialized (text serial and parallel, binary),
-// streaming over both encodings, and the single-sweep online engine.
+// streaming over both encodings, the single-sweep online engine, and the
+// networked ingest service (one-shot, chunked sessions, and a chunked
+// session that survives a mid-stream service kill and resumes on a
+// replacement instance over the same store).
 func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
+	isvc, its := newEquivalenceService(t)
+	defer its.Close()
+	defer isvc.Shutdown(context.Background())
+	cli, err := analysis.NewClient(its.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, b := range progs.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
@@ -239,6 +254,15 @@ func TestFormatEquivalenceAllBenchmarks(t *testing.T) {
 				"text-streaming":   func() (*core.Result, error) { return p.AnalyzeData(p.Data, 0, true) },
 				"binary-streaming": func() (*core.Result, error) { return p.AnalyzeData(p.BinData(), 0, true) },
 				"online":           p.AnalyzeOnline,
+				"service-oneshot": func() (*core.Result, error) {
+					return cli.Analyze(p.BinData(), p.Spec)
+				},
+				"service-chunked": func() (*core.Result, error) {
+					return cli.AnalyzeChunked(p.BinData(), p.Spec, len(p.BinData())/7+1)
+				},
+				"service-reconnect": func() (*core.Result, error) {
+					return analyzeServiceReconnect(p)
+				},
 			}
 			for label, run := range paths {
 				got, err := run()
@@ -332,6 +356,91 @@ func TestRunTable2ParallelMatchesSerial(t *testing.T) {
 			t.Errorf("row %d differs:\nserial   %+v\nparallel %+v", i, s, p)
 		}
 	}
+}
+
+// newEquivalenceService mounts an ingest-enabled server over private
+// in-memory backends for the service equivalence adapters.
+func newEquivalenceService(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	svc := server.NewWithFactory(
+		server.Config{Ingest: &analysis.Config{SweepEvery: -1}},
+		func(string) (store.Backend, error) { return store.NewMemory(), nil })
+	return svc, httptest.NewServer(svc.Handler())
+}
+
+// keepAliveBackend keeps a shared in-memory backend usable across a
+// server "kill": Close is a no-op, so a replacement instance reopening
+// the namespace sees everything the dead one acknowledged.
+type keepAliveBackend struct{ store.Backend }
+
+func (keepAliveBackend) Close() error { return nil }
+
+// analyzeServiceReconnect streams a chunked session, kills the service
+// after three chunks with no goodbye, brings up a replacement over the
+// same store, and resumes the same session to completion — the adapter
+// that proves the resume protocol preserves byte-identical results.
+func analyzeServiceReconnect(p *Prepared) (*core.Result, error) {
+	var mu sync.Mutex
+	backs := map[string]store.Backend{}
+	open := func(ns string) (store.Backend, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		b, ok := backs[ns]
+		if !ok {
+			b = store.NewMemory()
+			backs[ns] = b
+		}
+		return keepAliveBackend{b}, nil
+	}
+	newSrv := func() (*server.Server, *httptest.Server) {
+		s := server.NewWithFactory(server.Config{Ingest: &analysis.Config{SweepEvery: -1}}, open)
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	srvA, tsA := newSrv()
+	defer srvA.Shutdown(context.Background())
+	cli, err := analysis.NewClient(tsA.URL)
+	if err != nil {
+		return nil, err
+	}
+	cli.Backoff = 2 * time.Millisecond
+	sess, err := cli.NewSession(p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	bin := p.BinData()
+	chunkBytes := len(bin)/6 + 1
+	seq := 0
+	for ; seq < 3 && seq*chunkBytes < len(bin); seq++ {
+		lo := seq * chunkBytes
+		hi := min(lo+chunkBytes, len(bin))
+		if err := sess.SendChunk(seq, bin[lo:hi]); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", seq, err)
+		}
+	}
+	tsA.CloseClientConnections()
+	tsA.Close()
+
+	srvB, tsB := newSrv()
+	defer tsB.Close()
+	defer srvB.Shutdown(context.Background())
+	if err := cli.SetAddr(tsB.URL); err != nil {
+		return nil, err
+	}
+	// The status probe triggers service-side recovery and reports the
+	// acknowledged resume point.
+	st, err := sess.Status()
+	if err != nil {
+		return nil, fmt.Errorf("post-kill status: %w", err)
+	}
+	for seq = st.NextSeq; seq*chunkBytes < len(bin); seq++ {
+		lo := seq * chunkBytes
+		hi := min(lo+chunkBytes, len(bin))
+		if err := sess.SendChunk(seq, bin[lo:hi]); err != nil {
+			return nil, fmt.Errorf("resumed chunk %d: %w", seq, err)
+		}
+	}
+	return sess.Finish()
 }
 
 // criticalReport renders the parts of a result Table II reports, in a

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"autocheck/internal/analysis"
 	"autocheck/internal/faultinject"
 	"autocheck/internal/obs"
 	"autocheck/internal/store"
@@ -74,6 +75,14 @@ type Config struct {
 	// embedding process (the bench harness, a store stack armed with the
 	// same registry).
 	Obs *obs.Registry
+
+	// Ingest, when non-nil, mounts the trace-ingest service
+	// (internal/analysis) into this server: the one-shot analyze
+	// endpoint and the chunked session API. Its Open/Obs/Faults fields
+	// are filled from the server's own when unset, so session
+	// checkpoints flow through the server's store stack and its metrics
+	// land in /v1/metrics.
+	Ingest *analysis.Config
 }
 
 // SiteRequest is the service's failpoint: it fires after admission, once
@@ -110,6 +119,8 @@ type Server struct {
 	inflightG *obs.Gauge   // server.inflight: requests being served now
 	shedC     *obs.Counter // server.shed: rejected with 503 (bound or drain)
 	nsCounts  sync.Map     // ns -> *nsMetrics
+
+	ingest *analysis.Service // nil unless Config.Ingest was set
 
 	mu       sync.Mutex
 	backends map[string]store.Backend
@@ -197,9 +208,45 @@ func NewWithFactory(cfg Config, factory func(ns string) (store.Backend, error)) 
 	mux.HandleFunc("POST /v1/{ns}/flush", s.route("flush", s.handleFlush))
 	mux.HandleFunc("GET /v1/stats", s.route("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.route("metrics", s.handleMetrics))
+	if cfg.Ingest != nil {
+		icfg := *cfg.Ingest
+		if icfg.Open == nil {
+			// Session checkpoints flow through the server's own store
+			// stack: one "sess-<id>" namespace per session, flushed and
+			// closed with every other namespace at Shutdown.
+			icfg.Open = s.backend
+		}
+		if icfg.Obs == nil {
+			icfg.Obs = cfg.Obs
+		}
+		if icfg.Faults == nil {
+			icfg.Faults = cfg.Faults
+		}
+		s.ingest = analysis.NewService(icfg)
+		// The ingest API lives on its own mux behind a path-prefix
+		// dispatch: its routes ("/v1/analyze/...", "/v1/sessions...")
+		// are ambiguous against the store API's "/v1/{ns}/..." patterns
+		// under ServeMux precedence, so the two APIs cannot share one.
+		// Store namespaces named "analyze" or "sessions" are shadowed on
+		// the wire as a consequence.
+		imux := http.NewServeMux()
+		s.ingest.Mount(imux, s.route)
+		s.handler = s.bound(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if p := r.URL.Path; strings.HasPrefix(p, "/v1/analyze/") ||
+				p == "/v1/sessions" || strings.HasPrefix(p, "/v1/sessions/") {
+				imux.ServeHTTP(w, r)
+				return
+			}
+			mux.ServeHTTP(w, r)
+		}))
+		return s
+	}
 	s.handler = s.bound(mux)
 	return s
 }
+
+// Ingest returns the mounted trace-ingest service, or nil.
+func (s *Server) Ingest() *analysis.Service { return s.ingest }
 
 // Obs returns the service's telemetry registry (embedders, tests, the
 // bench harness).
@@ -372,6 +419,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		if first == nil {
 			first = ctx.Err()
+		}
+	}
+	// Stop the ingest service before its session backends close: every
+	// engine goroutine exits and no new session writes can start.
+	if s.ingest != nil {
+		if err := s.ingest.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	// Snapshot the aggregate accounting while the backends still exist,
