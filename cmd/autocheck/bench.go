@@ -2,11 +2,9 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http/httptest"
-	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -216,16 +214,10 @@ func cmdBench(args []string) error {
 	if bench == nil {
 		return fmt.Errorf("unknown benchmark %q", *benchName)
 	}
-	// Load the trajectory up front: a file that exists but does not parse
-	// is surfaced before minutes of benchmarking, not silently
-	// overwritten — it is the accumulated history this command exists to
-	// preserve.
-	var history []benchReport
-	if prev, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(prev, &history); err != nil {
-			return fmt.Errorf("existing %s is not a valid trajectory (fix or remove it): %w", *out, err)
-		}
-	} else if !os.IsNotExist(err) {
+	// Load the trajectory up front so a corrupt file fails before
+	// minutes of benchmarking.
+	history, err := loadTrajectory(*out)
+	if err != nil {
 		return err
 	}
 	p, err := harness.Prepare(bench, *scale)
@@ -526,14 +518,5 @@ func cmdBench(args []string) error {
 	rep.Obs = bo
 	fmt.Printf("obs: %d op histograms, cache hit rate %.1f%%\n", len(bo.P95Ns), 100*bo.CacheHitRate)
 
-	history = append(history, rep)
-	data, err := json.MarshalIndent(history, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("appended run %d to %s\n", len(history), *out)
-	return nil
+	return appendTrajectory(*out, history, rep)
 }

@@ -165,8 +165,52 @@ func doctorLive(addr, ns string) error {
 		time.Duration(rep.Metrics.Histograms["server.put.ns"].P95Ns),
 		time.Duration(rep.Metrics.Histograms["server.get.ns"].P95Ns),
 		cacheRateText(rep.Stats.Store))
+
+	// Admission: the shed breakdown belongs in the health probe — a
+	// shedding service is "up" to every other check here.
+	if total := rep.Metrics.Counters["server.shed"]; total > 0 {
+		fmt.Printf("doctor: admission shed=%d%s\n", total, shedBreakdownText(rep.Metrics.Counters, "server"))
+	} else {
+		fmt.Println("doctor: admission OK (no requests shed)")
+	}
 	fmt.Println("doctor: all checks passed")
 	return nil
+}
+
+// shedBreakdownText renders the per-reason and per-tenant shed counters
+// under <prefix>.shed as " (reason=N ... | tenant=N ...)", tenants
+// sorted by count so the loudest neighbor leads.
+func shedBreakdownText(counters map[string]int64, prefix string) string {
+	var parts []string
+	for _, reason := range []string{"inflight", "tenant_quota", "rate", "drain"} {
+		if n := counters[prefix+".shed."+reason]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+		}
+	}
+	nsPrefix := prefix + ".shed.ns."
+	type nsShed struct {
+		tenant string
+		n      int64
+	}
+	var tenants []nsShed
+	for name, n := range counters {
+		if strings.HasPrefix(name, nsPrefix) && n > 0 {
+			tenants = append(tenants, nsShed{strings.TrimPrefix(name, nsPrefix), n})
+		}
+	}
+	sort.Slice(tenants, func(i, j int) bool {
+		if tenants[i].n != tenants[j].n {
+			return tenants[i].n > tenants[j].n
+		}
+		return tenants[i].tenant < tenants[j].tenant
+	})
+	for _, t := range tenants {
+		parts = append(parts, fmt.Sprintf("%s=%d", t.tenant, t.n))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, " ") + ")"
 }
 
 // doctorCluster probes a replicated deployment: every node's health

@@ -60,6 +60,27 @@ func TestDoctorLocalBrokenChain(t *testing.T) {
 	}
 }
 
+// TestShedBreakdownText pins the doctor's admission line: per-reason
+// counters in fixed order, then tenants loudest-first, empty when
+// nothing shed.
+func TestShedBreakdownText(t *testing.T) {
+	counters := map[string]int64{
+		"server.shed":             5,
+		"server.shed.inflight":    3,
+		"server.shed.rate":        2,
+		"server.shed.ns.tenant-a": 1,
+		"server.shed.ns.tenant-b": 4,
+	}
+	got := shedBreakdownText(counters, "server")
+	want := " (inflight=3 rate=2 tenant-b=4 tenant-a=1)"
+	if got != want {
+		t.Errorf("shedBreakdownText = %q, want %q", got, want)
+	}
+	if got := shedBreakdownText(map[string]int64{"server.shed.drain": 0}, "server"); got != "" {
+		t.Errorf("shedBreakdownText with no sheds = %q, want empty", got)
+	}
+}
+
 // startClusterNodes runs n in-process checkpoint services on kernel-picked
 // ports and returns their addresses.
 func startClusterNodes(t *testing.T, n int) []string {

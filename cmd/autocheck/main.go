@@ -12,6 +12,7 @@
 //	                   [-async] [-incremental] [-keyframe N] [-shard-workers K]
 //	autocheck chaos    [-seed N] [-quick] [-benchmark B,..] [-stack S,..] [-schedule X,..]
 //	autocheck serve    -addr HOST:PORT [-cluster N] [-store file|memory|sharded] [-dir DIR]
+//	autocheck loadgen  -addr HOST:PORT [-tenants N] [-clients N] [-seed N] [-quick] [-strict]
 //	autocheck list
 //
 // `analyze` compiles a mini-C program, executes it under the tracing
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"autocheck"
+	"autocheck/internal/admission"
 	"autocheck/internal/analysis"
 	"autocheck/internal/checkpoint"
 	"autocheck/internal/harness"
@@ -94,6 +96,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "help", "-h", "--help":
@@ -217,6 +221,13 @@ func usage() {
       -shard-workers sharded backend write pool size (default 4)
       -max-inflight  bound on concurrently served requests; excess gets
                      503 + Retry-After, which clients absorb by retrying
+      -tenant-slots  per-tenant (namespace) concurrent request cap
+      -tenant-rate   per-tenant sustained requests/sec (token bucket)
+      -tenant-burst  token-bucket burst (0 = rate rounded up)
+      -queue-depth   per-tenant wait queue past -max-inflight, drained in
+                     weighted priority order (restart > interactive >
+                     ingest > scrub); overflow sheds carry a Retry-After
+                     computed from queue depth and drain rate
       -ingest        also mount the trace-ingest service: one-shot
                      POST /v1/analyze/{ns} plus resumable chunked
                      sessions under /v1/sessions (single node only)
@@ -224,6 +235,21 @@ func usage() {
       -ingest-inflight per-namespace in-flight ingest cap (default 16)
       -ingest-ttl    idle session eviction TTL (default 2m); evicted
                      sessions recover from the store on the next request
+  autocheck loadgen  -addr HOST:PORT [-tenants N] [-clients N] [-ops N]
+                     [-seed N] [-put-mix F] [-value-bytes N] [-think D]
+                     [-schedule SPEC] [-quick] [-strict] [-o FILE]
+                                multi-tenant scaling harness: concurrent
+                                simulated clients spread across tenant
+                                namespaces drive seeded checkpoint
+                                Put/Get mixes (interactive vs restart
+                                admission classes) against a running
+                                serve, then per-tenant throughput and
+                                latency percentiles are appended to the
+                                JSON perf trajectory as loadgen-* entries
+      -schedule      client-side faultinject schedule, armed per client
+                     with seed+client (e.g. store.remote.do=error@p=0.05)
+      -quick         CI smoke subset (<=16 clients, <=25 ops each)
+      -strict        exit nonzero on any failed op or silent tenant
   autocheck bench [-o BENCH_trace.json] [-benchmark HACC] [-scale N]
                                 measure the trace hot path (text serial /
                                 parallel / binary parse + sizes) and the
@@ -653,6 +679,10 @@ func cmdServe(args []string) error {
 	syncWrites := fs.Bool("sync", false, "fsync every write")
 	shardWorkers := fs.Int("shard-workers", store.DefaultShardWorkers, "sharded backend write pool size")
 	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "bound on concurrently served requests")
+	tenantSlots := fs.Int("tenant-slots", 0, "per-tenant concurrent request cap (0 = unlimited)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant sustained requests/sec token-bucket rate (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = rate rounded up)")
+	queueDepth := fs.Int("queue-depth", 0, "per-tenant wait queue past -max-inflight, drained in weighted priority order (0 = shed immediately)")
 	ingest := fs.Bool("ingest", false, "also mount the trace-ingest service (one-shot analyze + chunked sessions)")
 	ingestSessions := fs.Int("ingest-sessions", analysis.DefaultMaxSessions, "per-namespace live session quota (with -ingest)")
 	ingestInFlight := fs.Int("ingest-inflight", analysis.DefaultMaxInFlight, "per-namespace in-flight ingest request cap (with -ingest)")
@@ -667,11 +697,17 @@ func cmdServe(args []string) error {
 	if *cluster < 1 {
 		return fmt.Errorf("serve: -cluster must be at least 1")
 	}
+	adm := admission.Config{
+		TenantSlots: *tenantSlots,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
+		QueueDepth:  *queueDepth,
+	}
 	if *cluster > 1 {
 		if *ingest {
 			return fmt.Errorf("serve: -ingest runs on a single node (sessions are per-node state); drop -cluster")
 		}
-		return serveCluster(*cluster, *addr, kind, *dir, *syncWrites, *shardWorkers, *maxInFlight)
+		return serveCluster(*cluster, *addr, kind, *dir, *syncWrites, *shardWorkers, *maxInFlight, adm)
 	}
 	root := *dir
 	if root == "" && kind != store.KindMemory {
@@ -683,6 +719,7 @@ func cmdServe(args []string) error {
 	scfg := server.Config{
 		Store:       store.Config{Kind: kind, Dir: root, Sync: *syncWrites, Workers: *shardWorkers},
 		MaxInFlight: *maxInFlight,
+		Admission:   adm,
 	}
 	if *ingest {
 		scfg.Ingest = &analysis.Config{
@@ -739,7 +776,7 @@ func cmdServe(args []string) error {
 // deployments run one `autocheck serve` per node). Each node gets its
 // own storage root and listener; with a fixed base port the nodes count
 // up from it, and a `:0` base lets the kernel pick every port.
-func serveCluster(n int, addr string, kind store.Kind, dir string, syncWrites bool, shardWorkers, maxInFlight int) error {
+func serveCluster(n int, addr string, kind store.Kind, dir string, syncWrites bool, shardWorkers, maxInFlight int, adm admission.Config) error {
 	host, portStr, err := net.SplitHostPort(addr)
 	if err != nil {
 		return fmt.Errorf("serve -cluster: bad -addr %q: %w", addr, err)
@@ -768,6 +805,7 @@ func serveCluster(n int, addr string, kind store.Kind, dir string, syncWrites bo
 		srv, err := server.New(server.Config{
 			Store:       store.Config{Kind: kind, Dir: nodeDir, Sync: syncWrites, Workers: shardWorkers},
 			MaxInFlight: maxInFlight,
+			Admission:   adm,
 		})
 		if err != nil {
 			return err

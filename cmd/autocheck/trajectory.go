@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// loadTrajectory reads an existing BENCH_trace.json history. A file
+// that exists but does not parse is surfaced to the caller before any
+// measuring happens, not silently overwritten — it is the accumulated
+// history these commands exist to preserve. A missing file is an empty
+// history.
+func loadTrajectory(path string) ([]benchReport, error) {
+	var history []benchReport
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &history); err != nil {
+			return nil, fmt.Errorf("existing %s is not a valid trajectory (fix or remove it): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return history, nil
+}
+
+// appendTrajectory appends one run to the history and writes it back.
+func appendTrajectory(path string, history []benchReport, rep benchReport) error {
+	history = append(history, rep)
+	data, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended run %d to %s\n", len(history), path)
+	return nil
+}

@@ -1,0 +1,345 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"autocheck/internal/faultinject"
+	"autocheck/internal/obs"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	tkt, err := c.Acquire("t", Restart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt.Release()
+	if err := c.AcquireSession("t", false); err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseSession("t")
+	c.SetDraining(true)
+	if c.Queued() != 0 || c.InUse() != 0 || c.Draining() {
+		t.Error("nil controller reported state")
+	}
+}
+
+func TestGlobalBoundShedsWithFixedRetryAfter(t *testing.T) {
+	reg := obs.New()
+	c := New(Config{MaxInFlight: 2, Prefix: "server", Obs: reg})
+	t1, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Acquire("b", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Acquire("c", Interactive)
+	sh, ok := AsShed(err)
+	if !ok || sh.Reason != ReasonInflight {
+		t.Fatalf("over-bound acquire = %v, want inflight shed", err)
+	}
+	// No queue configured: the legacy fixed second, exactly.
+	if sh.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", sh.RetryAfter)
+	}
+	if sh.Tenant != "c" || sh.Limit != 2 {
+		t.Errorf("shed detail %+v", sh)
+	}
+	t1.Release()
+	t3, err := c.Acquire("c", Interactive)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	t3.Release()
+	t2.Release()
+
+	snap := reg.Snapshot()
+	if snap.Counters["server.shed"] != 1 || snap.Counters["server.shed.inflight"] != 1 {
+		t.Errorf("shed counters %v", snap.Counters)
+	}
+	if snap.Counters["server.shed.ns.c"] != 1 {
+		t.Errorf("per-tenant shed counter %v", snap.Counters)
+	}
+	if snap.Gauges["server.inflight"] != 0 {
+		t.Errorf("inflight gauge = %d after drain", snap.Gauges["server.inflight"])
+	}
+}
+
+func TestTenantSlotsIndependentAcrossTenants(t *testing.T) {
+	reg := obs.New()
+	c := New(Config{TenantSlots: 1, Prefix: "analysis", Obs: reg})
+	ta, err := c.Acquire("tenant-a", Ingest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Acquire("tenant-a", Ingest)
+	sh, ok := AsShed(err)
+	if !ok || sh.Reason != ReasonTenantQuota {
+		t.Fatalf("co-tenant acquire = %v, want tenant_quota shed", err)
+	}
+	// The other tenant is unaffected.
+	tb, err := c.Acquire("tenant-b", Ingest)
+	if err != nil {
+		t.Fatalf("tenant-b shed by tenant-a's bound: %v", err)
+	}
+	ta.Release()
+	tb.Release()
+	if err := func() error { tkt, err := c.Acquire("tenant-a", Ingest); tkt.Release(); return err }(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["analysis.shed"] != 1 || snap.Counters["analysis.shed.tenant_quota"] != 1 {
+		t.Errorf("shed counters %v", snap.Counters)
+	}
+}
+
+func TestSessionLeases(t *testing.T) {
+	c := New(Config{TenantSessions: 2})
+	if err := c.AcquireSession("a", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AcquireSession("a", false); err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := AsShed(c.AcquireSession("a", false))
+	if !ok || sh.Reason != ReasonTenantQuota || sh.Limit != 2 {
+		t.Fatalf("over-quota session = %v", sh)
+	}
+	// Recovery bypasses the bound but still holds a lease.
+	if err := c.AcquireSession("a", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sessions("a"); got != 3 {
+		t.Fatalf("Sessions = %d, want 3", got)
+	}
+	if err := c.AcquireSession("b", false); err != nil {
+		t.Fatalf("tenant-b lease shed by tenant-a: %v", err)
+	}
+	c.ReleaseSession("a")
+	c.ReleaseSession("a")
+	if err := c.AcquireSession("a", false); err != nil {
+		t.Fatalf("lease after release: %v", err)
+	}
+}
+
+func TestTokenBucketRateComputedRetryAfter(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	c := New(Config{TenantRate: 0.5, TenantBurst: 1, Now: func() time.Time { return clock }})
+	tkt, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt.Release()
+	_, err = c.Acquire("a", Interactive)
+	sh, ok := AsShed(err)
+	if !ok || sh.Reason != ReasonRate {
+		t.Fatalf("rate acquire = %v, want rate shed", err)
+	}
+	// Empty bucket at 0.5 tokens/s: the next token is 2s out.
+	if sh.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s", sh.RetryAfter)
+	}
+	// Advance past the refill and the tenant admits again.
+	clock = clock.Add(2 * time.Second)
+	tkt, err = c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatalf("acquire after refill: %v", err)
+	}
+	tkt.Release()
+}
+
+// TestQueueComputedRetryAfter pins the queue-derived hint: with a known
+// drain rate (1 release/second, driven through the fake clock) and 3
+// parked waiters, an overflow shed advertises ceil((3+1)/1) = 4s.
+func TestQueueComputedRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	tick := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	c := New(Config{MaxInFlight: 1, QueueDepth: 3, Now: now})
+	// Establish the EWMA: grant/release once per simulated second.
+	for i := 0; i < 4; i++ {
+		tkt, err := c.Acquire("a", Interactive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick(time.Second)
+		tkt.Release()
+	}
+
+	holder, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tkt, err := c.Acquire("a", Interactive)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tkt.Release()
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Queued() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err = c.Acquire("a", Interactive)
+	sh, ok := AsShed(err)
+	if !ok || sh.Reason != ReasonInflight {
+		t.Fatalf("overflow acquire = %v, want inflight shed", err)
+	}
+	if sh.RetryAfter != 4*time.Second {
+		t.Errorf("computed RetryAfter = %v, want 4s", sh.RetryAfter)
+	}
+	if FormatRetryAfter(sh.RetryAfter) != "4" {
+		t.Errorf("FormatRetryAfter = %q, want 4", FormatRetryAfter(sh.RetryAfter))
+	}
+
+	holder.Release()
+	wg.Wait()
+	if c.Queued() != 0 || c.InUse() != 0 {
+		t.Errorf("queued=%d inUse=%d after drain", c.Queued(), c.InUse())
+	}
+}
+
+func TestDrainShedsQueuedWaitersAndNewAcquires(t *testing.T) {
+	reg := obs.New()
+	c := New(Config{MaxInFlight: 1, QueueDepth: 4, Prefix: "server", Obs: reg})
+	holder, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Acquire("a", Interactive)
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.SetDraining(true)
+	for i := 0; i < 2; i++ {
+		sh, ok := AsShed(<-errs)
+		if !ok || sh.Reason != ReasonDrain {
+			t.Fatalf("queued waiter drain = %v, want drain shed", sh)
+		}
+	}
+	_, err = c.Acquire("b", Restart)
+	if sh, ok := AsShed(err); !ok || sh.Reason != ReasonDrain {
+		t.Fatalf("acquire while draining = %v, want drain shed", err)
+	}
+	holder.Release()
+	if got := reg.Snapshot().Counters["server.shed.drain"]; got != 3 {
+		t.Errorf("server.shed.drain = %d, want 3", got)
+	}
+	// Clearing drain restores admission and the tenant slot reservations
+	// handed back by the drain are balanced.
+	c.SetDraining(false)
+	tkt, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatalf("acquire after drain cleared: %v", err)
+	}
+	tkt.Release()
+	if c.InUse() != 0 {
+		t.Errorf("inUse = %d after full drain", c.InUse())
+	}
+}
+
+// TestAdmissionFailpointSlotHolder pins the admission.request site's
+// slot-holder contract: a delay holds real capacity (a concurrent
+// co-tenant acquire sheds while it sleeps), and an error action hands
+// the slot back and surfaces the injected error, not a shed.
+func TestAdmissionFailpointSlotHolder(t *testing.T) {
+	faults := faultinject.NewRegistry(1)
+	if err := faults.ArmSchedule("admission.request=delay@nth=1@delay=150ms"); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{MaxInFlight: 1, Faults: faults})
+	done := make(chan error, 1)
+	go func() {
+		tkt, err := c.Acquire("a", Interactive)
+		if err == nil {
+			tkt.Release()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for faults.Fired() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delay failpoint never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The delayed acquire holds the only slot: this one sheds.
+	_, err := c.Acquire("b", Interactive)
+	if sh, ok := AsShed(err); !ok || sh.Reason != ReasonInflight {
+		t.Fatalf("acquire under held slot = %v, want inflight shed", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("delayed acquire: %v", err)
+	}
+
+	// Error action: the injected error comes back raw and the slot is
+	// free again immediately.
+	if err := faults.ArmSchedule("admission.request=error@oneshot"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Acquire("a", Interactive)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected acquire = %v, want ErrInjected", err)
+	}
+	if _, ok := AsShed(err); ok {
+		t.Fatal("injected error reported as a shed")
+	}
+	tkt, err := c.Acquire("a", Interactive)
+	if err != nil {
+		t.Fatalf("slot not released after injected error: %v", err)
+	}
+	tkt.Release()
+	if c.InUse() != 0 {
+		t.Errorf("inUse = %d, want 0", c.InUse())
+	}
+}
+
+// TestAcquireUnconfiguredZeroAllocs is the accept-path alloc pin: a
+// controller with only the global bound set (the server's default
+// shape) must admit without allocating.
+func TestAcquireUnconfiguredZeroAllocs(t *testing.T) {
+	c := New(Config{MaxInFlight: 64, Prefix: "server", Obs: obs.New()})
+	var failed error
+	allocs := testing.AllocsPerRun(1000, func() {
+		tkt, err := c.Acquire("tenant-a", Interactive)
+		if err != nil {
+			failed = err
+			return
+		}
+		tkt.Release()
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	if allocs != 0 {
+		t.Fatalf("accept path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

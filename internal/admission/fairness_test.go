@@ -1,0 +1,115 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTwoTenantFairness is the fairness property pin: one aggressive
+// tenant floods interactive Puts far past its bounded queue while the
+// victim tenant submits restart-path acquires. The assertions are
+// order-based, not wall-clock-based, so the test is deterministic and
+// -race clean:
+//
+//   - the victim's acquires all succeed — per-tenant queues mean a
+//     flooding co-tenant cannot exhaust the victim's queue slots;
+//   - the flood's overflow sheds land on the flooder, not the victim;
+//   - the weighted drain (restart 8 : interactive 4) bounds the
+//     victim's worst-case (p99) grant position: all 5 restart grants
+//     land within the first 9 grants even though all 8 of the
+//     flooder's queued requests arrived first.
+func TestTwoTenantFairness(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, QueueDepth: 8})
+
+	// Occupy the only slot so every subsequent acquire parks (or sheds),
+	// making enqueue order exact.
+	holder, err := c.Acquire("holder", Scrub)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		tenant string
+		pri    Priority
+	}
+	var mu sync.Mutex
+	var order []grant
+	var wg sync.WaitGroup
+	bullyShed := 0
+
+	enqueue := func(tenant string, pri Priority, wantQueued int) {
+		t.Helper()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tkt, err := c.Acquire(tenant, pri)
+			if err != nil {
+				if sh, ok := AsShed(err); ok && sh.Tenant == "bully" && sh.Reason == ReasonInflight {
+					mu.Lock()
+					bullyShed++
+					mu.Unlock()
+					return
+				}
+				t.Errorf("%s acquire: %v", tenant, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, grant{tenant, pri})
+			mu.Unlock()
+			tkt.Release()
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Queued() != wantQueued {
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d (at %d)", wantQueued, c.Queued())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The flood: 8 fill the bully's queue; 2 more overflow and shed
+	// synchronously (wantQueued stays 8).
+	for i := 0; i < 8; i++ {
+		enqueue("bully", Interactive, i+1)
+	}
+	enqueue("bully", Interactive, 8)
+	enqueue("bully", Interactive, 8)
+	// The victim arrives last, behind the entire flood.
+	for i := 0; i < 5; i++ {
+		enqueue("victim", Restart, 9+i)
+	}
+
+	holder.Release()
+	wg.Wait()
+
+	if bullyShed != 2 {
+		t.Errorf("bully overflow sheds = %d, want 2", bullyShed)
+	}
+	if len(order) != 13 {
+		t.Fatalf("grants = %d, want 13", len(order))
+	}
+	var victimPositions []int
+	for i, g := range order {
+		if g.tenant == "victim" {
+			victimPositions = append(victimPositions, i+1)
+		}
+	}
+	if len(victimPositions) != 5 {
+		t.Fatalf("victim grants = %d, want all 5 (positions %v)", len(victimPositions), victimPositions)
+	}
+	// The victim's worst (p99) grant position is bounded by the drain
+	// weights: one interactive credit burst (4) can run ahead, then all
+	// restart waiters drain inside one restart burst (8).
+	p99 := victimPositions[len(victimPositions)-1]
+	if p99 > 9 {
+		t.Errorf("victim p99 grant position = %d, want <= 9 (order %v)", p99, order)
+	}
+	// And the flooder's tail lands after the victim's.
+	if last := order[len(order)-1]; last.tenant != "bully" {
+		t.Errorf("final grant %v, want the flooder's tail", last)
+	}
+	if c.InUse() != 0 || c.Queued() != 0 {
+		t.Errorf("inUse=%d queued=%d after drain", c.InUse(), c.Queued())
+	}
+}

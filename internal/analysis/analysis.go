@@ -24,11 +24,12 @@
 // the engine is deterministic, a resumed session's result is
 // byte-identical to an uninterrupted run.
 //
-// Admission control is per-tenant: a namespace holds at most
-// MaxSessions live sessions and MaxInFlight concurrent requests; excess
-// traffic is shed with 429 + Retry-After, which the retrying Client
-// absorbs. Idle sessions are evicted after IdleTTL (state stays in the
-// store; eviction only frees memory and the engine goroutine).
+// Admission control is delegated to internal/admission: a namespace
+// holds at most MaxSessions live session leases and MaxInFlight
+// concurrent requests, and excess traffic is shed with 429 carrying the
+// controller's computed Retry-After, which the retrying Client honors.
+// Idle sessions are evicted after IdleTTL (state stays in the store;
+// eviction only frees memory and the engine goroutine).
 package analysis
 
 import (
@@ -41,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"autocheck/internal/admission"
 	"autocheck/internal/core"
 	"autocheck/internal/faultinject"
 	"autocheck/internal/obs"
@@ -84,6 +86,10 @@ type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Expect  int    `json:"expect,omitempty"`
+
+	// RetryAfter, when set on a shed, is the admission-computed value
+	// the HTTP layer puts on the Retry-After header.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *Error) Error() string {
@@ -195,12 +201,6 @@ var (
 	errDeleted  = errors.New("analysis: session deleted")
 )
 
-// nsAdmission is one namespace's admission counters.
-type nsAdmission struct {
-	live     int // sessions counted against MaxSessions
-	inflight int // requests counted against MaxInFlight
-}
-
 // Service is the trace-ingest service. Create one with NewService and
 // mount its handlers (http.go) into a server mux, or call the exported
 // methods directly for in-process use.
@@ -213,7 +213,6 @@ type Service struct {
 	oneshotOp *obs.Op      // analysis.oneshot: whole-trace requests
 	evictedC  *obs.Counter // analysis.evictions: idle sessions dropped from memory
 	resumedC  *obs.Counter // analysis.resumes: sessions recovered from the store
-	shedC     *obs.Counter // analysis.shed: requests rejected by admission control
 	createdC  *obs.Counter // analysis.sessions_created
 	finishedC *obs.Counter // analysis.sessions_finished
 	failedC   *obs.Counter // analysis.sessions_failed
@@ -223,8 +222,10 @@ type Service struct {
 	recovering map[string]chan struct{} // ids mid-recovery; waiters block
 	closed     bool
 
-	admMu sync.Mutex // leaf lock: admission counters only
-	perNS map[string]*nsAdmission
+	// adm owns every quota decision: per-namespace in-flight slots
+	// (TenantSlots = MaxInFlight), session leases (TenantSessions =
+	// MaxSessions), and the shed metrics under the "analysis" prefix.
+	adm *admission.Controller
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -267,14 +268,20 @@ func NewService(cfg Config) *Service {
 		obs:        cfg.Obs,
 		sessions:   make(map[string]*session),
 		recovering: make(map[string]chan struct{}),
-		perNS:      make(map[string]*nsAdmission),
+		adm: admission.New(admission.Config{
+			TenantSlots:    cfg.MaxInFlight,
+			TenantSessions: cfg.MaxSessions,
+			Prefix:         "analysis",
+			Faults:         cfg.Faults,
+			Obs:            cfg.Obs,
+			Now:            cfg.Now,
+		}),
 	}
 	s.sessionsG = s.obs.Gauge("analysis.sessions")
 	s.chunkOp = s.obs.Op("analysis.chunk")
 	s.oneshotOp = s.obs.Op("analysis.oneshot")
 	s.evictedC = s.obs.Counter("analysis.evictions")
 	s.resumedC = s.obs.Counter("analysis.resumes")
-	s.shedC = s.obs.Counter("analysis.shed")
 	s.createdC = s.obs.Counter("analysis.sessions_created")
 	s.finishedC = s.obs.Counter("analysis.sessions_finished")
 	s.failedC = s.obs.Counter("analysis.sessions_failed")
@@ -331,61 +338,39 @@ func dataSections(data []byte) []store.Section {
 	return []store.Section{{Name: "data", Data: data}}
 }
 
-// ---- Admission control (admMu is a leaf lock) ----
+// ---- Admission (delegated to internal/admission) ----
 
-func (s *Service) adm(ns string) *nsAdmission {
-	a, ok := s.perNS[ns]
+// shedError translates an admission refusal into the service's typed
+// 429 quota error, carrying the controller's computed Retry-After.
+// Injected faults pass through untouched for the HTTP layer to map.
+func shedError(err error) error {
+	sh, ok := admission.AsShed(err)
 	if !ok {
-		a = &nsAdmission{}
-		s.perNS[ns] = a
+		return err
 	}
-	return a
+	return &Error{Status: 429, Code: CodeQuota, Message: sh.Error(), RetryAfter: sh.RetryAfter}
 }
 
-// admitSession counts a new session against the namespace quota.
-// recovered sessions were admitted by their original create and only
-// re-enter memory, so they bypass the bound.
-func (s *Service) admitSession(ns string, recovered bool) *Error {
-	s.admMu.Lock()
-	defer s.admMu.Unlock()
-	a := s.adm(ns)
-	if !recovered && a.live >= s.cfg.MaxSessions {
-		s.shedC.Inc()
-		return &Error{Status: 429, Code: CodeQuota,
-			Message: fmt.Sprintf("namespace %q at its session quota (%d live)", ns, a.live)}
+// admitSession takes one of the namespace's session leases. Recovered
+// sessions were admitted by their original create and only re-enter
+// memory, so they bypass the bound (but still hold a lease).
+func (s *Service) admitSession(ns string, recovered bool) error {
+	if err := s.adm.AcquireSession(ns, recovered); err != nil {
+		return shedError(err)
 	}
-	a.live++
 	return nil
 }
 
-func (s *Service) releaseLive(ns string) {
-	s.admMu.Lock()
-	defer s.admMu.Unlock()
-	if a := s.perNS[ns]; a != nil && a.live > 0 {
-		a.live--
-	}
-}
+func (s *Service) releaseLive(ns string) { s.adm.ReleaseSession(ns) }
 
-// enter counts one in-flight ingest request against the namespace cap.
-func (s *Service) enter(ns string) *Error {
-	s.admMu.Lock()
-	defer s.admMu.Unlock()
-	a := s.adm(ns)
-	if a.inflight >= s.cfg.MaxInFlight {
-		s.shedC.Inc()
-		return &Error{Status: 429, Code: CodeQuota,
-			Message: fmt.Sprintf("namespace %q at its in-flight cap (%d)", ns, a.inflight)}
+// acquire admits one in-flight ingest request for the namespace at the
+// given priority class; release the ticket when the request is done.
+func (s *Service) acquire(ns string, pri admission.Priority) (admission.Ticket, error) {
+	tkt, err := s.adm.Acquire(ns, pri)
+	if err != nil {
+		return admission.Ticket{}, shedError(err)
 	}
-	a.inflight++
-	return nil
-}
-
-func (s *Service) leave(ns string) {
-	s.admMu.Lock()
-	defer s.admMu.Unlock()
-	if a := s.perNS[ns]; a != nil && a.inflight > 0 {
-		a.inflight--
-	}
+	return tkt, nil
 }
 
 // ---- Engine feeding ----
@@ -688,10 +673,11 @@ func (s *Service) Chunk(id string, seq int, data []byte) (err error) {
 	if err != nil {
 		return err
 	}
-	if aerr := s.enter(sess.ns); aerr != nil {
+	tkt, aerr := s.acquire(sess.ns, admission.Ingest)
+	if aerr != nil {
 		return aerr
 	}
-	defer s.leave(sess.ns)
+	defer tkt.Release()
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -754,10 +740,11 @@ func (s *Service) Finish(id string) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if aerr := s.enter(sess.ns); aerr != nil {
+	tkt, aerr := s.acquire(sess.ns, admission.Interactive)
+	if aerr != nil {
 		return nil, aerr
 	}
-	defer s.leave(sess.ns)
+	defer tkt.Release()
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -874,16 +861,17 @@ func (s *Service) OneShot(ns string, spec core.LoopSpec, data []byte, includeGlo
 		return nil, &Error{Status: 400, Code: CodeInvalidArgument,
 			Message: fmt.Sprintf("invalid loop spec %+v", spec)}
 	}
-	if aerr := s.enter(ns); aerr != nil {
+	tkt, aerr := s.acquire(ns, admission.Interactive)
+	if aerr != nil {
 		return nil, aerr
 	}
-	defer s.leave(ns)
+	defer tkt.Release()
 	opts := core.DefaultOptions()
 	opts.IncludeGlobals = includeGlobals
 	opts.Obs = s.obs
-	res, aerr := core.AnalyzeBytes(data, spec, opts)
-	if aerr != nil {
-		return nil, analysisError(aerr)
+	res, cerr := core.AnalyzeBytes(data, spec, opts)
+	if cerr != nil {
+		return nil, analysisError(cerr)
 	}
 	return res, nil
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"autocheck/internal/admission"
 	"autocheck/internal/core"
 )
 
@@ -165,8 +166,10 @@ func envelopeError(status int, body []byte) *Error {
 }
 
 // do performs one exchange with bounded retry/backoff and returns the
-// response body. Permanent failures come back as *Error.
-func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+// response body. Permanent failures come back as *Error. Every request
+// carries the tenant namespace and its admission class so the embedding
+// server's controller can account and order it.
+func (c *Client) do(method, path string, body []byte, pri admission.Priority) ([]byte, error) {
 	attempts := c.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -204,6 +207,8 @@ func (c *Client) do(method, path string, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		req.Header.Set(admission.TenantHeader, c.ns())
+		req.Header.Set(admission.PriorityHeader, pri.String())
 		if body != nil {
 			req.ContentLength = int64(len(body))
 			req.Header.Set("Content-Type", "application/octet-stream")
@@ -240,7 +245,7 @@ func (c *Client) do(method, path string, body []byte) ([]byte, error) {
 func (c *Client) Analyze(data []byte, spec core.LoopSpec) (*core.Result, error) {
 	path := fmt.Sprintf("/v1/analyze/%s?func=%s&start=%d&end=%d",
 		url.PathEscape(c.ns()), url.QueryEscape(spec.Function), spec.StartLine, spec.EndLine)
-	body, err := c.do(http.MethodPost, path, data)
+	body, err := c.do(http.MethodPost, path, data, admission.Interactive)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +271,7 @@ func (c *Client) NewSession(spec core.LoopSpec) (*Session, error) {
 		Namespace: c.ns(), Function: spec.Function,
 		StartLine: spec.StartLine, EndLine: spec.EndLine,
 	})
-	body, err := c.do(http.MethodPost, "/v1/sessions", req)
+	body, err := c.do(http.MethodPost, "/v1/sessions", req, admission.Interactive)
 	if err != nil {
 		return nil, err
 	}
@@ -287,14 +292,17 @@ func (c *Client) ResumeSession(id string) *Session {
 // Sequencing violations return an *Error whose Expect field is the
 // session's resume point.
 func (s *Session) SendChunk(seq int, data []byte) error {
+	// Chunk uploads are background streaming: they admit at the ingest
+	// class so restart-path reads drain ahead of them under load.
 	_, err := s.c.do(http.MethodPut,
-		fmt.Sprintf("/v1/sessions/%s/chunks/%d", url.PathEscape(s.ID), seq), data)
+		fmt.Sprintf("/v1/sessions/%s/chunks/%d", url.PathEscape(s.ID), seq), data,
+		admission.Ingest)
 	return err
 }
 
 // Status fetches the session's state and resume point.
 func (s *Session) Status() (SessionStatus, error) {
-	body, err := s.c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(s.ID), nil)
+	body, err := s.c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(s.ID), nil, admission.Interactive)
 	if err != nil {
 		return SessionStatus{}, err
 	}
@@ -308,7 +316,7 @@ func (s *Session) Status() (SessionStatus, error) {
 // Finish closes the trace stream and returns the result.
 func (s *Session) Finish() (*core.Result, error) {
 	body, err := s.c.do(http.MethodPost,
-		"/v1/sessions/"+url.PathEscape(s.ID)+"/finish", nil)
+		"/v1/sessions/"+url.PathEscape(s.ID)+"/finish", nil, admission.Interactive)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +325,7 @@ func (s *Session) Finish() (*core.Result, error) {
 
 // Delete purges the session service-side.
 func (s *Session) Delete() error {
-	_, err := s.c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.ID), nil)
+	_, err := s.c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.ID), nil, admission.Interactive)
 	return err
 }
 

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"autocheck/internal/admission"
 	"autocheck/internal/core"
 	"autocheck/internal/faultinject"
 )
@@ -58,7 +59,12 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	if (ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable) &&
 		w.Header().Get("Retry-After") == "" {
-		w.Header().Set("Retry-After", "1")
+		if ae.RetryAfter > 0 {
+			// The admission-computed hint (queue drain, token refill).
+			w.Header().Set("Retry-After", admission.FormatRetryAfter(ae.RetryAfter))
+		} else {
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.Status)

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"autocheck/internal/faultinject"
+	"autocheck/internal/store"
+)
+
+// LoadgenConfig parameterizes RunLoadgen, the multi-tenant scaling
+// harness: Clients simulated checkpointing clients spread round-robin
+// across Tenants namespaces (tenant-00, tenant-01, ...), each running a
+// seeded stream of checkpoint Puts (interactive admission class) and
+// restart-path Gets (restart class) against a live service, so the
+// admission controller's fairness and shed behavior can be observed at
+// scale.
+type LoadgenConfig struct {
+	// Addr is the checkpoint service to load (host:port or URL).
+	Addr string
+
+	// Tenants is the namespace count; Clients are assigned round-robin.
+	// Defaults: 4 tenants, 16 clients, 100 ops per client.
+	Tenants int
+	Clients int
+	Ops     int
+
+	// Seed roots every client's deterministic stream: client i draws
+	// keys, op mix, and think times from Seed+i, and its fault schedule
+	// (when set) is armed with the same per-client seed.
+	Seed int64
+
+	// PutMix is the fraction of operations that are Puts; the remainder
+	// are Gets of keys the client already wrote. This is also the
+	// priority mix: Puts admit as interactive, Gets ride the restart
+	// class. Default 0.7.
+	PutMix float64
+
+	// ValueBytes sizes each checkpoint payload (default 4 KiB).
+	ValueBytes int
+
+	// Think, when positive, is the mean of an exponential pause drawn
+	// before each operation — a Poisson-ish arrival process per client
+	// instead of a closed tight loop.
+	Think time.Duration
+
+	// Schedule, when non-empty, is a faultinject schedule armed on each
+	// client's own registry (seeded Seed+i), injecting client-side
+	// failures like "store.remote.do=error@p=0.05" so the retry and
+	// Retry-After machinery is exercised deterministically.
+	Schedule string
+
+	// FailFast makes each operation's retry budget short (3 attempts,
+	// 2s wall-clock) so an overloaded service surfaces as recorded
+	// failures instead of minutes of backoff.
+	FailFast bool
+}
+
+// TenantLoad is one tenant's aggregate outcome across all of its
+// clients: throughput, failure count, and latency percentiles over
+// every operation (retries and waits included in each sample).
+type TenantLoad struct {
+	Tenant    string
+	Clients   int
+	Ops       int
+	Failures  int
+	Bytes     int64
+	OpsPerSec float64
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+}
+
+// LoadgenRun is one RunLoadgen invocation's result.
+type LoadgenRun struct {
+	Clients  int
+	Elapsed  time.Duration
+	Ops      int
+	Failures int
+	Tenants  []TenantLoad
+}
+
+// TenantName formats tenant index i the way loadgen namespaces it.
+func TenantName(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+
+// RunLoadgen drives the configured synthetic load and aggregates the
+// outcome per tenant. Every client failure is recorded, never fatal:
+// shed storms and injected faults are the point of the exercise.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenRun, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("harness: loadgen needs a service address")
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 100
+	}
+	if cfg.PutMix <= 0 || cfg.PutMix > 1 {
+		cfg.PutMix = 0.7
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 4 << 10
+	}
+	if cfg.Schedule != "" {
+		// Validate once up front so a typo fails the run, not silently
+		// every client.
+		if err := faultinject.NewRegistry(cfg.Seed).ArmSchedule(cfg.Schedule); err != nil {
+			return nil, fmt.Errorf("harness: loadgen schedule: %w", err)
+		}
+	}
+
+	type clientResult struct {
+		tenant   int
+		ops      int
+		failures int
+		bytes    int64
+		lats     []time.Duration
+	}
+	results := make([]clientResult, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := i % cfg.Tenants
+			res := clientResult{tenant: tenant, lats: make([]time.Duration, 0, cfg.Ops)}
+			defer func() { results[i] = res }()
+			r, err := store.NewRemote(cfg.Addr, TenantName(tenant))
+			if err != nil {
+				res.failures = cfg.Ops
+				return
+			}
+			defer r.Close()
+			if cfg.FailFast {
+				r.MaxAttempts = 3
+				r.MaxElapsed = 2 * time.Second
+			}
+			if cfg.Schedule != "" {
+				freg := faultinject.NewRegistry(cfg.Seed + int64(i))
+				if err := freg.ArmSchedule(cfg.Schedule); err == nil {
+					r.SetFaults(freg)
+				}
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			payload := make([]byte, cfg.ValueBytes)
+			rng.Read(payload)
+			secs := []store.Section{{Name: "data", Data: payload}}
+			written := 0
+			for op := 0; op < cfg.Ops; op++ {
+				if cfg.Think > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() * float64(cfg.Think)))
+				}
+				t0 := time.Now()
+				var oerr error
+				if written == 0 || rng.Float64() < cfg.PutMix {
+					oerr = r.Put(fmt.Sprintf("lg-%03d-%05d", i, written), secs)
+					if oerr == nil {
+						written++
+						res.bytes += int64(cfg.ValueBytes)
+					}
+				} else {
+					_, oerr = r.Get(fmt.Sprintf("lg-%03d-%05d", i, rng.Intn(written)))
+					if oerr == nil {
+						res.bytes += int64(cfg.ValueBytes)
+					}
+				}
+				res.lats = append(res.lats, time.Since(t0))
+				res.ops++
+				if oerr != nil {
+					res.failures++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := &LoadgenRun{Clients: cfg.Clients, Elapsed: elapsed}
+	perTenant := make([][]time.Duration, cfg.Tenants)
+	loads := make([]TenantLoad, cfg.Tenants)
+	for i := range loads {
+		loads[i].Tenant = TenantName(i)
+	}
+	for _, res := range results {
+		tl := &loads[res.tenant]
+		tl.Clients++
+		tl.Ops += res.ops
+		tl.Failures += res.failures
+		tl.Bytes += res.bytes
+		perTenant[res.tenant] = append(perTenant[res.tenant], res.lats...)
+		run.Ops += res.ops
+		run.Failures += res.failures
+	}
+	for i := range loads {
+		lats := perTenant[i]
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		loads[i].P50 = percentileDur(lats, 0.50)
+		loads[i].P95 = percentileDur(lats, 0.95)
+		loads[i].P99 = percentileDur(lats, 0.99)
+		if secs := elapsed.Seconds(); secs > 0 {
+			loads[i].OpsPerSec = float64(loads[i].Ops-loads[i].Failures) / secs
+		}
+	}
+	run.Tenants = loads
+	return run, nil
+}
+
+// percentileDur reads the q-th percentile of an ascending-sorted slice
+// (nearest-rank).
+func percentileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// FormatLoadgen renders a run as an aligned per-tenant table.
+func FormatLoadgen(r *LoadgenRun) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loadgen: %d clients, %d ops (%d failed) in %s\n",
+		r.Clients, r.Ops, r.Failures, fmtDur(r.Elapsed))
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "tenant\tclients\tops\tfail\tops/s\tp50\tp95\tp99\tdata")
+	for _, tl := range r.Tenants {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\n",
+			tl.Tenant, tl.Clients, tl.Ops, tl.Failures, tl.OpsPerSec,
+			fmtDur(tl.P50), fmtDur(tl.P95), fmtDur(tl.P99), fmtBytes(tl.Bytes))
+	}
+	w.Flush()
+	return sb.String()
+}

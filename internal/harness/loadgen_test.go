@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"autocheck/internal/server"
+	"autocheck/internal/store"
+)
+
+// TestRunLoadgen drives the generator against a live in-process service
+// and checks the aggregate shape: every tenant saw traffic, nothing
+// failed on a healthy service, and percentiles are ordered.
+func TestRunLoadgen(t *testing.T) {
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	run, err := RunLoadgen(LoadgenConfig{
+		Addr: ts.URL, Tenants: 3, Clients: 6, Ops: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Ops != 6*20 || run.Failures != 0 {
+		t.Fatalf("ops=%d failures=%d, want 120/0", run.Ops, run.Failures)
+	}
+	if len(run.Tenants) != 3 {
+		t.Fatalf("tenants = %d, want 3", len(run.Tenants))
+	}
+	for _, tl := range run.Tenants {
+		if tl.Clients != 2 || tl.Ops != 40 {
+			t.Errorf("%s: clients=%d ops=%d, want 2/40", tl.Tenant, tl.Clients, tl.Ops)
+		}
+		if tl.OpsPerSec <= 0 {
+			t.Errorf("%s: zero throughput", tl.Tenant)
+		}
+		if tl.P50 > tl.P95 || tl.P95 > tl.P99 || tl.P99 <= 0 {
+			t.Errorf("%s: unordered percentiles p50=%v p95=%v p99=%v", tl.Tenant, tl.P50, tl.P95, tl.P99)
+		}
+	}
+	if out := FormatLoadgen(run); !strings.Contains(out, "tenant-02") {
+		t.Errorf("format output missing tenant row:\n%s", out)
+	}
+}
+
+// TestRunLoadgenDeterministicFailures pins the seeded failure
+// distribution: the same client-side fault schedule and seed produce
+// the same failure count twice, and failures are nonzero with an
+// always-failing schedule.
+func TestRunLoadgenDeterministicFailures(t *testing.T) {
+	svc := server.NewWithFactory(server.Config{}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	cfg := LoadgenConfig{
+		Addr: ts.URL, Tenants: 2, Clients: 4, Ops: 10, Seed: 7,
+		// Every attempt fails at the client-side remote.do site; with the
+		// retry budget exhausted every operation fails, deterministically.
+		Schedule: store.SiteRemoteDo + "=error@every=1",
+		FailFast: true,
+	}
+	a, err := RunLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failures == 0 || a.Failures != a.Ops {
+		t.Fatalf("failures=%d ops=%d, want every op to fail under error@every=1", a.Failures, a.Ops)
+	}
+	if a.Failures != b.Failures {
+		t.Errorf("same seed, different failure counts: %d vs %d", a.Failures, b.Failures)
+	}
+
+	if _, err := RunLoadgen(LoadgenConfig{Addr: ts.URL, Schedule: "not-a-schedule"}); err == nil {
+		t.Error("bad schedule accepted")
+	}
+}

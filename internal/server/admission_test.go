@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"autocheck/internal/admission"
+	"autocheck/internal/store"
+)
+
+// TestShedReasonAndTenantCounters pins the shed-counter split: the
+// aggregate server.shed keeps counting every refusal, while
+// server.shed.<reason> and server.shed.ns.<tenant> break it down.
+func TestShedReasonAndTenantCounters(t *testing.T) {
+	block := make(chan struct{})
+	release := make(chan struct{})
+	s := NewWithFactory(Config{MaxInFlight: 1}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	bound := s.bound(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(block)
+		<-release
+	}))
+	ts := httptest.NewServer(bound)
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		http.Get(ts.URL + "/hold")
+	}()
+	<-block
+	// Tenant from the URL namespace.
+	resp, err := http.Get(ts.URL + "/v1/tenant-a/objects/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound request = %d, want 503", resp.StatusCode)
+	}
+	// Tenant from the explicit header, overriding the path.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/tenant-a/objects/k", nil)
+	req.Header.Set(admission.TenantHeader, "tenant-b")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	close(release)
+	<-done
+
+	snap := s.Obs().Snapshot()
+	if snap.Counters["server.shed"] != 2 || snap.Counters["server.shed.inflight"] != 2 {
+		t.Errorf("shed counters: %v", snap.Counters)
+	}
+	if snap.Counters["server.shed.ns.tenant-a"] != 1 || snap.Counters["server.shed.ns.tenant-b"] != 1 {
+		t.Errorf("per-tenant shed counters: %v", snap.Counters)
+	}
+
+	// A request during drain sheds with the drain reason, still under
+	// the aggregate.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/tenant-a/objects/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain = %d, want 503", resp.StatusCode)
+	}
+	snap = s.Obs().Snapshot()
+	if snap.Counters["server.shed.drain"] != 1 || snap.Counters["server.shed"] != 3 {
+		t.Errorf("drain shed counters: %v", snap.Counters)
+	}
+}
+
+// TestRateShedComputedRetryAfterOnWire pins satellite 1's server half:
+// a rate-limited tenant's 503 carries the admission-computed Retry-After
+// (the token refill horizon — 2s at 0.5 tokens/s), not the hardcoded 1.
+func TestRateShedComputedRetryAfterOnWire(t *testing.T) {
+	s := NewWithFactory(Config{
+		Admission: admission.Config{TenantRate: 0.5, TenantBurst: 1},
+	}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	resp, err := http.Get(ts.URL + "/v1/tenant-a/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/tenant-a/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("rate-limited request = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want the computed refill horizon (2)", got)
+	}
+	// The co-tenant's bucket is untouched.
+	resp, err = http.Get(ts.URL + "/v1/tenant-b/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("co-tenant request = %d, want 200", resp.StatusCode)
+	}
+	if got := s.Obs().Snapshot().Counters["server.shed.rate"]; got != 1 {
+		t.Errorf("server.shed.rate = %d, want 1", got)
+	}
+}
+
+// TestTenantSlotsOnServer pins per-tenant concurrency isolation at the
+// HTTP layer: one tenant saturating its slots sheds with tenant_quota
+// while another tenant is admitted.
+func TestTenantSlotsOnServer(t *testing.T) {
+	block := make(chan struct{})
+	release := make(chan struct{})
+	s := NewWithFactory(Config{
+		MaxInFlight: 8,
+		Admission:   admission.Config{TenantSlots: 1},
+	}, func(ns string) (store.Backend, error) {
+		return store.NewMemory(), nil
+	})
+	bound := s.bound(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/tenant-a/objects/hold" {
+			close(block)
+			<-release
+		}
+	}))
+	ts := httptest.NewServer(bound)
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		http.Get(ts.URL + "/v1/tenant-a/objects/hold")
+	}()
+	<-block
+	resp, err := http.Get(ts.URL + "/v1/tenant-a/objects/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("co-tenant-slot request = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/tenant-b/objects/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant = %d, want 200", resp.StatusCode)
+	}
+	close(release)
+	<-done
+	if got := s.Obs().Snapshot().Counters["server.shed.tenant_quota"]; got != 1 {
+		t.Errorf("server.shed.tenant_quota = %d, want 1", got)
+	}
+	s.Shutdown(context.Background())
+}

@@ -20,10 +20,13 @@
 // Concurrency: backends are already safe for concurrent use; on top of
 // that the service holds a per-key write lock across Put/Delete (reads
 // take the shared side), serializing conflicting writes to one key
-// while unrelated keys proceed in parallel, and sheds load with 503
-// once MaxInFlight requests are being served — store.Remote treats
-// that as transient and retries with backoff. Shutdown stops accepting,
-// drains in-flight requests, then flushes and closes every backend.
+// while unrelated keys proceed in parallel. Admission is delegated to
+// internal/admission: a global MaxInFlight bound by default, optionally
+// per-tenant (namespace) concurrency slots, token-bucket rate limits,
+// and bounded priority queues via Config.Admission — excess requests
+// shed with 503 + Retry-After, which store.Remote treats as transient
+// and retries with backoff. Shutdown stops accepting, drains in-flight
+// requests, then flushes and closes every backend.
 package server
 
 import (
@@ -41,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"autocheck/internal/admission"
 	"autocheck/internal/analysis"
 	"autocheck/internal/faultinject"
 	"autocheck/internal/obs"
@@ -58,6 +62,14 @@ type Config struct {
 	// MaxInFlight bounds concurrently served requests; excess requests
 	// are rejected with 503 + Retry-After (default DefaultMaxInFlight).
 	MaxInFlight int
+
+	// Admission carries the multi-tenant knobs of the unified admission
+	// layer: per-tenant concurrency slots, token-bucket rate limits, and
+	// bounded priority wait queues (with queue-derived Retry-After
+	// hints). MaxInFlight, Prefix, Obs and Faults are filled from the
+	// server's own configuration; the zero value reproduces the classic
+	// global-semaphore behavior with a fixed 1s Retry-After.
+	Admission admission.Config
 
 	// MaxObjectBytes bounds one object upload (default
 	// DefaultMaxObjectBytes).
@@ -105,20 +117,19 @@ type Server struct {
 	cfg     Config
 	factory func(ns string) (store.Backend, error)
 	handler http.Handler
-	sem     chan struct{}
+	adm     *admission.Controller
 
-	// draining + inflight drain requests that arrived through Handler()
-	// directly (httptest, custom listeners) — http.Server.Shutdown only
-	// drains connections it accepted itself.
-	draining atomic.Bool
+	// inflight drains requests that arrived through Handler() directly
+	// (httptest, custom listeners) — http.Server.Shutdown only drains
+	// connections it accepted itself. The drain refusal lives in the
+	// admission controller.
 	inflight sync.WaitGroup
 
 	keyLocks sync.Map // "ns\x00key" -> *sync.RWMutex
 
-	obs       *obs.Registry
-	inflightG *obs.Gauge   // server.inflight: requests being served now
-	shedC     *obs.Counter // server.shed: rejected with 503 (bound or drain)
-	nsCounts  sync.Map     // ns -> *nsMetrics
+	obs      *obs.Registry
+	shedC    *obs.Counter // server.shed: shared with the admission layer
+	nsCounts sync.Map     // ns -> *nsMetrics
 
 	ingest *analysis.Service // nil unless Config.Ingest was set
 
@@ -194,12 +205,22 @@ func NewWithFactory(cfg Config, factory func(ns string) (store.Backend, error)) 
 	s := &Server{
 		cfg:      cfg,
 		factory:  factory,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
 		backends: make(map[string]store.Backend),
 	}
 	s.obs = cfg.Obs
-	s.inflightG = s.obs.Gauge("server.inflight")
+	// The admission controller owns the server.shed/server.inflight
+	// instruments; the server keeps its own handle on the aggregate shed
+	// counter for the injected-unavailability path, which is not a shed
+	// decision the controller made but is accounted with the sheds.
 	s.shedC = s.obs.Counter("server.shed")
+	acfg := cfg.Admission
+	acfg.MaxInFlight = cfg.MaxInFlight
+	acfg.Prefix = "server"
+	acfg.Obs = cfg.Obs
+	if acfg.Faults == nil {
+		acfg.Faults = cfg.Faults
+	}
+	s.adm = admission.New(acfg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/{ns}/objects/{key}", s.route("put", s.handlePut))
 	mux.HandleFunc("GET /v1/{ns}/objects/{key}", s.route("get", s.handleGet))
@@ -251,6 +272,10 @@ func (s *Server) Ingest() *analysis.Service { return s.ingest }
 // Obs returns the service's telemetry registry (embedders, tests, the
 // bench harness).
 func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Admission returns the service's admission controller (tests,
+// embedders inspecting queue depth or flipping drain mode).
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // statusWriter captures the response status for route telemetry.
 type statusWriter struct {
@@ -305,29 +330,94 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// bound is the load-shedding middleware: at most MaxInFlight requests
-// are served at once; the rest get 503 + Retry-After, which
-// store.Remote's retry loop absorbs.
+// requestTenant derives the request's admission tenant: the explicit
+// header set by store.Remote / analysis.Client, else the namespace
+// embedded in the URL path, else "default". Pure string slicing — the
+// accept path stays allocation-free.
+func requestTenant(r *http.Request) string {
+	if t := r.Header.Get(admission.TenantHeader); t != "" {
+		return t
+	}
+	p := r.URL.Path
+	if !strings.HasPrefix(p, "/v1/") {
+		return "default"
+	}
+	seg, rest, more := strings.Cut(p[len("/v1/"):], "/")
+	if seg == "analyze" {
+		if ns, _, _ := strings.Cut(rest, "/"); ns != "" {
+			return ns
+		}
+		return "default"
+	}
+	// Sessions are addressed by id, not namespace; stats/metrics (and
+	// any other single-segment endpoint) are control traffic.
+	if !more || seg == "" || seg == "sessions" {
+		return "default"
+	}
+	return seg
+}
+
+// requestPriority derives the admission class: the explicit header,
+// else reads (the restart path) ahead of writes.
+func requestPriority(r *http.Request) admission.Priority {
+	if h := r.Header.Get(admission.PriorityHeader); h != "" {
+		if p, ok := admission.ParsePriority(h); ok {
+			return p
+		}
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return admission.Restart
+	}
+	return admission.Interactive
+}
+
+// shedMessage renders a refusal body per shed reason.
+func shedMessage(sh *admission.Shed) string {
+	switch sh.Reason {
+	case admission.ReasonDrain:
+		return "server: shutting down"
+	case admission.ReasonTenantQuota:
+		return "server: tenant over its concurrency quota"
+	case admission.ReasonRate:
+		return "server: tenant rate limited"
+	}
+	return "server: too many in-flight requests"
+}
+
+// bound is the load-shedding middleware: every request is admitted
+// through the unified admission controller (global bound, per-tenant
+// quotas/rates, priority queues); refusals get 503 + the controller's
+// computed Retry-After, which store.Remote's retry loop absorbs.
 func (s *Server) bound(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			s.shedC.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server: shutting down", http.StatusServiceUnavailable)
-			return
-		}
-		select {
-		case s.sem <- struct{}{}:
-			s.inflight.Add(1)
-			s.inflightG.Inc()
-			defer func() { <-s.sem; s.inflight.Done(); s.inflightG.Dec() }()
-		default:
+		tkt, err := s.adm.Acquire(requestTenant(r), requestPriority(r))
+		if err != nil {
+			if sh, ok := admission.AsShed(err); ok {
+				// Drain refusals are not "rejected" in the stats report:
+				// the service is leaving, not overloaded — matching the
+				// classic drain accounting.
+				if sh.Reason != admission.ReasonDrain {
+					s.rejected.Add(1)
+				}
+				w.Header().Set("Retry-After", admission.FormatRetryAfter(sh.RetryAfter))
+				http.Error(w, shedMessage(sh), http.StatusServiceUnavailable)
+				return
+			}
+			// An injected admission.request fault: unavailability, not a
+			// shed decision — same wire shape as the SiteRequest error
+			// below.
+			if a, _ := faultinject.ActionOf(err); a == faultinject.ActionDrop {
+				panic(http.ErrAbortHandler)
+			}
 			s.rejected.Add(1)
 			s.shedC.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server: too many in-flight requests", http.StatusServiceUnavailable)
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "server: injected unavailability", http.StatusServiceUnavailable)
 			return
 		}
+		s.inflight.Add(1)
+		defer func() { tkt.Release(); s.inflight.Done() }()
 		// Before the requests counter, mirroring real load shedding: an
 		// injected 503 or dropped connection was never served, so the
 		// requests/rejected accounting stays consistent across both
@@ -406,9 +496,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		first = hs.Shutdown(ctx)
 	}
 	// Drain requests that came in through Handler() directly (httptest,
-	// embedders' own listeners): new ones are refused with 503, in-flight
-	// ones finish before any backend closes — bounded by ctx.
-	s.draining.Store(true)
+	// embedders' own listeners): new ones are refused with 503 (and any
+	// queued waiters shed with a drain refusal), in-flight ones finish
+	// before any backend closes — bounded by ctx.
+	s.adm.SetDraining(true)
 	drained := make(chan struct{})
 	go func() {
 		s.inflight.Wait()

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"autocheck/internal/admission"
 	"autocheck/internal/faultinject"
 	"autocheck/internal/obs"
 )
@@ -225,7 +226,7 @@ func parseRetryAfter(v string, now time.Time) (_ time.Duration, ok bool) {
 // backoff wait with the server's hint. Total retry wall-clock — waits
 // included — is capped by MaxElapsed: a wait that would overrun the
 // budget is not taken and the operation fails with the last error.
-func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
+func (r *Remote) do(method, path string, body []byte, pri admission.Priority) ([]byte, error) {
 	attempts := r.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -266,7 +267,7 @@ func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 		var data []byte
 		var done bool
 		var err error
-		data, done, hint, hinted, err = r.attempt(method, path, body, now)
+		data, done, hint, hinted, err = r.attempt(method, path, body, pri, now)
 		if r.attemptLat != nil {
 			r.attemptLat.ObserveSince(t0)
 		}
@@ -289,7 +290,7 @@ func (r *Remote) do(method, path string, body []byte) ([]byte, error) {
 // must stop and return (data, err) as the operation's final answer; a
 // transient failure returns done=false with the error to remember and
 // any Retry-After hint for the next wait.
-func (r *Remote) attempt(method, path string, body []byte, now func() time.Time) (data []byte, done bool, hint time.Duration, hinted bool, _ error) {
+func (r *Remote) attempt(method, path string, body []byte, pri admission.Priority, now func() time.Time) (data []byte, done bool, hint time.Duration, hinted bool, _ error) {
 	if ferr := r.faults.Hit(SiteRemoteDo); ferr != nil {
 		// Injected network failure: transient, costs an attempt.
 		return nil, false, 0, false, fmt.Errorf("store: remote service: %w", ferr)
@@ -302,6 +303,10 @@ func (r *Remote) attempt(method, path string, body []byte, now func() time.Time)
 	if err != nil {
 		return nil, true, 0, false, err
 	}
+	// Identity and class for the service's admission controller; old
+	// servers ignore the headers.
+	req.Header.Set(admission.TenantHeader, r.ns)
+	req.Header.Set(admission.PriorityHeader, pri.String())
 	if body != nil {
 		req.ContentLength = int64(len(body))
 		req.Header.Set("Content-Type", "application/octet-stream")
@@ -335,20 +340,31 @@ func (r *Remote) attempt(method, path string, body []byte, now func() time.Time)
 	return data, true, 0, false, nil
 }
 
-// Put implements Backend.
+// Put implements Backend. Checkpoint writes are foreground work.
 func (r *Remote) Put(key string, sections []Section) error {
+	return r.putPri(key, sections, admission.Interactive)
+}
+
+// PutScrub is Put announced as maintenance traffic: replica repair
+// writes admit at scrub priority so a loaded service drains them last
+// and they never displace a tenant's foreground checkpoints.
+func (r *Remote) PutScrub(key string, sections []Section) error {
+	return r.putPri(key, sections, admission.Scrub)
+}
+
+func (r *Remote) putPri(key string, sections []Section, pri admission.Priority) error {
 	start := r.ops.put.Start()
-	n, err := r.put(key, sections)
+	n, err := r.put(key, sections, pri)
 	r.ops.put.Done(start, n, errClass(err))
 	return err
 }
 
-func (r *Remote) put(key string, sections []Section) (int64, error) {
+func (r *Remote) put(key string, sections []Section, pri admission.Priority) (int64, error) {
 	if !ValidName(key) {
 		return 0, fmt.Errorf("store: invalid remote key %q", key)
 	}
 	blob := EncodeSections(sections)
-	if _, err := r.do(http.MethodPut, "/objects/"+url.PathEscape(key), blob); err != nil {
+	if _, err := r.do(http.MethodPut, "/objects/"+url.PathEscape(key), blob, pri); err != nil {
 		return 0, err
 	}
 	r.mu.Lock()
@@ -359,19 +375,30 @@ func (r *Remote) put(key string, sections []Section) (int64, error) {
 	return int64(len(blob)), nil
 }
 
-// Get implements Backend.
+// Get implements Backend. Reads ride the restart path: a recovering
+// process blocks on them, so they admit at the highest class.
 func (r *Remote) Get(key string) ([]Section, error) {
+	return r.getPri(key, admission.Restart)
+}
+
+// GetScrub is Get announced as maintenance traffic (replica scrub
+// reads), admitting at the lowest class.
+func (r *Remote) GetScrub(key string) ([]Section, error) {
+	return r.getPri(key, admission.Scrub)
+}
+
+func (r *Remote) getPri(key string, pri admission.Priority) ([]Section, error) {
 	start := r.ops.get.Start()
-	sections, n, err := r.get(key)
+	sections, n, err := r.get(key, pri)
 	r.ops.get.Done(start, n, errClass(err))
 	return sections, err
 }
 
-func (r *Remote) get(key string) ([]Section, int64, error) {
+func (r *Remote) get(key string, pri admission.Priority) ([]Section, int64, error) {
 	if !ValidName(key) {
 		return nil, 0, fmt.Errorf("store: invalid remote key %q", key)
 	}
-	blob, err := r.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil)
+	blob, err := r.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil, pri)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -395,7 +422,7 @@ func (r *Remote) List() ([]string, error) {
 }
 
 func (r *Remote) list() ([]string, error) {
-	data, err := r.do(http.MethodGet, "/objects", nil)
+	data, err := r.do(http.MethodGet, "/objects", nil, admission.Restart)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
 			// A namespace nothing was written to yet is an empty store,
@@ -425,7 +452,7 @@ func (r *Remote) del(key string) error {
 	if !ValidName(key) {
 		return fmt.Errorf("store: invalid remote key %q", key)
 	}
-	if _, err := r.do(http.MethodDelete, "/objects/"+url.PathEscape(key), nil); err != nil {
+	if _, err := r.do(http.MethodDelete, "/objects/"+url.PathEscape(key), nil, admission.Interactive); err != nil {
 		return err
 	}
 	r.mu.Lock()
@@ -445,7 +472,7 @@ func (r *Remote) Stats() Stats {
 // Flush implements Backend: ask the service to flush the namespace's
 // backend (a no-op unless the service itself runs an async store).
 func (r *Remote) Flush() error {
-	_, err := r.do(http.MethodPost, "/flush", nil)
+	_, err := r.do(http.MethodPost, "/flush", nil, admission.Interactive)
 	return err
 }
 

@@ -257,6 +257,9 @@ func (s *Replicated) applyOp(rep *replica, op *repOp) (err error) {
 	case opFlush:
 		return rep.backend.Flush()
 	case opRepair:
+		if sp, ok := rep.backend.(scrubPrioritized); ok {
+			return sp.PutScrub(op.key, op.sections)
+		}
 		return rep.backend.Put(op.key, op.sections)
 	}
 	return fmt.Errorf("store: replicated: unknown op kind %d", op.kind)
@@ -377,8 +380,21 @@ func (s *Replicated) readReplica(rep *replica, key string, withSite bool) (_ []S
 		if ferr := s.faults.Load().Hit(SiteReplicaGet(rep.idx)); ferr != nil {
 			return nil, fmt.Errorf("store: replica %d: %w", rep.idx, ferr)
 		}
+	} else if sp, ok := rep.backend.(scrubPrioritized); ok {
+		// The scrubber's probes announce themselves as maintenance
+		// traffic to a remote replica's admission controller.
+		return sp.GetScrub(key)
 	}
 	return rep.backend.Get(key)
+}
+
+// scrubPrioritized is implemented by backends that can tag maintenance
+// traffic (scrub reads, repair writes) with the scrub admission class —
+// store.Remote forwards the class to the service so background repair
+// never displaces a tenant's foreground checkpoints.
+type scrubPrioritized interface {
+	PutScrub(key string, sections []Section) error
+	GetScrub(key string) ([]Section, error)
 }
 
 // hedgeDelay picks how long Get waits for a first definitive answer
